@@ -1,0 +1,203 @@
+//! Growth analysis over the quarterly windows (§6).
+//!
+//! Collects routed/observed/estimated series per window, fits linear
+//! trends (the paper: "growth in used /24 subnets and IPv4 addresses was
+//! roughly linear, with an increase of 0.45 million /24 subnets and 170
+//! million IPv4 addresses per year"), and produces the normalised views of
+//! Figs 4–6 and the per-stratum yearly growth of Figs 7–9.
+
+use ghosts_pipeline::time::TimeWindow;
+use ghosts_stats::regression::{linear_fit, moving_average, LinearFit, RegressionError};
+
+/// One point of a windowed series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// The window (statistics attach to its end).
+    pub window: TimeWindow,
+    /// Value at that window.
+    pub value: f64,
+}
+
+/// A named series over the study windows.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Display name ("Routed", "Observed", "Estimated").
+    pub name: String,
+    /// The points, in window order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates a series from values aligned with `windows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn new(
+        name: impl Into<String>,
+        windows: &[TimeWindow],
+        values: &[f64],
+    ) -> Self {
+        assert_eq!(windows.len(), values.len(), "series length mismatch");
+        Self {
+            name: name.into(),
+            points: windows
+                .iter()
+                .zip(values)
+                .map(|(&window, &value)| SeriesPoint { window, value })
+                .collect(),
+        }
+    }
+
+    /// The values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Values normalised on the first point (the paper's normalised plots:
+    /// "we always normalise each series on the first value").
+    pub fn normalised(&self) -> Vec<f64> {
+        let first = self.points.first().map(|p| p.value).unwrap_or(1.0);
+        if first == 0.0 {
+            return self.points.iter().map(|_| f64::NAN).collect();
+        }
+        self.points.iter().map(|p| p.value / first).collect()
+    }
+
+    /// Centred moving-average smoothing (the solid "smoothed" line in
+    /// Figs 4–5).
+    pub fn smoothed(&self, half: usize) -> Vec<f64> {
+        moving_average(&self.values(), half)
+    }
+
+    /// Linear trend against time in years (x = years since the first
+    /// window's end). The slope is the per-year growth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression errors (fewer than two points).
+    pub fn trend(&self) -> Result<LinearFit, RegressionError> {
+        let xs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.window.end().years_since_first_window_end())
+            .collect();
+        linear_fit(&xs, &self.values())
+    }
+
+    /// Average yearly growth as an absolute rate (trend slope).
+    pub fn yearly_growth_abs(&self) -> f64 {
+        self.trend().map(|f| f.slope).unwrap_or(0.0)
+    }
+
+    /// Average relative yearly growth in percent, measured against the
+    /// series midpoint (robust to which end the growth concentrates on).
+    pub fn yearly_growth_rel_percent(&self) -> f64 {
+        let vals = self.values();
+        let mid = ghosts_stats::summary::mean(&vals);
+        if mid == 0.0 {
+            return 0.0;
+        }
+        100.0 * self.yearly_growth_abs() / mid
+    }
+}
+
+/// Growth of one stratum (a bar of Figs 7–9).
+#[derive(Debug, Clone)]
+pub struct StratumGrowth {
+    /// Stratum label (prefix size, allocation year, country …).
+    pub label: String,
+    /// Observed absolute yearly growth.
+    pub observed_abs: f64,
+    /// Estimated absolute yearly growth.
+    pub estimated_abs: f64,
+    /// Observed relative yearly growth (percent).
+    pub observed_rel: f64,
+    /// Estimated relative yearly growth (percent).
+    pub estimated_rel: f64,
+}
+
+/// Computes per-stratum growth from aligned observed/estimated series.
+pub fn stratum_growth(
+    label: impl Into<String>,
+    observed: &Series,
+    estimated: &Series,
+) -> StratumGrowth {
+    StratumGrowth {
+        label: label.into(),
+        observed_abs: observed.yearly_growth_abs(),
+        estimated_abs: estimated.yearly_growth_abs(),
+        observed_rel: observed.yearly_growth_rel_percent(),
+        estimated_rel: estimated.yearly_growth_rel_percent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghosts_pipeline::time::paper_windows;
+
+    fn lin_series(name: &str, base: f64, slope_per_window: f64) -> Series {
+        let ws = paper_windows();
+        let vals: Vec<f64> = (0..ws.len())
+            .map(|i| base + slope_per_window * i as f64)
+            .collect();
+        Series::new(name, &ws, &vals)
+    }
+
+    #[test]
+    fn trend_recovers_yearly_slope() {
+        // +10 per window = +40 per year.
+        let s = lin_series("x", 100.0, 10.0);
+        let fit = s.trend().unwrap();
+        assert!((fit.slope - 40.0).abs() < 1e-9);
+        assert!((s.yearly_growth_abs() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalised_starts_at_one() {
+        let s = lin_series("x", 200.0, 20.0);
+        let n = s.normalised();
+        assert_eq!(n[0], 1.0);
+        assert!((n.last().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_growth_in_percent() {
+        // Slope 40/yr on a series with mean 300: ~13.3 %/yr.
+        let s = lin_series("x", 200.0, 10.0);
+        let mean = ghosts_stats::summary::mean(&s.values());
+        assert!((s.yearly_growth_rel_percent() - 100.0 * 40.0 / mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_reduces_noise() {
+        let ws = paper_windows();
+        let vals: Vec<f64> = (0..ws.len())
+            .map(|i| 100.0 + i as f64 + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let s = Series::new("noisy", &ws, &vals);
+        let sm = s.smoothed(1);
+        let raw_dev: f64 = vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        let smooth_dev: f64 = sm.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        assert!(smooth_dev < raw_dev);
+    }
+
+    #[test]
+    fn stratum_growth_aggregates_both_series() {
+        let obs = lin_series("obs", 100.0, 5.0);
+        let est = lin_series("est", 150.0, 10.0);
+        let g = stratum_growth("APNIC", &obs, &est);
+        assert!((g.observed_abs - 20.0).abs() < 1e-9);
+        assert!((g.estimated_abs - 40.0).abs() < 1e-9);
+        assert!(g.estimated_rel > g.observed_rel);
+    }
+
+    #[test]
+    fn zero_first_value_normalises_to_nan() {
+        let ws = paper_windows();
+        let vals = vec![0.0; ws.len()];
+        let s = Series::new("zero", &ws, &vals);
+        assert!(s.normalised()[0].is_nan());
+    }
+}

@@ -1,0 +1,121 @@
+//! Embedded long-term context series for Fig 10.
+//!
+//! Fig 10 juxtaposes the study's windows against a decade of history:
+//! allocated addresses since 2003 (RIR delegation files / potaroo),
+//! routed addresses since 2008 (RouteViews) and pingable addresses
+//! 2003–2011 (USC/LANDER censuses). These are public context series the
+//! reproduction embeds as constants, with values read off the published
+//! figure and the cited census reports (Pryadkin 2004: 62 M; Heidemann
+//! 2007/2008 census: 112 M; the paper's own censuses from 2011 on). They
+//! are *anchors for plotting*, not measurement outputs of this system.
+
+/// Allocated IPv4 addresses (billions) at year end, 2003–2014.
+pub const ALLOCATED_G: [(u16, f64); 12] = [
+    (2003, 1.88),
+    (2004, 1.98),
+    (2005, 2.10),
+    (2006, 2.25),
+    (2007, 2.41),
+    (2008, 2.56),
+    (2009, 2.72),
+    (2010, 2.95),
+    (2011, 3.18),
+    (2012, 3.26),
+    (2013, 3.32),
+    (2014, 3.36),
+];
+
+/// Routed IPv4 addresses (billions) at year end, 2008–2014 (RouteViews).
+pub const ROUTED_G: [(u16, f64); 7] = [
+    (2008, 1.99),
+    (2009, 2.11),
+    (2010, 2.27),
+    (2011, 2.46),
+    (2012, 2.57),
+    (2013, 2.65),
+    (2014, 2.73),
+];
+
+/// Pingable IPv4 addresses (billions) from the USC/LANDER censuses
+/// 2003–2011 (the paper's own IPING takes over from 2012).
+pub const PING_HISTORY_G: [(u16, f64); 9] = [
+    (2003, 0.055),
+    (2004, 0.062),
+    (2005, 0.075),
+    (2006, 0.095),
+    (2007, 0.112),
+    (2008, 0.140),
+    (2009, 0.190),
+    (2010, 0.255),
+    (2011, 0.330),
+];
+
+/// Linear interpolation into a `(year, value)` series at a fractional
+/// year. Clamps outside the series range.
+pub fn interpolate(series: &[(u16, f64)], year: f64) -> f64 {
+    let first = series.first().expect("non-empty series");
+    let last = series.last().expect("non-empty series");
+    if year <= f64::from(first.0) {
+        return first.1;
+    }
+    if year >= f64::from(last.0) {
+        return last.1;
+    }
+    for pair in series.windows(2) {
+        let (y0, v0) = (f64::from(pair[0].0), pair[0].1);
+        let (y1, v1) = (f64::from(pair[1].0), pair[1].1);
+        if (y0..=y1).contains(&year) {
+            let t = (year - y0) / (y1 - y0);
+            return v0 + t * (v1 - v0);
+        }
+    }
+    unreachable!("year inside range must fall in a segment")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_monotone_increasing() {
+        for s in [&ALLOCATED_G[..], &ROUTED_G[..], &PING_HISTORY_G[..]] {
+            for pair in s.windows(2) {
+                assert!(pair[1].1 > pair[0].1, "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_slowdown_after_2011() {
+        // Fig 10: the boom 2004–2011, then the slowdown.
+        let boom = ALLOCATED_G[8].1 - ALLOCATED_G[1].1; // 2011 − 2004
+        let slow = ALLOCATED_G[11].1 - ALLOCATED_G[8].1; // 2014 − 2011
+        assert!(boom / 7.0 > 2.5 * (slow / 3.0));
+    }
+
+    #[test]
+    fn routed_below_allocated() {
+        for (y, v) in ROUTED_G {
+            let alloc = ALLOCATED_G.iter().find(|(yy, _)| *yy == y).unwrap().1;
+            assert!(v < alloc, "routed {v} above allocated {alloc} in {y}");
+        }
+    }
+
+    #[test]
+    fn census_anchors_match_literature() {
+        // Pryadkin et al. 2003/04: 62 M; Heidemann census 2007: 112 M.
+        let v2004 = PING_HISTORY_G.iter().find(|(y, _)| *y == 2004).unwrap().1;
+        let v2007 = PING_HISTORY_G.iter().find(|(y, _)| *y == 2007).unwrap().1;
+        assert!((v2004 - 0.062).abs() < 1e-9);
+        assert!((v2007 - 0.112).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation() {
+        assert_eq!(interpolate(&ROUTED_G, 2008.0), 1.99);
+        assert_eq!(interpolate(&ROUTED_G, 1990.0), 1.99); // clamped
+        assert_eq!(interpolate(&ROUTED_G, 2050.0), 2.73); // clamped
+        let mid = interpolate(&ROUTED_G, 2008.5);
+        assert!((mid - 2.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Supply projection: available space, growth rates and run-out years per
+//! RIR (§7.2.2, Table 6).
+//!
+//! "Available" is unallocated space plus allocated-but-unused routed space
+//! (from the CR estimates), under the paper's "very optimistic assumption
+//! that the whole unused space could be utilised"; the run-out year is
+//! when linear growth exhausts it. A utilisation-cap scenario (e.g. only
+//! 75% of routed /24s can ever be used) tightens the projection (§7.2.2,
+//! §8).
+
+use crate::growth::Series;
+use ghosts_net::Rir;
+
+/// One row of the Table-6-style projection.
+#[derive(Debug, Clone)]
+pub struct SupplyRow {
+    /// The registry (or `None` for the world total).
+    pub rir: Option<Rir>,
+    /// Available identifiers (unallocated + routed-but-unused).
+    pub available: f64,
+    /// Current growth in identifiers per year.
+    pub growth_per_year: f64,
+    /// Projected run-out year (fractional), `None` when growth ≤ 0.
+    pub runout_year: Option<f64>,
+}
+
+/// The decision point the projection anchors on: end of June 2014.
+pub const PROJECTION_EPOCH: f64 = 2014.5;
+
+/// Computes one supply row.
+///
+/// * `unallocated` — the RIR's remaining free pool.
+/// * `routed` — its routed identifiers (addresses or /24s).
+/// * `estimated_used` — CR-estimated used identifiers at the last window.
+/// * `usage_series` — estimated usage per window, for the growth fit.
+/// * `utilisation_cap` — fraction of the routed space that can ever be
+///   used (1.0 for the optimistic Table 6; 0.75 for the pessimistic §8
+///   scenario). The cap shrinks the *usable* routed headroom.
+pub fn project(
+    rir: Option<Rir>,
+    unallocated: f64,
+    routed: f64,
+    estimated_used: f64,
+    usage_series: &Series,
+    utilisation_cap: f64,
+) -> SupplyRow {
+    let headroom = (routed * utilisation_cap - estimated_used).max(0.0);
+    let available = unallocated + headroom;
+    let growth_per_year = usage_series.yearly_growth_abs();
+    let runout_year = if growth_per_year > 0.0 {
+        Some(PROJECTION_EPOCH + available / growth_per_year)
+    } else {
+        None
+    };
+    SupplyRow {
+        rir,
+        available,
+        growth_per_year,
+        runout_year,
+    }
+}
+
+/// Remaining unallocated pools in mid-2014, as fractions of the total
+/// ≈ 5.5 /8s the paper cites ("In July 2014 roughly 5.5 /8 networks of
+/// unallocated addresses remained"). AfriNIC held most of the slack; the
+/// other RIRs were at or near their last-/8 policies.
+pub fn unallocated_share(rir: Rir) -> f64 {
+    match rir {
+        Rir::AfriNic => 0.60,
+        Rir::Apnic => 0.07,
+        Rir::Arin => 0.18,
+        Rir::LacNic => 0.04,
+        Rir::Ripe => 0.11,
+    }
+}
+
+/// The paper's total unallocated pool in addresses (≈ 5.5 /8s ≈ 92 M), to
+/// be scaled by the simulation's scale factor.
+pub const UNALLOCATED_TOTAL_2014: f64 = 5.5 * 16_777_216.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghosts_pipeline::time::paper_windows;
+
+    fn series(base: f64, per_window: f64) -> Series {
+        let ws = paper_windows();
+        let vals: Vec<f64> = (0..ws.len())
+            .map(|i| base + per_window * i as f64)
+            .collect();
+        Series::new("est", &ws, &vals)
+    }
+
+    #[test]
+    fn paper_world_numbers_reproduce_2023() {
+        // World: 90 M unallocated + (2725 M routed − 1150 M used) at
+        // growth 170 M/yr → run-out 2023–2024 (§7.2.2).
+        let s = series(720.0e6, 42.5e6); // 42.5 M per quarter-window ≈ 170 M/yr
+        let row = project(None, 90.0e6, 2725.0e6, 1150.0e6, &s, 1.0);
+        assert!((row.growth_per_year - 170.0e6).abs() < 1.0e6);
+        let runout = row.runout_year.unwrap();
+        assert!(
+            (2023.0..2025.0).contains(&runout),
+            "run-out {runout} (paper: 2023–2024)"
+        );
+    }
+
+    #[test]
+    fn utilisation_cap_tightens_runout() {
+        let s = series(720.0e6, 42.5e6);
+        let optimistic = project(None, 90.0e6, 2725.0e6, 1150.0e6, &s, 1.0);
+        let capped = project(None, 90.0e6, 2725.0e6, 1150.0e6, &s, 0.75);
+        assert!(capped.available < optimistic.available);
+        assert!(capped.runout_year.unwrap() < optimistic.runout_year.unwrap());
+        // The paper's "~2018 under a 75% cap" figure is the /24-subnet
+        // view; on addresses the same cap lands around 2020.
+        let y = capped.runout_year.unwrap();
+        assert!((2019.0..2021.0).contains(&y), "capped run-out {y}");
+    }
+
+    #[test]
+    fn used_beyond_cap_leaves_only_unallocated() {
+        let s = series(100.0, 10.0);
+        let row = project(Some(Rir::Apnic), 50.0, 1000.0, 990.0, &s, 0.75);
+        // 75% cap = 750 < used 990 → headroom 0.
+        assert_eq!(row.available, 50.0);
+    }
+
+    #[test]
+    fn zero_growth_never_runs_out() {
+        let s = series(100.0, 0.0);
+        let row = project(None, 10.0, 100.0, 50.0, &s, 1.0);
+        assert!(row.runout_year.is_none());
+    }
+
+    #[test]
+    fn unallocated_shares_sum_to_one() {
+        let total: f64 = Rir::ALL.iter().map(|&r| unallocated_share(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // AfriNIC holds the most slack; LACNIC the least (ran out first).
+        assert!(unallocated_share(Rir::AfriNic) > unallocated_share(Rir::Arin));
+        assert!(unallocated_share(Rir::LacNic) < unallocated_share(Rir::Ripe));
+    }
+}

@@ -1,0 +1,160 @@
+//! The Internet-user growth cross-check of §6.9 (Fig 11).
+//!
+//! The paper argues address growth is driven by user-population growth:
+//! with household size `H`, employment ratio `p_E` and `W` employees per
+//! work address, yearly address growth is `g_I = (1/H + p_E/W)·g_U`.
+//! With `H ∈ [2,5]`, `W ∈ [2,200]`, `p_E = 0.65` and `g_U ≈ 250 M/yr`
+//! (2007–2012), the bound is 50–205 M addresses/yr — bracketing the CR
+//! estimate of 170 M/yr.
+
+/// ITU Internet-user counts in millions, December of each year 1995–2013
+/// (Fig 11; the paper cites ITU's 2005–2013 ICT data, earlier points are
+/// the well-known ITU series).
+pub const ITU_USERS_M: [(u16, f64); 19] = [
+    (1995, 16.0),
+    (1996, 36.0),
+    (1997, 70.0),
+    (1998, 147.0),
+    (1999, 248.0),
+    (2000, 361.0),
+    (2001, 513.0),
+    (2002, 587.0),
+    (2003, 719.0),
+    (2004, 817.0),
+    (2005, 1_018.0),
+    (2006, 1_093.0),
+    (2007, 1_319.0),
+    (2008, 1_574.0),
+    (2009, 1_802.0),
+    (2010, 2_023.0),
+    (2011, 2_231.0),
+    (2012, 2_494.0),
+    (2013, 2_749.0),
+];
+
+/// Parameters of the §6.9 model.
+#[derive(Debug, Clone, Copy)]
+pub struct UserGrowthModel {
+    /// Average household size of new Internet users.
+    pub household_size: f64,
+    /// Employment-to-population ratio.
+    pub employment_ratio: f64,
+    /// Average employees sharing one public work address.
+    pub workers_per_address: f64,
+}
+
+impl UserGrowthModel {
+    /// Address growth implied by a user growth of `g_u` per year.
+    pub fn address_growth(&self, g_u: f64) -> f64 {
+        (1.0 / self.household_size + self.employment_ratio / self.workers_per_address) * g_u
+    }
+}
+
+/// The paper's parameter ranges and the implied bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowthBounds {
+    /// Lower bound on yearly address growth.
+    pub lower: f64,
+    /// Upper bound on yearly address growth.
+    pub upper: f64,
+    /// The user growth per year the bounds assume.
+    pub user_growth: f64,
+}
+
+/// Average ITU user growth per year between two years (inclusive ends).
+///
+/// # Panics
+///
+/// Panics if either year is outside the embedded series.
+pub fn user_growth_per_year(from: u16, to: u16) -> f64 {
+    let get = |y: u16| {
+        ITU_USERS_M
+            .iter()
+            .find(|(yy, _)| *yy == y)
+            .unwrap_or_else(|| panic!("year {y} outside ITU series"))
+            .1
+    };
+    (get(to) - get(from)) / f64::from(to - from) * 1.0e6
+}
+
+/// The §6.9 bounds: household size 2–5, one work address per 2–200
+/// employees, employment ratio 65%.
+pub fn paper_bounds() -> GrowthBounds {
+    let g_u = user_growth_per_year(2007, 2012);
+    let lower = UserGrowthModel {
+        household_size: 5.0,
+        employment_ratio: 0.65,
+        workers_per_address: 200.0,
+    }
+    .address_growth(g_u);
+    let upper = UserGrowthModel {
+        household_size: 2.0,
+        employment_ratio: 0.65,
+        workers_per_address: 2.0,
+    }
+    .address_growth(g_u);
+    GrowthBounds {
+        lower,
+        upper,
+        user_growth: g_u,
+    }
+}
+
+/// Whether a measured yearly address growth is consistent with the model.
+pub fn consistent_with_user_growth(address_growth_per_year: f64) -> bool {
+    let b = paper_bounds();
+    (b.lower..=b.upper).contains(&address_growth_per_year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itu_series_monotone() {
+        for pair in ITU_USERS_M.windows(2) {
+            assert!(pair[1].1 > pair[0].1);
+            assert_eq!(pair[1].0, pair[0].0 + 1);
+        }
+        assert_eq!(ITU_USERS_M[0], (1995, 16.0));
+        assert_eq!(ITU_USERS_M.last().unwrap().0, 2013);
+    }
+
+    #[test]
+    fn user_growth_2007_2012_near_250m() {
+        let g = user_growth_per_year(2007, 2012);
+        // Paper: "Between 2007 and 2012 the number of Internet users grew
+        // by roughly 250 million per year".
+        assert!((g - 250.0e6).abs() < 30.0e6, "g = {g}");
+    }
+
+    #[test]
+    fn paper_bounds_bracket_cr_estimate() {
+        let b = paper_bounds();
+        // Paper: "we would expect the IPv4 addresses to grow between 50
+        // million and 205 million per year".
+        assert!((40.0e6..=70.0e6).contains(&b.lower), "lower {}", b.lower);
+        assert!((180.0e6..=230.0e6).contains(&b.upper), "upper {}", b.upper);
+        // The CR estimate of 170 M/yr fits inside.
+        assert!(consistent_with_user_growth(170.0e6));
+        assert!(!consistent_with_user_growth(400.0e6));
+        assert!(!consistent_with_user_growth(10.0e6));
+    }
+
+    #[test]
+    fn model_formula() {
+        let m = UserGrowthModel {
+            household_size: 4.0,
+            employment_ratio: 0.6,
+            workers_per_address: 10.0,
+        };
+        // 1/4 + 0.6/10 = 0.31 per user.
+        assert!((m.address_growth(100.0) - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_series_year_panics() {
+        user_growth_per_year(1990, 2000);
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation: the two-level bitmap `AddrSet` against `HashSet<u32>` for the
+//! workloads the estimator actually runs — bulk insert, membership probes
+//! during contingency-table building, and set union.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ghosts_net::AddrSet;
+use ghosts_stats::rng::component_rng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Clustered addresses: realistic usage concentrates in /24s.
+fn clustered_addrs(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = component_rng(seed, "bench-addrs");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let subnet: u32 = rng.gen_range(0x0100_0000u32..0x0400_0000) & !0xff;
+        for _ in 0..rng.gen_range(10..120) {
+            out.push(subnet | rng.gen_range(1..255));
+            if out.len() == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let addrs = clustered_addrs(100_000, 1);
+    let probes = clustered_addrs(20_000, 2);
+
+    let mut g = c.benchmark_group("addrset_vs_hashset");
+    g.bench_function("insert_100k_bitmap", |b| {
+        b.iter_batched(
+            AddrSet::new,
+            |mut s| {
+                for &a in &addrs {
+                    s.insert(a);
+                }
+                s.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_100k_hashset", |b| {
+        b.iter_batched(
+            HashSet::<u32>::new,
+            |mut s| {
+                for &a in &addrs {
+                    s.insert(a);
+                }
+                s.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let bitmap: AddrSet = addrs.iter().copied().collect();
+    let hashset: HashSet<u32> = addrs.iter().copied().collect();
+    g.bench_function("probe_20k_bitmap", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&a| bitmap.contains(black_box(a)))
+                .count()
+        })
+    });
+    g.bench_function("probe_20k_hashset", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&a| hashset.contains(&black_box(a)))
+                .count()
+        })
+    });
+
+    let other: AddrSet = clustered_addrs(100_000, 3).into_iter().collect();
+    g.bench_function("union_bitmap", |b| {
+        b.iter_batched(
+            || bitmap.clone(),
+            |mut s| {
+                s.union_with(&other);
+                s.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("intersection_count_bitmap", |b| {
+        b.iter(|| bitmap.intersection_count(black_box(&other)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p ghosts-bench --release --bin repro -- all
+//! cargo run -p ghosts-bench --release --bin repro -- table5 fig4 fig5
+//! cargo run -p ghosts-bench --release --bin repro -- all --denom 256
+//! ```
+//!
+//! Options:
+//! * `--denom N` — simulate 1/N of the real Internet (default 1024; 256
+//!   matches DESIGN.md's default scale but takes ~16x longer).
+//! * `--seed N` — simulation seed (default 2014).
+//!
+//! Output goes to stdout and to `results/<id>.txt` / `results/<id>.json`.
+
+use ghosts_bench::context::write_results;
+use ghosts_bench::experiments::{self, ALL_IDS_FULL};
+use ghosts_bench::ReproContext;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut denom = 1024u64;
+    let mut seed = 2014u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--denom" => {
+                denom = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--denom needs an integer"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "all" => ids.extend(ALL_IDS_FULL.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(""),
+            other => {
+                if ALL_IDS_FULL.contains(&other) {
+                    ids.push(other.to_string());
+                } else {
+                    usage(&format!("unknown experiment {other:?}"));
+                }
+            }
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiments requested");
+    }
+    ids.dedup();
+
+    eprintln!("repro: building scenario at scale 1/{denom} (seed {seed})…");
+    let start = std::time::Instant::now();
+    let ctx = ReproContext::new(denom, seed);
+    eprintln!(
+        "repro: scenario ready in {:.1}s — {} allocations, {} routed addrs, {} routed /24s",
+        start.elapsed().as_secs_f64(),
+        ctx.scenario.gt.registry.len(),
+        ctx.scenario.gt.routed.address_count(),
+        ctx.scenario.gt.routed.subnet24_count(),
+    );
+
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        eprintln!("repro: running {id}…");
+        let (text, json) = experiments::run(id, &ctx);
+        println!("\n{text}");
+        if let Err(e) = write_results(id, &text, &json) {
+            eprintln!("repro: could not write results/{id}: {e}");
+        }
+        eprintln!("repro: {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N]\n\
+         experiments: {}",
+        ALL_IDS_FULL.join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,253 @@
+//! Shared state for the experiment harness: one scenario, cached window
+//! datasets (raw and spoof-filtered) and cached CR estimates.
+//!
+//! Everything is single-threaded (`Rc`/`RefCell`): the reference machine
+//! for the reproduction has one core, so the harness optimises for cache
+//! reuse rather than parallel fan-out.
+
+use ghosts_core::{estimate_table, ContingencyTable, CrConfig, CrEstimate};
+use ghosts_net::SubnetSet;
+use ghosts_pipeline::dataset::{SourceDataset, WindowData};
+use ghosts_pipeline::spoof_filter::{filter_spoofed, SpoofFilterConfig};
+use ghosts_pipeline::time::{paper_windows, TimeWindow};
+use ghosts_sim::{Scenario, SimConfig};
+use ghosts_stats::rng::component_rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The real Internet's allocated space in mid-2014 — the numerator of the
+/// scale factor.
+pub const REAL_ALLOCATED_2014: f64 = 3_584_000_000.0;
+
+/// Shared experiment state.
+pub struct ReproContext {
+    /// The generated measurement study.
+    pub scenario: Scenario,
+    /// The paper's eleven windows.
+    pub windows: Vec<TimeWindow>,
+    /// Scale denominator: the simulation models `1/denom` of the real
+    /// Internet. Multiply mini-Internet counts by this for full-scale
+    /// equivalents.
+    pub denom: f64,
+    raw: RefCell<HashMap<usize, Rc<WindowData>>>,
+    filtered: RefCell<HashMap<usize, Rc<WindowData>>>,
+    addr_estimates: RefCell<HashMap<usize, Rc<CrEstimate>>>,
+    subnet_estimates: RefCell<HashMap<usize, Rc<CrEstimate>>>,
+}
+
+impl ReproContext {
+    /// Builds the context at scale `1/denom` with the given seed.
+    pub fn new(denom: u64, seed: u64) -> Self {
+        let mut cfg = SimConfig::default_scale(seed);
+        cfg.allocated_budget = (REAL_ALLOCATED_2014 / denom as f64) as u64;
+        // Spoof volumes scale with the dataset sizes so the filter keeps a
+        // comparable signal-to-noise ratio at every scale.
+        let spoof_scale = 256.0 / denom as f64;
+        cfg.spoof.swin_per_quarter =
+            ((cfg.spoof.swin_per_quarter as f64) * spoof_scale).max(500.0) as u64;
+        cfg.spoof.calt_per_quarter =
+            ((cfg.spoof.calt_per_quarter as f64) * spoof_scale).max(750.0) as u64;
+        cfg.spoof.calt_spike_per_quarter =
+            ((cfg.spoof.calt_spike_per_quarter as f64) * spoof_scale).max(10_000.0) as u64;
+        Self {
+            scenario: Scenario::new(cfg),
+            windows: paper_windows(),
+            denom: denom as f64,
+            raw: RefCell::new(HashMap::new()),
+            filtered: RefCell::new(HashMap::new()),
+            addr_estimates: RefCell::new(HashMap::new()),
+            subnet_estimates: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The paper's CR configuration, with the sampling-zeros exclusion
+    /// threshold adjusted for scale: the paper's 1000-IP cut-off applies
+    /// to the full Internet; instability of tiny strata depends on
+    /// absolute counts, so a floor of 200 observed individuals is kept at
+    /// every scale.
+    pub fn cr_config(&self) -> CrConfig {
+        CrConfig {
+            min_stratum_observed: 200,
+            ..CrConfig::paper()
+        }
+    }
+
+    /// Raw window data: spoofed traffic still inside SWIN/CALT.
+    pub fn raw_window(&self, i: usize) -> Rc<WindowData> {
+        if let Some(w) = self.raw.borrow().get(&i) {
+            return Rc::clone(w);
+        }
+        let data = Rc::new(self.scenario.window_data(self.windows[i]));
+        self.raw.borrow_mut().insert(i, Rc::clone(&data));
+        data
+    }
+
+    /// Analysis-ready window data: SWIN/CALT passed through the §4.5
+    /// spoof filter (universe-aware at mini-Internet scale).
+    pub fn filtered_window(&self, i: usize) -> Rc<WindowData> {
+        if let Some(w) = self.filtered.borrow().get(&i) {
+            return Rc::clone(w);
+        }
+        let raw = self.raw_window(i);
+        let spoof_free = raw.spoof_free_union();
+        let fcfg = SpoofFilterConfig::with_universe(self.scenario.routed_per_eight());
+        let sources: Vec<SourceDataset> = raw
+            .sources
+            .iter()
+            .map(|d| {
+                if d.spoof_free {
+                    d.clone()
+                } else {
+                    let mut rng = component_rng(
+                        self.scenario.gt.cfg.seed,
+                        &format!("repro-filter-{}-{}", d.name, i),
+                    );
+                    let report = filter_spoofed(&d.addrs, &spoof_free, &fcfg, &mut rng);
+                    SourceDataset::new(d.name.clone(), report.filtered, false)
+                }
+            })
+            .collect();
+        let data = Rc::new(WindowData {
+            window: raw.window,
+            sources,
+        });
+        self.filtered.borrow_mut().insert(i, Rc::clone(&data));
+        data
+    }
+
+    /// The CR address estimate for window `i` (filtered data, truncated
+    /// cells bounded by the routed space). Cached.
+    pub fn addr_estimate(&self, i: usize) -> Rc<CrEstimate> {
+        if let Some(e) = self.addr_estimates.borrow().get(&i) {
+            return Rc::clone(e);
+        }
+        let data = self.filtered_window(i);
+        let sets = data.addr_sets();
+        let table = ContingencyTable::from_addr_sets(&sets);
+        let est = estimate_table(
+            &table,
+            Some(self.scenario.gt.routed.address_count()),
+            &self.cr_config(),
+        )
+        .expect("window estimable");
+        let est = Rc::new(est);
+        self.addr_estimates.borrow_mut().insert(i, Rc::clone(&est));
+        est
+    }
+
+    /// The CR /24-subnet estimate for window `i`. Cached.
+    pub fn subnet_estimate(&self, i: usize) -> Rc<CrEstimate> {
+        if let Some(e) = self.subnet_estimates.borrow().get(&i) {
+            return Rc::clone(e);
+        }
+        let data = self.filtered_window(i);
+        let subnet_sets: Vec<SubnetSet> = data.sources.iter().map(|d| d.subnets()).collect();
+        let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
+        let table = ContingencyTable::from_subnet_sets(&refs);
+        let est = estimate_table(
+            &table,
+            Some(self.scenario.gt.routed.subnet24_count()),
+            &self.cr_config(),
+        )
+        .expect("window estimable");
+        let est = Rc::new(est);
+        self.subnet_estimates
+            .borrow_mut()
+            .insert(i, Rc::clone(&est));
+        est
+    }
+
+    /// Full-scale equivalent of a mini-Internet count.
+    pub fn full_scale(&self, v: f64) -> f64 {
+        v * self.denom
+    }
+}
+
+/// Writes an experiment artifact to `results/<id>.txt` and its JSON
+/// sidecar to `results/<id>.json`, then returns the text for printing.
+pub fn write_results(id: &str, text: &str, json: &serde_json::Value) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    std::fs::write(format!("results/{id}.txt"), text)?;
+    std::fs::write(
+        format!("results/{id}.json"),
+        serde_json::to_string_pretty(json).expect("serialisable"),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A very small context for testing the harness plumbing.
+    fn tiny_ctx() -> ReproContext {
+        ReproContext::new(16_384, 7)
+    }
+
+    #[test]
+    fn caches_are_stable() {
+        let ctx = tiny_ctx();
+        let a1 = ctx.addr_estimate(10);
+        let a2 = ctx.addr_estimate(10);
+        assert_eq!(a1.total, a2.total);
+        let w1 = ctx.filtered_window(10);
+        let w2 = ctx.filtered_window(10);
+        assert_eq!(w1.sources.len(), w2.sources.len());
+        for (x, y) in w1.sources.iter().zip(&w2.sources) {
+            assert_eq!(x.addrs.len(), y.addrs.len());
+        }
+    }
+
+    #[test]
+    fn filtered_window_shrinks_netflow_only() {
+        let ctx = tiny_ctx();
+        let raw = ctx.raw_window(10);
+        let filtered = ctx.filtered_window(10);
+        for (r, f) in raw.sources.iter().zip(&filtered.sources) {
+            assert_eq!(r.name, f.name);
+            if r.spoof_free {
+                assert_eq!(r.addrs.len(), f.addrs.len(), "{} changed", r.name);
+            } else {
+                assert!(f.addrs.len() <= r.addrs.len(), "{} grew", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_are_plausible_and_scaled() {
+        let ctx = tiny_ctx();
+        let est = ctx.addr_estimate(10);
+        assert!(est.total >= est.observed as f64);
+        assert!(est.total <= ctx.scenario.gt.routed.address_count() as f64);
+        assert_eq!(ctx.full_scale(1.0), 16_384.0);
+        let sub = ctx.subnet_estimate(10);
+        assert!(sub.total <= ctx.scenario.gt.routed.subnet24_count() as f64);
+    }
+
+    #[test]
+    fn spoof_volumes_scale_with_denominator() {
+        let big = ReproContext::new(256, 7);
+        let small = tiny_ctx();
+        assert!(
+            big.scenario.gt.cfg.spoof.swin_per_quarter
+                >= small.scenario.gt.cfg.spoof.swin_per_quarter
+        );
+    }
+
+    #[test]
+    fn strata_limits_cover_routed_space() {
+        let ctx = tiny_ctx();
+        for strat in [
+            crate::strata::Strat::Rir,
+            crate::strata::Strat::Industry,
+            crate::strata::Strat::StaticDynamic,
+        ] {
+            let info = crate::strata::build(&ctx, strat);
+            let addr_total: u64 = info.addr_limits.iter().sum();
+            let sub_total: u64 = info.subnet_limits.iter().sum();
+            assert_eq!(addr_total, ctx.scenario.gt.routed.address_count());
+            assert_eq!(sub_total, ctx.scenario.gt.routed.subnet24_count());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 11 and §6.9: ITU Internet-user growth, and the consistency
+//! check between user-driven address-growth bounds and the CR estimate.
+
+use crate::context::ReproContext;
+use ghosts_analysis::growth::Series;
+use ghosts_analysis::report::TextTable;
+use ghosts_analysis::users::{paper_bounds, ITU_USERS_M};
+use serde_json::json;
+
+/// Runs the experiment.
+pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
+    let mut t = TextTable::new(["Year", "Internet users [M]"]);
+    for &(year, users) in &ITU_USERS_M {
+        t.row([year.to_string(), format!("{users:.0}")]);
+    }
+
+    // Measured CR address growth, scaled to full-scale for comparison.
+    let mut estimates = Vec::new();
+    for i in 0..ctx.windows.len() {
+        estimates.push(ctx.addr_estimate(i).total);
+    }
+    let series = Series::new("Estimated", &ctx.windows, &estimates);
+    let growth_full = ctx.full_scale(series.yearly_growth_abs());
+    let bounds = paper_bounds();
+    let consistent = (bounds.lower..=bounds.upper).contains(&growth_full);
+
+    let text = format!(
+        "Figure 11 — Internet users (ITU) and the 6.9 consistency check\n\n{}\n\
+         User growth 2007-2012       : {:.0} M/year\n\
+         Implied address growth range: {:.0} - {:.0} M/year\n\
+         (household size 2-5, employment 65%, 2-200 workers per address)\n\n\
+         Measured CR address growth  : {:.1} M/year (full-scale equivalent)\n\
+         Consistent with user growth : {}\n\
+         (paper: 170 M/year, inside its 50-205 M/year band)\n",
+        t.render(),
+        bounds.user_growth / 1e6,
+        bounds.lower / 1e6,
+        bounds.upper / 1e6,
+        growth_full / 1e6,
+        if consistent { "YES" } else { "NO" },
+    );
+    let json = json!({
+        "itu_users_m": ITU_USERS_M.iter().map(|(y, v)| json!([y, v])).collect::<Vec<_>>(),
+        "user_growth_per_year": bounds.user_growth,
+        "address_growth_bounds": [bounds.lower, bounds.upper],
+        "measured_growth_full_scale": growth_full,
+        "consistent": consistent,
+    });
+    (text, json)
+}

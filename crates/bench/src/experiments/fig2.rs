@@ -1,0 +1,86 @@
+//! Figure 2: observed and estimated /24 subnets with and without spoof
+//! filtering, compared to dropping SWIN and CALT entirely.
+//!
+//! The paper's punchline: estimates from filtered SWIN/CALT track the
+//! no-SWIN/CALT estimates, while unfiltered data blow the estimate up
+//! (beyond the possible maximum at the March 2014 CALT spike).
+
+use crate::context::ReproContext;
+use ghosts_analysis::report::TextTable;
+use ghosts_core::{estimate_table, ContingencyTable};
+use ghosts_net::SubnetSet;
+use ghosts_pipeline::dataset::WindowData;
+use serde_json::json;
+
+fn subnet_estimate(ctx: &ReproContext, data: &WindowData) -> (u64, f64) {
+    let subnet_sets: Vec<SubnetSet> = data.sources.iter().map(|d| d.subnets()).collect();
+    let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
+    let table = ContingencyTable::from_subnet_sets(&refs);
+    let mut union = SubnetSet::new();
+    for s in &subnet_sets {
+        union.union_with(s);
+    }
+    let est = estimate_table(
+        &table,
+        Some(ctx.scenario.gt.routed.subnet24_count()),
+        &ctx.cr_config(),
+    )
+    .expect("window estimable");
+    (union.len(), est.total)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
+    let mut t = TextTable::new([
+        "Window", "Unfilt obs", "Unfilt est", "Filt obs", "Filt est", "NoSC obs", "NoSC est",
+    ]);
+    let mut json_rows = Vec::new();
+    for i in 0..ctx.windows.len() {
+        let raw = ctx.raw_window(i);
+        let filtered = ctx.filtered_window(i);
+        let mut no_sc = (*filtered).clone();
+        no_sc.sources.retain(|s| s.name != "SWIN" && s.name != "CALT");
+
+        let (obs_raw, est_raw) = subnet_estimate(ctx, &raw);
+        let (obs_f, est_f) = subnet_estimate(ctx, &filtered);
+        let (obs_n, est_n) = subnet_estimate(ctx, &no_sc);
+        t.row([
+            ctx.windows[i].label(),
+            obs_raw.to_string(),
+            format!("{est_raw:.0}"),
+            obs_f.to_string(),
+            format!("{est_f:.0}"),
+            obs_n.to_string(),
+            format!("{est_n:.0}"),
+        ]);
+        json_rows.push(json!({
+            "window": ctx.windows[i].label(),
+            "unfiltered": { "observed": obs_raw, "estimated": est_raw },
+            "filtered": { "observed": obs_f, "estimated": est_f },
+            "no_swin_calt": { "observed": obs_n, "estimated": est_n },
+        }));
+    }
+
+    // Shape checks reported inline: filtered ≈ no-SWINCALT; unfiltered
+    // inflated, most extremely at the Mar 2014 spike (window 10 of 11).
+    let last = json_rows.last().expect("eleven windows");
+    let spike = &json_rows[9];
+    let text = format!(
+        "Figure 2 — /24 subnets, spoof filtering on/off vs no SWIN/CALT\n\
+         (subnet counts at scale 1/{:.0}; routed /24 maximum = {})\n\n{}\n\
+         Shape checks: at the Mar 2014 CALT spoof spike the unfiltered\n\
+         estimate is {:.2}x the filtered one; at the last window the\n\
+         filtered and no-SWIN/CALT estimates differ by {:.1}%.\n",
+        ctx.denom,
+        ctx.scenario.gt.routed.subnet24_count(),
+        t.render(),
+        spike["unfiltered"]["estimated"].as_f64().unwrap_or(0.0)
+            / spike["filtered"]["estimated"].as_f64().unwrap_or(1.0),
+        100.0
+            * (last["filtered"]["estimated"].as_f64().unwrap_or(0.0)
+                - last["no_swin_calt"]["estimated"].as_f64().unwrap_or(0.0))
+                .abs()
+            / last["no_swin_calt"]["estimated"].as_f64().unwrap_or(1.0),
+    );
+    (text, json!({ "windows": json_rows }))
+}

@@ -1,0 +1,101 @@
+//! Figures 4 and 5: absolute and relative growth of estimated, observed
+//! and routed /24 subnets (Fig 4) and IPv4 addresses (Fig 5).
+
+use crate::context::ReproContext;
+use ghosts_analysis::growth::Series;
+use ghosts_analysis::report::TextTable;
+use serde_json::json;
+
+fn run_inner(ctx: &ReproContext, subnets: bool) -> (String, serde_json::Value) {
+    let mut routed = Vec::new();
+    let mut observed = Vec::new();
+    let mut estimated = Vec::new();
+    let mut truth = Vec::new();
+    for i in 0..ctx.windows.len() {
+        let (routed_a, routed_s) = ctx.scenario.gt.routed_counts_at(ctx.windows[i].end());
+        routed.push(if subnets { routed_s as f64 } else { routed_a as f64 });
+        let est = if subnets {
+            ctx.subnet_estimate(i)
+        } else {
+            ctx.addr_estimate(i)
+        };
+        observed.push(est.observed as f64);
+        estimated.push(est.total);
+        truth.push(if subnets {
+            ctx.scenario.truth_subnets(ctx.windows[i]).len() as f64
+        } else {
+            ctx.scenario.truth_addrs(ctx.windows[i]).len() as f64
+        });
+    }
+    let obs_series = Series::new("Observed", &ctx.windows, &observed);
+    let est_series = Series::new("Estimated", &ctx.windows, &estimated);
+    let smoothed = est_series.smoothed(1);
+
+    let routed_series = Series::new("Routed", &ctx.windows, &routed);
+    let mut t = TextTable::new([
+        "Window", "Routed", "Observed", "Estimated", "Est smoothed", "Truth",
+        "Obs norm", "Est norm",
+    ]);
+    let obs_norm = obs_series.normalised();
+    let est_norm = est_series.normalised();
+    let mut json_rows = Vec::new();
+    for i in 0..ctx.windows.len() {
+        t.row([
+            ctx.windows[i].label(),
+            format!("{:.0}", routed[i]),
+            format!("{:.0}", observed[i]),
+            format!("{:.0}", estimated[i]),
+            format!("{:.0}", smoothed[i]),
+            format!("{:.0}", truth[i]),
+            format!("{:.3}", obs_norm[i]),
+            format!("{:.3}", est_norm[i]),
+        ]);
+        json_rows.push(json!({
+            "window": ctx.windows[i].label(),
+            "routed": routed[i],
+            "observed": observed[i],
+            "estimated": estimated[i],
+            "estimated_smoothed": smoothed[i],
+            "truth": truth[i],
+        }));
+    }
+
+    let growth = est_series.yearly_growth_abs();
+    let what = if subnets { "/24 subnets" } else { "IPv4 addresses" };
+    let fig = if subnets { "Figure 4" } else { "Figure 5" };
+    let paper_growth = if subnets { 450_000.0 } else { 170_000_000.0 };
+    let text = format!(
+        "{fig} — growth of estimated, observed and routed {what}\n\
+         (scale 1/{:.0}; multiply by {:.0} for full-scale equivalents)\n\n{}\n\
+         Estimated yearly growth: {:.0} per year\n\
+         Full-scale equivalent  : {:.1} M per year (paper: {:.2} M)\n\
+         Estimated/observed at the last window: {:.2}x (paper: {})\n\
+         Routed growth over the study: {:.1}% (paper: ~7% for /24s)\n",
+        ctx.denom,
+        ctx.denom,
+        t.render(),
+        growth,
+        ctx.full_scale(growth) / 1e6,
+        paper_growth / 1e6,
+        estimated.last().unwrap() / observed.last().unwrap(),
+        if subnets { "1.05-1.10x" } else { "1.5-1.6x" },
+        100.0 * (routed_series.normalised().last().unwrap() - 1.0),
+    );
+    let json = json!({
+        "windows": json_rows,
+        "yearly_growth": growth,
+        "yearly_growth_full_scale": ctx.full_scale(growth),
+        "paper_yearly_growth": paper_growth,
+    });
+    (text, json)
+}
+
+/// Figure 4 (/24 subnets).
+pub fn run_fig4(ctx: &ReproContext) -> (String, serde_json::Value) {
+    run_inner(ctx, true)
+}
+
+/// Figure 5 (IPv4 addresses).
+pub fn run_fig5(ctx: &ReproContext) -> (String, serde_json::Value) {
+    run_inner(ctx, false)
+}

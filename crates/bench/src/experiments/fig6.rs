@@ -1,0 +1,67 @@
+//! Figure 6: absolute and relative growth of estimated IPv4 addresses per
+//! RIR.
+
+use crate::context::ReproContext;
+use crate::strata::{build, estimate, Strat};
+use ghosts_analysis::growth::Series;
+use ghosts_analysis::report::TextTable;
+use ghosts_net::Rir;
+use serde_json::json;
+
+/// The windows used for the per-stratum series (every other window keeps
+/// the single-core runtime in check; trends are stable under this).
+pub fn series_windows(ctx: &ReproContext) -> Vec<usize> {
+    (0..ctx.windows.len()).step_by(2).collect()
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
+    let info = build(ctx, Strat::Rir);
+    let picks = series_windows(ctx);
+    // per_rir[r][k] = estimate of RIR r at picked window k.
+    let mut per_rir: Vec<Vec<f64>> = vec![Vec::new(); Rir::ALL.len()];
+    for &i in &picks {
+        let data = ctx.filtered_window(i);
+        let strat = estimate(ctx, &data, &info, false);
+        for (r, est) in strat.strata.iter().enumerate() {
+            per_rir[r].push(est.as_ref().map(|e| e.total).unwrap_or(0.0));
+        }
+        eprintln!("fig6: window {} done", ctx.windows[i].label());
+    }
+    let windows: Vec<_> = picks.iter().map(|&i| ctx.windows[i]).collect();
+
+    let mut t = TextTable::new({
+        let mut h = vec!["RIR".to_string()];
+        h.extend(windows.iter().map(|w| w.label()));
+        h.push("abs/yr".into());
+        h.push("norm last".into());
+        h
+    });
+    let mut json_rows = Vec::new();
+    for (r, vals) in per_rir.iter().enumerate() {
+        let series = Series::new(Rir::ALL[r].name(), &windows, vals);
+        let norm = series.normalised();
+        let mut row = vec![Rir::ALL[r].name().to_string()];
+        row.extend(vals.iter().map(|v| format!("{v:.0}")));
+        row.push(format!("{:.0}", series.yearly_growth_abs()));
+        row.push(format!("{:.2}", norm.last().copied().unwrap_or(f64::NAN)));
+        t.row(row);
+        json_rows.push(json!({
+            "rir": Rir::ALL[r].name(),
+            "estimates": vals,
+            "yearly_growth": series.yearly_growth_abs(),
+            "normalised_last": norm.last(),
+        }));
+    }
+
+    let text = format!(
+        "Figure 6 — estimated used IPv4 addresses per RIR over time\n\
+         (windows {:?}; counts at scale 1/{:.0})\n\n{}\n\
+         Shape targets: APNIC largest, then RIPE/ARIN; AfriNIC and LACNIC\n\
+         fastest in relative growth (right-hand column).\n",
+        windows.iter().map(|w| w.label()).collect::<Vec<_>>(),
+        ctx.denom,
+        t.render(),
+    );
+    (text, json!({ "rirs": json_rows }))
+}

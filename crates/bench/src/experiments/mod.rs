@@ -1,0 +1,54 @@
+//! One module per paper artifact. Each exposes
+//! `run(ctx) -> (text, json)`; the `repro` binary dispatches on the id.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4_5;
+pub mod fig6;
+pub mod fig7_8_9;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+use crate::ReproContext;
+
+/// All experiment ids in run order (figures interleaved with the tables
+/// they support, so caches warm in the cheapest order).
+pub const ALL_IDS_FULL: [&str; 17] = [
+    "fig1", "table2", "fig2", "table3", "fig3", "table4", "fig4", "fig5", "table5",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table6",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates ids first).
+pub fn run(id: &str, ctx: &ReproContext) -> (String, serde_json::Value) {
+    match id {
+        "fig1" => fig1::run(ctx),
+        "table2" => table2::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "table3" => table3::run(ctx),
+        "fig3" => fig3::run(ctx),
+        "table4" => table4::run(ctx),
+        "fig4" => fig4_5::run_fig4(ctx),
+        "fig5" => fig4_5::run_fig5(ctx),
+        "table5" => table5::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig7" => fig7_8_9::run_fig7(ctx),
+        "fig8" => fig7_8_9::run_fig8(ctx),
+        "fig9" => fig7_8_9::run_fig9(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11::run(ctx),
+        "fig12" => fig12::run(ctx),
+        "table6" => table6::run(ctx),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}

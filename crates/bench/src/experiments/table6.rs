@@ -1,0 +1,165 @@
+//! Table 6: available IPv4 addresses and /24 networks, growth rates and
+//! run-out years per RIR (§7.2.2), plus the §8 75%-utilisation scenario.
+
+use crate::context::ReproContext;
+use crate::experiments::fig6::series_windows;
+use crate::strata::{build, estimate, Strat};
+use ghosts_analysis::growth::Series;
+use ghosts_analysis::report::TextTable;
+use ghosts_analysis::supply::{project, unallocated_share, UNALLOCATED_TOTAL_2014};
+use ghosts_net::Rir;
+use serde_json::json;
+
+/// Runs the experiment.
+pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
+    let info = build(ctx, Strat::Rir);
+    let picks = series_windows(ctx);
+    let windows: Vec<_> = picks.iter().map(|&i| ctx.windows[i]).collect();
+
+    // Per-RIR estimated series, addresses and subnets.
+    let n = Rir::ALL.len();
+    let mut addr_series: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut sub_series: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for &i in &picks {
+        let data = ctx.filtered_window(i);
+        let a = estimate(ctx, &data, &info, false);
+        let s = estimate(ctx, &data, &info, true);
+        for r in 0..n {
+            addr_series[r].push(a.strata[r].as_ref().map(|e| e.total).unwrap_or(0.0));
+            sub_series[r].push(s.strata[r].as_ref().map(|e| e.total).unwrap_or(0.0));
+        }
+        eprintln!("table6: window {} done", ctx.windows[i].label());
+    }
+
+    let unalloc_total = UNALLOCATED_TOTAL_2014 / ctx.denom;
+    let mut t = TextTable::new([
+        "RIR", "Avail IPs", "IP growth/yr", "Runout IPs", "Avail /24s", "/24 growth/yr",
+        "Runout /24s",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut world_addr = vec![0.0; windows.len()];
+    let mut world_sub = vec![0.0; windows.len()];
+    let mut world_unalloc = 0.0;
+    let mut world_routed_a = 0.0;
+    let mut world_routed_s = 0.0;
+
+    for (r, rir) in Rir::ALL.iter().enumerate() {
+        let unalloc = unalloc_total * unallocated_share(*rir);
+        let routed_a = info.addr_limits[r] as f64;
+        let routed_s = info.subnet_limits[r] as f64;
+        let a_series = Series::new(rir.name(), &windows, &addr_series[r]);
+        let s_series = Series::new(rir.name(), &windows, &sub_series[r]);
+        let used_a = *addr_series[r].last().expect("series non-empty");
+        let used_s = *sub_series[r].last().expect("series non-empty");
+        let row_a = project(Some(*rir), unalloc, routed_a, used_a, &a_series, 1.0);
+        // The unallocated pool in /24 units.
+        let row_s = project(
+            Some(*rir),
+            unalloc / 256.0,
+            routed_s,
+            used_s,
+            &s_series,
+            1.0,
+        );
+        let fmt_year = |y: Option<f64>| y.map_or("never".to_string(), |v| format!("{v:.0}"));
+        t.row([
+            rir.name().to_string(),
+            format!("{:.0}", row_a.available),
+            format!("{:.0}", row_a.growth_per_year),
+            fmt_year(row_a.runout_year),
+            format!("{:.0}", row_s.available),
+            format!("{:.1}", row_s.growth_per_year),
+            fmt_year(row_s.runout_year),
+        ]);
+        json_rows.push(json!({
+            "rir": rir.name(),
+            "available_ips": row_a.available,
+            "ip_growth": row_a.growth_per_year,
+            "runout_ips": row_a.runout_year,
+            "available_subnets": row_s.available,
+            "subnet_growth": row_s.growth_per_year,
+            "runout_subnets": row_s.runout_year,
+        }));
+        for k in 0..windows.len() {
+            world_addr[k] += addr_series[r][k];
+            world_sub[k] += sub_series[r][k];
+        }
+        world_unalloc += unalloc;
+        world_routed_a += routed_a;
+        world_routed_s += routed_s;
+    }
+
+    // World row + the §8 pessimistic 75% scenario.
+    let wa_series = Series::new("World", &windows, &world_addr);
+    let ws_series = Series::new("World", &windows, &world_sub);
+    let world_a = project(
+        None,
+        world_unalloc,
+        world_routed_a,
+        *world_addr.last().expect("series"),
+        &wa_series,
+        1.0,
+    );
+    let world_s = project(
+        None,
+        world_unalloc / 256.0,
+        world_routed_s,
+        *world_sub.last().expect("series"),
+        &ws_series,
+        1.0,
+    );
+    let world_s75 = project(
+        None,
+        world_unalloc / 256.0,
+        world_routed_s,
+        *world_sub.last().expect("series"),
+        &ws_series,
+        0.75,
+    );
+    let fmt_year = |y: Option<f64>| y.map_or("never".to_string(), |v| format!("{v:.0}"));
+    t.row([
+        "World".to_string(),
+        format!("{:.0}", world_a.available),
+        format!("{:.0}", world_a.growth_per_year),
+        fmt_year(world_a.runout_year),
+        format!("{:.0}", world_s.available),
+        format!("{:.1}", world_s.growth_per_year),
+        fmt_year(world_s.runout_year),
+    ]);
+
+    let text = format!(
+        "Table 6 — available space, growth and run-out year per RIR\n\
+         (mini-Internet counts at scale 1/{:.0}; unallocated pools scaled\n\
+         from the paper's 5.5 /8s)\n\n{}\n\
+         World run-out (optimistic, all unused usable): IPs {} — the\n\
+         paper projects 2023-2024. With the 8 75%-utilisation cap on\n\
+         routed /24s: {} (paper: ~2018).\n\
+         Shape targets: LACNIC/APNIC tightest, ARIN most slack.\n\n\
+         Market sketch (8): {:.2} M full-scale routed-unused /24s at\n\
+         US$10/address = US${:.1} G (paper: 4.4 M /24s, over US$11 G).\n",
+        ctx.denom,
+        t.render(),
+        fmt_year(world_a.runout_year),
+        fmt_year(world_s75.runout_year),
+        ctx.full_scale(world_s.available - unalloc_total / 256.0) / 1e6,
+        ghosts_analysis::market_value(
+            ctx.full_scale(world_s.available - unalloc_total / 256.0),
+            10.0,
+        )
+        .total_value
+            / 1e9,
+    );
+    let json = json!({
+        "rirs": json_rows,
+        "world": {
+            "available_ips": world_a.available,
+            "ip_growth": world_a.growth_per_year,
+            "runout_ips": world_a.runout_year,
+            "available_subnets": world_s.available,
+            "subnet_growth": world_s.growth_per_year,
+            "runout_subnets": world_s.runout_year,
+            "runout_subnets_75pct": world_s75.runout_year,
+        },
+    });
+    (text, json)
+}

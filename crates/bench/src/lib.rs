@@ -1,0 +1,17 @@
+//! # ghosts-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper (see DESIGN.md §5 for the index), plus Criterion benchmarks
+//! of the hot paths and the ablation benches DESIGN.md §6 calls out.
+//!
+//! The `repro` binary drives [`experiments`]; each experiment renders a
+//! text artifact (printed and written to `results/<id>.txt`) and a JSON
+//! sidecar (`results/<id>.json`).
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod strata;
+
+pub use context::ReproContext;

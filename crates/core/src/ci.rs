@@ -1,0 +1,216 @@
+//! Profile-likelihood estimate ranges (§3.3.3).
+//!
+//! Following Rcapture, the range for `N̂` treats the ghost count `n₀` as a
+//! pseudo-observation: for each candidate `n₀` the model is refitted on all
+//! `2^t` cells (the ghost row has only the intercept active) and the
+//! maximised log-likelihood `ℓ(n₀)` recorded. The
+//! `100(1−α)%` interval is `{n₀ : 2(ℓ_max − ℓ(n₀)) ≤ χ²₁(1−α)}`.
+//!
+//! As the paper stresses, this is *not* a true confidence interval for this
+//! data — the samples are not random draws — so it is reported as a
+//! sensitivity heuristic, with the very small `α = 10⁻⁷` used to obtain
+//! deliberately wide ranges.
+
+use crate::fit::{fit_llm, CellModel};
+use crate::history::ContingencyTable;
+use crate::model::LogLinearModel;
+use ghosts_stats::glm::{self, GlmError, GlmOptions};
+use ghosts_stats::optimize::{bisect, expand_until_sign_change, golden_min};
+use ghosts_stats::ChiSquared;
+
+/// The paper's α for the profile-likelihood ranges.
+pub const PAPER_ALPHA: f64 = 1e-7;
+
+/// An estimate range for the total population `N̂`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateRange {
+    /// Lower end of the range for `N̂`.
+    pub lower: f64,
+    /// The point estimate `N̂`.
+    pub point: f64,
+    /// Upper end of the range for `N̂`.
+    pub upper: f64,
+    /// The α that was used.
+    pub alpha: f64,
+}
+
+/// Errors from range computation.
+#[derive(Debug)]
+pub enum CiError {
+    /// The underlying fit failed.
+    Fit(GlmError),
+    /// The profile likelihood never crossed the threshold (upper end not
+    /// bracketable within the search budget).
+    Unbounded,
+}
+
+impl std::fmt::Display for CiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CiError::Fit(e) => write!(f, "fit failed: {e}"),
+            CiError::Unbounded => write!(f, "profile likelihood does not bound the interval"),
+        }
+    }
+}
+
+impl std::error::Error for CiError {}
+
+impl From<GlmError> for CiError {
+    fn from(e: GlmError) -> Self {
+        CiError::Fit(e)
+    }
+}
+
+/// Profile log-likelihood at ghost count `n0` (≥ 0).
+fn profile_loglik(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    n0: f64,
+) -> Result<f64, GlmError> {
+    let design = model.design_matrix_with_ghost();
+    let mut y = Vec::with_capacity(design.rows());
+    y.push(n0.max(0.0));
+    y.extend(table.observed_cells());
+    let family = match cell_model {
+        CellModel::Poisson => glm::CountFamily::Poisson,
+        CellModel::Truncated { limit } => {
+            glm::CountFamily::TruncatedPoisson(vec![limit.max(1); y.len()])
+        }
+    };
+    let fit = glm::fit(&design, &y, &family, GlmOptions::default())?;
+    Ok(fit.log_likelihood)
+}
+
+/// Computes the profile-likelihood range for `N̂` under `model`.
+///
+/// # Errors
+///
+/// [`CiError::Fit`] if the model cannot be fitted; [`CiError::Unbounded`]
+/// if the profile never drops below the threshold on the upper side.
+pub fn profile_interval(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    alpha: f64,
+) -> Result<EstimateRange, CiError> {
+    let observed = table.observed_total() as f64;
+    let point_fit = fit_llm(table, model, cell_model)?;
+    let z0_hat = point_fit.z0;
+
+    // Locate the profile maximum near the point estimate (it coincides for
+    // Poisson cells up to numerics; golden-search a bracket around it).
+    let lo_bracket = 0.0;
+    let hi_bracket = (z0_hat * 3.0).max(10.0);
+    let neg_ell = |n0: f64| -> f64 {
+        -profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY)
+    };
+    let n0_star = golden_min(neg_ell, lo_bracket, hi_bracket, 1e-8)
+        .expect("bracket is well-formed by construction");
+    let ell_max = profile_loglik(table, model, cell_model, n0_star)?;
+    let threshold = ell_max - ChiSquared::new(1.0).quantile(1.0 - alpha) / 2.0;
+
+    // Shifted profile: positive inside the interval, negative outside.
+    let g = |n0: f64| -> f64 {
+        profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY) - threshold
+    };
+
+    // Lower end: between 0 and the maximiser.
+    let lower_z0 = if g(0.0) >= 0.0 {
+        0.0
+    } else {
+        bisect(g, 0.0, n0_star, 1e-6)
+            .map(|r| r.x)
+            .unwrap_or(0.0)
+    };
+
+    // Upper end: expand beyond the maximiser until the profile drops.
+    let step = (n0_star * 0.5).max(10.0);
+    let hi = expand_until_sign_change(g, n0_star, step, 80).ok_or(CiError::Unbounded)?;
+    let upper_z0 = bisect(g, n0_star, hi, 1e-6)
+        .map(|r| r.x)
+        .map_err(|_| CiError::Unbounded)?;
+
+    Ok(EstimateRange {
+        lower: observed + lower_z0,
+        point: observed + z0_hat,
+        upper: observed + upper_z0,
+        alpha,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp_table(only1: usize, only2: usize, both: usize) -> ContingencyTable {
+        ContingencyTable::from_histories(
+            2,
+            std::iter::repeat_n(0b01u16, only1)
+                .chain(std::iter::repeat_n(0b10, only2))
+                .chain(std::iter::repeat_n(0b11, both)),
+        )
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let table = lp_table(600, 200, 300);
+        let model = LogLinearModel::independence(2);
+        let r = profile_interval(&table, &model, CellModel::Poisson, 0.05).unwrap();
+        assert!(r.lower <= r.point && r.point <= r.upper, "{r:?}");
+        // Point = M + 600·200/300 = 1100 + 400.
+        assert!((r.point - 1500.0).abs() < 1.0, "{r:?}");
+        // Interval is non-degenerate but not absurd.
+        assert!(r.upper - r.lower > 10.0);
+        assert!(r.upper - r.lower < 1000.0);
+        // The lower end can never go below the observed count.
+        assert!(r.lower >= 1100.0);
+    }
+
+    #[test]
+    fn smaller_alpha_widens_interval() {
+        let table = lp_table(600, 200, 300);
+        let model = LogLinearModel::independence(2);
+        let narrow = profile_interval(&table, &model, CellModel::Poisson, 0.05).unwrap();
+        let wide =
+            profile_interval(&table, &model, CellModel::Poisson, PAPER_ALPHA).unwrap();
+        assert!(wide.upper > narrow.upper);
+        assert!(wide.lower < narrow.lower + 1e-6);
+    }
+
+    #[test]
+    fn more_overlap_tightens_interval() {
+        // High recapture rate → precise estimate → narrow interval.
+        let loose = profile_interval(
+            &lp_table(500, 500, 50),
+            &LogLinearModel::independence(2),
+            CellModel::Poisson,
+            0.05,
+        )
+        .unwrap();
+        let tight = profile_interval(
+            &lp_table(100, 100, 800),
+            &LogLinearModel::independence(2),
+            CellModel::Poisson,
+            0.05,
+        )
+        .unwrap();
+        let rel = |r: &EstimateRange| (r.upper - r.lower) / r.point;
+        assert!(rel(&tight) < rel(&loose));
+    }
+
+    #[test]
+    fn truncated_interval_stays_plausible() {
+        let table = lp_table(60, 20, 3);
+        let model = LogLinearModel::independence(2);
+        let limit = 150u64;
+        let r = profile_interval(
+            &table,
+            &model,
+            CellModel::Truncated { limit },
+            0.05,
+        )
+        .unwrap();
+        assert!(r.point <= limit as f64 + 1e-6, "{r:?}");
+    }
+}

@@ -1,0 +1,371 @@
+//! High-level capture–recapture estimation: model selection, fitting and
+//! (optionally) stratified totals with the paper's sampling-zeros
+//! exclusion rule (§3.3.4, §3.4).
+
+use crate::ci::{profile_interval, CiError, EstimateRange, PAPER_ALPHA};
+use crate::fit::{fit_llm, CellModel};
+use crate::history::ContingencyTable;
+use crate::select::{select_model, SelectionOptions};
+use ghosts_stats::glm::GlmError;
+
+/// Configuration of a CR estimation run.
+#[derive(Debug, Clone)]
+pub struct CrConfig {
+    /// Whether cells are plain Poisson or right-truncated by the routed
+    /// space (the limit itself is passed per table, since it differs per
+    /// stratum).
+    pub truncated: bool,
+    /// Model-selection options (IC, divisor rule, interaction order).
+    pub selection: SelectionOptions,
+    /// Strata with fewer observed individuals than this are not estimated
+    /// (the paper excludes country strata with < 1000 observed IPs).
+    pub min_stratum_observed: u64,
+    /// What an excluded stratum contributes to stratified totals.
+    pub excluded_policy: ExcludedPolicy,
+}
+
+impl Default for CrConfig {
+    fn default() -> Self {
+        Self {
+            truncated: true,
+            selection: SelectionOptions::default(),
+            min_stratum_observed: 1000,
+            excluded_policy: ExcludedPolicy::ObservedOnly,
+        }
+    }
+}
+
+impl CrConfig {
+    /// The paper's headline configuration: right-truncated Poisson cells,
+    /// BIC, adaptive divisor with maximum 1000.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    fn cell_model(&self, limit: Option<u64>) -> CellModel {
+        match (self.truncated, limit) {
+            (true, Some(l)) => CellModel::Truncated { limit: l },
+            _ => CellModel::Poisson,
+        }
+    }
+}
+
+/// Contribution of strata that fail the minimum-observed rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcludedPolicy {
+    /// Drop entirely (what §3.3.4 does for small country strata, which it
+    /// argues are negligible).
+    Drop,
+    /// Count the observed individuals but estimate no ghosts for them.
+    ObservedOnly,
+}
+
+/// A point estimate for one table.
+#[derive(Debug, Clone)]
+pub struct CrEstimate {
+    /// Observed individuals `M`.
+    pub observed: u64,
+    /// Estimated unobserved individuals (ghosts).
+    pub unseen: f64,
+    /// `N̂ = M + ghosts`.
+    pub total: f64,
+    /// Bracket notation of the selected model.
+    pub model: String,
+    /// IC value of the selected model.
+    pub ic: f64,
+    /// Divisor applied by the scaling rule.
+    pub divisor: u64,
+}
+
+/// Errors from high-level estimation.
+#[derive(Debug)]
+pub enum EstimateError {
+    /// CR needs at least two sources.
+    NotEnoughSources {
+        /// The number of sources supplied.
+        got: usize,
+    },
+    /// Model search / fitting failed.
+    Fit(GlmError),
+    /// Range computation failed.
+    Ci(CiError),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::NotEnoughSources { got } => {
+                write!(f, "capture-recapture needs >= 2 sources, got {got}")
+            }
+            EstimateError::Fit(e) => write!(f, "fit failed: {e}"),
+            EstimateError::Ci(e) => write!(f, "range computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+impl From<GlmError> for EstimateError {
+    fn from(e: GlmError) -> Self {
+        EstimateError::Fit(e)
+    }
+}
+
+impl From<CiError> for EstimateError {
+    fn from(e: CiError) -> Self {
+        EstimateError::Ci(e)
+    }
+}
+
+/// Selects a model and estimates the population for one table.
+///
+/// `limit` is the size of the routed space for this table's stratum — used
+/// only when the configuration asks for truncated cells.
+///
+/// # Errors
+///
+/// [`EstimateError::NotEnoughSources`] for `t < 2`; fitting errors
+/// otherwise.
+pub fn estimate_table(
+    table: &ContingencyTable,
+    limit: Option<u64>,
+    cfg: &CrConfig,
+) -> Result<CrEstimate, EstimateError> {
+    if table.num_sources() < 2 {
+        return Err(EstimateError::NotEnoughSources {
+            got: table.num_sources(),
+        });
+    }
+    if table.observed_total() == 0 {
+        return Ok(CrEstimate {
+            observed: 0,
+            unseen: 0.0,
+            total: 0.0,
+            model: String::from("(empty)"),
+            ic: f64::NAN,
+            divisor: 1,
+        });
+    }
+    let cell_model = cfg.cell_model(limit);
+    let sel = select_model(table, cell_model, &cfg.selection)?;
+    let fit = fit_llm(table, &sel.model, cell_model)?;
+    Ok(CrEstimate {
+        observed: fit.observed,
+        unseen: fit.z0,
+        total: fit.n_hat,
+        model: sel.model.describe(),
+        ic: sel.ic,
+        divisor: sel.divisor,
+    })
+}
+
+/// Like [`estimate_table`] but also computes the profile-likelihood range
+/// at the paper's `α = 10⁻⁷`.
+pub fn estimate_table_with_range(
+    table: &ContingencyTable,
+    limit: Option<u64>,
+    cfg: &CrConfig,
+) -> Result<(CrEstimate, EstimateRange), EstimateError> {
+    if table.num_sources() < 2 {
+        return Err(EstimateError::NotEnoughSources {
+            got: table.num_sources(),
+        });
+    }
+    let cell_model = cfg.cell_model(limit);
+    let sel = select_model(table, cell_model, &cfg.selection)?;
+    let fit = fit_llm(table, &sel.model, cell_model)?;
+    let range = profile_interval(table, &sel.model, cell_model, PAPER_ALPHA)?;
+    Ok((
+        CrEstimate {
+            observed: fit.observed,
+            unseen: fit.z0,
+            total: fit.n_hat,
+            model: sel.model.describe(),
+            ic: sel.ic,
+            divisor: sel.divisor,
+        },
+        range,
+    ))
+}
+
+/// A stratified estimate: per-stratum results and their sum (§3.4: "we
+/// separated each source into the different strata, then used CR to
+/// estimate the size of each stratum, and finally we summed up the
+/// estimates over all strata").
+#[derive(Debug, Clone)]
+pub struct StratifiedEstimate {
+    /// Per-stratum estimates; `None` where the stratum was excluded by the
+    /// minimum-observed rule.
+    pub strata: Vec<Option<CrEstimate>>,
+    /// Sum of observed individuals over all strata (including excluded
+    /// ones under [`ExcludedPolicy::ObservedOnly`]).
+    pub observed_total: u64,
+    /// Sum of estimated totals.
+    pub estimated_total: f64,
+    /// Indices of excluded strata.
+    pub excluded: Vec<usize>,
+}
+
+/// Estimates every stratum and sums. `limits[i]` is stratum `i`'s routed
+/// size (`limits` may be `None` for untruncated runs).
+///
+/// # Errors
+///
+/// Propagates the first hard fitting error; small-stratum exclusions are
+/// not errors.
+///
+/// # Panics
+///
+/// Panics if `limits` is provided with a length different from `tables`.
+pub fn estimate_stratified(
+    tables: &[ContingencyTable],
+    limits: Option<&[u64]>,
+    cfg: &CrConfig,
+) -> Result<StratifiedEstimate, EstimateError> {
+    if let Some(ls) = limits {
+        assert_eq!(ls.len(), tables.len(), "one limit per stratum required");
+    }
+    let mut strata = Vec::with_capacity(tables.len());
+    let mut observed_total = 0u64;
+    let mut estimated_total = 0.0f64;
+    let mut excluded = Vec::new();
+    for (i, table) in tables.iter().enumerate() {
+        let observed = table.observed_total();
+        if observed < cfg.min_stratum_observed {
+            excluded.push(i);
+            if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
+                observed_total += observed;
+                estimated_total += observed as f64;
+            }
+            strata.push(None);
+            continue;
+        }
+        let limit = limits.map(|ls| ls[i]);
+        let est = estimate_table(table, limit, cfg)?;
+        observed_total += est.observed;
+        estimated_total += est.total;
+        strata.push(Some(est));
+    }
+    Ok(StratifiedEstimate {
+        strata,
+        observed_total,
+        estimated_total,
+        excluded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghosts_stats::rng::component_rng;
+    use rand::Rng;
+
+    /// Simulates a heterogeneous population captured by `t` sources and
+    /// returns (table, true N).
+    fn simulate(t: usize, n: usize, seed: u64) -> ContingencyTable {
+        let mut rng = component_rng(seed, "estimator-test");
+        let mut table = ContingencyTable::new(t);
+        for _ in 0..n {
+            // Two latent classes with different catchabilities.
+            let sociable = rng.gen_bool(0.5);
+            let mut mask = 0u16;
+            for i in 0..t {
+                let p = if sociable { 0.5 } else { 0.15 };
+                if rng.gen_bool(p) {
+                    mask |= 1 << i;
+                }
+            }
+            table.record(mask);
+        }
+        table
+    }
+
+    #[test]
+    fn estimate_beats_observed_on_heterogeneous_population() {
+        let n = 20_000;
+        let table = simulate(4, n, 42);
+        let cfg = CrConfig {
+            truncated: false,
+            ..CrConfig::paper()
+        };
+        let est = estimate_table(&table, None, &cfg).unwrap();
+        let observed = est.observed as f64;
+        // CR must close most of the gap between observed and truth.
+        let obs_err = (n as f64 - observed).abs();
+        let est_err = (n as f64 - est.total).abs();
+        assert!(
+            est_err < obs_err,
+            "estimate {} should beat observed {} against truth {}",
+            est.total,
+            observed,
+            n
+        );
+        assert!(est.total > observed);
+    }
+
+    #[test]
+    fn truncation_keeps_estimate_plausible() {
+        let table = simulate(3, 5_000, 7);
+        let observed = table.observed_total();
+        // Declare a universe barely above the observed count.
+        let limit = observed + 50;
+        let cfg = CrConfig::paper();
+        let est = estimate_table(&table, Some(limit), &cfg).unwrap();
+        assert!(est.total <= limit as f64 + 1e-6, "{est:?}");
+    }
+
+    #[test]
+    fn empty_table_is_zero() {
+        let table = ContingencyTable::new(3);
+        let est = estimate_table(&table, None, &CrConfig::paper()).unwrap();
+        assert_eq!(est.observed, 0);
+        assert_eq!(est.total, 0.0);
+    }
+
+    #[test]
+    fn one_source_rejected() {
+        let table = ContingencyTable::from_histories(1, [1u16, 1, 1]);
+        assert!(matches!(
+            estimate_table(&table, None, &CrConfig::paper()),
+            Err(EstimateError::NotEnoughSources { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn stratified_sums_and_excludes() {
+        let big = simulate(3, 30_000, 1);
+        let small = simulate(3, 40, 2); // below the 1000 threshold
+        let cfg = CrConfig {
+            truncated: false,
+            ..CrConfig::paper()
+        };
+        let s = estimate_stratified(&[big.clone(), small.clone()], None, &cfg).unwrap();
+        assert_eq!(s.excluded, vec![1]);
+        assert!(s.strata[0].is_some() && s.strata[1].is_none());
+        // ObservedOnly policy: the small stratum's observed count is in.
+        assert_eq!(
+            s.observed_total,
+            big.observed_total() + small.observed_total()
+        );
+        assert!(s.estimated_total > s.observed_total as f64);
+
+        // Drop policy: the small stratum vanishes.
+        let cfg_drop = CrConfig {
+            excluded_policy: ExcludedPolicy::Drop,
+            ..cfg
+        };
+        let s2 = estimate_stratified(&[big.clone(), small], None, &cfg_drop).unwrap();
+        assert_eq!(s2.observed_total, big.observed_total());
+    }
+
+    #[test]
+    fn range_brackets_point() {
+        let table = simulate(3, 5_000, 3);
+        let cfg = CrConfig {
+            truncated: false,
+            ..CrConfig::paper()
+        };
+        let (est, range) = estimate_table_with_range(&table, None, &cfg).unwrap();
+        assert!(range.lower <= est.total && est.total <= range.upper);
+    }
+}

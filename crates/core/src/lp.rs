@@ -1,0 +1,153 @@
+//! The two-sample Lincoln–Petersen estimator (§3.2) and Chapman's
+//! bias-corrected variant — the classical baselines the log-linear models
+//! generalise.
+//!
+//! The paper uses L-P only didactically (its independence and homogeneity
+//! assumptions are violated by the IPv4 sources), but notes that when the
+//! sign of the inter-source correlation is known, L-P gives a plausible
+//! bound: positively correlated sources make it an under-estimate, negative
+//! correlation an over-estimate (§3.2.2).
+
+use crate::history::ContingencyTable;
+
+/// A two-sample capture–recapture estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSampleEstimate {
+    /// First-sample size `M`.
+    pub m: u64,
+    /// Second-sample size `C`.
+    pub c: u64,
+    /// Recaptures `R` (individuals in both samples).
+    pub r: u64,
+    /// The population estimate `N̂`.
+    pub n_hat: f64,
+    /// Approximate variance of `N̂` (Seber's formula); `inf` when `R = 0`.
+    pub variance: f64,
+}
+
+/// Errors for the two-sample estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No recaptured individuals — the classical L-P estimate is undefined
+    /// (Chapman still works; see [`chapman`]).
+    NoRecaptures,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no recaptured individuals: Lincoln-Petersen undefined")
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// The classical Lincoln–Petersen estimate `N̂ = M·C / R`.
+///
+/// # Errors
+///
+/// [`LpError::NoRecaptures`] when `r == 0`.
+pub fn lincoln_petersen(m: u64, c: u64, r: u64) -> Result<TwoSampleEstimate, LpError> {
+    if r == 0 {
+        return Err(LpError::NoRecaptures);
+    }
+    let (mf, cf, rf) = (m as f64, c as f64, r as f64);
+    let n_hat = mf * cf / rf;
+    // Seber's approximate variance of the L-P estimator.
+    let variance = mf * cf * (mf - rf) * (cf - rf) / (rf * rf * rf);
+    Ok(TwoSampleEstimate {
+        m,
+        c,
+        r,
+        n_hat,
+        variance,
+    })
+}
+
+/// Chapman's bias-corrected estimator
+/// `N̂ = (M+1)(C+1)/(R+1) − 1`, defined even with zero recaptures.
+pub fn chapman(m: u64, c: u64, r: u64) -> TwoSampleEstimate {
+    let (mf, cf, rf) = (m as f64, c as f64, r as f64);
+    let n_hat = (mf + 1.0) * (cf + 1.0) / (rf + 1.0) - 1.0;
+    let variance = (mf + 1.0) * (cf + 1.0) * (mf - rf) * (cf - rf)
+        / ((rf + 1.0) * (rf + 1.0) * (rf + 2.0));
+    TwoSampleEstimate {
+        m,
+        c,
+        r,
+        n_hat,
+        variance,
+    }
+}
+
+/// Applies Lincoln–Petersen to a pair of sources in a contingency table.
+///
+/// # Errors
+///
+/// [`LpError::NoRecaptures`] when the pair has no overlap.
+pub fn lincoln_petersen_pair(
+    table: &ContingencyTable,
+    i: usize,
+    j: usize,
+) -> Result<TwoSampleEstimate, LpError> {
+    lincoln_petersen(
+        table.source_total(i),
+        table.source_total(j),
+        table.pair_overlap(i, j),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // M = 200 marked; C = 150 captured; R = 30 recaptured → N̂ = 1000.
+        let e = lincoln_petersen(200, 150, 30).unwrap();
+        assert_eq!(e.n_hat, 1000.0);
+        assert!(e.variance > 0.0);
+    }
+
+    #[test]
+    fn chapman_less_than_lp_and_defined_at_zero() {
+        let lp = lincoln_petersen(200, 150, 30).unwrap();
+        let ch = chapman(200, 150, 30);
+        assert!(ch.n_hat < lp.n_hat);
+        // R = 0: Chapman is still finite.
+        let ch0 = chapman(10, 10, 0);
+        assert_eq!(ch0.n_hat, 11.0 * 11.0 - 1.0);
+        assert!(lincoln_petersen(10, 10, 0).is_err());
+    }
+
+    #[test]
+    fn full_overlap_gives_union() {
+        // Second sample a subset of the first: N̂ = M.
+        let e = lincoln_petersen(100, 40, 40).unwrap();
+        assert_eq!(e.n_hat, 100.0);
+        assert_eq!(e.variance, 0.0);
+    }
+
+    #[test]
+    fn from_contingency_table() {
+        let table = ContingencyTable::from_histories(
+            2,
+            std::iter::repeat_n(0b01u16, 60)
+                .chain(std::iter::repeat_n(0b10, 20))
+                .chain(std::iter::repeat_n(0b11, 30)),
+        );
+        let e = lincoln_petersen_pair(&table, 0, 1).unwrap();
+        assert_eq!(e.m, 90);
+        assert_eq!(e.c, 50);
+        assert_eq!(e.r, 30);
+        assert_eq!(e.n_hat, 150.0);
+    }
+
+    #[test]
+    fn positive_correlation_underestimates() {
+        // Ground truth N = 1000; both sources see the same biased half.
+        // Sources: each observes 400 of the same 500 "popular" individuals,
+        // overlapping in 320. L-P: 400·400/320 = 500 < 1000.
+        let e = lincoln_petersen(400, 400, 320).unwrap();
+        assert!(e.n_hat < 1000.0);
+    }
+}

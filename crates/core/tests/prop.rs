@@ -1,0 +1,111 @@
+//! Property-based tests for the capture–recapture core: contingency-table
+//! marginal identities, Lincoln–Petersen algebra, estimator sanity under
+//! random tables.
+
+use ghosts_core::{
+    chao_lower_bound, estimate_table, fit_llm, lincoln_petersen, CellModel, ContingencyTable,
+    CrConfig, LogLinearModel,
+};
+use proptest::prelude::*;
+
+fn masks(t: usize) -> impl Strategy<Value = Vec<u16>> {
+    proptest::collection::vec(1u16..(1 << t) as u16, 1..600)
+}
+
+proptest! {
+    /// Source marginals and pair overlaps are consistent with the raw
+    /// history multiset.
+    #[test]
+    fn marginals_match_histories(hist in masks(4)) {
+        let t = 4;
+        let table = ContingencyTable::from_histories(t, hist.iter().copied());
+        prop_assert_eq!(table.observed_total(), hist.len() as u64);
+        for i in 0..t {
+            let want = hist.iter().filter(|&&m| m & (1 << i) != 0).count() as u64;
+            prop_assert_eq!(table.source_total(i), want);
+        }
+        for i in 0..t {
+            for j in (i + 1)..t {
+                let need = (1u16 << i) | (1 << j);
+                let want = hist.iter().filter(|&&m| m & need == need).count() as u64;
+                prop_assert_eq!(table.pair_overlap(i, j), want);
+            }
+        }
+        // Capture frequencies partition the observed total.
+        let f = table.capture_frequencies();
+        prop_assert_eq!(f.iter().sum::<u64>(), hist.len() as u64);
+        prop_assert_eq!(f[0], 0);
+    }
+
+    /// Marginalising to a subset of sources preserves each kept source's
+    /// marginal and never increases the observed total.
+    #[test]
+    fn marginalize_consistency(hist in masks(5), keep_mask in 1u8..31) {
+        let table = ContingencyTable::from_histories(5, hist.iter().copied());
+        let keep: Vec<usize> = (0..5).filter(|i| keep_mask & (1 << i) != 0).collect();
+        let m = table.marginalize(&keep);
+        prop_assert_eq!(m.num_sources(), keep.len());
+        prop_assert!(m.observed_total() <= table.observed_total());
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            prop_assert_eq!(m.source_total(new_i), table.source_total(old_i));
+        }
+    }
+
+    /// The two-source independence LLM reproduces Lincoln–Petersen.
+    #[test]
+    fn llm_equals_lp_on_two_sources(m1 in 1u64..400, m2 in 1u64..400, r in 1u64..100) {
+        let only1 = m1; // exclusive counts
+        let only2 = m2;
+        let table = ContingencyTable::from_histories(
+            2,
+            std::iter::repeat_n(0b01u16, only1 as usize)
+                .chain(std::iter::repeat_n(0b10, only2 as usize))
+                .chain(std::iter::repeat_n(0b11, r as usize)),
+        );
+        let lp = lincoln_petersen(only1 + r, only2 + r, r).unwrap();
+        let llm = fit_llm(&table, &LogLinearModel::independence(2), CellModel::Poisson).unwrap();
+        prop_assert!((llm.n_hat - lp.n_hat).abs() < 1e-3 * (1.0 + lp.n_hat),
+            "LLM {} vs L-P {}", llm.n_hat, lp.n_hat);
+    }
+
+    /// Estimates are always at least the observed count, never NaN, and
+    /// truncation caps them by the declared universe.
+    #[test]
+    fn estimates_are_sane(hist in masks(3), extra in 0u64..10_000) {
+        let table = ContingencyTable::from_histories(3, hist.iter().copied());
+        prop_assume!(table.observed_total() > 0);
+        let cfg = CrConfig { truncated: false, min_stratum_observed: 0, ..CrConfig::paper() };
+        if let Ok(est) = estimate_table(&table, None, &cfg) {
+            prop_assert!(est.total.is_finite());
+            prop_assert!(est.total >= est.observed as f64 - 1e-6);
+            // With truncation the estimate respects the limit.
+            let limit = table.observed_total() + extra;
+            let cfg_t = CrConfig { min_stratum_observed: 0, ..CrConfig::paper() };
+            if let Ok(est_t) = estimate_table(&table, Some(limit), &cfg_t) {
+                prop_assert!(est_t.total <= limit as f64 + 1e-6,
+                    "estimate {} above limit {}", est_t.total, limit);
+            }
+        }
+    }
+
+    /// Chao's bound is finite, at least the observed count, and invariant
+    /// to permuting source roles (it only reads capture frequencies).
+    #[test]
+    fn chao_bound_sane(hist in masks(4)) {
+        let table = ContingencyTable::from_histories(4, hist.iter().copied());
+        let e = chao_lower_bound(&table);
+        prop_assert!(e.n_hat.is_finite());
+        prop_assert!(e.n_hat >= e.observed as f64);
+        // Permute sources: swap bits 0 and 3 in every history.
+        let permuted: Vec<u16> = hist.iter().map(|&m| {
+            let b0 = m & 1;
+            let b3 = (m >> 3) & 1;
+            (m & !0b1001) | (b0 << 3) | b3
+        }).collect();
+        let table_p = ContingencyTable::from_histories(4, permuted);
+        let e_p = chao_lower_bound(&table_p);
+        prop_assert_eq!(e.f1, e_p.f1);
+        prop_assert_eq!(e.f2, e_p.f2);
+        prop_assert!((e.n_hat - e_p.n_hat).abs() < 1e-9);
+    }
+}

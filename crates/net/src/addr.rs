@@ -1,0 +1,370 @@
+//! IPv4 address and prefix primitives.
+//!
+//! Addresses are plain `u32`s in host byte order throughout the workspace —
+//! the estimation machinery only ever treats an address as an identifier —
+//! with conversion helpers to and from dotted-quad text and
+//! [`std::net::Ipv4Addr`]. A [`Prefix`] is a CIDR block with the usual
+//! algebra (containment, parent, children, splitting).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Converts an address to dotted-quad text.
+pub fn addr_to_string(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        addr >> 24,
+        (addr >> 16) & 0xff,
+        (addr >> 8) & 0xff,
+        addr & 0xff
+    )
+}
+
+/// Parses a dotted-quad address.
+pub fn addr_from_str(s: &str) -> Result<u32, PrefixParseError> {
+    let mut parts = s.split('.');
+    let mut addr: u32 = 0;
+    for i in 0..4 {
+        let part = parts.next().ok_or(PrefixParseError::BadAddress)?;
+        let octet: u32 = part.parse().map_err(|_| PrefixParseError::BadAddress)?;
+        if octet > 255 {
+            return Err(PrefixParseError::BadAddress);
+        }
+        addr |= octet << (24 - 8 * i);
+    }
+    if parts.next().is_some() {
+        return Err(PrefixParseError::BadAddress);
+    }
+    Ok(addr)
+}
+
+/// The /24 subnet identifier of an address (its top 24 bits).
+///
+/// The paper studies used /24 subnets alongside used addresses; a /24 is
+/// "used" if any of its 256 addresses is (§4).
+pub fn subnet24_of(addr: u32) -> u32 {
+    addr >> 8
+}
+
+/// The /8 index of an address (its top octet).
+pub fn octet_of(addr: u32) -> u8 {
+    (addr >> 24) as u8
+}
+
+/// Errors parsing a prefix or address from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// The address part is not a valid dotted quad.
+    BadAddress,
+    /// The mask length is missing or not in `0..=32`.
+    BadLength,
+    /// The base address has bits set beyond the mask length.
+    HostBitsSet,
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixParseError::BadAddress => write!(f, "invalid IPv4 address"),
+            PrefixParseError::BadLength => write!(f, "invalid prefix length"),
+            PrefixParseError::HostBitsSet => write!(f, "host bits set below prefix mask"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+/// A CIDR prefix: a base address and a mask length in `0..=32`.
+///
+/// Invariant: all bits of `base` below the mask are zero.
+///
+/// ```
+/// use ghosts_net::Prefix;
+///
+/// let p: Prefix = "10.0.0.0/8".parse().unwrap();
+/// assert_eq!(p.num_addresses(), 1 << 24);
+/// assert!(p.contains(ghosts_net::addr_from_str("10.9.8.7").unwrap()));
+/// let (lo, hi) = p.children().unwrap();
+/// assert_eq!(lo.to_string(), "10.0.0.0/9");
+/// assert_eq!(hi.to_string(), "10.128.0.0/9");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    base: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, masking `base` down to `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(base: u32, len: u8) -> Self {
+        assert!(len <= 32, "Prefix: length {len} > 32");
+        Self {
+            base: base & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The netmask for a given length.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The whole IPv4 space, `0.0.0.0/0`.
+    pub fn whole_space() -> Self {
+        Self { base: 0, len: 0 }
+    }
+
+    /// The base (network) address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The mask length.
+    #[allow(clippy::len_without_is_empty)] // a prefix is never empty
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered, as `u64` (a /0 holds 2³²).
+    pub fn num_addresses(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Number of /24 subnets covered (0 for prefixes longer than /24 —
+    /// they cover only part of one).
+    pub fn num_subnets24(&self) -> u64 {
+        if self.len <= 24 {
+            1u64 << (24 - self.len)
+        } else {
+            0
+        }
+    }
+
+    /// The last address in the prefix.
+    pub fn last_address(&self) -> u32 {
+        self.base | !Self::mask(self.len)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & Self::mask(self.len) == self.base
+    }
+
+    /// Whether `other` is fully inside this prefix (equal counts as inside).
+    pub fn contains_prefix(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.base)
+    }
+
+    /// The enclosing prefix one bit shorter; `None` for /0.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix::new(self.base, self.len - 1))
+        }
+    }
+
+    /// The two halves of this prefix; `None` for /32.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let left = Prefix {
+            base: self.base,
+            len: self.len + 1,
+        };
+        let right = Prefix {
+            base: self.base | (1u32 << (31 - self.len)),
+            len: self.len + 1,
+        };
+        Some((left, right))
+    }
+
+    /// The sibling prefix sharing this prefix's parent; `None` for /0.
+    pub fn sibling(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix {
+                base: self.base ^ (1u32 << (32 - self.len)),
+                len: self.len,
+            })
+        }
+    }
+
+    /// Splits this prefix into all sub-prefixes of length `target_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_len < self.len()` or `target_len > 32`.
+    pub fn split_into(&self, target_len: u8) -> impl Iterator<Item = Prefix> + '_ {
+        assert!(
+            target_len >= self.len && target_len <= 32,
+            "split_into: bad target length {target_len} for /{}",
+            self.len
+        );
+        let count = 1u64 << (target_len - self.len);
+        let step = 1u64 << (32 - target_len);
+        let base = self.base as u64;
+        (0..count).map(move |i| Prefix::new((base + i * step) as u32, target_len))
+    }
+
+    /// Iterates all addresses in the prefix (careful with short prefixes).
+    pub fn addresses(&self) -> impl Iterator<Item = u32> + '_ {
+        let base = self.base as u64;
+        (0..self.num_addresses()).map(move |i| (base + i) as u32)
+    }
+
+    /// The bit of `addr` that selects between this prefix's two children
+    /// (0 = left/low, 1 = right/high). Only meaningful when
+    /// `self.contains(addr)` and `self.len() < 32`.
+    pub fn child_bit(&self, addr: u32) -> u8 {
+        ((addr >> (31 - self.len)) & 1) as u8
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", addr_to_string(self.base), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    /// Parses `a.b.c.d/len`, rejecting host bits set below the mask.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, len_part) = s.split_once('/').ok_or(PrefixParseError::BadLength)?;
+        let base = addr_from_str(addr_part)?;
+        let len: u8 = len_part.parse().map_err(|_| PrefixParseError::BadLength)?;
+        if len > 32 {
+            return Err(PrefixParseError::BadLength);
+        }
+        if base & !Prefix::mask(len) != 0 {
+            return Err(PrefixParseError::HostBitsSet);
+        }
+        Ok(Prefix { base, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_quad_round_trip() {
+        for &s in &["0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"] {
+            assert_eq!(addr_to_string(addr_from_str(s).unwrap()), s);
+        }
+        assert!(addr_from_str("256.0.0.0").is_err());
+        assert!(addr_from_str("1.2.3").is_err());
+        assert!(addr_from_str("1.2.3.4.5").is_err());
+    }
+
+    #[test]
+    fn prefix_parsing() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.base(), 10 << 24);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        assert_eq!(
+            "10.0.0.1/8".parse::<Prefix>().unwrap_err(),
+            PrefixParseError::HostBitsSet
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>().unwrap_err(),
+            PrefixParseError::BadLength
+        );
+        assert_eq!(
+            "10.0.0.0".parse::<Prefix>().unwrap_err(),
+            PrefixParseError::BadLength
+        );
+    }
+
+    #[test]
+    fn new_masks_host_bits() {
+        let p = Prefix::new(0x0a01_0203, 8);
+        assert_eq!(p.base(), 0x0a00_0000);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Prefix::whole_space().num_addresses(), 1u64 << 32);
+        let p24: Prefix = "1.2.3.0/24".parse().unwrap();
+        assert_eq!(p24.num_addresses(), 256);
+        assert_eq!(p24.num_subnets24(), 1);
+        let p8: Prefix = "1.0.0.0/8".parse().unwrap();
+        assert_eq!(p8.num_subnets24(), 65536);
+        let p32: Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(p32.num_addresses(), 1);
+        assert_eq!(p32.num_subnets24(), 0);
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains(addr_from_str("10.255.1.2").unwrap()));
+        assert!(!p.contains(addr_from_str("11.0.0.0").unwrap()));
+        let q: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.contains_prefix(&q));
+        assert!(!q.contains_prefix(&p));
+        assert!(p.contains_prefix(&p));
+    }
+
+    #[test]
+    fn parent_child_sibling() {
+        let p: Prefix = "10.0.0.0/9".parse().unwrap();
+        assert_eq!(p.parent().unwrap().to_string(), "10.0.0.0/8");
+        assert_eq!(p.sibling().unwrap().to_string(), "10.128.0.0/9");
+        let (l, r) = "10.0.0.0/8".parse::<Prefix>().unwrap().children().unwrap();
+        assert_eq!(l, p);
+        assert_eq!(r.to_string(), "10.128.0.0/9");
+        assert!(Prefix::whole_space().parent().is_none());
+        assert!("1.2.3.4/32".parse::<Prefix>().unwrap().children().is_none());
+        assert!(Prefix::whole_space().sibling().is_none());
+    }
+
+    #[test]
+    fn child_bit_selects_halves() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.child_bit(addr_from_str("10.1.0.0").unwrap()), 0);
+        assert_eq!(p.child_bit(addr_from_str("10.200.0.0").unwrap()), 1);
+    }
+
+    #[test]
+    fn split_into_covers_exactly() {
+        let p: Prefix = "192.168.0.0/22".parse().unwrap();
+        let subs: Vec<Prefix> = p.split_into(24).collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "192.168.0.0/24");
+        assert_eq!(subs[3].to_string(), "192.168.3.0/24");
+        // Splitting to the same length yields the prefix itself.
+        let same: Vec<Prefix> = p.split_into(22).collect();
+        assert_eq!(same, vec![p]);
+    }
+
+    #[test]
+    fn last_address_and_iteration() {
+        let p: Prefix = "1.2.3.0/30".parse().unwrap();
+        assert_eq!(addr_to_string(p.last_address()), "1.2.3.3");
+        let addrs: Vec<u32> = p.addresses().collect();
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(addr_to_string(addrs[2]), "1.2.3.2");
+    }
+
+    #[test]
+    fn ordering_is_by_base_then_len() {
+        let a: Prefix = "1.0.0.0/8".parse().unwrap();
+        let b: Prefix = "1.0.0.0/16".parse().unwrap();
+        let c: Prefix = "2.0.0.0/8".parse().unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,181 @@
+//! Reserved ("bogon") IPv4 space.
+//!
+//! The pipeline filters multicast and private addresses and everything in
+//! unallocated or unrouted space out of the passive datasets (§4.4), and the
+//! unused-space model excludes "all private, multicast, experimental and
+//! reserved prefixes, such as 224.0.0.0/3 or 10.0.0.0/8" before computing
+//! remaining free prefixes (§7.1).
+
+use crate::addr::Prefix;
+
+/// The prefixes that can never be publicly used, as the paper treats them:
+/// RFC 1918 private space, loopback, link-local, "this network", TEST-NETs,
+/// benchmarking space, and everything from 224.0.0.0 up (multicast +
+/// experimental + broadcast, i.e. 224.0.0.0/3).
+pub fn reserved_prefixes() -> Vec<Prefix> {
+    [
+        "0.0.0.0/8",       // "this network" (RFC 1122)
+        "10.0.0.0/8",      // private (RFC 1918)
+        "100.64.0.0/10",   // CGN shared space (RFC 6598)
+        "127.0.0.0/8",     // loopback
+        "169.254.0.0/16",  // link local
+        "172.16.0.0/12",   // private (RFC 1918)
+        "192.0.0.0/24",    // IETF protocol assignments
+        "192.0.2.0/24",    // TEST-NET-1
+        "192.88.99.0/24",  // 6to4 relay anycast (deprecated)
+        "192.168.0.0/16",  // private (RFC 1918)
+        "198.18.0.0/15",   // benchmarking
+        "198.51.100.0/24", // TEST-NET-2
+        "203.0.113.0/24",  // TEST-NET-3
+        "224.0.0.0/3",     // multicast + experimental + broadcast
+    ]
+    .iter()
+    .map(|s| s.parse().expect("static prefix literal"))
+    .collect()
+}
+
+/// Whether `addr` lies in reserved space.
+pub fn is_reserved(addr: u32) -> bool {
+    let top = addr >> 24;
+    // Fast paths on the first octet.
+    match top {
+        0 | 10 | 127 => return true,
+        224..=255 => return true,
+        _ => {}
+    }
+    // Remaining, less common ranges (the fast-path octets above are a
+    // subset of these, so re-checking them is harmless).
+    reserved_prefixes().iter().any(|p| p.contains(addr))
+}
+
+/// Total number of addresses in reserved space (the reserved prefixes are
+/// pairwise disjoint, so a plain sum is exact).
+pub fn reserved_address_count() -> u64 {
+    reserved_prefixes().iter().map(|p| p.num_addresses()).sum()
+}
+
+/// The "allocatable universe": the maximal set of prefixes that could ever
+/// hold publicly used addresses — the complement of the reserved space,
+/// expressed as a minimal list of CIDR blocks. Used as the outer universe of
+/// the free-block census (§7.1).
+pub fn allocatable_universe() -> Vec<Prefix> {
+    complement_of(&reserved_prefixes())
+}
+
+/// Computes the complement of a set of pairwise-disjoint prefixes within
+/// the whole IPv4 space, as a minimal list of maximal CIDR blocks.
+pub fn complement_of(excluded: &[Prefix]) -> Vec<Prefix> {
+    let mut out = Vec::new();
+    fn walk(block: Prefix, excluded: &[Prefix], out: &mut Vec<Prefix>) {
+        if excluded.iter().any(|e| e.contains_prefix(&block)) {
+            return; // fully excluded
+        }
+        if !excluded.iter().any(|e| block.contains_prefix(e)) {
+            out.push(block); // fully free
+            return;
+        }
+        let (l, r) = block
+            .children()
+            .expect("a /32 cannot strictly contain another prefix");
+        walk(l, excluded, out);
+        walk(r, excluded, out);
+    }
+    walk(Prefix::whole_space(), excluded, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::addr_from_str;
+
+    fn a(s: &str) -> u32 {
+        addr_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn classic_reserved_addresses() {
+        for &s in &[
+            "10.1.2.3",
+            "192.168.1.1",
+            "172.16.0.1",
+            "172.31.255.255",
+            "127.0.0.1",
+            "224.0.0.1",
+            "255.255.255.255",
+            "240.0.0.1",
+            "169.254.10.10",
+            "0.1.2.3",
+            "100.64.0.1",
+        ] {
+            assert!(is_reserved(a(s)), "{s} should be reserved");
+        }
+    }
+
+    #[test]
+    fn public_addresses_not_reserved() {
+        for &s in &[
+            "8.8.8.8",
+            "1.1.1.1",
+            "172.15.0.1",
+            "172.32.0.1",
+            "100.63.0.1",
+            "100.128.0.1",
+            "223.255.255.255",
+            "11.0.0.0",
+            "128.0.0.1",
+        ] {
+            assert!(!is_reserved(a(s)), "{s} should be public");
+        }
+    }
+
+    #[test]
+    fn prefix_list_agrees_with_predicate() {
+        let prefixes = reserved_prefixes();
+        // Spot-check a grid of addresses against both representations.
+        for i in 0..4096u32 {
+            let addr = i.wrapping_mul(1_048_583); // coprime stride over u32
+            let in_list = prefixes.iter().any(|p| p.contains(addr));
+            assert_eq!(in_list, is_reserved(addr), "mismatch at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn reserved_count_matches_prefix_sizes() {
+        // 3×/8 + /10 + 2×/16 + /12 + 5×/24 + /15 + /3.
+        let want: u64 = 3 * (1 << 24)
+            + (1 << 22)
+            + 2 * (1 << 16)
+            + (1 << 20)
+            + 5 * 256
+            + (1 << 17)
+            + (1 << 29);
+        assert_eq!(reserved_address_count(), want);
+    }
+
+    #[test]
+    fn complement_partitions_space() {
+        let reserved = reserved_prefixes();
+        let universe = allocatable_universe();
+        let total: u64 = universe.iter().map(|p| p.num_addresses()).sum();
+        assert_eq!(total + reserved_address_count(), 1u64 << 32);
+        // No overlap between universe blocks and reserved blocks.
+        for u in &universe {
+            for r in &reserved {
+                assert!(!u.contains_prefix(r) && !r.contains_prefix(u));
+            }
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_is_whole_space() {
+        let c = complement_of(&[]);
+        assert_eq!(c, vec![Prefix::whole_space()]);
+    }
+
+    #[test]
+    fn complement_of_half() {
+        let c = complement_of(&["0.0.0.0/1".parse().unwrap()]);
+        assert_eq!(c, vec!["128.0.0.0/1".parse().unwrap()]);
+    }
+}

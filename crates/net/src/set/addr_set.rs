@@ -1,0 +1,499 @@
+//! A two-level bitmap set of IPv4 addresses.
+
+use crate::addr::Prefix;
+use std::collections::HashMap;
+
+/// Bits per chunk: one /16 of address space.
+const CHUNK_BITS: usize = 1 << 16;
+const CHUNK_WORDS: usize = CHUNK_BITS / 64;
+
+#[derive(Clone)]
+struct Chunk {
+    bits: Box<[u64; CHUNK_WORDS]>,
+    count: u32,
+}
+
+impl Chunk {
+    fn new() -> Self {
+        Chunk {
+            bits: Box::new([0u64; CHUNK_WORDS]),
+            count: 0,
+        }
+    }
+}
+
+/// A set of IPv4 addresses stored as a bitmap per populated /16.
+///
+/// Memory: 8 KiB per /16 that holds at least one address; O(1) membership
+/// and insertion; set-algebra operations run a word at a time.
+///
+/// ```
+/// use ghosts_net::{addr_from_str, AddrSet};
+///
+/// let mut seen = AddrSet::new();
+/// seen.insert(addr_from_str("192.0.2.1").unwrap());
+/// seen.insert(addr_from_str("192.0.2.200").unwrap());
+/// assert_eq!(seen.len(), 2);
+/// assert_eq!(seen.to_subnet24().len(), 1); // same /24
+/// assert_eq!(seen.count_in_prefix("192.0.2.0/24".parse().unwrap()), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct AddrSet {
+    chunks: HashMap<u16, Chunk>,
+    len: u64,
+}
+
+impl AddrSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of addresses in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn key(addr: u32) -> u16 {
+        (addr >> 16) as u16
+    }
+
+    fn offset(addr: u32) -> usize {
+        (addr & 0xffff) as usize
+    }
+
+    /// Inserts an address; returns `true` if it was not already present.
+    pub fn insert(&mut self, addr: u32) -> bool {
+        let chunk = self.chunks.entry(Self::key(addr)).or_insert_with(Chunk::new);
+        let off = Self::offset(addr);
+        let word = &mut chunk.bits[off / 64];
+        let mask = 1u64 << (off % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        chunk.count += 1;
+        self.len += 1;
+        true
+    }
+
+    /// Removes an address; returns `true` if it was present.
+    pub fn remove(&mut self, addr: u32) -> bool {
+        let Some(chunk) = self.chunks.get_mut(&Self::key(addr)) else {
+            return false;
+        };
+        let off = Self::offset(addr);
+        let word = &mut chunk.bits[off / 64];
+        let mask = 1u64 << (off % 64);
+        if *word & mask == 0 {
+            return false;
+        }
+        *word &= !mask;
+        chunk.count -= 1;
+        self.len -= 1;
+        if chunk.count == 0 {
+            self.chunks.remove(&Self::key(addr));
+        }
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, addr: u32) -> bool {
+        match self.chunks.get(&Self::key(addr)) {
+            Some(chunk) => {
+                let off = Self::offset(addr);
+                chunk.bits[off / 64] & (1u64 << (off % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Merges `other` into `self` (set union).
+    pub fn union_with(&mut self, other: &AddrSet) {
+        for (&key, ochunk) in &other.chunks {
+            let chunk = self.chunks.entry(key).or_insert_with(Chunk::new);
+            let mut count = 0u32;
+            for (w, ow) in chunk.bits.iter_mut().zip(ochunk.bits.iter()) {
+                *w |= *ow;
+                count += w.count_ones();
+            }
+            self.len += u64::from(count) - u64::from(chunk.count);
+            chunk.count = count;
+        }
+    }
+
+    /// Number of addresses present in both sets.
+    pub fn intersection_count(&self, other: &AddrSet) -> u64 {
+        // Iterate the smaller map.
+        let (small, big) = if self.chunks.len() <= other.chunks.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut total = 0u64;
+        for (key, schunk) in &small.chunks {
+            if let Some(bchunk) = big.chunks.get(key) {
+                for (a, b) in schunk.bits.iter().zip(bchunk.bits.iter()) {
+                    total += u64::from((a & b).count_ones());
+                }
+            }
+        }
+        total
+    }
+
+    /// The intersection of two sets as a new set.
+    pub fn intersect(&self, other: &AddrSet) -> AddrSet {
+        let (small, big) = if self.chunks.len() <= other.chunks.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = AddrSet::new();
+        for (key, schunk) in &small.chunks {
+            let Some(bchunk) = big.chunks.get(key) else {
+                continue;
+            };
+            let mut chunk = Chunk::new();
+            let mut count = 0u32;
+            for (w, (a, b)) in chunk
+                .bits
+                .iter_mut()
+                .zip(schunk.bits.iter().zip(bchunk.bits.iter()))
+            {
+                *w = a & b;
+                count += w.count_ones();
+            }
+            if count > 0 {
+                chunk.count = count;
+                out.len += u64::from(count);
+                out.chunks.insert(*key, chunk);
+            }
+        }
+        out
+    }
+
+    /// Removes from `self` every address present in `other`.
+    pub fn subtract(&mut self, other: &AddrSet) {
+        let keys: Vec<u16> = self
+            .chunks
+            .keys()
+            .filter(|k| other.chunks.contains_key(k))
+            .copied()
+            .collect();
+        for key in keys {
+            let ochunk = &other.chunks[&key];
+            let chunk = self.chunks.get_mut(&key).expect("key just observed");
+            let mut count = 0u32;
+            for (w, ow) in chunk.bits.iter_mut().zip(ochunk.bits.iter()) {
+                *w &= !*ow;
+                count += w.count_ones();
+            }
+            self.len -= u64::from(chunk.count) - u64::from(count);
+            chunk.count = count;
+            if count == 0 {
+                self.chunks.remove(&key);
+            }
+        }
+    }
+
+    /// Number of set addresses inside `prefix`.
+    pub fn count_in_prefix(&self, prefix: Prefix) -> u64 {
+        if prefix.len() <= 16 {
+            // Whole chunks: sum maintained counts over the key range.
+            let lo = (prefix.base() >> 16) as u16;
+            let hi = (prefix.last_address() >> 16) as u16;
+            if prefix.len() == 0 {
+                return self.len;
+            }
+            let mut total = 0u64;
+            // Range may span many keys; iterate the map if it is smaller.
+            let span = u64::from(hi - lo) + 1;
+            if (self.chunks.len() as u64) < span {
+                for (&k, c) in &self.chunks {
+                    if k >= lo && k <= hi {
+                        total += u64::from(c.count);
+                    }
+                }
+            } else {
+                for k in lo..=hi {
+                    if let Some(c) = self.chunks.get(&k) {
+                        total += u64::from(c.count);
+                    }
+                }
+            }
+            total
+        } else {
+            let Some(chunk) = self.chunks.get(&Self::key(prefix.base())) else {
+                return 0;
+            };
+            let start = Self::offset(prefix.base());
+            let end = Self::offset(prefix.last_address());
+            count_bit_range(&chunk.bits[..], start, end)
+        }
+    }
+
+    /// Iterates addresses in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut keys: Vec<u16> = self.chunks.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().flat_map(move |key| {
+            let chunk = &self.chunks[&key];
+            let base = u32::from(key) << 16;
+            chunk
+                .bits
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| **w != 0)
+                .flat_map(move |(wi, &w)| BitIter::new(w).map(move |b| base + (wi as u32) * 64 + b))
+        })
+    }
+
+    /// Keeps only addresses satisfying the predicate.
+    pub fn retain<F: FnMut(u32) -> bool>(&mut self, mut f: F) {
+        let doomed: Vec<u32> = self.iter().filter(|&a| !f(a)).collect();
+        for a in doomed {
+            self.remove(a);
+        }
+    }
+
+    /// Projects to the set of /24 subnets containing at least one address.
+    pub fn to_subnet24(&self) -> super::SubnetSet {
+        let mut out = super::SubnetSet::new();
+        for (&key, chunk) in &self.chunks {
+            let base = u32::from(key) << 16;
+            // Each /24 covers 4 consecutive words.
+            for s in 0..256u32 {
+                let w0 = (s as usize) * 4;
+                if chunk.bits[w0] | chunk.bits[w0 + 1] | chunk.bits[w0 + 2] | chunk.bits[w0 + 3]
+                    != 0
+                {
+                    out.insert((base + (s << 8)) >> 8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-/8 address counts (index = first octet).
+    pub fn per_octet_counts(&self) -> [u64; 256] {
+        let mut out = [0u64; 256];
+        for (&key, chunk) in &self.chunks {
+            out[(key >> 8) as usize] += u64::from(chunk.count);
+        }
+        out
+    }
+}
+
+/// Counts set bits in positions `start..=end` of a word array.
+fn count_bit_range(words: &[u64], start: usize, end: usize) -> u64 {
+    let (sw, sb) = (start / 64, start % 64);
+    let (ew, eb) = (end / 64, end % 64);
+    if sw == ew {
+        let mask = (u64::MAX << sb) & (u64::MAX >> (63 - eb));
+        return u64::from((words[sw] & mask).count_ones());
+    }
+    let mut total = u64::from((words[sw] & (u64::MAX << sb)).count_ones());
+    for w in &words[sw + 1..ew] {
+        total += u64::from(w.count_ones());
+    }
+    total + u64::from((words[ew] & (u64::MAX >> (63 - eb))).count_ones())
+}
+
+/// Iterates the set bit positions of a word.
+struct BitIter {
+    word: u64,
+}
+
+impl BitIter {
+    fn new(word: u64) -> Self {
+        BitIter { word }
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+impl FromIterator<u32> for AddrSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = AddrSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl Extend<u32> for AddrSet {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+impl std::fmt::Debug for AddrSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AddrSet {{ len: {}, chunks: {} }}",
+            self.len,
+            self.chunks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::addr_from_str;
+
+    fn a(s: &str) -> u32 {
+        addr_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AddrSet::new();
+        assert!(s.insert(a("10.0.0.1")));
+        assert!(!s.insert(a("10.0.0.1")));
+        assert!(s.contains(a("10.0.0.1")));
+        assert!(!s.contains(a("10.0.0.2")));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(a("10.0.0.1")));
+        assert!(!s.remove(a("10.0.0.1")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boundary_addresses() {
+        let mut s = AddrSet::new();
+        s.insert(0);
+        s.insert(u32::MAX);
+        s.insert(a("0.0.255.255"));
+        s.insert(a("0.1.0.0")); // chunk boundary
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(u32::MAX));
+        let all: Vec<u32> = s.iter().collect();
+        assert_eq!(all, vec![0, 65535, 65536, u32::MAX]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let s1: AddrSet = [1u32, 2, 3, 100_000].into_iter().collect();
+        let s2: AddrSet = [3u32, 4, 100_000, 9_000_000].into_iter().collect();
+        assert_eq!(s1.intersection_count(&s2), 2);
+        assert_eq!(s2.intersection_count(&s1), 2);
+        let mut u = s1.clone();
+        u.union_with(&s2);
+        assert_eq!(u.len(), 6);
+        for &x in &[1u32, 2, 3, 4, 100_000, 9_000_000] {
+            assert!(u.contains(x));
+        }
+    }
+
+    #[test]
+    fn intersect_builds_common_set() {
+        let s1: AddrSet = [1u32, 2, 3, 100_000].into_iter().collect();
+        let s2: AddrSet = [2u32, 3, 100_000, 9_000_000].into_iter().collect();
+        let i = s1.intersect(&s2);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3, 100_000]);
+        assert_eq!(i.len(), s1.intersection_count(&s2));
+        // Intersection with an empty set is empty.
+        assert!(s1.intersect(&AddrSet::new()).is_empty());
+    }
+
+    #[test]
+    fn subtract_removes_and_prunes() {
+        let mut s: AddrSet = [1u32, 2, 3].into_iter().collect();
+        let t: AddrSet = [2u32, 3, 4].into_iter().collect();
+        s.subtract(&t);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1]);
+        // Subtracting everything empties the set.
+        let t2: AddrSet = [1u32].into_iter().collect();
+        s.subtract(&t2);
+        assert!(s.is_empty());
+        assert_eq!(s.chunks.len(), 0, "empty chunks must be pruned");
+    }
+
+    #[test]
+    fn count_in_prefix_various_lengths() {
+        let mut s = AddrSet::new();
+        for &addr in &["10.0.0.1", "10.0.0.200", "10.0.1.7", "10.128.0.1", "11.0.0.1"] {
+            s.insert(a(addr));
+        }
+        assert_eq!(s.count_in_prefix("10.0.0.0/8".parse().unwrap()), 4);
+        assert_eq!(s.count_in_prefix("10.0.0.0/24".parse().unwrap()), 2);
+        assert_eq!(s.count_in_prefix("10.0.0.0/16".parse().unwrap()), 3);
+        assert_eq!(s.count_in_prefix("10.0.0.0/31".parse().unwrap()), 1);
+        assert_eq!(s.count_in_prefix("10.0.0.1/32".parse().unwrap()), 1);
+        assert_eq!(s.count_in_prefix("10.0.0.2/32".parse().unwrap()), 0);
+        assert_eq!(s.count_in_prefix(Prefix::whole_space()), 5);
+        assert_eq!(s.count_in_prefix("12.0.0.0/8".parse().unwrap()), 0);
+    }
+
+    #[test]
+    fn projection_to_subnets() {
+        let mut s = AddrSet::new();
+        s.insert(a("10.0.0.1"));
+        s.insert(a("10.0.0.200")); // same /24
+        s.insert(a("10.0.1.1"));
+        s.insert(a("172.16.5.9"));
+        let subs = s.to_subnet24();
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(a("10.0.0.0") >> 8));
+        assert!(subs.contains(a("172.16.5.0") >> 8));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut s: AddrSet = (0u32..100).collect();
+        s.retain(|x| x % 2 == 0);
+        assert_eq!(s.len(), 50);
+        assert!(s.contains(42) && !s.contains(43));
+    }
+
+    #[test]
+    fn per_octet_counts_bucketize() {
+        let mut s = AddrSet::new();
+        s.insert(a("10.1.2.3"));
+        s.insert(a("10.200.2.3"));
+        s.insert(a("53.0.0.1"));
+        let counts = s.per_octet_counts();
+        assert_eq!(counts[10], 2);
+        assert_eq!(counts[53], 1);
+        assert_eq!(counts[11], 0);
+    }
+
+    #[test]
+    fn iter_sorted_and_complete() {
+        let addrs = [9u32, 5, 70_000, 3, u32::MAX, 65_536];
+        let s: AddrSet = addrs.iter().copied().collect();
+        let got: Vec<u32> = s.iter().collect();
+        let mut want = addrs.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_with_overlapping_chunks_maintains_len() {
+        let mut s1: AddrSet = (0u32..1000).collect();
+        let s2: AddrSet = (500u32..1500).collect();
+        s1.union_with(&s2);
+        assert_eq!(s1.len(), 1500);
+        assert_eq!(s1.iter().count() as u64, s1.len());
+    }
+}

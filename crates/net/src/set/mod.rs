@@ -1,0 +1,18 @@
+//! Compact sets of IPv4 addresses and /24 subnets.
+//!
+//! Capture–recapture consumes, per source and time window, the *set* of
+//! observed identifiers. At Internet scale a `HashSet<u32>` costs tens of
+//! bytes per element; measurement sources observe hundreds of millions of
+//! addresses, so the workspace uses bitmaps instead:
+//!
+//! * [`AddrSet`] — a two-level bitmap keyed by /16 chunk, 8 KiB per
+//!   populated /16. Densely used space costs one bit per address;
+//!   completely unused /16s cost nothing.
+//! * [`SubnetSet`] — a flat 2 MiB bitmap over all 2²⁴ possible /24
+//!   subnets (a /24 is "used" if any of its addresses is, §4).
+
+mod addr_set;
+mod subnet_set;
+
+pub use addr_set::AddrSet;
+pub use subnet_set::SubnetSet;

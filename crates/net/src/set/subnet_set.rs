@@ -1,0 +1,288 @@
+//! A flat bitmap set over all 2²⁴ possible /24 subnets.
+
+use crate::addr::Prefix;
+
+const TOTAL_SUBNETS: usize = 1 << 24;
+const WORDS: usize = TOTAL_SUBNETS / 64;
+
+/// A set of /24 subnets, identified by the top 24 bits of an address
+/// (`addr >> 8`). Backed by one flat 2 MiB bitmap — small enough to
+/// allocate eagerly, large enough to hold the entire IPv4 /24 space.
+#[derive(Clone)]
+pub struct SubnetSet {
+    bits: Vec<u64>,
+    len: u64,
+}
+
+impl Default for SubnetSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubnetSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            bits: vec![0u64; WORDS],
+            len: 0,
+        }
+    }
+
+    /// Number of subnets in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts subnet id `sub` (must be `< 2²⁴`); returns `true` if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub >= 2²⁴`.
+    pub fn insert(&mut self, sub: u32) -> bool {
+        assert!((sub as usize) < TOTAL_SUBNETS, "subnet id {sub} out of range");
+        let word = &mut self.bits[(sub / 64) as usize];
+        let mask = 1u64 << (sub % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Inserts the /24 containing `addr`.
+    pub fn insert_addr(&mut self, addr: u32) -> bool {
+        self.insert(addr >> 8)
+    }
+
+    /// Removes subnet id `sub`; returns `true` if it was present.
+    pub fn remove(&mut self, sub: u32) -> bool {
+        if (sub as usize) >= TOTAL_SUBNETS {
+            return false;
+        }
+        let word = &mut self.bits[(sub / 64) as usize];
+        let mask = 1u64 << (sub % 64);
+        if *word & mask == 0 {
+            return false;
+        }
+        *word &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Membership test by subnet id.
+    pub fn contains(&self, sub: u32) -> bool {
+        (sub as usize) < TOTAL_SUBNETS && self.bits[(sub / 64) as usize] & (1u64 << (sub % 64)) != 0
+    }
+
+    /// Membership test by address.
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        self.contains(addr >> 8)
+    }
+
+    /// Merges `other` into `self` (set union).
+    pub fn union_with(&mut self, other: &SubnetSet) {
+        let mut len = 0u64;
+        for (w, ow) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= *ow;
+            len += u64::from(w.count_ones());
+        }
+        self.len = len;
+    }
+
+    /// Number of subnets present in both sets.
+    pub fn intersection_count(&self, other: &SubnetSet) -> u64 {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+
+    /// The intersection of two sets as a new set.
+    pub fn intersect(&self, other: &SubnetSet) -> SubnetSet {
+        let mut out = SubnetSet::new();
+        let mut len = 0u64;
+        for (w, (a, b)) in out
+            .bits
+            .iter_mut()
+            .zip(self.bits.iter().zip(other.bits.iter()))
+        {
+            *w = a & b;
+            len += u64::from(w.count_ones());
+        }
+        out.len = len;
+        out
+    }
+
+    /// Removes from `self` every subnet present in `other`.
+    pub fn subtract(&mut self, other: &SubnetSet) {
+        let mut len = 0u64;
+        for (w, ow) in self.bits.iter_mut().zip(&other.bits) {
+            *w &= !*ow;
+            len += u64::from(w.count_ones());
+        }
+        self.len = len;
+    }
+
+    /// Number of set subnets inside an address prefix (`len <= 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len() > 24` — such a prefix covers only part of
+    /// one /24 and subnet counting is not meaningful for it.
+    pub fn count_in_prefix(&self, prefix: Prefix) -> u64 {
+        assert!(
+            prefix.len() <= 24,
+            "count_in_prefix: /{} is below subnet granularity",
+            prefix.len()
+        );
+        let start = (prefix.base() >> 8) as usize;
+        let end = (prefix.last_address() >> 8) as usize;
+        count_bit_range(&self.bits, start, end)
+    }
+
+    /// Iterates subnet ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0)
+            .flat_map(|(wi, &w)| {
+                let mut word = w;
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        return None;
+                    }
+                    let b = word.trailing_zeros();
+                    word &= word - 1;
+                    Some((wi as u32) * 64 + b)
+                })
+            })
+    }
+
+    /// The base address of subnet id `sub` (i.e. `sub << 8`).
+    pub fn subnet_base(sub: u32) -> u32 {
+        sub << 8
+    }
+}
+
+fn count_bit_range(words: &[u64], start: usize, end: usize) -> u64 {
+    let (sw, sb) = (start / 64, start % 64);
+    let (ew, eb) = (end / 64, end % 64);
+    if sw == ew {
+        let mask = (u64::MAX << sb) & (u64::MAX >> (63 - eb));
+        return u64::from((words[sw] & mask).count_ones());
+    }
+    let mut total = u64::from((words[sw] & (u64::MAX << sb)).count_ones());
+    for w in &words[sw + 1..ew] {
+        total += u64::from(w.count_ones());
+    }
+    total + u64::from((words[ew] & (u64::MAX >> (63 - eb))).count_ones())
+}
+
+impl FromIterator<u32> for SubnetSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = SubnetSet::new();
+        for sub in iter {
+            s.insert(sub);
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for SubnetSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubnetSet {{ len: {} }}", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::addr_from_str;
+
+    fn a(s: &str) -> u32 {
+        addr_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = SubnetSet::new();
+        assert!(s.insert_addr(a("10.0.0.5")));
+        assert!(!s.insert_addr(a("10.0.0.99"))); // same /24
+        assert!(s.contains_addr(a("10.0.0.200")));
+        assert!(!s.contains_addr(a("10.0.1.0")));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(a("10.0.0.0") >> 8));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extreme_ids() {
+        let mut s = SubnetSet::new();
+        s.insert(0);
+        s.insert((1 << 24) - 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, (1 << 24) - 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_insert_panics() {
+        SubnetSet::new().insert(1 << 24);
+    }
+
+    #[test]
+    fn union_intersection_subtract() {
+        let s1: SubnetSet = [1u32, 2, 3].into_iter().collect();
+        let s2: SubnetSet = [3u32, 4].into_iter().collect();
+        assert_eq!(s1.intersection_count(&s2), 1);
+        let mut u = s1.clone();
+        u.union_with(&s2);
+        assert_eq!(u.len(), 4);
+        u.subtract(&s2);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn intersect_builds_common_set() {
+        let s1: SubnetSet = [1u32, 2, 3].into_iter().collect();
+        let s2: SubnetSet = [2u32, 4].into_iter().collect();
+        let i = s1.intersect(&s2);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn count_in_prefix_subnet_granularity() {
+        let mut s = SubnetSet::new();
+        s.insert_addr(a("10.0.0.0"));
+        s.insert_addr(a("10.0.1.0"));
+        s.insert_addr(a("10.1.0.0"));
+        s.insert_addr(a("11.0.0.0"));
+        assert_eq!(s.count_in_prefix("10.0.0.0/8".parse().unwrap()), 3);
+        assert_eq!(s.count_in_prefix("10.0.0.0/16".parse().unwrap()), 2);
+        assert_eq!(s.count_in_prefix("10.0.0.0/24".parse().unwrap()), 1);
+        assert_eq!(s.count_in_prefix("10.0.2.0/24".parse().unwrap()), 0);
+        assert_eq!(s.count_in_prefix(Prefix::whole_space()), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn count_below_granularity_panics() {
+        SubnetSet::new().count_in_prefix("10.0.0.0/25".parse().unwrap());
+    }
+
+    #[test]
+    fn subnet_base_round_trip() {
+        let sub = a("172.16.5.0") >> 8;
+        assert_eq!(SubnetSet::subnet_base(sub), a("172.16.5.0"));
+    }
+}

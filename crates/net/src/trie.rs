@@ -1,0 +1,287 @@
+//! A binary radix trie over IPv4 prefixes with per-prefix payloads.
+//!
+//! Backs the routed table (longest-prefix membership tests against
+//! aggregated RouteViews-style snapshots, §4.4/§6.1) and the allocation
+//! registry (address → allocation lookup for stratification, §3.4).
+//!
+//! The trie is a plain pointer-based binary tree: simplicity and robustness
+//! over cleverness. Lookups walk at most 32 nodes; the tables it holds (a
+//! few hundred thousand prefixes) comfortably fit the cache-unfriendly
+//! layout.
+
+use crate::addr::Prefix;
+
+#[derive(Debug, Clone, Default)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from prefixes to values with longest-prefix-match lookup.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if the
+    /// exact prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let bit = ((prefix.base() >> (31 - depth)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The value at exactly `prefix`, if present.
+    pub fn get_exact(&self, prefix: Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let bit = ((prefix.base() >> (31 - depth)) & 1) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match: the value of the most specific stored prefix
+    /// containing `addr`, together with that prefix.
+    pub fn longest_match(&self, addr: u32) -> Option<(Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(Prefix, &T)> = None;
+        for depth in 0..=32u8 {
+            if let Some(v) = node.value.as_ref() {
+                best = Some((Prefix::new(addr, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Whether any stored prefix contains `addr`.
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        self.longest_match(addr).is_some()
+    }
+
+    /// Visits every stored `(prefix, value)` in lexicographic prefix order.
+    pub fn for_each<F: FnMut(Prefix, &T)>(&self, mut f: F) {
+        fn walk<T, F: FnMut(Prefix, &T)>(node: &Node<T>, base: u32, depth: u8, f: &mut F) {
+            if let Some(v) = node.value.as_ref() {
+                f(Prefix::new(base, depth), v);
+            }
+            if depth == 32 {
+                return;
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                walk(child, base, depth + 1, f);
+            }
+            if let Some(child) = node.children[1].as_deref() {
+                walk(child, base | (1u32 << (31 - depth)), depth + 1, f);
+            }
+        }
+        walk(&self.root, 0, 0, &mut f);
+    }
+
+    /// Collects all stored prefixes.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|p, _| out.push(p));
+        out
+    }
+
+    /// Total number of distinct addresses covered by the union of all
+    /// stored prefixes (nested prefixes are not double counted).
+    pub fn union_address_count(&self) -> u64 {
+        fn walk<T>(node: &Node<T>, depth: u8) -> u64 {
+            if node.value.is_some() {
+                return 1u64 << (32 - depth);
+            }
+            if depth == 32 {
+                return 0;
+            }
+            let mut total = 0;
+            for child in node.children.iter().flatten() {
+                total += walk(child, depth + 1);
+            }
+            total
+        }
+        walk(&self.root, 0)
+    }
+
+    /// Number of /24 subnets fully or partially covered by the union of all
+    /// stored prefixes. A stored /25–/32 counts the single /24 it sits in
+    /// (deduplicated).
+    pub fn union_subnet24_count(&self) -> u64 {
+        fn walk<T>(node: &Node<T>, depth: u8) -> u64 {
+            if node.value.is_some() {
+                return if depth <= 24 { 1u64 << (24 - depth) } else { 1 };
+            }
+            if depth >= 24 {
+                // Below /24: any covered prefix marks this single /24.
+                let mut any = node.value.is_some();
+                if !any {
+                    fn has_any<T>(n: &Node<T>) -> bool {
+                        n.value.is_some()
+                            || n.children.iter().flatten().any(|c| has_any(c))
+                    }
+                    any = node.children.iter().flatten().any(|c| has_any(c));
+                }
+                return u64::from(any);
+            }
+            let mut total = 0;
+            for child in node.children.iter().flatten() {
+                total += walk(child, depth + 1);
+            }
+            total
+        }
+        walk(&self.root, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> u32 {
+        crate::addr::addr_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), "ten"), None);
+        assert_eq!(t.insert(p("10.1.0.0/16"), "ten-one"), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get_exact(p("10.0.0.0/8")), Some(&"ten"));
+        assert_eq!(t.get_exact(p("10.0.0.0/9")), None);
+        // Replacement returns the old value and keeps len.
+        assert_eq!(t.insert(p("10.0.0.0/8"), "TEN"), Some("ten"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        let (pref, v) = t.longest_match(a("10.1.2.3")).unwrap();
+        assert_eq!((pref, *v), (p("10.1.2.0/24"), 24));
+        let (pref, v) = t.longest_match(a("10.1.9.9")).unwrap();
+        assert_eq!((pref, *v), (p("10.1.0.0/16"), 16));
+        let (pref, v) = t.longest_match(a("10.200.0.1")).unwrap();
+        assert_eq!((pref, *v), (p("10.0.0.0/8"), 8));
+        assert!(t.longest_match(a("11.0.0.0")).is_none());
+        assert!(t.contains_addr(a("10.7.7.7")));
+        assert!(!t.contains_addr(a("9.9.9.9")));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::whole_space(), ());
+        assert!(t.contains_addr(0));
+        assert!(t.contains_addr(u32::MAX));
+    }
+
+    #[test]
+    fn host_route_exactness() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), ());
+        assert!(t.contains_addr(a("1.2.3.4")));
+        assert!(!t.contains_addr(a("1.2.3.5")));
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.0.0/8"), ());
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        let got = t.prefixes();
+        assert_eq!(
+            got,
+            vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.0.0.0/8")]
+        );
+    }
+
+    #[test]
+    fn union_counts_dedupe_nesting() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.1.0.0/16"), ()); // nested — must not double count
+        t.insert(p("192.168.0.0/24"), ());
+        assert_eq!(t.union_address_count(), (1 << 24) + 256);
+        assert_eq!(t.union_subnet24_count(), 65536 + 1);
+    }
+
+    #[test]
+    fn union_counts_subnet_partial_cover() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.128/25"), ());
+        t.insert(p("1.2.3.0/26"), ()); // both halves of the same /24
+        assert_eq!(t.union_subnet24_count(), 1);
+        assert_eq!(t.union_address_count(), 128 + 64);
+    }
+
+    #[test]
+    fn union_counts_disjoint_32s() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), ());
+        t.insert(p("1.2.3.5/32"), ());
+        t.insert(p("9.9.9.9/32"), ());
+        assert_eq!(t.union_address_count(), 3);
+        assert_eq!(t.union_subnet24_count(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! The study's time model: quarters and overlapping 12-month windows.
+//!
+//! Data run from 1 Jan 2011 to 30 June 2014 (§4.3). Growth is analysed over
+//! overlapping 12-month windows starting every three months: the first
+//! window starts 1 Jan 2011, the last starts 1 Jul 2013 and ends 30 June
+//! 2014 — eleven windows in total, each associated with its end date
+//! ("for the first window the observed and estimated used space is
+//! associated with 31 December, 2011").
+
+use std::fmt;
+
+/// A calendar quarter, counted from 2011 Q1 (`Quarter(0)` = Jan–Mar 2011).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Quarter(pub u8);
+
+impl Quarter {
+    /// The first quarter of the study, Jan–Mar 2011.
+    pub const FIRST: Quarter = Quarter(0);
+    /// The last full quarter of the study, Apr–Jun 2014.
+    pub const LAST: Quarter = Quarter(13);
+
+    /// Creates a quarter from a calendar year and quarter-of-year (1–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the date precedes 2011 or `q` is outside `1..=4`.
+    pub fn from_year_quarter(year: u16, q: u8) -> Self {
+        assert!(year >= 2011, "study starts in 2011, got {year}");
+        assert!((1..=4).contains(&q), "quarter-of-year {q} out of range");
+        Quarter(((year - 2011) * 4 + u16::from(q) - 1) as u8)
+    }
+
+    /// The calendar year this quarter falls in.
+    pub fn year(&self) -> u16 {
+        2011 + u16::from(self.0) / 4
+    }
+
+    /// Quarter of the year, 1–4.
+    pub fn quarter_of_year(&self) -> u8 {
+        self.0 % 4 + 1
+    }
+
+    /// The month name of the quarter's last month (the paper labels series
+    /// points by window end month: "Dec 2011", "Mar 2012", …).
+    pub fn end_month_name(&self) -> &'static str {
+        match self.quarter_of_year() {
+            1 => "Mar",
+            2 => "Jun",
+            3 => "Sep",
+            _ => "Dec",
+        }
+    }
+
+    /// Years elapsed since the end of the first window (31 Dec 2011),
+    /// measured at this quarter's end. Used as the x-axis in growth fits.
+    pub fn years_since_first_window_end(&self) -> f64 {
+        (f64::from(self.0) - 3.0) * 0.25
+    }
+
+    /// All quarters of the study in order.
+    pub fn all() -> impl Iterator<Item = Quarter> {
+        (Self::FIRST.0..=Self::LAST.0).map(Quarter)
+    }
+}
+
+impl fmt::Display for Quarter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.end_month_name(), self.year())
+    }
+}
+
+/// An observation window of consecutive quarters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeWindow {
+    /// First quarter in the window.
+    pub start: Quarter,
+    /// Length in quarters (4 for the paper's 12-month windows).
+    pub len: u8,
+}
+
+impl TimeWindow {
+    /// The window's quarters in order.
+    pub fn quarters(&self) -> impl Iterator<Item = Quarter> {
+        let s = self.start.0;
+        (s..s + self.len).map(Quarter)
+    }
+
+    /// The last quarter of the window (statistics are associated with its
+    /// end date).
+    pub fn end(&self) -> Quarter {
+        Quarter(self.start.0 + self.len - 1)
+    }
+
+    /// Whether `q` falls inside the window.
+    pub fn contains(&self, q: Quarter) -> bool {
+        q.0 >= self.start.0 && q.0 < self.start.0 + self.len
+    }
+
+    /// The label the paper attaches to this window: its end date.
+    pub fn label(&self) -> String {
+        self.end().to_string()
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window ending {}", self.end())
+    }
+}
+
+/// The paper's eleven overlapping 12-month windows (§4.3): starts every
+/// quarter from Jan 2011 to Jul 2013 inclusive.
+pub fn paper_windows() -> Vec<TimeWindow> {
+    (0..=10)
+        .map(|s| TimeWindow {
+            start: Quarter(s),
+            len: 4,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_calendar_round_trip() {
+        let q = Quarter::from_year_quarter(2012, 3);
+        assert_eq!(q, Quarter(6));
+        assert_eq!(q.year(), 2012);
+        assert_eq!(q.quarter_of_year(), 3);
+        assert_eq!(q.to_string(), "Sep 2012");
+        assert_eq!(Quarter(0).to_string(), "Mar 2011");
+        assert_eq!(Quarter::LAST.to_string(), "Jun 2014");
+    }
+
+    #[test]
+    fn study_has_fourteen_quarters() {
+        assert_eq!(Quarter::all().count(), 14);
+        assert_eq!(Quarter::LAST.year(), 2014);
+        assert_eq!(Quarter::LAST.quarter_of_year(), 2);
+    }
+
+    #[test]
+    fn paper_windows_match_section_4_3() {
+        let ws = paper_windows();
+        assert_eq!(ws.len(), 11);
+        // First window: Jan–Dec 2011, associated with 31 Dec 2011.
+        assert_eq!(ws[0].label(), "Dec 2011");
+        assert_eq!(ws[0].quarters().count(), 4);
+        // Last window: Jul 2013 – Jun 2014.
+        assert_eq!(ws[10].start, Quarter::from_year_quarter(2013, 3));
+        assert_eq!(ws[10].end(), Quarter::LAST);
+        assert_eq!(ws[10].label(), "Jun 2014");
+        // Consecutive windows overlap by three quarters.
+        for pair in ws.windows(2) {
+            let shared = pair[0]
+                .quarters()
+                .filter(|q| pair[1].contains(*q))
+                .count();
+            assert_eq!(shared, 3);
+        }
+    }
+
+    #[test]
+    fn window_contains_and_end() {
+        let w = TimeWindow {
+            start: Quarter(2),
+            len: 4,
+        };
+        assert!(w.contains(Quarter(2)));
+        assert!(w.contains(Quarter(5)));
+        assert!(!w.contains(Quarter(6)));
+        assert!(!w.contains(Quarter(1)));
+        assert_eq!(w.end(), Quarter(5));
+    }
+
+    #[test]
+    fn years_axis_anchored_at_first_window_end() {
+        // Window 0 ends at quarter 3 (Dec 2011) → 0 years.
+        assert_eq!(Quarter(3).years_since_first_window_end(), 0.0);
+        // Jun 2014 (quarter 13) is 2.5 years later.
+        assert_eq!(Quarter(13).years_since_first_window_end(), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pre_study_year_panics() {
+        Quarter::from_year_quarter(2010, 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ghosts-sim
+//!
+//! The synthetic Internet and measurement simulator substituting for the
+//! paper's gated datasets (DESIGN.md §2). Everything is deterministic in a
+//! single seed.
+//!
+//! * [`internet`] — allocations 1983–2014, routed table, ground-truth
+//!   usage per quarter with realistic heterogeneity.
+//! * [`host`] — host types and probe/activity behaviour (§4.2).
+//! * [`probe`] — the active prober: reversed-bit traversal, loss and rate
+//!   limiting, §4.4 counting rules.
+//! * [`sources`] — the nine measurement sources of Table 2 as biased
+//!   detection models.
+//! * [`spoof`] — spoofed-traffic injection for SWIN/CALT (§4.5), with the
+//!   March-2014 CALT spike.
+//! * [`truth_networks`] — the six ground-truth networks A–F of §5.2.
+//! * [`scenario`] — ties it together into per-window pipeline datasets.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dynamics;
+pub mod host;
+pub mod internet;
+pub mod probe;
+pub mod scenario;
+pub mod sources;
+pub mod spoof;
+pub mod truth_networks;
+pub mod util;
+
+pub use config::{SimConfig, SpoofConfig};
+pub use dynamics::{simulate_churn, ChurnConfig, ChurnResult};
+pub use internet::{Block, DensityClass, GroundTruth};
+pub use probe::{CensusResult, ProbeEngine};
+pub use scenario::Scenario;
+pub use sources::{paper_sources, SourceKind, SourceSpec};
+pub use truth_networks::TruthNetwork;

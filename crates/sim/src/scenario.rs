@@ -1,0 +1,268 @@
+//! The full measurement scenario: ground truth + nine sources + spoofing,
+//! producing per-window datasets in the pipeline's format.
+
+use crate::config::SimConfig;
+use crate::internet::GroundTruth;
+use crate::sources::{detects, paper_sources, SourceSpec};
+use crate::spoof::spoofed_set;
+use ghosts_net::{AddrSet, SubnetSet};
+use ghosts_pipeline::dataset::{SourceDataset, WindowData};
+use ghosts_pipeline::time::{Quarter, TimeWindow};
+
+/// Fraction of spoofed traffic that is reflector-style (victim addresses,
+/// which are genuinely used).
+const REFLECTOR_FRACTION: f64 = 0.05;
+
+/// A generated measurement study.
+pub struct Scenario {
+    /// The synthetic Internet.
+    pub gt: GroundTruth,
+    specs: Vec<SourceSpec>,
+}
+
+impl Scenario {
+    /// Generates the scenario from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            gt: GroundTruth::generate(cfg),
+            specs: paper_sources(),
+        }
+    }
+
+    /// The source specifications.
+    pub fn sources(&self) -> &[SourceSpec] {
+        &self.specs
+    }
+
+    /// The observations of every active source over one quarter, without
+    /// spoof injection. One pass over the used space.
+    pub fn quarter_observations(&self, q: Quarter) -> Vec<(&'static str, AddrSet)> {
+        let active: Vec<&SourceSpec> =
+            self.specs.iter().filter(|s| s.active_in(q)).collect();
+        let mut sets: Vec<AddrSet> = active.iter().map(|_| AddrSet::new()).collect();
+        self.gt.for_each_used_addr(q, |addr, block| {
+            for (i, spec) in active.iter().enumerate() {
+                if detects(&self.gt, spec, addr, block, q) {
+                    sets[i].insert(addr);
+                }
+            }
+        });
+        active
+            .iter()
+            .zip(sets)
+            .map(|(spec, set)| (spec.name, set))
+            .collect()
+    }
+
+    /// All datasets for a window, spoofed traffic included (the raw feed
+    /// the pipeline's spoof filter consumes).
+    pub fn window_data(&self, w: TimeWindow) -> WindowData {
+        self.window_data_inner(w, true)
+    }
+
+    /// All datasets for a window with spoof injection disabled (the
+    /// counterfactual clean feed, for ablations and tests).
+    pub fn window_data_clean(&self, w: TimeWindow) -> WindowData {
+        self.window_data_inner(w, false)
+    }
+
+    fn window_data_inner(&self, w: TimeWindow, with_spoof: bool) -> WindowData {
+        let active: Vec<&SourceSpec> = self
+            .specs
+            .iter()
+            .filter(|s| !s.active_quarters(&w).is_empty())
+            .collect();
+        let mut sets: Vec<AddrSet> = active.iter().map(|_| AddrSet::new()).collect();
+        for q in w.quarters() {
+            self.gt.for_each_used_addr(q, |addr, block| {
+                for (i, spec) in active.iter().enumerate() {
+                    if detects(&self.gt, spec, addr, block, q) {
+                        sets[i].insert(addr);
+                    }
+                }
+            });
+        }
+        if with_spoof {
+            for (i, spec) in active.iter().enumerate() {
+                if spec.spoof_free() {
+                    continue;
+                }
+                for q in spec.active_quarters(&w) {
+                    let spoofs = spoofed_set(&self.gt, spec.name, q, REFLECTOR_FRACTION);
+                    sets[i].union_with(&spoofs);
+                }
+            }
+        }
+        WindowData {
+            window: w,
+            sources: active
+                .iter()
+                .zip(sets)
+                .map(|(spec, set)| SourceDataset::new(spec.name, set, spec.spoof_free()))
+                .collect(),
+        }
+    }
+
+    /// Ground-truth used addresses over the window (usage is monotone, so
+    /// the union over its quarters is the state at the window's end).
+    pub fn truth_addrs(&self, w: TimeWindow) -> AddrSet {
+        self.gt.used_addr_set(w.end())
+    }
+
+    /// Ground-truth used /24 subnets over the window.
+    pub fn truth_subnets(&self, w: TimeWindow) -> SubnetSet {
+        self.gt.used_subnet_set(w.end())
+    }
+
+    /// Per-/8 routed address counts — the spoof filter's universe argument
+    /// at mini-Internet scale (see `spoof` module docs).
+    pub fn routed_per_eight(&self) -> [u64; 256] {
+        let mut out = [0u64; 256];
+        for p in self.gt.routed.prefixes() {
+            debug_assert!(p.len() >= 8, "routed prefixes never straddle /8s here");
+            out[(p.base() >> 24) as usize] += p.num_addresses();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghosts_pipeline::time::paper_windows;
+
+    fn scenario() -> Scenario {
+        Scenario::new(SimConfig::tiny(51))
+    }
+
+    #[test]
+    fn window_data_has_expected_sources() {
+        let s = scenario();
+        let ws = paper_windows();
+        // First window (2011): no SPAM, no CALT, no TPING.
+        let names = |wd: &WindowData| {
+            wd.sources.iter().map(|d| d.name.clone()).collect::<Vec<_>>()
+        };
+        let w0 = s.window_data(ws[0]);
+        assert!(!names(&w0).contains(&"SPAM".to_string()));
+        assert!(!names(&w0).contains(&"CALT".to_string()));
+        assert!(!names(&w0).contains(&"TPING".to_string()));
+        assert!(names(&w0).contains(&"IPING".to_string()));
+        // Last window: all nine.
+        let w10 = s.window_data(ws[10]);
+        assert_eq!(w10.sources.len(), 9);
+    }
+
+    #[test]
+    fn every_clean_observation_is_truly_used() {
+        let s = scenario();
+        let w = paper_windows()[10];
+        let wd = s.window_data_clean(w);
+        let truth = s.truth_addrs(w);
+        for d in &wd.sources {
+            for addr in d.addrs.iter() {
+                assert!(truth.contains(addr), "{}: ghost observation {addr}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn spoofed_netflow_contains_unused_addresses() {
+        let s = scenario();
+        let w = paper_windows()[10];
+        let wd = s.window_data(w);
+        let truth = s.truth_addrs(w);
+        let swin = wd.source("SWIN").unwrap();
+        let ghosts = swin.addrs.iter().filter(|&a| !truth.contains(a)).count();
+        assert!(ghosts > 1_000, "only {ghosts} spoofed observations in SWIN");
+        // Spoof-free sources stay clean even in the spoofed feed.
+        let wiki = wd.source("WIKI").unwrap();
+        for addr in wiki.addrs.iter() {
+            assert!(truth.contains(addr));
+        }
+    }
+
+    #[test]
+    fn observed_union_undercounts_truth() {
+        let s = scenario();
+        let w = paper_windows()[10];
+        let wd = s.window_data_clean(w);
+        let union = wd.observed_union();
+        let truth = s.truth_addrs(w);
+        let coverage = union.len() as f64 / truth.len() as f64;
+        // The paper observed 740 M of an estimated 1.2 B used (≈ 62%).
+        assert!(
+            (0.45..=0.80).contains(&coverage),
+            "observed coverage {coverage}"
+        );
+        // /24 coverage is much higher (5.9 M of 6.3 M ≈ 94%).
+        let union24 = union.to_subnet24();
+        let truth24 = s.truth_subnets(w);
+        let cov24 = union24.len() as f64 / truth24.len() as f64;
+        assert!((0.80..=0.99).contains(&cov24), "subnet coverage {cov24}");
+        assert!(cov24 > coverage);
+    }
+
+    #[test]
+    fn per_source_sizes_relate_like_table2() {
+        let s = scenario();
+        let w = paper_windows()[10]; // all nine sources online
+        let wd = s.window_data_clean(w);
+        let truth = s.truth_addrs(w).len() as f64;
+        let frac = |name: &str| {
+            wd.source(name).map(|d| d.addrs.len() as f64 / truth).unwrap()
+        };
+        for d in &wd.sources {
+            eprintln!(
+                "calibration {}: {:.4} of truth ({} addrs)",
+                d.name,
+                d.addrs.len() as f64 / truth,
+                d.addrs.len()
+            );
+        }
+        // Orderings from Table 2 (2013 column): IPING > CALT > TPING ≈
+        // WEB ≈ SWIN > GAME > MLAB ≈ SPAM > WIKI.
+        assert!(frac("IPING") > frac("CALT"));
+        assert!(frac("CALT") > frac("WEB"));
+        assert!(frac("WEB") > frac("GAME"));
+        assert!(frac("SWIN") > frac("GAME"));
+        assert!(frac("GAME") > frac("WIKI"));
+        assert!(frac("MLAB") > frac("WIKI"));
+        // Rough absolute bands.
+        assert!((0.20..=0.50).contains(&frac("IPING")), "IPING {}", frac("IPING"));
+        assert!((0.15..=0.45).contains(&frac("CALT")), "CALT {}", frac("CALT"));
+        assert!((0.04..=0.20).contains(&frac("WEB")), "WEB {}", frac("WEB"));
+        assert!(frac("WIKI") < 0.03, "WIKI {}", frac("WIKI"));
+    }
+
+    #[test]
+    fn windows_are_deterministic() {
+        let s = scenario();
+        let w = paper_windows()[5];
+        let a = s.window_data(w);
+        let b = s.window_data(w);
+        for (x, y) in a.sources.iter().zip(&b.sources) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.addrs.len(), y.addrs.len());
+        }
+    }
+
+    #[test]
+    fn observations_grow_over_time() {
+        let s = scenario();
+        let ws = paper_windows();
+        let first = s.window_data_clean(ws[0]).observed_union().len();
+        let last = s.window_data_clean(ws[10]).observed_union().len();
+        assert!(
+            last as f64 > first as f64 * 1.2,
+            "no growth: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn routed_per_eight_sums_to_routed_total() {
+        let s = scenario();
+        let per8 = s.routed_per_eight();
+        assert_eq!(per8.iter().sum::<u64>(), s.gt.routed.address_count());
+    }
+}

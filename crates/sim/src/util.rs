@@ -1,0 +1,77 @@
+//! Deterministic hash-based pseudo-randomness.
+//!
+//! Observation decisions ("does source s see address a in quarter q?") must
+//! be *stable functions* of their arguments: a host that responds to ICMP
+//! responds in every census, overlapping windows must agree on shared
+//! quarters, and regenerating a window must be exactly reproducible without
+//! storing per-address state. Stateless splitmix-based hashing gives all of
+//! that for free.
+
+/// SplitMix64 finalising permutation.
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes a sequence of values into one well-distributed 64-bit hash.
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut h = 0x243f_6a88_85a3_08d3u64; // pi digits, nothing-up-my-sleeve
+    for &p in parts {
+        h = splitmix(h ^ p);
+    }
+    h
+}
+
+/// A hash mapped to the unit interval `[0, 1)`.
+pub fn unit(parts: &[u64]) -> f64 {
+    (mix(parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Stable label → u64 for mixing strings into hashes.
+pub fn label(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_eq!(unit(&[7, 8]), unit(&[7, 8]));
+        assert_eq!(label("IPING"), label("IPING"));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+    }
+
+    #[test]
+    fn unit_in_range_and_spread() {
+        let mut buckets = [0usize; 10];
+        for i in 0..10_000u64 {
+            let u = unit(&[42, i]);
+            assert!((0.0..1.0).contains(&u));
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        // Roughly uniform: every decile within ±20% of expectation.
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..=1200).contains(&b), "decile {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn label_distinguishes() {
+        assert_ne!(label("SWIN"), label("CALT"));
+    }
+}

@@ -1,0 +1,262 @@
+//! The binomial distribution.
+//!
+//! Used by the spoof-removal heuristic (§4.5 of the paper): the number of
+//! uniformly spoofed addresses falling into a /24 subnet is
+//! `Binomial(n = 256, p = S / 2^24)`, and the removal threshold `m` is the
+//! smallest `k` with `Pr[X > k] < 10⁻⁸`.
+
+use crate::special::{ln_choose, reg_beta};
+use rand::Rng;
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial: p must be in [0,1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Natural log of the pmf at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass function at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// CDF: `Pr[X <= k] = I_{1-p}(n-k, k+1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        reg_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+
+    /// Upper tail `Pr[X > k] = I_p(k+1, n-k)`.
+    ///
+    /// Computed directly from the incomplete beta (not as `1 − cdf`) so the
+    /// 10⁻⁸-level tails required by the spoof filter do not cancel away.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        reg_beta(k as f64 + 1.0, (self.n - k) as f64, self.p)
+    }
+
+    /// The smallest `k` such that `Pr[X > k] < alpha`.
+    ///
+    /// This is exactly the threshold `m` of the paper's spoof filter with
+    /// `alpha = 1e-8`. Found by linear scan from the mean outward — the
+    /// answer is always within a few dozen of `n·p` for the tiny `p` the
+    /// filter sees.
+    pub fn upper_tail_threshold(&self, alpha: f64) -> u64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let mut k = self.mean().floor() as u64;
+        // Back off in case the mean itself already satisfies the bound.
+        while k > 0 && self.sf(k - 1) < alpha {
+            k -= 1;
+        }
+        while k < self.n && self.sf(k) >= alpha {
+            k += 1;
+        }
+        k
+    }
+
+    /// Draws a sample by direct Bernoulli summation for small `n`, or a
+    /// normal approximation (clamped and rounded) for large `n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n <= 64 {
+            let mut k = 0;
+            for _ in 0..self.n {
+                if rng.gen::<f64>() < self.p {
+                    k += 1;
+                }
+            }
+            k
+        } else if self.mean() < 20.0 {
+            // Sparse regime: approximate by Poisson thinning — geometric
+            // skips between successes.
+            let ln_q = (1.0 - self.p).ln();
+            if ln_q == 0.0 {
+                return 0;
+            }
+            let mut k = 0u64;
+            let mut i = 0u64;
+            loop {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = (u.ln() / ln_q).floor() as u64;
+                i = i.saturating_add(skip).saturating_add(1);
+                if i > self.n {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let z: f64 = crate::dist::normal::sample_standard(rng);
+            let x = self.mean() + self.variance().sqrt() * z;
+            x.round().clamp(0.0, self.n as f64) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "got {a}, want {b}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Binomial::new(30, 0.37);
+        let total: f64 = (0..=30).map(|k| d.pmf(k)).sum();
+        close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn pmf_symmetric_half() {
+        let d = Binomial::new(10, 0.5);
+        for k in 0..=10 {
+            close(d.pmf(k), d.pmf(10 - k), 1e-12);
+        }
+        close(d.pmf(5), 252.0 / 1024.0, 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_sf_complementary() {
+        let d = Binomial::new(100, 0.03);
+        for k in 0..=100 {
+            close(d.cdf(k) + d.sf(k), 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_partial_sums() {
+        let d = Binomial::new(25, 0.2);
+        let mut acc = 0.0;
+        for k in 0..=25 {
+            acc += d.pmf(k);
+            close(d.cdf(k), acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let d0 = Binomial::new(10, 0.0);
+        assert_eq!(d0.pmf(0), 1.0);
+        assert_eq!(d0.sf(0), 0.0);
+        let d1 = Binomial::new(10, 1.0);
+        assert_eq!(d1.pmf(10), 1.0);
+        assert_eq!(d1.cdf(9), 0.0);
+        assert_eq!(d1.sf(9), 1.0);
+    }
+
+    #[test]
+    fn spoof_filter_threshold_shape() {
+        // Paper scenario: /24 of 256 addresses, S spoofed IPs uniform over a
+        // /8 (2^24 addresses). S = 12_000 gives p ≈ 7.15e-4, mean ≈ 0.18.
+        let p = 12_000.0 / 16_777_216.0;
+        let d = Binomial::new(256, p);
+        let m = d.upper_tail_threshold(1e-8);
+        // With mean 0.18, the 1e-8 tail is crossed within the first handful
+        // of counts; the exact value is what the filter will use.
+        assert!((3..=12).contains(&m), "m = {m}");
+        assert!(d.sf(m) < 1e-8);
+        assert!(m == 0 || d.sf(m - 1) >= 1e-8);
+    }
+
+    #[test]
+    fn threshold_monotone_in_p() {
+        let a = Binomial::new(256, 0.0005).upper_tail_threshold(1e-8);
+        let b = Binomial::new(256, 0.01).upper_tail_threshold(1e-8);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sampler_small_n_mean() {
+        let d = Binomial::new(40, 0.3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        close(mean, 12.0, 0.02);
+    }
+
+    #[test]
+    fn sampler_sparse_regime_mean() {
+        let d = Binomial::new(1_000_000, 3e-6); // mean 3
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn sampler_normal_regime_mean() {
+        let d = Binomial::new(10_000, 0.4);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 5_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 4_000.0).abs() < 5.0, "mean {mean}");
+    }
+}

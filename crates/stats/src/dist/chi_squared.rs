@@ -1,0 +1,156 @@
+//! The chi-squared distribution.
+//!
+//! The profile-likelihood "confidence interval" of the paper (§3.3.3,
+//! following Rcapture) inverts the likelihood-ratio statistic against the
+//! `χ²₁` quantile at `1 − α` with `α = 10⁻⁷` — deep in the tail, which is
+//! why the quantile here is computed by careful bisection on an accurate
+//! CDF rather than a series approximation.
+
+use crate::dist::normal::Normal;
+use crate::special::{reg_gamma_p, reg_gamma_q};
+
+/// A chi-squared distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates a chi-squared distribution with `k > 0` degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not finite and strictly positive.
+    pub fn new(k: f64) -> Self {
+        assert!(
+            k.is_finite() && k > 0.0,
+            "ChiSquared: dof must be positive, got {k}"
+        );
+        Self { k }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// Mean, `k`.
+    pub fn mean(&self) -> f64 {
+        self.k
+    }
+
+    /// Variance, `2k`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.k
+    }
+
+    /// CDF at `x`: `P(k/2, x/2)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_gamma_p(self.k / 2.0, x / 2.0)
+    }
+
+    /// Survival function `Pr[X > x]`, tail-stable.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        reg_gamma_q(self.k / 2.0, x / 2.0)
+    }
+
+    /// Quantile function: the `x` with `cdf(x) = p`.
+    ///
+    /// Starts from the Wilson–Hilferty normal approximation and polishes by
+    /// bisection + Newton until |cdf(x) − p| < 1e-12. Works for `p` as close
+    /// to 1 as `1 − 1e-12` (the paper needs `1 − 10⁻⁷`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must be in (0,1), got {p}");
+        // Wilson–Hilferty starting point.
+        let z = Normal::standard().quantile(p);
+        let k = self.k;
+        let wh = k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3);
+        let mut lo = 0.0f64;
+        let mut hi = wh.max(1.0);
+        // Expand hi until the CDF brackets p.
+        while self.cdf(hi) < p {
+            lo = hi;
+            hi *= 2.0;
+            assert!(hi.is_finite(), "quantile bracket expansion diverged");
+        }
+        // Bisection to tight bracket.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "got {a}, want {b}");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // χ²₂ is Exponential(rate 1/2): cdf(x) = 1 - exp(-x/2).
+        let d = ChiSquared::new(2.0);
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            close(d.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Standard table values for χ²₁.
+        let d = ChiSquared::new(1.0);
+        close(d.quantile(0.95), 3.841_458_820_694_124, 1e-8);
+        close(d.quantile(0.99), 6.634_896_601_021_214, 1e-8);
+        // χ²₅ at 0.95.
+        close(ChiSquared::new(5.0).quantile(0.95), 11.070_497_693_516_35, 1e-8);
+    }
+
+    #[test]
+    fn quantile_deep_tail_alpha_1e7() {
+        // The paper's α = 1e-7 interval uses χ²₁ at 1 − 1e-7 ≈ 28.37.
+        let q = ChiSquared::new(1.0).quantile(1.0 - 1e-7);
+        // Cross-check: z² where z is the two-sided normal quantile.
+        let z = Normal::standard().quantile(1.0 - 0.5e-7);
+        close(q, z * z, 1e-6);
+        assert!(q > 28.0 && q < 29.0, "q = {q}");
+    }
+
+    #[test]
+    fn quantile_round_trips() {
+        for &k in &[1.0, 2.0, 7.5, 100.0] {
+            let d = ChiSquared::new(k);
+            for &p in &[0.001, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-7] {
+                close(d.cdf(d.quantile(p)), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sf_complementary() {
+        let d = ChiSquared::new(3.0);
+        for &x in &[0.1, 1.0, 5.0, 20.0] {
+            close(d.cdf(x) + d.sf(x), 1.0, 1e-12);
+        }
+    }
+}

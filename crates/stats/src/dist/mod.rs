@@ -1,0 +1,20 @@
+//! Probability distributions used by the capture–recapture machinery.
+//!
+//! Each distribution exposes (at least) a log-pmf/pdf, a CDF and a sampler.
+//! The right-truncated Poisson distribution ([`truncated_poisson`]) is the
+//! paper's refinement over the plain Poisson cell model (§3.3.1): counts of
+//! capture histories are bounded above by the size of the publicly routed
+//! space, and modelling that bound substantially improves estimates for
+//! small strata (§5.2).
+
+pub mod binomial;
+pub mod chi_squared;
+pub mod normal;
+pub mod poisson;
+pub mod truncated_poisson;
+
+pub use binomial::Binomial;
+pub use chi_squared::ChiSquared;
+pub use normal::Normal;
+pub use poisson::Poisson;
+pub use truncated_poisson::TruncatedPoisson;

@@ -1,0 +1,230 @@
+//! One-dimensional root finding and minimisation.
+//!
+//! The profile-likelihood interval (§3.3.3) inverts a monotone
+//! likelihood-ratio function — bisection does that robustly; golden-section
+//! is used for nuisance maximisations where derivatives are unavailable.
+
+/// Result of a root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// The abscissa of the root.
+    pub x: f64,
+    /// The function value at `x` (should be ~0).
+    pub f: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Errors from the 1-D searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// `f(lo)` and `f(hi)` have the same sign — no bracket.
+    NoBracket,
+    /// The bounds are invalid (`lo >= hi` or non-finite).
+    InvalidBounds,
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::NoBracket => write!(f, "no sign change in bracket"),
+            OptimizeError::InvalidBounds => write!(f, "invalid bounds"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (a zero at either
+/// endpoint is returned immediately). Converges to within
+/// `tol * (1 + |x|)`.
+///
+/// # Errors
+///
+/// [`OptimizeError::NoBracket`] when no sign change exists;
+/// [`OptimizeError::InvalidBounds`] when the bounds are malformed.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // !(lo < hi) also rejects NaN
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<Root, OptimizeError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(OptimizeError::InvalidBounds);
+    }
+    let mut flo = f(lo);
+    let mut fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(Root { x: lo, f: 0.0, iterations: 0 });
+    }
+    if fhi == 0.0 {
+        return Ok(Root { x: hi, f: 0.0, iterations: 0 });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(OptimizeError::NoBracket);
+    }
+    let mut iterations = 0;
+    for _ in 0..200 {
+        iterations += 1;
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tol * (1.0 + mid.abs()) {
+            return Ok(Root { x: mid, f: fmid, iterations });
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+            fhi = fmid;
+        }
+        let _ = fhi;
+    }
+    let mid = 0.5 * (lo + hi);
+    Ok(Root { x: mid, f: f(mid), iterations })
+}
+
+/// Minimises a unimodal `f` on `[lo, hi]` by golden-section search.
+/// Returns the abscissa of the minimum.
+///
+/// # Errors
+///
+/// [`OptimizeError::InvalidBounds`] when the bounds are malformed.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // !(lo < hi) also rejects NaN
+pub fn golden_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<f64, OptimizeError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(OptimizeError::InvalidBounds);
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..300 {
+        if (hi - lo) < tol * (1.0 + lo.abs() + hi.abs()) {
+            break;
+        }
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Expands `hi` geometrically from `start` until `f` changes sign relative
+/// to `f(start)`, returning the bracketing endpoint. Used to find the outer
+/// end of a profile-likelihood interval whose width is not known a priori.
+///
+/// Returns `None` if no sign change is found within `max_expansions`.
+pub fn expand_until_sign_change<F: FnMut(f64) -> f64>(
+    mut f: F,
+    start: f64,
+    initial_step: f64,
+    max_expansions: usize,
+) -> Option<f64> {
+    let f0 = f(start);
+    let mut step = initial_step;
+    let mut x = start;
+    for _ in 0..max_expansions {
+        x += step;
+        if !x.is_finite() {
+            return None;
+        }
+        if f(x).signum() != f0.signum() {
+            return Some(x);
+        }
+        step *= 2.0;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_root_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12).unwrap();
+        assert_eq!(r.x, 0.0);
+    }
+
+    #[test]
+    fn bisect_no_bracket() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).unwrap_err(),
+            OptimizeError::NoBracket
+        );
+    }
+
+    #[test]
+    fn bisect_invalid_bounds() {
+        assert_eq!(
+            bisect(|x| x, 1.0, 0.0, 1e-12).unwrap_err(),
+            OptimizeError::InvalidBounds
+        );
+    }
+
+    #[test]
+    fn bisect_decreasing_function() {
+        let r = bisect(|x| 5.0 - x, 0.0, 10.0, 1e-12).unwrap();
+        assert!((r.x - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let x = golden_min(|x| (x - 3.0) * (x - 3.0) + 1.0, -10.0, 10.0, 1e-10).unwrap();
+        assert!((x - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_handles_boundary_minimum() {
+        let x = golden_min(|x| x, 2.0, 5.0, 1e-10).unwrap();
+        assert!((x - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn expand_finds_bracket() {
+        // f(x) = 10 - x starting from 0: sign change past x = 10.
+        let hi = expand_until_sign_change(|x| 10.0 - x, 0.0, 1.0, 64).unwrap();
+        assert!(hi > 10.0);
+    }
+
+    #[test]
+    fn expand_gives_up() {
+        assert!(expand_until_sign_change(|_| 1.0, 0.0, 1.0, 8).is_none());
+    }
+
+    #[test]
+    fn profile_likelihood_shape_inversion() {
+        // A quadratic pseudo-log-likelihood ℓ(n) = -((n - 100)/10)² ;
+        // the χ²₁(0.95)/2 = 1.92 drop is at n = 100 ± 10·√1.92.
+        let ell = |n: f64| -((n - 100.0) / 10.0).powi(2);
+        let drop = 3.841_458_820_694_124 / 2.0;
+        let upper = bisect(|n| ell(n) + drop, 100.0, 200.0, 1e-10).unwrap();
+        assert!((upper.x - (100.0 + 10.0 * drop.sqrt())).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Ordinary least-squares linear regression on a single predictor.
+//!
+//! The growth analysis (§6) fits linear trends to the quarterly time series
+//! of used /24 subnets and addresses ("growth was roughly linear, with an
+//! increase of 0.45 million /24 subnets and 170 million IPv4 addresses per
+//! year"), and the supply projection (Table 6) extrapolates those lines to
+//! run-out years.
+
+/// A fitted simple linear model `y = intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (0 when the response is constant).
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicts `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Solves `predict(x) = y` for `x`; `None` when the slope is ~0.
+    pub fn solve_for_x(&self, y: f64) -> Option<f64> {
+        if self.slope.abs() < 1e-300 {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+}
+
+/// Errors from regression fitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer than two points, or mismatched input lengths.
+    NotEnoughData,
+    /// All predictor values identical — the slope is unidentifiable.
+    DegeneratePredictor,
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::NotEnoughData => write!(f, "need at least two points"),
+            RegressionError::DegeneratePredictor => write!(f, "all x values identical"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Fits `y = a + b·x` by ordinary least squares.
+///
+/// # Errors
+///
+/// [`RegressionError::NotEnoughData`] for fewer than 2 points or length
+/// mismatch; [`RegressionError::DegeneratePredictor`] when all `x` coincide.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, RegressionError> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(RegressionError::NotEnoughData);
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx < 1e-300 {
+        return Err(RegressionError::DegeneratePredictor);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy < 1e-300 {
+        0.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+        n: xs.len(),
+    })
+}
+
+/// Simple centred moving-average smoother with window `2·half + 1`,
+/// truncated at the series ends. The paper plots smoothed estimate lines
+/// alongside the raw quarterly points (Figs 4–5).
+pub fn moving_average(ys: &[f64], half: usize) -> Vec<f64> {
+    let n = ys.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(n - 1);
+            ys[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 5.0 + 0.45 * x + if (x as u64).is_multiple_of(2) { 0.1 } else { -0.1 })
+            .collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 0.45).abs() < 0.01);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn runout_year_solved() {
+        // Supply model: used(t) grows linearly; run-out when used = capacity.
+        let f = LinearFit {
+            intercept: 720.0,
+            slope: 170.0,
+            r_squared: 1.0,
+            n: 11,
+        };
+        // capacity 2_370 → (2370 - 720)/170 ≈ 9.7 years.
+        let t = f.solve_for_x(2_370.0).unwrap();
+        assert!((t - 9.705_882).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_slope_has_no_solution() {
+        let f = LinearFit {
+            intercept: 1.0,
+            slope: 0.0,
+            r_squared: 0.0,
+            n: 2,
+        };
+        assert!(f.solve_for_x(5.0).is_none());
+    }
+
+    #[test]
+    fn constant_response_r2_zero() {
+        let f = linear_fit(&[0.0, 1.0, 2.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 0.0);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            linear_fit(&[1.0], &[1.0]).unwrap_err(),
+            RegressionError::NotEnoughData
+        );
+        assert_eq!(
+            linear_fit(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            RegressionError::NotEnoughData
+        );
+        assert_eq!(
+            linear_fit(&[2.0, 2.0], &[1.0, 5.0]).unwrap_err(),
+            RegressionError::DegeneratePredictor
+        );
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let ys = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let sm = moving_average(&ys, 1);
+        assert_eq!(sm.len(), 5);
+        assert!((sm[2] - 20.0 / 3.0).abs() < 1e-12);
+        // Ends use truncated windows.
+        assert!((sm[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_zero_window_is_identity() {
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&ys, 0), ys.to_vec());
+    }
+}

@@ -1,0 +1,137 @@
+//! Descriptive statistics: means, variances, error metrics and quantiles.
+//!
+//! The cross-validation of §5.1 reports Root Mean Square Error and Mean
+//! Absolute Error averaged over sources and time windows (Table 3).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (divides by n); 0 for fewer than 2 elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation (population).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root mean square error between predictions and truths.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse: length mismatch");
+    assert!(!pred.is_empty(), "rmse: empty input");
+    let ss: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    (ss / pred.len() as f64).sqrt()
+}
+
+/// Mean absolute error between predictions and truths.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae: length mismatch");
+    assert!(!pred.is_empty(), "mae: empty input");
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of the data.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile: q out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 4.0, 1.0];
+        assert!((mae(&pred, &truth) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&pred, &truth) - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // RMSE >= MAE always.
+        assert!(rmse(&pred, &truth) >= mae(&pred, &truth));
+    }
+
+    #[test]
+    fn rmse_zero_on_perfect_prediction() {
+        let v = [5.0, 6.0, 7.0];
+        assert_eq!(rmse(&v, &v), 0.0);
+        assert_eq!(mae(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmse_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

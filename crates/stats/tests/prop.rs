@@ -1,0 +1,92 @@
+//! Property-based tests for the statistics substrate: distribution
+//! identities, special-function complements, and GLM invariants.
+
+use ghosts_stats::glm::{fit, CountFamily, GlmOptions};
+use ghosts_stats::special::{reg_beta, reg_gamma_p, reg_gamma_q};
+use ghosts_stats::{Binomial, Matrix, Normal, Poisson, TruncatedPoisson};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gamma_p_q_complement(a in 0.1f64..5_000.0, x in 0.0f64..10_000.0) {
+        let p = reg_gamma_p(a, x);
+        let q = reg_gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "P+Q = {}", p + q);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..100.0, x in 0.0f64..200.0, dx in 0.01f64..10.0) {
+        prop_assert!(reg_gamma_p(a, x + dx) >= reg_gamma_p(a, x) - 1e-12);
+    }
+
+    #[test]
+    fn beta_symmetry(a in 0.1f64..50.0, b in 0.1f64..50.0, x in 0.0f64..=1.0) {
+        let lhs = reg_beta(a, b, x);
+        let rhs = 1.0 - reg_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn poisson_cdf_increments_are_pmf(lambda in 0.01f64..500.0, k in 0u64..100) {
+        let d = Poisson::new(lambda);
+        let inc = d.cdf(k + 1) - d.cdf(k);
+        prop_assert!((inc - d.pmf(k + 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_poisson_mean_bounds(lambda in 0.01f64..2_000.0, limit in 1u64..500) {
+        let d = TruncatedPoisson::new(lambda, limit);
+        let m = d.mean();
+        // Mean within the support and below the untruncated mean.
+        prop_assert!(m >= 0.0 && m <= limit as f64 + 1e-9);
+        prop_assert!(m <= lambda + 1e-9);
+        // Variance non-negative and no larger than untruncated.
+        prop_assert!(d.variance() >= -1e-9);
+        prop_assert!(d.variance() <= lambda + 1e-9);
+    }
+
+    #[test]
+    fn truncated_poisson_normalises(lambda in 0.01f64..60.0, limit in 0u64..60) {
+        let d = TruncatedPoisson::new(lambda, limit);
+        let total: f64 = (0..=limit).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "sums to {total}");
+    }
+
+    #[test]
+    fn binomial_threshold_is_minimal(n in 1u64..2_000, p in 0.0001f64..0.2) {
+        let d = Binomial::new(n, p);
+        let m = d.upper_tail_threshold(1e-8);
+        prop_assert!(d.sf(m) < 1e-8);
+        if m > 0 {
+            prop_assert!(d.sf(m - 1) >= 1e-8);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(mean in -100.0f64..100.0, sd in 0.01f64..50.0, p in 0.0001f64..0.9999) {
+        let d = Normal::new(mean, sd);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-7);
+    }
+
+    /// Poisson GLM invariant: with an intercept column, the fitted means
+    /// sum to the observed total (score equation for the intercept).
+    #[test]
+    fn poisson_glm_means_match_total(counts in proptest::collection::vec(0u64..500, 2..12)) {
+        let n = counts.len();
+        let mut data = vec![0.0; n * 2];
+        for i in 0..n {
+            data[i * 2] = 1.0; // intercept
+            data[i * 2 + 1] = (i % 3) as f64; // arbitrary covariate
+        }
+        let design = Matrix::from_vec(n, 2, data);
+        let y: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let total: f64 = y.iter().sum();
+        prop_assume!(total > 0.0);
+        let fit = fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()).unwrap();
+        let fitted_total: f64 = fit.fitted.iter().sum();
+        prop_assert!((fitted_total - total).abs() < 1e-3 * (1.0 + total),
+            "fitted {} vs observed {}", fitted_total, total);
+    }
+}

@@ -1,0 +1,78 @@
+//! Multi-party capture–recapture without sharing addresses — the paper's
+//! stated future work (§8, their ref [33]).
+//!
+//! Three organisations each hold a log of observed IPv4 addresses that
+//! privacy rules forbid them from pooling. They exchange only k-minhash
+//! sketches and k membership bits each, yet the coordinator recovers a
+//! population estimate close to what full data sharing would give.
+//!
+//! Run: `cargo run -p ghosts --release --example private_sources`
+
+use ghosts::core::mpcr::{mpcr_estimate, MinHashSketch};
+use ghosts::prelude::*;
+use ghosts::stats::rng::component_rng;
+use rand::Rng;
+
+fn main() {
+    println!("== Multi-party CR from sketches (paper section 8) ==\n");
+
+    // A shared population observed by three privacy-constrained parties.
+    let n_true = 60_000u32;
+    let mut rng = component_rng(33, "private");
+    let mut parties: Vec<AddrSet> = (0..3).map(|_| AddrSet::new()).collect();
+    for i in 0..n_true {
+        let busy = rng.gen_bool(0.45);
+        for set in parties.iter_mut() {
+            let p = if busy { 0.6 } else { 0.18 };
+            if rng.gen_bool(p) {
+                set.insert(i.wrapping_mul(2_654_435_761));
+            }
+        }
+    }
+    let refs: Vec<&AddrSet> = parties.iter().collect();
+    for (i, p) in parties.iter().enumerate() {
+        println!("party {}: {} addresses (kept private)", i + 1, p.len());
+    }
+
+    let cfg = CrConfig {
+        truncated: false,
+        ..CrConfig::paper()
+    };
+
+    // What full data sharing would give.
+    let exact_table = ContingencyTable::from_addr_sets(&refs);
+    let exact = estimate_table(&exact_table, None, &cfg).expect("estimable");
+    println!("\nfull-data CR estimate      : {:.0}", exact.total);
+
+    // The sketch protocol at increasing k.
+    println!("\nsketch protocol (k hashes + k bits revealed per party):");
+    for k in [256usize, 1024, 4096] {
+        let result = mpcr_estimate(&refs, k, 0xC0FFEE, None, &cfg).expect("estimable");
+        let rel = 100.0 * (result.estimate.total - exact.total) / exact.total;
+        println!(
+            "  k = {k:5}: union ≈ {:>7.0}, estimate {:>7.0} ({rel:+.1}% vs full data)",
+            result.union_estimate, result.estimate.total,
+        );
+    }
+
+    // What actually crossed the wire at k = 1024.
+    let k = 1024;
+    let sketches: Vec<MinHashSketch> = parties
+        .iter()
+        .map(|p| MinHashSketch::build(p, k, 0xC0FFEE))
+        .collect();
+    let srefs: Vec<&MinHashSketch> = sketches.iter().collect();
+    let union = MinHashSketch::union(&srefs);
+    println!(
+        "\nwire cost per party: {} sketch hashes + {} membership bits\n\
+         (vs {} raw addresses under full sharing)",
+        k,
+        union.sample_hashes().len(),
+        parties.iter().map(|p| p.len()).max().unwrap_or(0),
+    );
+    println!(
+        "\nNote: the production design (the paper's ref [33]) replaces the\n\
+         shared salt with cryptographic primitives; this prototype\n\
+         reproduces the estimation mechanics and accuracy trade-off."
+    );
+}
