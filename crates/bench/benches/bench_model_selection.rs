@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ghosts_core::{
-    select_model, CellModel, ContingencyTable, DivisorRule, IcKind, SelectionOptions,
+    select_model, CellModel, ContingencyTable, DivisorRule, IcKind, Parallelism,
+    SelectionOptions,
 };
 use ghosts_stats::rng::component_rng;
 use rand::Rng;
@@ -63,6 +64,30 @@ fn bench(c: &mut Criterion) {
                 .num_params()
         })
     });
+    // Sequential vs parallel candidate evaluation on the widest search
+    // (nine sources, triples enabled → the largest candidate fan-out).
+    for (name, parallelism) in [
+        ("nine_sources_triples_seq", Parallelism::SEQUENTIAL),
+        ("nine_sources_triples_par4", Parallelism::Fixed(4)),
+        ("nine_sources_triples_auto", Parallelism::Auto),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                select_model(
+                    &table9,
+                    CellModel::Poisson,
+                    &SelectionOptions {
+                        max_order: 3,
+                        parallelism,
+                        ..SelectionOptions::default()
+                    },
+                )
+                .unwrap()
+                .model
+                .num_params()
+            })
+        });
+    }
     g.finish();
 }
 

@@ -2,7 +2,7 @@
 //! contingency tables and estimating each stratum.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ghosts_core::{estimate_stratified, ContingencyTable, CrConfig};
+use ghosts_core::{estimate_stratified, ContingencyTable, CrConfig, Parallelism};
 use ghosts_net::AddrSet;
 use ghosts_stats::rng::component_rng;
 use rand::Rng;
@@ -53,6 +53,24 @@ fn bench(c: &mut Criterion) {
                 .estimated_total
         })
     });
+    // Sequential vs parallel per-stratum fan-out on the same workload.
+    for (name, parallelism) in [
+        ("estimate_8_strata_seq", Parallelism::SEQUENTIAL),
+        ("estimate_8_strata_par4", Parallelism::Fixed(4)),
+        ("estimate_8_strata_auto", Parallelism::Auto),
+    ] {
+        let cfg = CrConfig {
+            parallelism,
+            ..cfg.clone()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                estimate_stratified(&tables, None, &cfg)
+                    .unwrap()
+                    .estimated_total
+            })
+        });
+    }
     g.finish();
 }
 

@@ -10,18 +10,23 @@
 //! * `--denom N` — simulate 1/N of the real Internet (default 1024; 256
 //!   matches DESIGN.md's default scale but takes ~16x longer).
 //! * `--seed N` — simulation seed (default 2014).
+//! * `--threads auto|N` — worker threads for model selection and
+//!   stratified estimation (default `auto` = all cores; results are
+//!   bit-identical at every setting, `1` runs fully sequentially).
 //!
 //! Output goes to stdout and to `results/<id>.txt` / `results/<id>.json`.
 
 use ghosts_bench::context::write_results;
 use ghosts_bench::experiments::{self, ALL_IDS_FULL};
 use ghosts_bench::ReproContext;
+use ghosts_core::Parallelism;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut denom = 1024u64;
     let mut seed = 2014u64;
+    let mut parallelism = Parallelism::Auto;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,6 +41,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--threads" => {
+                parallelism = it
+                    .next()
+                    .ok_or_else(|| "missing value".to_string())
+                    .and_then(|v| Parallelism::parse(v))
+                    .unwrap_or_else(|e| usage(&format!("--threads: {e}")));
             }
             "all" => ids.extend(ALL_IDS_FULL.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
@@ -53,9 +65,14 @@ fn main() {
     }
     ids.dedup();
 
-    eprintln!("repro: building scenario at scale 1/{denom} (seed {seed})…");
+    eprintln!(
+        "repro: building scenario at scale 1/{denom} (seed {seed}, {} worker threads)…",
+        parallelism.threads()
+    );
     let start = std::time::Instant::now();
-    let ctx = ReproContext::new(denom, seed);
+    let mut ctx = ReproContext::new(denom, seed);
+    ctx.parallelism = parallelism;
+    let ctx = ctx;
     eprintln!(
         "repro: scenario ready in {:.1}s — {} allocations, {} routed addrs, {} routed /24s",
         start.elapsed().as_secs_f64(),
@@ -81,7 +98,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N]\n\
+        "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N] [--threads auto|N]\n\
          experiments: {}",
         ALL_IDS_FULL.join(" ")
     );

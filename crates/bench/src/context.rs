@@ -1,20 +1,59 @@
 //! Shared state for the experiment harness: one scenario, cached window
 //! datasets (raw and spoof-filtered) and cached CR estimates.
 //!
-//! Everything is single-threaded (`Rc`/`RefCell`): the reference machine
-//! for the reproduction has one core, so the harness optimises for cache
-//! reuse rather than parallel fan-out.
+//! The context is `Send + Sync`: caches are `Arc` values behind sharded
+//! mutexes (one shard per window-index residue), so experiments and the
+//! parallel estimation layer can share one context across threads without
+//! a global lock. Every cached value is deterministic in the scenario, so
+//! a racing double-compute stores the same bytes either way.
 
-use ghosts_core::{estimate_table, ContingencyTable, CrConfig, CrEstimate};
+use ghosts_core::{estimate_table, ContingencyTable, CrConfig, CrEstimate, Parallelism};
 use ghosts_net::SubnetSet;
 use ghosts_pipeline::dataset::{SourceDataset, WindowData};
 use ghosts_pipeline::spoof_filter::{filter_spoofed, SpoofFilterConfig};
 use ghosts_pipeline::time::{paper_windows, TimeWindow};
 use ghosts_sim::{Scenario, SimConfig};
 use ghosts_stats::rng::component_rng;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// Shards per cache: windows map round-robin onto shards, so the eleven
+/// paper windows spread across locks instead of serialising on one.
+const CACHE_SHARDS: usize = 8;
+
+/// A sharded `index → Arc<V>` cache. `get_or_insert_with` holds only the
+/// shard lock for the key, and never while computing the value.
+struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<usize, Arc<V>>>>,
+}
+
+impl<V> ShardedCache<V> {
+    fn new() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: usize) -> &Mutex<HashMap<usize, Arc<V>>> {
+        &self.shards[key % CACHE_SHARDS]
+    }
+
+    fn get_or_insert_with<F: FnOnce() -> V>(&self, key: usize, compute: F) -> Arc<V> {
+        if let Some(v) = self.shard(key).lock().expect("cache shard").get(&key) {
+            return Arc::clone(v);
+        }
+        // Compute outside the lock: concurrent misses may compute twice,
+        // but both results are identical and the first insert wins.
+        let value = Arc::new(compute());
+        Arc::clone(
+            self.shard(key)
+                .lock()
+                .expect("cache shard")
+                .entry(key)
+                .or_insert(value),
+        )
+    }
+}
 
 /// The real Internet's allocated space in mid-2014 — the numerator of the
 /// scale factor.
@@ -30,10 +69,13 @@ pub struct ReproContext {
     /// Internet. Multiply mini-Internet counts by this for full-scale
     /// equivalents.
     pub denom: f64,
-    raw: RefCell<HashMap<usize, Rc<WindowData>>>,
-    filtered: RefCell<HashMap<usize, Rc<WindowData>>>,
-    addr_estimates: RefCell<HashMap<usize, Rc<CrEstimate>>>,
-    subnet_estimates: RefCell<HashMap<usize, Rc<CrEstimate>>>,
+    /// Worker-thread setting handed to every estimation run started from
+    /// this context (the `repro` binary's `--threads` flag lands here).
+    pub parallelism: Parallelism,
+    raw: ShardedCache<WindowData>,
+    filtered: ShardedCache<WindowData>,
+    addr_estimates: ShardedCache<CrEstimate>,
+    subnet_estimates: ShardedCache<CrEstimate>,
 }
 
 impl ReproContext {
@@ -54,10 +96,11 @@ impl ReproContext {
             scenario: Scenario::new(cfg),
             windows: paper_windows(),
             denom: denom as f64,
-            raw: RefCell::new(HashMap::new()),
-            filtered: RefCell::new(HashMap::new()),
-            addr_estimates: RefCell::new(HashMap::new()),
-            subnet_estimates: RefCell::new(HashMap::new()),
+            parallelism: Parallelism::Auto,
+            raw: ShardedCache::new(),
+            filtered: ShardedCache::new(),
+            addr_estimates: ShardedCache::new(),
+            subnet_estimates: ShardedCache::new(),
         }
     }
 
@@ -67,95 +110,82 @@ impl ReproContext {
     /// absolute counts, so a floor of 200 observed individuals is kept at
     /// every scale.
     pub fn cr_config(&self) -> CrConfig {
-        CrConfig {
+        let mut cfg = CrConfig {
             min_stratum_observed: 200,
+            parallelism: self.parallelism,
             ..CrConfig::paper()
-        }
+        };
+        cfg.selection.parallelism = self.parallelism;
+        cfg
     }
 
     /// Raw window data: spoofed traffic still inside SWIN/CALT.
-    pub fn raw_window(&self, i: usize) -> Rc<WindowData> {
-        if let Some(w) = self.raw.borrow().get(&i) {
-            return Rc::clone(w);
-        }
-        let data = Rc::new(self.scenario.window_data(self.windows[i]));
-        self.raw.borrow_mut().insert(i, Rc::clone(&data));
-        data
+    pub fn raw_window(&self, i: usize) -> Arc<WindowData> {
+        self.raw
+            .get_or_insert_with(i, || self.scenario.window_data(self.windows[i]))
     }
 
     /// Analysis-ready window data: SWIN/CALT passed through the §4.5
     /// spoof filter (universe-aware at mini-Internet scale).
-    pub fn filtered_window(&self, i: usize) -> Rc<WindowData> {
-        if let Some(w) = self.filtered.borrow().get(&i) {
-            return Rc::clone(w);
-        }
-        let raw = self.raw_window(i);
-        let spoof_free = raw.spoof_free_union();
-        let fcfg = SpoofFilterConfig::with_universe(self.scenario.routed_per_eight());
-        let sources: Vec<SourceDataset> = raw
-            .sources
-            .iter()
-            .map(|d| {
-                if d.spoof_free {
-                    d.clone()
-                } else {
-                    let mut rng = component_rng(
-                        self.scenario.gt.cfg.seed,
-                        &format!("repro-filter-{}-{}", d.name, i),
-                    );
-                    let report = filter_spoofed(&d.addrs, &spoof_free, &fcfg, &mut rng);
-                    SourceDataset::new(d.name.clone(), report.filtered, false)
-                }
-            })
-            .collect();
-        let data = Rc::new(WindowData {
-            window: raw.window,
-            sources,
-        });
-        self.filtered.borrow_mut().insert(i, Rc::clone(&data));
-        data
+    pub fn filtered_window(&self, i: usize) -> Arc<WindowData> {
+        self.filtered.get_or_insert_with(i, || {
+            let raw = self.raw_window(i);
+            let spoof_free = raw.spoof_free_union();
+            let fcfg = SpoofFilterConfig::with_universe(self.scenario.routed_per_eight());
+            let sources: Vec<SourceDataset> = raw
+                .sources
+                .iter()
+                .map(|d| {
+                    if d.spoof_free {
+                        d.clone()
+                    } else {
+                        let mut rng = component_rng(
+                            self.scenario.gt.cfg.seed,
+                            &format!("repro-filter-{}-{}", d.name, i),
+                        );
+                        let report = filter_spoofed(&d.addrs, &spoof_free, &fcfg, &mut rng);
+                        SourceDataset::new(d.name.clone(), report.filtered, false)
+                    }
+                })
+                .collect();
+            WindowData {
+                window: raw.window,
+                sources,
+            }
+        })
     }
 
     /// The CR address estimate for window `i` (filtered data, truncated
     /// cells bounded by the routed space). Cached.
-    pub fn addr_estimate(&self, i: usize) -> Rc<CrEstimate> {
-        if let Some(e) = self.addr_estimates.borrow().get(&i) {
-            return Rc::clone(e);
-        }
-        let data = self.filtered_window(i);
-        let sets = data.addr_sets();
-        let table = ContingencyTable::from_addr_sets(&sets);
-        let est = estimate_table(
-            &table,
-            Some(self.scenario.gt.routed.address_count()),
-            &self.cr_config(),
-        )
-        .expect("window estimable");
-        let est = Rc::new(est);
-        self.addr_estimates.borrow_mut().insert(i, Rc::clone(&est));
-        est
+    pub fn addr_estimate(&self, i: usize) -> Arc<CrEstimate> {
+        self.addr_estimates.get_or_insert_with(i, || {
+            let data = self.filtered_window(i);
+            let sets = data.addr_sets();
+            let table = ContingencyTable::from_addr_sets(&sets);
+            estimate_table(
+                &table,
+                Some(self.scenario.gt.routed.address_count()),
+                &self.cr_config(),
+            )
+            .expect("window estimable")
+        })
     }
 
     /// The CR /24-subnet estimate for window `i`. Cached.
-    pub fn subnet_estimate(&self, i: usize) -> Rc<CrEstimate> {
-        if let Some(e) = self.subnet_estimates.borrow().get(&i) {
-            return Rc::clone(e);
-        }
-        let data = self.filtered_window(i);
-        let subnet_sets: Vec<SubnetSet> = data.sources.iter().map(|d| d.subnets()).collect();
-        let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
-        let table = ContingencyTable::from_subnet_sets(&refs);
-        let est = estimate_table(
-            &table,
-            Some(self.scenario.gt.routed.subnet24_count()),
-            &self.cr_config(),
-        )
-        .expect("window estimable");
-        let est = Rc::new(est);
-        self.subnet_estimates
-            .borrow_mut()
-            .insert(i, Rc::clone(&est));
-        est
+    pub fn subnet_estimate(&self, i: usize) -> Arc<CrEstimate> {
+        self.subnet_estimates.get_or_insert_with(i, || {
+            let data = self.filtered_window(i);
+            let subnet_sets: Vec<SubnetSet> =
+                data.sources.iter().map(|d| d.subnets()).collect();
+            let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
+            let table = ContingencyTable::from_subnet_sets(&refs);
+            estimate_table(
+                &table,
+                Some(self.scenario.gt.routed.subnet24_count()),
+                &self.cr_config(),
+            )
+            .expect("window estimable")
+        })
     }
 
     /// Full-scale equivalent of a mini-Internet count.
@@ -183,6 +213,22 @@ mod tests {
     /// A very small context for testing the harness plumbing.
     fn tiny_ctx() -> ReproContext {
         ReproContext::new(16_384, 7)
+    }
+
+    #[test]
+    fn context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReproContext>();
+    }
+
+    #[test]
+    fn cache_shards_share_nothing() {
+        let cache: ShardedCache<usize> = ShardedCache::new();
+        // Holding one shard's value must not block other shards: compute
+        // for key 1 while key 0's shard lock is held by this thread.
+        let _guard = cache.shard(0).lock().unwrap();
+        assert_eq!(*cache.get_or_insert_with(1, || 10), 10);
+        assert_eq!(*cache.get_or_insert_with(1, || 99), 10); // cached
     }
 
     #[test]

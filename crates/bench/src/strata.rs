@@ -47,8 +47,9 @@ impl Strat {
 pub struct StratInfo<'a> {
     /// Stratum display labels.
     pub labels: Vec<String>,
-    /// Address → stratum index (None = outside all strata).
-    pub key: Box<dyn Fn(u32) -> Option<usize> + 'a>,
+    /// Address → stratum index (None = outside all strata). `Send + Sync`
+    /// so a materialised stratification can be shared with worker threads.
+    pub key: Box<dyn Fn(u32) -> Option<usize> + Send + Sync + 'a>,
     /// Routed addresses per stratum (truncation limits).
     pub addr_limits: Vec<u64>,
     /// Routed /24s per stratum.

@@ -1,0 +1,68 @@
+//! Golden end-to-end regression for one small window: pins the point
+//! estimate, the profile-likelihood interval endpoints and the selected
+//! model for a fixed tiny scenario (`denom = 16384`, seed 7, window 10).
+//!
+//! Everything under the harness is deterministic — the simulation RNG is
+//! seeded, model selection is thread-count invariant, and the estimator
+//! contains no unordered reductions — so these values must not drift. A
+//! change here means an intentional algorithmic change; update the pins
+//! together with DESIGN.md when that happens.
+
+use ghosts_bench::ReproContext;
+use ghosts_core::{
+    estimate_table_with_range, select_model, CellModel, ContingencyTable, Parallelism,
+};
+
+const DENOM: u64 = 16_384;
+const SEED: u64 = 7;
+const WINDOW: usize = 10;
+
+fn rounded(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+#[test]
+fn window10_estimate_ci_and_model_are_pinned() {
+    let ctx = ReproContext::new(DENOM, SEED);
+    let data = ctx.filtered_window(WINDOW);
+    let sets = data.addr_sets();
+    let table = ContingencyTable::from_addr_sets(&sets);
+    let limit = ctx.scenario.gt.routed.address_count();
+    let cfg = ctx.cr_config();
+
+    let (est, range) = estimate_table_with_range(&table, Some(limit), &cfg)
+        .expect("window 10 estimable");
+
+    eprintln!(
+        "golden scout: observed={} total={:.6} model={} divisor={} lower={:.6} upper={:.6}",
+        est.observed, est.total, est.model, est.divisor, range.lower, range.upper
+    );
+
+    // Pinned values (captured from the seed scenario).
+    assert_eq!(est.observed, 125_381);
+    assert_eq!(rounded(est.total), 177_504.173);
+    assert_eq!(est.divisor, 1);
+    assert_eq!(rounded(range.lower), 174_513.864);
+    assert_eq!(rounded(range.upper), 180_641.522);
+    assert_eq!(
+        est.model,
+        "[1][2][12][3][4][14][24][34][5][25][35][45][6][26][36][46][56][7][17][27][37]\
+         [47][57][67][8][68][9][39][49][59][69][79][89]"
+    );
+
+    // Structural sanity around the pins.
+    assert!(range.lower <= est.total && est.total <= range.upper);
+    assert!(est.total <= limit as f64 + 1e-6);
+
+    // The selected model itself is also thread-count invariant.
+    let cell = CellModel::Truncated { limit };
+    let mut seq_opts = cfg.selection;
+    seq_opts.parallelism = Parallelism::SEQUENTIAL;
+    let sel_seq = select_model(&table, cell, &seq_opts).unwrap();
+    let mut par_opts = cfg.selection;
+    par_opts.parallelism = Parallelism::Fixed(4);
+    let sel_par = select_model(&table, cell, &par_opts).unwrap();
+    assert_eq!(sel_seq.model.describe(), est.model);
+    assert_eq!(sel_seq.model.describe(), sel_par.model.describe());
+    assert_eq!(sel_seq.ic.to_bits(), sel_par.ic.to_bits());
+}

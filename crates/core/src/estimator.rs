@@ -5,6 +5,7 @@
 use crate::ci::{profile_interval, CiError, EstimateRange, PAPER_ALPHA};
 use crate::fit::{fit_llm, CellModel};
 use crate::history::ContingencyTable;
+use crate::parallel::{par_map, Parallelism};
 use crate::select::{select_model, SelectionOptions};
 use ghosts_stats::glm::GlmError;
 
@@ -22,6 +23,11 @@ pub struct CrConfig {
     pub min_stratum_observed: u64,
     /// What an excluded stratum contributes to stratified totals.
     pub excluded_policy: ExcludedPolicy,
+    /// Worker threads for the per-stratum fan-out of
+    /// [`estimate_stratified`]. Stratum estimates are independent and
+    /// summed in stratum order, so every setting yields bit-identical
+    /// results; `Fixed(1)` is the sequential path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CrConfig {
@@ -31,6 +37,7 @@ impl Default for CrConfig {
             selection: SelectionOptions::default(),
             min_stratum_observed: 1000,
             excluded_policy: ExcludedPolicy::ObservedOnly,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -225,26 +232,45 @@ pub fn estimate_stratified(
     if let Some(ls) = limits {
         assert_eq!(ls.len(), tables.len(), "one limit per stratum required");
     }
+    // One task per stratum. When strata already fan out across workers the
+    // inner model selection runs sequentially (nested parallelism would
+    // oversubscribe cores without changing any result).
+    let mut inner = cfg.clone();
+    if cfg.parallelism.threads() > 1 && tables.len() > 1 {
+        inner.selection.parallelism = Parallelism::SEQUENTIAL;
+    }
+    let results = par_map(cfg.parallelism, tables, |i, table| {
+        let observed = table.observed_total();
+        if observed < cfg.min_stratum_observed {
+            return Ok(None);
+        }
+        let limit = limits.map(|ls| ls[i]);
+        estimate_table(table, limit, &inner).map(Some)
+    });
+
+    // Deterministic merge in stratum order; like the sequential loop, the
+    // lowest-indexed failing stratum decides the returned error.
     let mut strata = Vec::with_capacity(tables.len());
     let mut observed_total = 0u64;
     let mut estimated_total = 0.0f64;
     let mut excluded = Vec::new();
-    for (i, table) in tables.iter().enumerate() {
-        let observed = table.observed_total();
-        if observed < cfg.min_stratum_observed {
-            excluded.push(i);
-            if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
-                observed_total += observed;
-                estimated_total += observed as f64;
+    for (i, result) in results.into_iter().enumerate() {
+        match result? {
+            Some(est) => {
+                observed_total += est.observed;
+                estimated_total += est.total;
+                strata.push(Some(est));
             }
-            strata.push(None);
-            continue;
+            None => {
+                excluded.push(i);
+                if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
+                    let observed = tables[i].observed_total();
+                    observed_total += observed;
+                    estimated_total += observed as f64;
+                }
+                strata.push(None);
+            }
         }
-        let limit = limits.map(|ls| ls[i]);
-        let est = estimate_table(table, limit, cfg)?;
-        observed_total += est.observed;
-        estimated_total += est.total;
-        strata.push(Some(est));
     }
     Ok(StratifiedEstimate {
         strata,

@@ -60,6 +60,7 @@ pub mod jackknife;
 pub mod lp;
 pub mod model;
 pub mod mpcr;
+pub mod parallel;
 pub mod select;
 
 pub use chao::{chao_lower_bound, ChaoEstimate};
@@ -75,4 +76,5 @@ pub use jackknife::{jackknife, jackknife_select, JackknifeEstimate};
 pub use lp::{chapman, lincoln_petersen, lincoln_petersen_pair, TwoSampleEstimate};
 pub use mpcr::{mpcr_estimate, MinHashSketch, MpcrResult};
 pub use model::LogLinearModel;
+pub use parallel::{par_map, Parallelism};
 pub use select::{select_model, SelectionOptions, SelectionResult};

@@ -1,0 +1,210 @@
+//! Deterministic self-scheduling parallelism for the two hot fan-outs of
+//! the estimation pipeline: candidate evaluation inside a model-selection
+//! round ([`crate::select::select_model`]) and per-stratum estimation
+//! ([`crate::estimator::estimate_stratified`]).
+//!
+//! The design constraint is **bit-identical output at every thread
+//! count**: workers claim items one at a time from a shared atomic
+//! counter (classic self-scheduling, so uneven item costs balance
+//! automatically), record each result together with its input index, and
+//! the caller merges results *in index order*. No floating-point value is
+//! ever combined in a thread-dependent order, so `threads = 1` and
+//! `threads = N` produce exactly the same bytes.
+//!
+//! Only `std` is used (`std::thread::scope` + atomics) — the workspace
+//! builds offline and adds no dependency for this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads fan-out sections may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available CPU core (falls back to 1 if the core
+    /// count cannot be determined).
+    #[default]
+    Auto,
+    /// Exactly this many workers; `Fixed(1)` reproduces the sequential
+    /// code path exactly (no threads are spawned at all).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Runs everything on the calling thread.
+    pub const SEQUENTIAL: Parallelism = Parallelism::Fixed(1);
+
+    /// The number of workers this setting resolves to (always ≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// Parses a CLI/config spelling: `auto` or a positive integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Parallelism::Auto),
+            n => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Parallelism::Fixed)
+                .ok_or_else(|| format!("expected `auto` or a positive integer, got {s:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Auto => write!(f, "auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Maps `f` over `items` with self-scheduling workers, returning outputs
+/// in input order.
+///
+/// With one worker (or one item) this is a plain sequential loop on the
+/// calling thread. Otherwise `min(threads, items.len())` scoped workers
+/// each repeatedly claim the next unclaimed index from an atomic counter
+/// and run `f(index, &items[index])`; results are stitched back into
+/// index order afterwards, so the output is independent of scheduling.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread (like the
+/// sequential loop would).
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = par.threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    // Deterministic merge: place every result at its input index.
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for bucket in buckets {
+        for (i, u) in bucket {
+            slots[i] = Some(u);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_resolution() {
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert_eq!(Parallelism::Fixed(3).threads(), 3);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::SEQUENTIAL.threads(), 1);
+    }
+
+    #[test]
+    fn parse_accepts_auto_and_integers() {
+        assert_eq!(Parallelism::parse("auto"), Ok(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("4"), Ok(Parallelism::Fixed(4)));
+        assert!(Parallelism::parse("0").is_err());
+        assert!(Parallelism::parse("-2").is_err());
+        assert!(Parallelism::parse("fast").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for p in [Parallelism::Auto, Parallelism::Fixed(7)] {
+            assert_eq!(Parallelism::parse(&p.to_string()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map(Parallelism::Fixed(1), &items, |i, &x| (i as u64) * 1000 + x * x);
+        for threads in [2, 3, 8] {
+            let par = par_map(Parallelism::Fixed(threads), &items, |i, &x| {
+                (i as u64) * 1000 + x * x
+            });
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(Parallelism::Auto, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(Parallelism::Auto, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_balances_uneven_items() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(Parallelism::Fixed(4), &items, |_, &x| {
+            let spins = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(i as u64, *x);
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(Parallelism::Fixed(4), &[0u32, 1, 2, 3, 4, 5, 6, 7], |_, &x| {
+                assert!(x != 5, "boom at {x}");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -14,6 +14,7 @@ use crate::fit::CellModel;
 use crate::history::ContingencyTable;
 use crate::ic::{evaluate_ic, DivisorRule, IcKind};
 use crate::model::LogLinearModel;
+use crate::parallel::{par_map, Parallelism};
 use ghosts_stats::glm::GlmError;
 
 /// Options controlling the stepwise search.
@@ -34,6 +35,10 @@ pub struct SelectionOptions {
     /// The final-rule margin: choose the simplest model whose IC is within
     /// this many units of the best (the paper uses 7, citing MARK).
     pub within: f64,
+    /// Worker threads for evaluating a round's candidate terms. Candidate
+    /// fits are independent and merged in term order, so every setting
+    /// yields bit-identical results; `Fixed(1)` is the sequential path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SelectionOptions {
@@ -44,6 +49,7 @@ impl Default for SelectionOptions {
             max_order: 2,
             max_added_terms: 24,
             within: 7.0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -96,19 +102,23 @@ pub fn select_model(
 
     for _ in 0..opts.max_added_terms {
         let candidates = current.addable_terms(opts.max_order);
-        let mut best: Option<(u16, f64)> = None;
-        for mask in candidates {
+        // Candidate fits are independent, so a round fans out across
+        // workers; merging in candidate (term) order below keeps the trace
+        // and the first-minimum tie-break identical to the sequential loop.
+        let fits = par_map(opts.parallelism, &candidates, |_, &mask| {
             let trial = current.with_term(mask);
-            let Ok(res) = evaluate_ic(table, &trial, cell_model, opts.ic, opts.divisor)
-            else {
+            evaluate_ic(table, &trial, cell_model, opts.ic, opts.divisor)
+                .ok()
+                .map(|res| (trial, res.ic))
+        });
+        let mut best: Option<(u16, f64)> = None;
+        for (mask, fit) in candidates.iter().zip(fits) {
+            let Some((trial, ic)) = fit else {
                 continue; // numerically unfittable candidate: skip
             };
-            evaluated.push(EvaluatedModel {
-                model: trial,
-                ic: res.ic,
-            });
-            if best.is_none_or(|(_, ic)| res.ic < ic) {
-                best = Some((mask, res.ic));
+            evaluated.push(EvaluatedModel { model: trial, ic });
+            if best.is_none_or(|(_, b)| ic < b) {
+                best = Some((*mask, ic));
             }
         }
         match best {

@@ -88,6 +88,51 @@ proptest! {
         }
     }
 
+    /// Right-truncated Poisson fit invariants: ghosts are non-negative,
+    /// the total respects the truncation bound, and every fitted cell
+    /// mean is finite and non-negative.
+    #[test]
+    fn truncated_fit_respects_bound(hist in masks(3), slack in 0u64..8_000) {
+        let table = ContingencyTable::from_histories(3, hist.iter().copied());
+        prop_assume!(table.observed_total() > 0);
+        let limit = table.observed_total() + slack;
+        let model = LogLinearModel::independence(3);
+        if let Ok(f) = fit_llm(&table, &model, CellModel::Truncated { limit }) {
+            prop_assert!(f.z0.is_finite() && f.z0 >= -1e-9, "ghosts {}", f.z0);
+            prop_assert!(f.n_hat >= f.observed as f64 - 1e-6);
+            // Relative tolerance: the Newton solver may sit a hair above
+            // the bound when the estimate converges onto it.
+            prop_assert!(f.n_hat <= limit as f64 * (1.0 + 1e-5) + 1e-6,
+                "total {} above routed bound {}", f.n_hat, limit);
+            for (i, &m) in f.glm.fitted.iter().enumerate() {
+                prop_assert!(m.is_finite() && m >= 0.0, "cell {i}: mean {m}");
+            }
+        }
+    }
+
+    /// On two sources the independence model has a closed form
+    /// (Lincoln–Petersen); the truncated fit with an unbinding limit must
+    /// recover it just like the plain Poisson fit does.
+    #[test]
+    fn truncated_independence_recovers_lp(m1 in 1u64..300, m2 in 1u64..300, r in 1u64..80) {
+        let table = ContingencyTable::from_histories(
+            2,
+            std::iter::repeat_n(0b01u16, m1 as usize)
+                .chain(std::iter::repeat_n(0b10, m2 as usize))
+                .chain(std::iter::repeat_n(0b11, r as usize)),
+        );
+        let lp = lincoln_petersen(m1 + r, m2 + r, r).unwrap();
+        // A limit far above the closed-form total leaves it unconstrained.
+        let limit = (lp.n_hat as u64 + 10) * 100;
+        let f = fit_llm(
+            &table,
+            &LogLinearModel::independence(2),
+            CellModel::Truncated { limit },
+        ).unwrap();
+        prop_assert!((f.n_hat - lp.n_hat).abs() < 1e-2 * (1.0 + lp.n_hat),
+            "truncated LLM {} vs L-P {}", f.n_hat, lp.n_hat);
+    }
+
     /// Chao's bound is finite, at least the observed count, and invariant
     /// to permuting source roles (it only reads capture frequencies).
     #[test]

@@ -70,6 +70,69 @@ proptest! {
         prop_assert!((d.cdf(x) - p).abs() < 1e-7);
     }
 
+    /// GLM invariant: every fitted cell mean and untruncated rate is
+    /// finite and non-negative, for both Poisson and right-truncated
+    /// Poisson families on the same random data.
+    #[test]
+    fn glm_fitted_means_finite_nonnegative(
+        counts in proptest::collection::vec(0u64..2_000, 2..16),
+        slack in 1u64..5_000,
+        truncated in any::<bool>(),
+    ) {
+        let n = counts.len();
+        let mut data = vec![0.0; n * 2];
+        for i in 0..n {
+            data[i * 2] = 1.0; // intercept
+            data[i * 2 + 1] = (i % 4) as f64;
+        }
+        let design = Matrix::from_vec(n, 2, data);
+        let y: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        prop_assume!(y.iter().sum::<f64>() > 0.0);
+        let max_count = *counts.iter().max().unwrap();
+        let family = if truncated {
+            CountFamily::TruncatedPoisson(vec![max_count + slack; n])
+        } else {
+            CountFamily::Poisson
+        };
+        if let Ok(fit) = fit(&design, &y, &family, GlmOptions::default()) {
+            for (i, (&m, &l)) in fit.fitted.iter().zip(&fit.lambda).enumerate() {
+                prop_assert!(m.is_finite(), "cell {i}: fitted mean {m}");
+                prop_assert!(m >= 0.0, "cell {i}: fitted mean {m} negative");
+                prop_assert!(l.is_finite() && l >= 0.0, "cell {i}: rate {l}");
+                if truncated {
+                    // A truncated mean can never exceed its cell limit.
+                    prop_assert!(m <= (max_count + slack) as f64 + 1e-9,
+                        "cell {i}: truncated mean {m} above limit");
+                }
+            }
+            prop_assert!(fit.log_likelihood.is_finite());
+        }
+    }
+
+    /// With a generous limit the truncated family is numerically the
+    /// plain Poisson family: same fitted means on the same data.
+    #[test]
+    fn truncated_glm_converges_to_poisson_at_large_limit(
+        counts in proptest::collection::vec(1u64..200, 3..10),
+    ) {
+        let n = counts.len();
+        let design = Matrix::from_vec(n, 1, vec![1.0; n]);
+        let y: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let plain = fit(&design, &y, &CountFamily::Poisson, GlmOptions::default());
+        let trunc = fit(
+            &design,
+            &y,
+            &CountFamily::TruncatedPoisson(vec![u64::MAX / 2; n]),
+            GlmOptions::default(),
+        );
+        let (Ok(plain), Ok(trunc)) = (plain, trunc) else {
+            return Err(TestCaseError::reject("fit failed"));
+        };
+        for (a, b) in plain.fitted.iter().zip(&trunc.fitted) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
     /// Poisson GLM invariant: with an intercept column, the fitted means
     /// sum to the observed total (score equation for the intercept).
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+# Usage: scripts/ci.sh  (run from anywhere; operates on the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,291 @@
+//! Offline vendored shim for the subset of the `criterion` bench API this
+//! workspace uses: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical machinery it runs a short
+//! warm-up, then `sample_size` timed samples, and reports the median,
+//! minimum and maximum per-iteration time. That is enough to compare
+//! sequential and parallel variants of the same workload, which is what
+//! the workspace's benches exist for. `cargo bench -- <filter>` substring
+//! filtering and the `--test` smoke-run flag (used by `cargo test
+//! --benches`) are honoured.
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimiser identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost; the shim treats all variants
+/// the same (setup is always outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one untimed call, then calibrate an inner batch so each
+        // sample lasts long enough for the clock to resolve.
+        black_box(routine());
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let inner = (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 10_000) as usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            self.result.push(start.elapsed() / inner as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.result.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the bench CLI: an optional substring filter plus the flags
+    /// cargo passes (`--bench`, and `--test` for smoke runs).
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {} // unknown flags: ignore
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+
+    /// Benchmarks outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        run_one(self, &id, 30, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Shim no-op, kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.parent, &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (shim no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    c: &mut Criterion,
+    id: &str,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut result = Vec::with_capacity(samples);
+    let mut b = Bencher {
+        samples,
+        test_mode: c.test_mode,
+        result: &mut result,
+    };
+    f(&mut b);
+    if c.test_mode {
+        println!("{id}: ok (smoke run)");
+        return;
+    }
+    result.sort_unstable();
+    if result.is_empty() {
+        println!("{id}: no samples collected");
+        return;
+    }
+    let median = result[result.len() / 2];
+    let (lo, hi) = (result[0], result[result.len() - 1]);
+    println!(
+        "{id:<55} time: [{} {} {}]",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group runner, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut result = Vec::new();
+        let mut b = Bencher {
+            samples: 5,
+            test_mode: false,
+            result: &mut result,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(17));
+            acc
+        });
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut result = Vec::new();
+        let mut b = Bencher {
+            samples: 3,
+            test_mode: false,
+            result: &mut result,
+        };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u32; 8]
+            },
+            |v| v.iter().sum::<u32>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 4); // 1 warm-up + 3 samples
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn test_mode_skips_timing() {
+        let mut result = Vec::new();
+        let mut b = Bencher {
+            samples: 50,
+            test_mode: true,
+            result: &mut result,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,495 @@
+//! Offline vendored shim for the subset of `proptest` this workspace uses:
+//! the [`Strategy`] trait, range / collection / union strategies, and the
+//! [`proptest!`] / `prop_assert*` / [`prop_oneof!`] / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from crates.io `proptest`, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs and the
+//!   case seed; inputs here are small enough to debug directly.
+//! * **Deterministic seeds.** Case `i` of test `name` uses a seed derived
+//!   from FNV-1a(name) and `i`, so failures are reproducible across runs
+//!   without a persistence file.
+//! * `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG driving value generation.
+pub type TestRng = ChaCha8Rng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, like upstream `prop_map`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erases this strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+pub struct UnionStrategy<V> {
+    /// The alternatives; one is drawn uniformly per case.
+    pub options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Strategy for UnionStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.options.is_empty(), "prop_oneof! needs an option");
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Whole-domain generation, backing [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws a uniform value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`, like upstream `any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `hash_set`.
+
+    use super::*;
+
+    /// Size specifications accepted by the collection strategies.
+    pub trait IntoSizeRange {
+        /// Lower (inclusive) and upper (exclusive) size bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.max(self.start + 1))
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.lo..self.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with target size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Generates hash sets whose size lies in `size` (best effort when the
+    /// element domain is too small to reach the lower bound).
+    pub fn hash_set<S: Strategy>(elem: S, size: impl IntoSizeRange) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        let (lo, hi) = size.bounds();
+        HashSetStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.lo..self.hi);
+            let mut out = HashSet::with_capacity(target);
+            // Collisions shrink the set, so allow generous retries before
+            // accepting an undersized result.
+            let max_draws = target * 16 + 64;
+            let mut draws = 0;
+            while out.len() < target && draws < max_draws {
+                out.insert(self.elem.generate(rng));
+                draws += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the case is a counterexample.
+    Fail(String),
+    /// The case was rejected by [`prop_assume!`]; try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a rendered message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection from a rendered message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// One `Result` per test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a over the test name; the per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one property: calls `run_case(rng)` for each case seed.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case, or
+/// if too many cases are rejected by `prop_assume!`.
+pub fn run_property(name: &str, mut run_case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let base = name_seed(name);
+    let wanted = cases();
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    while passed < wanted {
+        let seed = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match run_case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= wanted * 16,
+                    "property {name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed at case {case} (seed {seed:#x}):\n{msg}\n\
+                     (re-run deterministically: the seed depends only on the \
+                     test name and case index)"
+                );
+            }
+        }
+        case += 1;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`run_property`] over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategies = ( $(&($strat),)+ );
+            $crate::run_property(stringify!($name), |rng| {
+                let ( $($arg,)+ ) = strategies;
+                $(
+                    let $arg = $crate::Strategy::generate($arg, rng);
+                )+
+                let formatted_inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg,)+
+                );
+                #[allow(unused_mut)]
+                let mut body = move || -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                body().map_err(|e| match e {
+                    $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                        format!("{msg}\ninputs:\n{formatted_inputs}")),
+                    reject => reject,
+                })
+            });
+        }
+    )*};
+}
+
+/// Asserts inside a property body; failure reports the case inputs instead
+/// of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Rejects the current case (not a failure): the runner draws a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::UnionStrategy {
+            options: vec![ $( $crate::Strategy::boxed($strat) ),+ ],
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in 1u8..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn collections_obey_sizes(
+            v in crate::collection::vec(0u32..100, 2..9),
+            s in crate::collection::hash_set(0u32..1000, 1..30),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 30);
+        }
+
+        #[test]
+        fn oneof_and_map_cover_options(x in prop_oneof![
+            (0u32..10).prop_map(|v| (0u8, v)),
+            (10u32..20).prop_map(|v| (1u8, v)),
+        ]) {
+            match x {
+                (0, v) => prop_assert!(v < 10),
+                (1, v) => prop_assert!((10..20).contains(&v)),
+                other => prop_assert!(false, "impossible tag {:?}", other),
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u64..1_000_000, 5..6);
+        let mut r1 = crate::TestRng::seed_from_u64(super::name_seed("x"));
+        let mut r2 = crate::TestRng::seed_from_u64(super::name_seed("x"));
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "property sometimes_fails failed")]
+    fn failures_panic_with_context() {
+        crate::run_property("sometimes_fails", |rng| {
+            use rand::Rng;
+            let v: u32 = rng.gen_range(0u32..10);
+            crate::prop_assert!(v < 5, "v = {v}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline vendored shim for `rand_chacha`: a genuine ChaCha stream-cipher
+//! RNG (8, 12 or 20 rounds) implementing the vendored `rand` crate's
+//! [`RngCore`]/[`SeedableRng`] traits.
+//!
+//! The keystream is the RFC 8439 ChaCha block function (with a 64-bit
+//! block counter as in the original Bernstein construction), so streams
+//! have the full cryptographic equidistribution properties the simulator's
+//! per-component stream derivation relies on. Output word order matches
+//! the natural little-endian state serialisation. Exact byte-for-byte
+//! equality with crates.io `rand_chacha` streams is not guaranteed and not
+//! relied upon anywhere in the workspace.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Generic ChaCha core over `R` double-rounds pairs (8, 12 or 20 rounds).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key words 0..8, counter, nonce — the 16-word input block minus the
+    /// constants.
+    key: [u32; 8],
+    nonce: [u32; 2],
+    counter: u64,
+    /// Buffered keystream block and read position (in words).
+    buf: [u32; 16],
+    pos: usize,
+}
+
+/// ChaCha with 8 rounds — the workspace's deterministic stream generator.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.nonce[0];
+        state[15] = self.nonce[1];
+        let input = state;
+        for _ in 0..(ROUNDS / 2) {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Sets the 64-bit word-stream position to the start of block
+    /// `block_index` (mainly for tests).
+    pub fn set_block_counter(&mut self, block_index: u64) {
+        self.counter = block_index;
+        self.pos = 16; // force refill on next draw
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            nonce: [0, 0],
+            counter: 0,
+            buf: [0; 16],
+            pos: 16, // empty buffer: refill on first use
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector (ChaCha20 block function): checks the
+    /// core permutation is the real thing.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut rng = ChaCha20Rng::from_seed([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
+            0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19,
+            0x1a, 0x1b, 0x1c, 0x1d, 0x1e, 0x1f,
+        ]);
+        // RFC nonce: 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1.
+        // Our layout has a 64-bit counter followed by a 64-bit nonce, so
+        // place the RFC's third state word (0x00000009) in counter-high and
+        // the rest in the nonce to reproduce the same 16-word input state.
+        rng.counter = 1 | (0x0900_0000u64 << 32);
+        rng.nonce = [0x4a00_0000, 0x0000_0000];
+        rng.pos = 16;
+        let first_words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            first_words,
+            vec![0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3]
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let mut diff = 0;
+        for _ in 0..256 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            if x != c.next_u64() {
+                diff += 1;
+            }
+        }
+        assert!(diff > 250);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+        // Rewinding reproduces block 0 exactly.
+        rng.set_block_counter(0);
+        let again: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_eq!(first, again);
+    }
+}

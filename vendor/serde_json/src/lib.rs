@@ -1,0 +1,558 @@
+//! Offline vendored shim for the subset of `serde_json` this workspace
+//! uses: the [`Value`] tree, the [`json!`] literal macro, and the
+//! [`to_string`]/[`to_string_pretty`] serialisers.
+//!
+//! There is no deserialiser and no `Serialize` trait plumbing — values are
+//! built with `json!` from primitives, strings, arrays, vectors and
+//! nested maps. Object keys keep insertion order, matching the crates.io
+//! crate's `preserve_order` feature that result files were designed
+//! around.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is an `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A negative (or any signed) integer.
+    Int(i64),
+    /// A non-negative integer too large for `i64` representation concerns.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip representation, always with a
+                    // decimal point or exponent so the token stays a float.
+                    // Rust's `{}` never uses exponent form, so switch to
+                    // `{:e}` for extreme magnitudes to keep tokens short.
+                    let a = v.abs();
+                    let s = if a != 0.0 && !(1e-5..1e17).contains(&a) {
+                        format!("{v:e}")
+                    } else {
+                        format!("{v}")
+                    };
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        write!(f, "{s}")
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    // JSON has no NaN/inf; serialise as null like serde_json
+                    // does for non-finite floats.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An ordered JSON object (insertion order preserved).
+pub type Map = Vec<(String, Value)>;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::UInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]`: the entry if present, `Null` otherwise (matching
+    /// serde_json's non-panicking object indexing).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `value[i]`: the array element if present, `Null` otherwise.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// `value["key"] = v`: auto-vivifies `Null` into an object and inserts
+    /// missing keys as `Null`, like serde_json; panics on other types.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if matches!(self, Value::Null) {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(map) => {
+                if let Some(pos) = map.iter().position(|(k, _)| k == key) {
+                    &mut map[pos].1
+                } else {
+                    map.push((key.to_string(), Value::Null));
+                    &mut map.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        &mut self[key.as_str()]
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// The error type of the (infallible) serialisers, kept for signature
+/// compatibility with crates.io `serde_json`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises compactly.
+///
+/// # Errors
+///
+/// Never fails for [`Value`] inputs; the `Result` mirrors the upstream
+/// signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    Ok(out)
+}
+
+/// Serialises with two-space indentation (the upstream pretty format).
+///
+/// # Errors
+///
+/// Never fails for [`Value`] inputs; the `Result` mirrors the upstream
+/// signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::UInt(v as u64))
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// By-reference conversion used by [`json!`] leaves, mirroring how the
+/// upstream macro serialises through `&expr` (so `json!` never moves its
+/// operands).
+pub trait ToJson {
+    /// Converts to a [`Value`] without consuming `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_tojson_copy {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+impl_tojson_copy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json)
+    }
+}
+
+/// Builds a [`Value`] from a JSON-like literal, mirroring
+/// `serde_json::json!`: objects, arrays, `null`, and arbitrary
+/// `Into<Value>` expressions as leaves.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => {
+        $crate::Value::Array($crate::json_array_internal!([] $($items)*))
+    };
+    ({ $($body:tt)* }) => {
+        $crate::Value::Object($crate::json_object_internal!([] () $($body)*))
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Internal array muncher for [`json!`]; not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_internal {
+    // Termination.
+    ([ $($done:expr,)* ]) => { vec![ $($done,)* ] };
+    // Next item is an object literal.
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    // Next item is a nested array literal.
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    // Next item is null.
+    ([ $($done:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    // Next item is a general expression.
+    ([ $($done:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($done,)* $crate::ToJson::to_json(&$next), ] $($($rest)*)?)
+    };
+}
+
+/// Internal object muncher for [`json!`]; not public API.
+///
+/// State: `[done pairs] (current key tokens) remaining tokens`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_internal {
+    // Termination.
+    ([ $($done:expr,)* ] ()) => { vec![ $($done,)* ] };
+    // Key found: string literal followed by a colon.
+    ([ $($done:expr,)* ] () $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (($key).to_string(), $crate::json!({ $($inner)* })), ] () $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] () $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (($key).to_string(), $crate::json!([ $($inner)* ])), ] () $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] () $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (($key).to_string(), $crate::Value::Null), ] () $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] () $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (($key).to_string(), $crate::ToJson::to_json(&$value)), ] () $($rest)*)
+    };
+    ([ $($done:expr,)* ] () $key:literal : $value:expr) => {
+        $crate::json_object_internal!(
+            [ $($done,)* (($key).to_string(), $crate::ToJson::to_json(&$value)), ] ())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_nesting() {
+        let rows = vec![1u64, 2, 3];
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x", null, { "inner": true }],
+            "c": { "d": rows, "e": "s" },
+            "f": null,
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1,2.5,"x",null,{"inner":true}],"c":{"d":[1,2,3],"e":"s"},"f":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "k": [1] });
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn top_level_array_of_pairs() {
+        let (y, x) = (2014u16, 2.9f64);
+        let v = json!([y, x]);
+        assert_eq!(to_string(&v).unwrap(), "[2014,2.9]");
+    }
+
+    #[test]
+    fn expressions_as_values() {
+        let name = String::from("AIC");
+        let opt: Option<u32> = None;
+        let v = json!({ "n": name.clone(), "m": 1 + 2, "o": opt });
+        assert_eq!(v.get("n").unwrap().as_str(), Some("AIC"));
+        assert_eq!(v.get("m").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("o"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn float_formatting_keeps_tokens_distinct() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(1e300)).unwrap(), "1e300");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({ "s": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+}
