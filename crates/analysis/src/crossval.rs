@@ -236,8 +236,7 @@ mod tests {
     #[test]
     fn cv_estimates_beat_observed_baseline() {
         let data = synthetic_window(8_000, 3);
-        let results =
-            cross_validate_window(&data, Granularity::Addresses, &cfg(), false).unwrap();
+        let results = cross_validate_window(&data, Granularity::Addresses, &cfg(), false).unwrap();
         assert_eq!(results.len(), 4);
         let cr = aggregate_errors(&results);
         let baseline = observed_baseline_errors(&results);
@@ -253,8 +252,7 @@ mod tests {
     #[test]
     fn cv_truth_and_observed_consistent() {
         let data = synthetic_window(3_000, 5);
-        let results =
-            cross_validate_window(&data, Granularity::Addresses, &cfg(), false).unwrap();
+        let results = cross_validate_window(&data, Granularity::Addresses, &cfg(), false).unwrap();
         for r in &results {
             assert!(r.observed_by_others <= r.truth);
             assert!(r.estimate >= r.observed_by_others as f64 - 1e-9);
@@ -266,8 +264,7 @@ mod tests {
     #[test]
     fn cv_with_ranges_brackets_estimates() {
         let data = synthetic_window(2_000, 7);
-        let results =
-            cross_validate_window(&data, Granularity::Addresses, &cfg(), true).unwrap();
+        let results = cross_validate_window(&data, Granularity::Addresses, &cfg(), true).unwrap();
         for r in &results {
             let range = r.range.expect("ranges requested");
             assert!(range.lower <= r.estimate + 1e-6);
@@ -278,8 +275,7 @@ mod tests {
     #[test]
     fn subnet_granularity_runs() {
         let data = synthetic_window(4_000, 9);
-        let results =
-            cross_validate_window(&data, Granularity::Subnets, &cfg(), false).unwrap();
+        let results = cross_validate_window(&data, Granularity::Subnets, &cfg(), false).unwrap();
         // All test addresses share few /24s, so truths are small but the
         // machinery must hold together.
         for r in &results {

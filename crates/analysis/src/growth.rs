@@ -33,11 +33,7 @@ impl Series {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn new(
-        name: impl Into<String>,
-        windows: &[TimeWindow],
-        values: &[f64],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, windows: &[TimeWindow], values: &[f64]) -> Self {
         assert_eq!(windows.len(), values.len(), "series length mismatch");
         Self {
             name: name.into(),
@@ -58,7 +54,7 @@ impl Series {
     /// "we always normalise each series on the first value").
     pub fn normalised(&self) -> Vec<f64> {
         let first = self.points.first().map(|p| p.value).unwrap_or(1.0);
-        if first == 0.0 {
+        if ghosts_stats::approx::is_exact_zero(first) {
             return self.points.iter().map(|_| f64::NAN).collect();
         }
         self.points.iter().map(|p| p.value / first).collect()
@@ -95,7 +91,7 @@ impl Series {
     pub fn yearly_growth_rel_percent(&self) -> f64 {
         let vals = self.values();
         let mid = ghosts_stats::summary::mean(&vals);
-        if mid == 0.0 {
+        if ghosts_stats::approx::is_exact_zero(mid) {
             return 0.0;
         }
         100.0 * self.yearly_growth_abs() / mid
@@ -133,6 +129,7 @@ pub fn stratum_growth(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use ghosts_pipeline::time::paper_windows;

@@ -53,8 +53,8 @@ pub const PING_HISTORY_G: [(u16, f64); 9] = [
 /// Linear interpolation into a `(year, value)` series at a fractional
 /// year. Clamps outside the series range.
 pub fn interpolate(series: &[(u16, f64)], year: f64) -> f64 {
-    let first = series.first().expect("non-empty series");
-    let last = series.last().expect("non-empty series");
+    let first = series.first().expect("non-empty series"); // lint: allow(no-unwrap) static tables
+    let last = series.last().expect("non-empty series"); // lint: allow(no-unwrap) static tables
     if year <= f64::from(first.0) {
         return first.1;
     }
@@ -73,6 +73,7 @@ pub fn interpolate(series: &[(u16, f64)], year: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

@@ -15,6 +15,7 @@
 //! * [`histdata`] — embedded long-term context series (Fig 10).
 //! * [`report`] — text-table rendering for the experiment harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crossval;
@@ -27,11 +28,13 @@ pub mod unused;
 pub mod users;
 
 pub use crossval::{
-    aggregate_errors, cross_validate_window, observed_baseline_errors, CrossValResult,
-    CvErrors, Granularity,
+    aggregate_errors, cross_validate_window, observed_baseline_errors, CrossValResult, CvErrors,
+    Granularity,
 };
+pub use fib::{market_value, project_fib, FibProjection, MarketSketch};
 pub use growth::{stratum_growth, Series, SeriesPoint, StratumGrowth};
 pub use report::TextTable;
-pub use fib::{market_value, project_fib, FibProjection, MarketSketch};
 pub use supply::{project, SupplyRow};
-pub use unused::{census_addrs, census_subnets, distribute_ghosts, estimate_ratios, CensusDepth, MergeRatios};
+pub use unused::{
+    census_addrs, census_subnets, distribute_ghosts, estimate_ratios, CensusDepth, MergeRatios,
+};

@@ -79,6 +79,7 @@ pub fn unallocated_share(rir: Rir) -> f64 {
 pub const UNALLOCATED_TOTAL_2014: f64 = 5.5 * 16_777_216.0;
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use ghosts_pipeline::time::paper_windows;

@@ -63,8 +63,14 @@ pub struct MergeRatios {
 ///
 /// Panics if `experiments` is empty.
 #[allow(clippy::needless_range_loop)] // rate/denominator arrays share the level index
-pub fn estimate_ratios(experiments: &[(BlockCounts, BlockCounts)], depth: CensusDepth) -> MergeRatios {
-    assert!(!experiments.is_empty(), "need at least one merge experiment");
+pub fn estimate_ratios(
+    experiments: &[(BlockCounts, BlockCounts)],
+    depth: CensusDepth,
+) -> MergeRatios {
+    assert!(
+        !experiments.is_empty(),
+        "need at least one merge experiment"
+    );
     let deepest = depth.max_depth() as usize;
     let mut f_acc = [0.0f64; 33];
     let mut f_weight = [0.0f64; 33];
@@ -154,7 +160,9 @@ pub fn distribute_ghosts(
                 step = step.min(0.5 * x[l] * total_w / w);
             }
         }
-        step = step.clamp(f64::MIN_POSITIVE, remaining).max(remaining.min(1e-6));
+        step = step
+            .clamp(f64::MIN_POSITIVE, remaining)
+            .max(remaining.min(1e-6));
         // Fill: x_l loses the allocations it receives; every fill at level
         // l spawns one vacancy at each deeper level j > l.
         let fills: Vec<f64> = weights.iter().map(|w| step * w / total_w).collect();
@@ -195,6 +203,7 @@ pub fn ghost_subnet_equivalents(n: &[f64; 33]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 
@@ -208,15 +217,10 @@ mod tests {
         // different /17+ blocks.
         let universe = [p("10.0.0.0/16")];
         let before = census_addrs(&universe, &AddrSet::new());
-        let after_set: AddrSet = [
-            "10.0.0.1",
-            "10.0.128.1",
-            "10.0.64.1",
-            "10.0.192.1",
-        ]
-        .iter()
-        .map(|s| ghosts_net::addr_from_str(s).unwrap())
-        .collect();
+        let after_set: AddrSet = ["10.0.0.1", "10.0.128.1", "10.0.64.1", "10.0.192.1"]
+            .iter()
+            .map(|s| ghosts_net::addr_from_str(s).unwrap())
+            .collect();
         let after = census_addrs(&universe, &after_set);
         let ratios = estimate_ratios(&[(before, after)], CensusDepth::Addresses);
         assert_eq!(ratios.merges, 1);

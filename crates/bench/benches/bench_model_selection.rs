@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ghosts_core::{
-    select_model, CellModel, ContingencyTable, DivisorRule, IcKind, Parallelism,
-    SelectionOptions,
+    select_model, CellModel, ContingencyTable, DivisorRule, IcKind, Parallelism, SelectionOptions,
 };
 use ghosts_stats::rng::component_rng;
 use rand::Rng;
@@ -34,9 +33,17 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("model_selection");
     g.sample_size(10);
     for (name, divisor, max_order) in [
-        ("six_sources_adaptive_pairs", DivisorRule::adaptive1000(), 2u32),
+        (
+            "six_sources_adaptive_pairs",
+            DivisorRule::adaptive1000(),
+            2u32,
+        ),
         ("six_sources_fixed1_pairs", DivisorRule::Fixed(1), 2),
-        ("six_sources_adaptive_triples", DivisorRule::adaptive1000(), 3),
+        (
+            "six_sources_adaptive_triples",
+            DivisorRule::adaptive1000(),
+            3,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

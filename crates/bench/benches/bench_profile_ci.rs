@@ -28,14 +28,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("truncated_alpha_1e7", |b| {
         b.iter(|| {
-            profile_interval(
-                &table,
-                &model,
-                CellModel::Truncated { limit: 40_000 },
-                1e-7,
-            )
-            .unwrap()
-            .upper
+            profile_interval(&table, &model, CellModel::Truncated { limit: 40_000 }, 1e-7)
+                .unwrap()
+                .upper
         })
     });
     g.finish();

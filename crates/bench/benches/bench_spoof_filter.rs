@@ -45,7 +45,9 @@ fn bench(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut rng = component_rng(2, "bench-filter");
-                filter_spoofed(&target, &clean, &cfg, &mut rng).filtered.len()
+                filter_spoofed(&target, &clean, &cfg, &mut rng)
+                    .filtered
+                    .len()
             })
         });
     }

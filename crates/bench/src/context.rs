@@ -14,7 +14,7 @@ use ghosts_pipeline::spoof_filter::{filter_spoofed, SpoofFilterConfig};
 use ghosts_pipeline::time::{paper_windows, TimeWindow};
 use ghosts_sim::{Scenario, SimConfig};
 use ghosts_stats::rng::component_rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Shards per cache: windows map round-robin onto shards, so the eleven
@@ -22,19 +22,22 @@ use std::sync::{Arc, Mutex};
 const CACHE_SHARDS: usize = 8;
 
 /// A sharded `index → Arc<V>` cache. `get_or_insert_with` holds only the
-/// shard lock for the key, and never while computing the value.
+/// shard lock for the key, and never while computing the value. `BTreeMap`
+/// keeps any future iteration over a shard in key order.
 struct ShardedCache<V> {
-    shards: Vec<Mutex<HashMap<usize, Arc<V>>>>,
+    shards: Vec<Mutex<BTreeMap<usize, Arc<V>>>>,
 }
 
 impl<V> ShardedCache<V> {
     fn new() -> Self {
         Self {
-            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
         }
     }
 
-    fn shard(&self, key: usize) -> &Mutex<HashMap<usize, Arc<V>>> {
+    fn shard(&self, key: usize) -> &Mutex<BTreeMap<usize, Arc<V>>> {
         &self.shards[key % CACHE_SHARDS]
     }
 
@@ -175,8 +178,7 @@ impl ReproContext {
     pub fn subnet_estimate(&self, i: usize) -> Arc<CrEstimate> {
         self.subnet_estimates.get_or_insert_with(i, || {
             let data = self.filtered_window(i);
-            let subnet_sets: Vec<SubnetSet> =
-                data.sources.iter().map(|d| d.subnets()).collect();
+            let subnet_sets: Vec<SubnetSet> = data.sources.iter().map(|d| d.subnets()).collect();
             let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
             let table = ContingencyTable::from_subnet_sets(&refs);
             estimate_table(
@@ -207,6 +209,7 @@ pub fn write_results(id: &str, text: &str, json: &serde_json::Value) -> std::io:
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // cache-stability asserts compare exact bits on purpose
 mod tests {
     use super::*;
 

@@ -30,7 +30,10 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     t.row(["Source 1 (IPING), M".to_string(), m.to_string()]);
     t.row(["Source 2 (WEB), C".to_string(), c.to_string()]);
     t.row(["Overlap, R".to_string(), r.to_string()]);
-    t.row(["L-P population N = MC/R".to_string(), format!("{:.0}", lp.n_hat)]);
+    t.row([
+        "L-P population N = MC/R".to_string(),
+        format!("{:.0}", lp.n_hat),
+    ]);
     t.row(["Inferred unseen".to_string(), format!("{unseen:.0}")]);
     t.row(["Ground truth".to_string(), truth.to_string()]);
 

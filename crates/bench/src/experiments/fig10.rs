@@ -9,7 +9,12 @@ use serde_json::json;
 /// Runs the experiment.
 pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     let mut t = TextTable::new([
-        "Year", "Allocated [G]", "Routed [G]", "Ping [G]", "Observed [G]", "Estimated [G]",
+        "Year",
+        "Allocated [G]",
+        "Routed [G]",
+        "Ping [G]",
+        "Observed [G]",
+        "Estimated [G]",
     ]);
     let mut json_rows = Vec::new();
 

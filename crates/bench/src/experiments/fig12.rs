@@ -10,8 +10,8 @@
 use crate::context::ReproContext;
 use ghosts_analysis::report::TextTable;
 use ghosts_analysis::unused::{
-    census_addrs, distribute_ghosts, estimate_ratios, ghost_subnet_equivalents,
-    predicted_census, CensusDepth,
+    census_addrs, distribute_ghosts, estimate_ratios, ghost_subnet_equivalents, predicted_census,
+    CensusDepth,
 };
 use ghosts_net::AddrSet;
 use serde_json::json;
@@ -53,7 +53,11 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     let predicted = predicted_census(&x0, &n);
 
     let mut t = TextTable::new([
-        "Prefix size", "Observed free blocks", "Obs addrs", "Est free blocks", "Est addrs",
+        "Prefix size",
+        "Observed free blocks",
+        "Obs addrs",
+        "Est free blocks",
+        "Est addrs",
     ]);
     let mut json_rows = Vec::new();
     for len in 8..=32usize {
@@ -83,10 +87,7 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     let llm_ghost24 = ctx.subnet_estimate(last).unseen;
 
     // §7.2.1: FIB pressure if every vacant /8-/24 were routed.
-    let fib = ghosts_analysis::project_fib(
-        ctx.scenario.gt.routed.prefix_count() as u64,
-        &x0,
-    );
+    let fib = ghosts_analysis::project_fib(ctx.scenario.gt.routed.prefix_count() as u64, &x0);
 
     let text = format!(
         "Figure 12 — addresses in observed and estimated unused prefixes\n\

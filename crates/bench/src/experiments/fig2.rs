@@ -32,14 +32,22 @@ fn subnet_estimate(ctx: &ReproContext, data: &WindowData) -> (u64, f64) {
 /// Runs the experiment.
 pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     let mut t = TextTable::new([
-        "Window", "Unfilt obs", "Unfilt est", "Filt obs", "Filt est", "NoSC obs", "NoSC est",
+        "Window",
+        "Unfilt obs",
+        "Unfilt est",
+        "Filt obs",
+        "Filt est",
+        "NoSC obs",
+        "NoSC est",
     ]);
     let mut json_rows = Vec::new();
     for i in 0..ctx.windows.len() {
         let raw = ctx.raw_window(i);
         let filtered = ctx.filtered_window(i);
         let mut no_sc = (*filtered).clone();
-        no_sc.sources.retain(|s| s.name != "SWIN" && s.name != "CALT");
+        no_sc
+            .sources
+            .retain(|s| s.name != "SWIN" && s.name != "CALT");
 
         let (obs_raw, est_raw) = subnet_estimate(ctx, &raw);
         let (obs_f, est_f) = subnet_estimate(ctx, &filtered);
@@ -79,7 +87,7 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
         100.0
             * (last["filtered"]["estimated"].as_f64().unwrap_or(0.0)
                 - last["no_swin_calt"]["estimated"].as_f64().unwrap_or(0.0))
-                .abs()
+            .abs()
             / last["no_swin_calt"]["estimated"].as_f64().unwrap_or(1.0),
     );
     (text, json!({ "windows": json_rows }))

@@ -16,11 +16,17 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
         min_stratum_observed: 0,
         ..ctx.cr_config()
     };
-    let results = cross_validate_window(&data, Granularity::Addresses, &cfg, true)
-        .expect("cv with ranges");
+    let results =
+        cross_validate_window(&data, Granularity::Addresses, &cfg, true).expect("cv with ranges");
 
     let mut t = TextTable::new([
-        "Source", "Truth", "Obs ping", "Obs all", "Est lo", "Est point", "Est hi",
+        "Source",
+        "Truth",
+        "Obs ping",
+        "Obs all",
+        "Est lo",
+        "Est point",
+        "Est hi",
     ]);
     let mut json_rows = Vec::new();
     let mut covered = 0usize;
@@ -60,5 +66,8 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
         t.render(),
         results.len(),
     );
-    (text, json!({ "window": ctx.windows[window_idx].label(), "sources": json_rows }))
+    (
+        text,
+        json!({ "window": ctx.windows[window_idx].label(), "sources": json_rows }),
+    )
 }

@@ -13,7 +13,11 @@ fn run_inner(ctx: &ReproContext, subnets: bool) -> (String, serde_json::Value) {
     let mut truth = Vec::new();
     for i in 0..ctx.windows.len() {
         let (routed_a, routed_s) = ctx.scenario.gt.routed_counts_at(ctx.windows[i].end());
-        routed.push(if subnets { routed_s as f64 } else { routed_a as f64 });
+        routed.push(if subnets {
+            routed_s as f64
+        } else {
+            routed_a as f64
+        });
         let est = if subnets {
             ctx.subnet_estimate(i)
         } else {
@@ -33,8 +37,14 @@ fn run_inner(ctx: &ReproContext, subnets: bool) -> (String, serde_json::Value) {
 
     let routed_series = Series::new("Routed", &ctx.windows, &routed);
     let mut t = TextTable::new([
-        "Window", "Routed", "Observed", "Estimated", "Est smoothed", "Truth",
-        "Obs norm", "Est norm",
+        "Window",
+        "Routed",
+        "Observed",
+        "Estimated",
+        "Est smoothed",
+        "Truth",
+        "Obs norm",
+        "Est norm",
     ]);
     let obs_norm = obs_series.normalised();
     let est_norm = est_series.normalised();
@@ -61,7 +71,11 @@ fn run_inner(ctx: &ReproContext, subnets: bool) -> (String, serde_json::Value) {
     }
 
     let growth = est_series.yearly_growth_abs();
-    let what = if subnets { "/24 subnets" } else { "IPv4 addresses" };
+    let what = if subnets {
+        "/24 subnets"
+    } else {
+        "IPv4 addresses"
+    };
     let fig = if subnets { "Figure 4" } else { "Figure 5" };
     let paper_growth = if subnets { 450_000.0 } else { 170_000_000.0 };
     let text = format!(

@@ -60,7 +60,11 @@ fn render(
         });
     }
     let mut t = TextTable::new([
-        "Stratum", "Obs abs/yr", "Est abs/yr", "Obs rel %/yr", "Est rel %/yr",
+        "Stratum",
+        "Obs abs/yr",
+        "Est abs/yr",
+        "Obs rel %/yr",
+        "Est rel %/yr",
     ]);
     let mut json_rows = Vec::new();
     for g in &rows {

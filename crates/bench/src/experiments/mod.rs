@@ -21,8 +21,8 @@ use crate::ReproContext;
 /// All experiment ids in run order (figures interleaved with the tables
 /// they support, so caches warm in the cheapest order).
 pub const ALL_IDS_FULL: [&str; 17] = [
-    "fig1", "table2", "fig2", "table3", "fig3", "table4", "fig4", "fig5", "table5",
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table6",
+    "fig1", "table2", "fig2", "table3", "fig3", "table4", "fig4", "fig5", "table5", "fig6", "fig7",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "table6",
 ];
 
 /// Runs one experiment by id.

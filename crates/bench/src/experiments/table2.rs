@@ -29,10 +29,7 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
             if name == "SWIN" || name == "CALT" {
                 set.union_with(&spoofed_set(&ctx.scenario.gt, name, q, 0.05));
             } else {
-                clean_per_year
-                    .entry(q.year())
-                    .or_default()
-                    .union_with(&set);
+                clean_per_year.entry(q.year()).or_default().union_with(&set);
             }
             per_year
                 .entry((name.to_string(), q.year()))
@@ -45,10 +42,7 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     for ((name, year), set) in per_year.iter_mut() {
         if name == "SWIN" || name == "CALT" {
             let clean = clean_per_year.get(year).cloned().unwrap_or_default();
-            let mut rng = component_rng(
-                ctx.scenario.gt.cfg.seed,
-                &format!("table2-{name}-{year}"),
-            );
+            let mut rng = component_rng(ctx.scenario.gt.cfg.seed, &format!("table2-{name}-{year}"));
             let report = filter_spoofed(set, &clean, &fcfg, &mut rng);
             *set = report.filtered;
         }
@@ -56,8 +50,15 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
 
     let years = [2011u16, 2012, 2013, 2014];
     let mut t = TextTable::new([
-        "Dataset", "2011 IPs", "2011 /24", "2012 IPs", "2012 /24", "2013 IPs", "2013 /24",
-        "2014H1 IPs", "2014H1 /24",
+        "Dataset",
+        "2011 IPs",
+        "2011 /24",
+        "2012 IPs",
+        "2012 /24",
+        "2013 IPs",
+        "2013 /24",
+        "2014H1 IPs",
+        "2014H1 /24",
     ]);
     let mut json_rows = Vec::new();
     for name in ORDER {
@@ -90,5 +91,8 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
         ctx.denom,
         t.render()
     );
-    (text, json!({ "rows": json_rows, "scale_denominator": ctx.denom }))
+    (
+        text,
+        json!({ "rows": json_rows, "scale_denominator": ctx.denom }),
+    )
 }

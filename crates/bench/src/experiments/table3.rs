@@ -15,8 +15,16 @@ fn settings() -> Vec<(&'static str, IcKind, DivisorRule)> {
         ("AIC-fixed10", IcKind::Aic, DivisorRule::Fixed(10)),
         ("AIC-fixed100", IcKind::Aic, DivisorRule::Fixed(100)),
         ("AIC-fixed1000", IcKind::Aic, DivisorRule::Fixed(1000)),
-        ("AIC-adaptive1000", IcKind::Aic, DivisorRule::Adaptive { start: 1000 }),
-        ("BIC-adaptive1000", IcKind::Bic, DivisorRule::Adaptive { start: 1000 }),
+        (
+            "AIC-adaptive1000",
+            IcKind::Aic,
+            DivisorRule::Adaptive { start: 1000 },
+        ),
+        (
+            "BIC-adaptive1000",
+            IcKind::Bic,
+            DivisorRule::Adaptive { start: 1000 },
+        ),
     ]
 }
 
@@ -30,9 +38,7 @@ fn windows_to_use(ctx: &ReproContext) -> Vec<usize> {
 /// Runs the experiment.
 pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     let windows = windows_to_use(ctx);
-    let mut t = TextTable::new([
-        "Setting", "IPs RMSE", "IPs MAE", "/24 RMSE", "/24 MAE",
-    ]);
+    let mut t = TextTable::new(["Setting", "IPs RMSE", "IPs MAE", "/24 RMSE", "/24 MAE"]);
     let mut json_rows = Vec::new();
     let mut best: Option<(String, f64)> = None;
     for (name, ic, divisor) in settings() {

@@ -17,7 +17,12 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
     let truth = ctx.scenario.truth_addrs(ctx.windows[window_idx]);
 
     let mut t = TextTable::new([
-        "Network", "Ping %", "Obs. %", "Poisson %", "TruncPoisson %", "Truth %",
+        "Network",
+        "Ping %",
+        "Obs. %",
+        "Poisson %",
+        "TruncPoisson %",
+        "Truth %",
     ]);
     let mut json_rows = Vec::new();
     for n in &ctx.scenario.gt.truth_networks {
@@ -94,5 +99,8 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
         ctx.windows[window_idx].end(),
         t.render(),
     );
-    (text, json!({ "networks": json_rows, "window": ctx.windows[window_idx].label() }))
+    (
+        text,
+        json!({ "networks": json_rows, "window": ctx.windows[window_idx].label() }),
+    )
 }

@@ -25,10 +25,7 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
 
     // Ping-only and observed baselines.
     let ping_addrs = data.source("IPING").map(|d| d.addrs.len()).unwrap_or(0);
-    let ping_subnets = data
-        .source("IPING")
-        .map(|d| d.subnets().len())
-        .unwrap_or(0);
+    let ping_subnets = data.source("IPING").map(|d| d.subnets().len()).unwrap_or(0);
     let observed = data.observed_union();
     let observed_addrs = observed.len();
     let observed_subnets = observed.to_subnet24().len();

@@ -33,7 +33,12 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
 
     let unalloc_total = UNALLOCATED_TOTAL_2014 / ctx.denom;
     let mut t = TextTable::new([
-        "RIR", "Avail IPs", "IP growth/yr", "Runout IPs", "Avail /24s", "/24 growth/yr",
+        "RIR",
+        "Avail IPs",
+        "IP growth/yr",
+        "Runout IPs",
+        "Avail /24s",
+        "/24 growth/yr",
         "Runout /24s",
     ]);
     let mut json_rows = Vec::new();

@@ -8,6 +8,7 @@
 //! text artifact (printed and written to `results/<id>.txt`) and a JSON
 //! sidecar (`results/<id>.json`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod context;

@@ -77,11 +77,15 @@ pub fn build<'a>(ctx: &'a ReproContext, strat: Strat) -> StratInfo<'a> {
                     .lookup(addr)
                     .map(|(_, a)| Rir::ALL.iter().position(|r| *r == a.rir).unwrap())
             });
-            let (addr_limits, subnet_limits) = limits_by(ctx, |addr| {
-                registry
-                    .lookup(addr)
-                    .map(|(_, a)| Rir::ALL.iter().position(|r| *r == a.rir).unwrap())
-            }, Rir::ALL.len());
+            let (addr_limits, subnet_limits) = limits_by(
+                ctx,
+                |addr| {
+                    registry
+                        .lookup(addr)
+                        .map(|(_, a)| Rir::ALL.iter().position(|r| *r == a.rir).unwrap())
+                },
+                Rir::ALL.len(),
+            );
             StratInfo {
                 labels,
                 key,
@@ -149,12 +153,11 @@ pub fn build<'a>(ctx: &'a ReproContext, strat: Strat) -> StratInfo<'a> {
         }
         Strat::Industry => {
             use ghosts_net::Industry;
-            let labels: Vec<String> =
-                Industry::ALL.iter().map(|i| i.name().into()).collect();
+            let labels: Vec<String> = Industry::ALL.iter().map(|i| i.name().into()).collect();
             let find = move |addr: u32| {
-                registry.lookup(addr).map(|(_, a)| {
-                    Industry::ALL.iter().position(|i| *i == a.industry).unwrap()
-                })
+                registry
+                    .lookup(addr)
+                    .map(|(_, a)| Industry::ALL.iter().position(|i| *i == a.industry).unwrap())
             };
             let n = labels.len();
             let (addr_limits, subnet_limits) = limits_by(ctx, find, n);
@@ -167,9 +170,7 @@ pub fn build<'a>(ctx: &'a ReproContext, strat: Strat) -> StratInfo<'a> {
         }
         Strat::StaticDynamic => {
             let labels = vec!["static".to_string(), "dynamic".to_string()];
-            let find = move |addr: u32| {
-                gt.block_of_addr(addr).map(|b| usize::from(b.dynamic_pool))
-            };
+            let find = move |addr: u32| gt.block_of_addr(addr).map(|b| usize::from(b.dynamic_pool));
             let n = labels.len();
             let (addr_limits, subnet_limits) = limits_by(ctx, find, n);
             StratInfo {
@@ -212,21 +213,17 @@ pub fn estimate(
     if subnets {
         let subnet_sets: Vec<SubnetSet> = data.sources.iter().map(|d| d.subnets()).collect();
         let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
-        let tables = ContingencyTable::stratified_from_subnet_sets(
-            &refs,
-            info.labels.len(),
-            |base| (info.key)(base),
-        );
-        estimate_stratified(&tables, Some(&info.subnet_limits), &cfg)
-            .expect("stratified estimable")
+        let tables =
+            ContingencyTable::stratified_from_subnet_sets(&refs, info.labels.len(), |base| {
+                (info.key)(base)
+            });
+        estimate_stratified(&tables, Some(&info.subnet_limits), &cfg).expect("stratified estimable")
     } else {
         let sets = data.addr_sets();
-        let tables = ContingencyTable::stratified_from_addr_sets(
-            &sets,
-            info.labels.len(),
-            |addr| (info.key)(addr),
-        );
-        estimate_stratified(&tables, Some(&info.addr_limits), &cfg)
-            .expect("stratified estimable")
+        let tables =
+            ContingencyTable::stratified_from_addr_sets(&sets, info.labels.len(), |addr| {
+                (info.key)(addr)
+            });
+        estimate_stratified(&tables, Some(&info.addr_limits), &cfg).expect("stratified estimable")
     }
 }

@@ -8,6 +8,9 @@
 //! change here means an intentional algorithmic change; update the pins
 //! together with DESIGN.md when that happens.
 
+// Golden values are exact: any drift, even 1 ulp, is a regression.
+#![allow(clippy::float_cmp)]
+
 use ghosts_bench::ReproContext;
 use ghosts_core::{
     estimate_table_with_range, select_model, CellModel, ContingencyTable, Parallelism,
@@ -30,8 +33,8 @@ fn window10_estimate_ci_and_model_are_pinned() {
     let limit = ctx.scenario.gt.routed.address_count();
     let cfg = ctx.cr_config();
 
-    let (est, range) = estimate_table_with_range(&table, Some(limit), &cfg)
-        .expect("window 10 estimable");
+    let (est, range) =
+        estimate_table_with_range(&table, Some(limit), &cfg).expect("window 10 estimable");
 
     eprintln!(
         "golden scout: observed={} total={:.6} model={} divisor={} lower={:.6} upper={:.6}",

@@ -34,8 +34,8 @@ pub fn chao_lower_bound(table: &ContingencyTable) -> ChaoEstimate {
     let observed = table.observed_total();
     let t = table.num_sources() as f64;
     let occasions = if t > 1.0 { (t - 1.0) / t } else { 1.0 };
-    let n_hat = observed as f64
-        + occasions * (f1 as f64) * (f1 as f64 - 1.0) / (2.0 * (f2 as f64 + 1.0));
+    let n_hat =
+        observed as f64 + occasions * (f1 as f64) * (f1 as f64 - 1.0) / (2.0 * (f2 as f64 + 1.0));
     ChaoEstimate {
         observed,
         f1,
@@ -45,6 +45,7 @@ pub fn chao_lower_bound(table: &ContingencyTable) -> ChaoEstimate {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

@@ -106,7 +106,7 @@ pub fn profile_interval(
         -profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY)
     };
     let n0_star = golden_min(neg_ell, lo_bracket, hi_bracket, 1e-8)
-        .expect("bracket is well-formed by construction");
+        .expect("bracket is well-formed by construction"); // lint: allow(no-unwrap) lo < hi checked above
     let ell_max = profile_loglik(table, model, cell_model, n0_star)?;
     let threshold = ell_max - ChiSquared::new(1.0).quantile(1.0 - alpha) / 2.0;
 
@@ -119,9 +119,7 @@ pub fn profile_interval(
     let lower_z0 = if g(0.0) >= 0.0 {
         0.0
     } else {
-        bisect(g, 0.0, n0_star, 1e-6)
-            .map(|r| r.x)
-            .unwrap_or(0.0)
+        bisect(g, 0.0, n0_star, 1e-6).map(|r| r.x).unwrap_or(0.0)
     };
 
     // Upper end: expand beyond the maximiser until the profile drops.
@@ -172,8 +170,7 @@ mod tests {
         let table = lp_table(600, 200, 300);
         let model = LogLinearModel::independence(2);
         let narrow = profile_interval(&table, &model, CellModel::Poisson, 0.05).unwrap();
-        let wide =
-            profile_interval(&table, &model, CellModel::Poisson, PAPER_ALPHA).unwrap();
+        let wide = profile_interval(&table, &model, CellModel::Poisson, PAPER_ALPHA).unwrap();
         assert!(wide.upper > narrow.upper);
         assert!(wide.lower < narrow.lower + 1e-6);
     }
@@ -204,13 +201,7 @@ mod tests {
         let table = lp_table(60, 20, 3);
         let model = LogLinearModel::independence(2);
         let limit = 150u64;
-        let r = profile_interval(
-            &table,
-            &model,
-            CellModel::Truncated { limit },
-            0.05,
-        )
-        .unwrap();
+        let r = profile_interval(&table, &model, CellModel::Truncated { limit }, 0.05).unwrap();
         assert!(r.point <= limit as f64 + 1e-6, "{r:?}");
     }
 }

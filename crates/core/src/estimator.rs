@@ -5,6 +5,7 @@
 use crate::ci::{profile_interval, CiError, EstimateRange, PAPER_ALPHA};
 use crate::fit::{fit_llm, CellModel};
 use crate::history::ContingencyTable;
+use crate::invariant;
 use crate::parallel::{par_map, Parallelism};
 use crate::select::{select_model, SelectionOptions};
 use ghosts_stats::glm::GlmError;
@@ -143,6 +144,7 @@ pub fn estimate_table(
             got: table.num_sources(),
         });
     }
+    invariant::check_table(table);
     if table.observed_total() == 0 {
         return Ok(CrEstimate {
             observed: 0,
@@ -178,6 +180,7 @@ pub fn estimate_table_with_range(
             got: table.num_sources(),
         });
     }
+    invariant::check_table(table);
     let cell_model = cfg.cell_model(limit);
     let sel = select_model(table, cell_model, &cfg.selection)?;
     let fit = fit_llm(table, &sel.model, cell_model)?;
@@ -281,6 +284,7 @@ pub fn estimate_stratified(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use ghosts_stats::rng::component_rng;

@@ -2,6 +2,7 @@
 //! ghost estimate `Ẑ₀₀…₀ = exp(u)` (§3.3.1).
 
 use crate::history::ContingencyTable;
+use crate::invariant;
 use crate::model::LogLinearModel;
 use ghosts_stats::glm::{self, CountFamily, GlmError, GlmFit, GlmOptions};
 use ghosts_stats::TruncatedPoisson;
@@ -69,10 +70,13 @@ pub fn fit_llm(
         model.num_sources(),
         "model and table disagree on the number of sources"
     );
+    invariant::check_table(table);
     let design = model.design_matrix();
+    invariant::check_design(&design);
     let y = table.observed_cells();
     let family = cell_model.family(y.len(), 1);
     let glm = glm::fit(&design, &y, &family, GlmOptions::default())?;
+    invariant::check_glm(&glm, &y, &family);
     let observed = table.observed_total();
     let lambda0 = glm.coef[0].exp();
     let z0 = match cell_model {
@@ -86,16 +90,25 @@ pub fn fit_llm(
             }
         }
     };
-    Ok(FittedLlm {
+    let fitted = FittedLlm {
         model: model.clone(),
         glm,
         z0,
         n_hat: observed as f64 + z0,
         observed,
-    })
+    };
+    invariant::check_estimate(
+        &fitted,
+        match cell_model {
+            CellModel::Poisson => None,
+            CellModel::Truncated { limit } => Some(limit),
+        },
+    );
+    Ok(fitted)
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 
@@ -168,8 +181,7 @@ mod tests {
                     };
                     let p3: f64 = 0.5;
                     let count = n * p1 * p2 * p3;
-                    let mask =
-                        u16::from(s1) | (u16::from(s2) << 1) | (u16::from(s3) << 2);
+                    let mask = u16::from(s1) | (u16::from(s2) << 1) | (u16::from(s3) << 2);
                     if mask == 0 {
                         ghost_expected = count;
                         continue;
@@ -180,12 +192,7 @@ mod tests {
                 }
             }
         }
-        let indep = fit_llm(
-            &table,
-            &LogLinearModel::independence(3),
-            CellModel::Poisson,
-        )
-        .unwrap();
+        let indep = fit_llm(&table, &LogLinearModel::independence(3), CellModel::Poisson).unwrap();
         let with_12 = fit_llm(
             &table,
             &LogLinearModel::with_interactions(3, &[0b011]),
@@ -213,12 +220,7 @@ mod tests {
                 .chain(std::iter::repeat_n(0b11, 3)),
         );
         // Poisson ghost estimate would be 60·20/3 = 400.
-        let plain = fit_llm(
-            &table,
-            &LogLinearModel::independence(2),
-            CellModel::Poisson,
-        )
-        .unwrap();
+        let plain = fit_llm(&table, &LogLinearModel::independence(2), CellModel::Poisson).unwrap();
         close(plain.z0, 400.0, 1e-4);
         // Truncated with limit 150 (observed 83, remaining 67): the ghost
         // estimate must stay below 67.

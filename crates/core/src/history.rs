@@ -219,7 +219,12 @@ impl ContingencyTable {
     /// The smallest strictly positive cell count, if any cell is positive.
     /// Drives the adaptive divisor heuristic (§3.3.2).
     pub fn min_positive_count(&self) -> Option<u64> {
-        self.counts.iter().skip(1).filter(|&&c| c > 0).min().copied()
+        self.counts
+            .iter()
+            .skip(1)
+            .filter(|&&c| c > 0)
+            .min()
+            .copied()
     }
 
     /// Observed cell counts in mask order `1..2^t`, as `f64` (the layout

@@ -50,7 +50,10 @@ impl std::fmt::Display for JackknifeError {
                 write!(f, "jackknife order must be 1-5, got {got}")
             }
             JackknifeError::NotEnoughOccasions { t, order } => {
-                write!(f, "order-{order} jackknife needs > {order} occasions, got {t}")
+                write!(
+                    f,
+                    "order-{order} jackknife needs > {order} occasions, got {t}"
+                )
             }
         }
     }
@@ -75,17 +78,14 @@ fn coefficients(order: usize, t: f64) -> Vec<f64> {
         4 => vec![
             (4.0 * t - 10.0) / t,
             -(6.0 * t * t - 36.0 * t + 55.0) / (t * (t - 1.0)),
-            (4.0 * t * t * t - 42.0 * t * t + 148.0 * t - 175.0)
-                / (t * (t - 1.0) * (t - 2.0)),
+            (4.0 * t * t * t - 42.0 * t * t + 148.0 * t - 175.0) / (t * (t - 1.0) * (t - 2.0)),
             -(t - 4.0).powi(4) / (t * (t - 1.0) * (t - 2.0) * (t - 3.0)),
         ],
         5 => vec![
             (5.0 * t - 15.0) / t,
             -(10.0 * t * t - 70.0 * t + 125.0) / (t * (t - 1.0)),
-            (10.0 * t * t * t - 120.0 * t * t + 485.0 * t - 660.0)
-                / (t * (t - 1.0) * (t - 2.0)),
-            -((t - 4.0).powi(4) * (4.0 * t - 15.0))
-                / (t * (t - 1.0) * (t - 2.0) * (t - 3.0)),
+            (10.0 * t * t * t - 120.0 * t * t + 485.0 * t - 660.0) / (t * (t - 1.0) * (t - 2.0)),
+            -((t - 4.0).powi(4) * (4.0 * t - 15.0)) / (t * (t - 1.0) * (t - 2.0) * (t - 3.0)),
             (t - 5.0).powi(5) / (t * (t - 1.0) * (t - 2.0) * (t - 3.0) * (t - 4.0)),
         ],
         _ => unreachable!("validated by caller"),

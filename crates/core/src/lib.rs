@@ -48,6 +48,7 @@
 //! assert!(est.total > est.observed as f64); // ghosts were inferred
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chao;
@@ -56,6 +57,7 @@ pub mod estimator;
 pub mod fit;
 pub mod history;
 pub mod ic;
+pub mod invariant;
 pub mod jackknife;
 pub mod lp;
 pub mod model;
@@ -74,7 +76,7 @@ pub use history::ContingencyTable;
 pub use ic::{DivisorRule, IcKind};
 pub use jackknife::{jackknife, jackknife_select, JackknifeEstimate};
 pub use lp::{chapman, lincoln_petersen, lincoln_petersen_pair, TwoSampleEstimate};
-pub use mpcr::{mpcr_estimate, MinHashSketch, MpcrResult};
 pub use model::LogLinearModel;
+pub use mpcr::{mpcr_estimate, MinHashSketch, MpcrResult};
 pub use parallel::{par_map, Parallelism};
 pub use select::{select_model, SelectionOptions, SelectionResult};

@@ -68,8 +68,8 @@ pub fn lincoln_petersen(m: u64, c: u64, r: u64) -> Result<TwoSampleEstimate, LpE
 pub fn chapman(m: u64, c: u64, r: u64) -> TwoSampleEstimate {
     let (mf, cf, rf) = (m as f64, c as f64, r as f64);
     let n_hat = (mf + 1.0) * (cf + 1.0) / (rf + 1.0) - 1.0;
-    let variance = (mf + 1.0) * (cf + 1.0) * (mf - rf) * (cf - rf)
-        / ((rf + 1.0) * (rf + 1.0) * (rf + 2.0));
+    let variance =
+        (mf + 1.0) * (cf + 1.0) * (mf - rf) * (cf - rf) / ((rf + 1.0) * (rf + 1.0) * (rf + 2.0));
     TwoSampleEstimate {
         m,
         c,
@@ -97,6 +97,7 @@ pub fn lincoln_petersen_pair(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

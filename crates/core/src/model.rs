@@ -134,11 +134,7 @@ impl LogLinearModel {
         if mask.count_ones() < 2 || !self.contains_term(mask) {
             return None;
         }
-        if self
-            .terms
-            .iter()
-            .any(|&m| m != mask && m & mask == mask)
-        {
+        if self.terms.iter().any(|&m| m != mask && m & mask == mask) {
             return None; // a super-term depends on it
         }
         let terms = self.terms.iter().copied().filter(|&m| m != mask).collect();
@@ -234,6 +230,7 @@ impl LogLinearModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 
@@ -299,10 +296,7 @@ mod tests {
         // For t = 4 a 3-way term becomes addable once its pairs are in —
         // alongside the pairwise terms involving source 4.
         let m3 = LogLinearModel::with_interactions(4, &[0b0011, 0b0101, 0b0110]);
-        assert_eq!(
-            m3.addable_terms(3),
-            vec![0b0111, 0b1001, 0b1010, 0b1100]
-        );
+        assert_eq!(m3.addable_terms(3), vec![0b0111, 0b1001, 0b1010, 0b1100]);
         // Restricting to pairs drops the triple.
         assert_eq!(m3.addable_terms(2), vec![0b1001, 0b1010, 0b1100]);
     }

@@ -53,6 +53,7 @@ impl MinHashSketch {
             let h = salted_hash(salt, addr);
             if heap.len() < k {
                 heap.push(h);
+            // lint: allow(no-unwrap) heap holds exactly k > 0 items on this branch
             } else if h < *heap.peek().expect("non-empty at capacity") {
                 heap.pop();
                 heap.push(h);
@@ -84,7 +85,7 @@ impl MinHashSketch {
     ///
     /// Panics on mismatched `k` or salt, or an empty input.
     pub fn union(sketches: &[&MinHashSketch]) -> MinHashSketch {
-        let first = sketches.first().expect("at least one sketch");
+        let first = sketches.first().expect("at least one sketch"); // lint: allow(no-unwrap) documented panic
         let mut all: Vec<u64> = Vec::new();
         for s in sketches {
             assert_eq!(s.k, first.k, "mismatched sketch sizes");
@@ -109,7 +110,7 @@ impl MinHashSketch {
             // The whole set is inside the sketch: exact count.
             return self.mins.len() as f64;
         }
-        let kth = *self.mins.last().expect("k > 0");
+        let kth = *self.mins.last().expect("k > 0"); // lint: allow(no-unwrap) k validated in new()
         if kth == 0 {
             return self.mins.len() as f64;
         }
@@ -124,9 +125,12 @@ impl MinHashSketch {
     /// A party's membership bit-vector over the coordinator's sample.
     /// (The only per-element information a party ever reveals.)
     pub fn membership_of(addrs: &AddrSet, salt: u64, samples: &[u64]) -> Vec<bool> {
-        use std::collections::HashSet;
-        let mine: HashSet<u64> = addrs.iter().map(|a| salted_hash(salt, a)).collect();
-        samples.iter().map(|h| mine.contains(h)).collect()
+        let mut mine: Vec<u64> = addrs.iter().map(|a| salted_hash(salt, a)).collect();
+        mine.sort_unstable();
+        samples
+            .iter()
+            .map(|h| mine.binary_search(h).is_ok())
+            .collect()
     }
 }
 
@@ -210,6 +214,7 @@ pub fn mpcr_estimate(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use ghosts_stats::rng::component_rng;

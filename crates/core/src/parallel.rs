@@ -129,7 +129,7 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every index is claimed exactly once"))
+        .map(|s| s.expect("every index is claimed exactly once")) // lint: allow(no-unwrap) see scheduler proof above
         .collect()
 }
 
@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn par_map_preserves_input_order() {
         let items: Vec<u64> = (0..257).collect();
-        let seq = par_map(Parallelism::Fixed(1), &items, |i, &x| (i as u64) * 1000 + x * x);
+        let seq = par_map(Parallelism::Fixed(1), &items, |i, &x| {
+            (i as u64) * 1000 + x * x
+        });
         for threads in [2, 3, 8] {
             let par = par_map(Parallelism::Fixed(threads), &items, |i, &x| {
                 (i as u64) * 1000 + x * x
@@ -177,7 +179,10 @@ mod tests {
     fn par_map_handles_empty_and_single() {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(Parallelism::Auto, &empty, |_, &x| x).is_empty());
-        assert_eq!(par_map(Parallelism::Auto, &[41u32], |_, &x| x + 1), vec![42]);
+        assert_eq!(
+            par_map(Parallelism::Auto, &[41u32], |_, &x| x + 1),
+            vec![42]
+        );
     }
 
     #[test]
@@ -200,10 +205,14 @@ mod tests {
     #[test]
     fn par_map_propagates_panics() {
         let result = std::panic::catch_unwind(|| {
-            par_map(Parallelism::Fixed(4), &[0u32, 1, 2, 3, 4, 5, 6, 7], |_, &x| {
-                assert!(x != 5, "boom at {x}");
-                x
-            })
+            par_map(
+                Parallelism::Fixed(4),
+                &[0u32, 1, 2, 3, 4, 5, 6, 7],
+                |_, &x| {
+                    assert!(x != 5, "boom at {x}");
+                    x
+                },
+            )
         });
         assert!(result.is_err());
     }

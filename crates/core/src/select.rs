@@ -13,6 +13,7 @@
 use crate::fit::CellModel;
 use crate::history::ContingencyTable;
 use crate::ic::{evaluate_ic, DivisorRule, IcKind};
+use crate::invariant;
 use crate::model::LogLinearModel;
 use crate::parallel::{par_map, Parallelism};
 use ghosts_stats::glm::GlmError;
@@ -89,12 +90,12 @@ pub fn select_model(
     cell_model: CellModel,
     opts: &SelectionOptions,
 ) -> Result<SelectionResult, GlmError> {
+    invariant::check_table(table);
     let divisor = opts.divisor.divisor_for(table);
     let mut evaluated: Vec<EvaluatedModel> = Vec::new();
 
     let mut current = LogLinearModel::independence(table.num_sources());
-    let mut current_ic =
-        evaluate_ic(table, &current, cell_model, opts.ic, opts.divisor)?.ic;
+    let mut current_ic = evaluate_ic(table, &current, cell_model, opts.ic, opts.divisor)?.ic;
     evaluated.push(EvaluatedModel {
         model: current.clone(),
         ic: current_ic,
@@ -133,18 +134,16 @@ pub fn select_model(
     // Within-margin rule: among everything evaluated, keep models whose IC
     // is within `within` of the minimum, then take the one with the fewest
     // parameters (ties broken by lower IC).
-    let best_ic = evaluated
-        .iter()
-        .map(|e| e.ic)
-        .fold(f64::INFINITY, f64::min);
+    let best_ic = evaluated.iter().map(|e| e.ic).fold(f64::INFINITY, f64::min);
     let chosen = evaluated
         .iter()
         .filter(|e| e.ic <= best_ic + opts.within)
         .min_by(|a, b| {
-            (a.model.num_params(), a.ic)
-                .partial_cmp(&(b.model.num_params(), b.ic))
-                .expect("IC values are finite")
+            (a.model.num_params())
+                .cmp(&b.model.num_params())
+                .then(a.ic.total_cmp(&b.ic))
         })
+        // lint: allow(no-unwrap) the candidate set always contains the independence model
         .expect("at least the independence model was evaluated")
         .clone();
 
@@ -175,8 +174,7 @@ mod tests {
                         (false, false) => 0.75,
                     };
                     let p3: f64 = if s3 { 0.45 } else { 0.55 };
-                    let mask =
-                        u16::from(s1) | (u16::from(s2) << 1) | (u16::from(s3) << 2);
+                    let mask = u16::from(s1) | (u16::from(s2) << 1) | (u16::from(s3) << 2);
                     if mask == 0 {
                         continue;
                     }
@@ -291,12 +289,7 @@ mod tests {
     #[test]
     fn search_trace_contains_every_model() {
         let table = independent_table(5_000.0);
-        let res = select_model(
-            &table,
-            CellModel::Poisson,
-            &SelectionOptions::default(),
-        )
-        .unwrap();
+        let res = select_model(&table, CellModel::Poisson, &SelectionOptions::default()).unwrap();
         // Independence + the three pairwise candidates of round one.
         assert!(res.evaluated.len() >= 4);
         assert!(res.best_ic <= res.ic);

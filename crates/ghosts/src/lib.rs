@@ -43,6 +43,7 @@
 //! `crates/bench/src/bin/repro.rs` for the harness that regenerates every
 //! table and figure of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use ghosts_analysis as analysis;
@@ -58,14 +59,14 @@ pub mod prelude {
         aggregate_errors, cross_validate_window, Granularity, Series, TextTable,
     };
     pub use ghosts_core::{
-        chao_lower_bound, estimate_stratified, estimate_table, estimate_table_with_range,
-        fit_llm, lincoln_petersen, CellModel, ContingencyTable, CrConfig, DivisorRule,
-        IcKind, LogLinearModel, Parallelism, SelectionOptions,
+        chao_lower_bound, estimate_stratified, estimate_table, estimate_table_with_range, fit_llm,
+        lincoln_petersen, CellModel, ContingencyTable, CrConfig, DivisorRule, IcKind,
+        LogLinearModel, Parallelism, SelectionOptions,
     };
     pub use ghosts_net::{addr_from_str, addr_to_string, AddrSet, Prefix, RoutedTable, SubnetSet};
     pub use ghosts_pipeline::{
-        filter_spoofed, filter_to_routed, paper_windows, Quarter, SpoofFilterConfig,
-        TimeWindow, WindowData,
+        filter_spoofed, filter_to_routed, paper_windows, Quarter, SpoofFilterConfig, TimeWindow,
+        WindowData,
     };
     pub use ghosts_sim::{ProbeEngine, Scenario, SimConfig};
 }

@@ -30,7 +30,7 @@ pub fn reserved_prefixes() -> Vec<Prefix> {
         "224.0.0.0/3",     // multicast + experimental + broadcast
     ]
     .iter()
-    .map(|s| s.parse().expect("static prefix literal"))
+    .map(|s| s.parse().expect("static prefix literal")) // lint: allow(no-unwrap) compile-time constants
     .collect()
 }
 
@@ -76,7 +76,7 @@ pub fn complement_of(excluded: &[Prefix]) -> Vec<Prefix> {
         }
         let (l, r) = block
             .children()
-            .expect("a /32 cannot strictly contain another prefix");
+            .expect("a /32 cannot strictly contain another prefix"); // lint: allow(no-unwrap) len < 32 on this path
         walk(l, excluded, out);
         walk(r, excluded, out);
     }
@@ -143,13 +143,8 @@ mod tests {
     #[test]
     fn reserved_count_matches_prefix_sizes() {
         // 3×/8 + /10 + 2×/16 + /12 + 5×/24 + /15 + /3.
-        let want: u64 = 3 * (1 << 24)
-            + (1 << 22)
-            + 2 * (1 << 16)
-            + (1 << 20)
-            + 5 * 256
-            + (1 << 17)
-            + (1 << 29);
+        let want: u64 =
+            3 * (1 << 24) + (1 << 22) + 2 * (1 << 16) + (1 << 20) + 5 * 256 + (1 << 17) + (1 << 29);
         assert_eq!(reserved_address_count(), want);
     }
 

@@ -68,7 +68,7 @@ where
     }
     let (l, r) = block
         .children()
-        .expect("len < max_depth <= 32 so children exist");
+        .expect("len < max_depth <= 32 so children exist"); // lint: allow(no-unwrap) bounded by the guard above
     census_block(l, count_used, max_depth, x);
     census_block(r, count_used, max_depth, x);
 }
@@ -119,6 +119,7 @@ pub fn free_addresses(x: &BlockCounts) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use crate::set::AddrSet;

@@ -14,6 +14,7 @@
 //! * [`freeblocks`] — maximal-free-block census and the §7.1 `A`-matrix
 //!   relation between censuses and additions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;

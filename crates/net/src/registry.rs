@@ -111,15 +111,12 @@ impl CountryCode {
             bytes.len() == 2 && bytes.iter().all(u8::is_ascii_alphabetic),
             "CountryCode: expected two ASCII letters, got {s:?}"
         );
-        CountryCode([
-            bytes[0].to_ascii_uppercase(),
-            bytes[1].to_ascii_uppercase(),
-        ])
+        CountryCode([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
     }
 
     /// The code as a `&str`.
     pub fn as_str(&self) -> &str {
-        std::str::from_utf8(&self.0).expect("invariant: ASCII letters")
+        std::str::from_utf8(&self.0).expect("invariant: ASCII letters") // lint: allow(no-unwrap) bytes checked in new()
     }
 }
 
@@ -213,7 +210,9 @@ impl Registry {
     /// Iterates allocations whose `alloc_year` is at most `year` — the
     /// registry as it stood at the end of that year.
     pub fn allocated_by(&self, year: u16) -> impl Iterator<Item = &Allocation> {
-        self.allocations.iter().filter(move |a| a.alloc_year <= year)
+        self.allocations
+            .iter()
+            .filter(move |a| a.alloc_year <= year)
     }
 }
 

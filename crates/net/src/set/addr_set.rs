@@ -1,7 +1,7 @@
 //! A two-level bitmap set of IPv4 addresses.
 
 use crate::addr::Prefix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bits per chunk: one /16 of address space.
 const CHUNK_BITS: usize = 1 << 16;
@@ -24,8 +24,11 @@ impl Chunk {
 
 /// A set of IPv4 addresses stored as a bitmap per populated /16.
 ///
-/// Memory: 8 KiB per /16 that holds at least one address; O(1) membership
-/// and insertion; set-algebra operations run a word at a time.
+/// Memory: 8 KiB per /16 that holds at least one address; O(log chunks)
+/// membership and insertion; set-algebra operations run a word at a time.
+/// Chunks live in a `BTreeMap` so every iteration over the set is in
+/// ascending address order by construction — no iteration-order
+/// nondeterminism can reach derived output.
 ///
 /// ```
 /// use ghosts_net::{addr_from_str, AddrSet};
@@ -39,7 +42,7 @@ impl Chunk {
 /// ```
 #[derive(Clone, Default)]
 pub struct AddrSet {
-    chunks: HashMap<u16, Chunk>,
+    chunks: BTreeMap<u16, Chunk>,
     len: u64,
 }
 
@@ -69,7 +72,10 @@ impl AddrSet {
 
     /// Inserts an address; returns `true` if it was not already present.
     pub fn insert(&mut self, addr: u32) -> bool {
-        let chunk = self.chunks.entry(Self::key(addr)).or_insert_with(Chunk::new);
+        let chunk = self
+            .chunks
+            .entry(Self::key(addr))
+            .or_insert_with(Chunk::new);
         let off = Self::offset(addr);
         let word = &mut chunk.bits[off / 64];
         let mask = 1u64 << (off % 64);
@@ -187,7 +193,7 @@ impl AddrSet {
             .collect();
         for key in keys {
             let ochunk = &other.chunks[&key];
-            let chunk = self.chunks.get_mut(&key).expect("key just observed");
+            let chunk = self.chunks.get_mut(&key).expect("key just observed"); // lint: allow(no-unwrap) key from self.chunks
             let mut count = 0u32;
             for (w, ow) in chunk.bits.iter_mut().zip(ochunk.bits.iter()) {
                 *w &= !*ow;
@@ -210,23 +216,11 @@ impl AddrSet {
             if prefix.len() == 0 {
                 return self.len;
             }
-            let mut total = 0u64;
-            // Range may span many keys; iterate the map if it is smaller.
-            let span = u64::from(hi - lo) + 1;
-            if (self.chunks.len() as u64) < span {
-                for (&k, c) in &self.chunks {
-                    if k >= lo && k <= hi {
-                        total += u64::from(c.count);
-                    }
-                }
-            } else {
-                for k in lo..=hi {
-                    if let Some(c) = self.chunks.get(&k) {
-                        total += u64::from(c.count);
-                    }
-                }
-            }
-            total
+            // The sorted map visits exactly the populated chunks in range.
+            self.chunks
+                .range(lo..=hi)
+                .map(|(_, c)| u64::from(c.count))
+                .sum()
         } else {
             let Some(chunk) = self.chunks.get(&Self::key(prefix.base())) else {
                 return 0;
@@ -237,12 +231,9 @@ impl AddrSet {
         }
     }
 
-    /// Iterates addresses in ascending order.
+    /// Iterates addresses in ascending order (chunks are kept sorted).
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        let mut keys: Vec<u16> = self.chunks.keys().copied().collect();
-        keys.sort_unstable();
-        keys.into_iter().flat_map(move |key| {
-            let chunk = &self.chunks[&key];
+        self.chunks.iter().flat_map(|(&key, chunk)| {
             let base = u32::from(key) << 16;
             chunk
                 .bits
@@ -432,7 +423,13 @@ mod tests {
     #[test]
     fn count_in_prefix_various_lengths() {
         let mut s = AddrSet::new();
-        for &addr in &["10.0.0.1", "10.0.0.200", "10.0.1.7", "10.128.0.1", "11.0.0.1"] {
+        for &addr in &[
+            "10.0.0.1",
+            "10.0.0.200",
+            "10.0.1.7",
+            "10.128.0.1",
+            "11.0.0.1",
+        ] {
             s.insert(a(addr));
         }
         assert_eq!(s.count_in_prefix("10.0.0.0/8".parse().unwrap()), 4);

@@ -45,7 +45,10 @@ impl SubnetSet {
     ///
     /// Panics if `sub >= 2²⁴`.
     pub fn insert(&mut self, sub: u32) -> bool {
-        assert!((sub as usize) < TOTAL_SUBNETS, "subnet id {sub} out of range");
+        assert!(
+            (sub as usize) < TOTAL_SUBNETS,
+            "subnet id {sub} out of range"
+        );
         let word = &mut self.bits[(sub / 64) as usize];
         let mask = 1u64 << (sub % 64);
         if *word & mask != 0 {

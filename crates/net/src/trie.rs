@@ -167,8 +167,7 @@ impl<T> PrefixTrie<T> {
                 let mut any = node.value.is_some();
                 if !any {
                     fn has_any<T>(n: &Node<T>) -> bool {
-                        n.value.is_some()
-                            || n.children.iter().flatten().any(|c| has_any(c))
+                        n.value.is_some() || n.children.iter().flatten().any(|c| has_any(c))
                     }
                     any = node.children.iter().flatten().any(|c| has_any(c));
                 }

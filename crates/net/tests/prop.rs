@@ -2,6 +2,10 @@
 //! `HashSet` reference model, prefix algebra laws, and the free-block
 //! census identity `x' − x = A·n`.
 
+// The reference model deliberately uses HashSet: its semantics (not its
+// iteration order) are what AddrSet is checked against.
+#![allow(clippy::disallowed_types)]
+
 use ghosts_net::freeblocks::{additions_by_block_size, apply_additions, free_block_census};
 use ghosts_net::{AddrSet, Prefix, SubnetSet};
 use proptest::prelude::*;

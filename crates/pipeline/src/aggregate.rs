@@ -28,9 +28,7 @@ where
     let mut acc: BTreeMap<(String, u16), AddrSet> = BTreeMap::new();
     for (name, quarter, set) in per_quarter {
         let key = (name.to_string(), quarter.year());
-        acc.entry(key)
-            .or_default()
-            .union_with(set);
+        acc.entry(key).or_default().union_with(set);
     }
     acc.into_iter()
         .map(|((source, year), set)| SourceYearSummary {
@@ -86,11 +84,7 @@ mod tests {
         let a: AddrSet = [1u32, 2].into_iter().collect();
         let b: AddrSet = [2u32, 3].into_iter().collect();
         let c: AddrSet = [9u32].into_iter().collect();
-        let rows = yearly_summaries([
-            ("WIKI", q1, &a),
-            ("WIKI", q2, &b),
-            ("WIKI", q2012, &c),
-        ]);
+        let rows = yearly_summaries([("WIKI", q1, &a), ("WIKI", q2, &b), ("WIKI", q2012, &c)]);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].year, 2011);
         assert_eq!(rows[0].unique_ips, 3); // {1,2,3}

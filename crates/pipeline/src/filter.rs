@@ -47,11 +47,11 @@ mod tests {
     fn drops_reserved_and_unrouted() {
         let routed = RoutedTable::from_prefixes(["8.0.0.0/8".parse().unwrap()]);
         let set: AddrSet = [
-            a("8.8.8.8"),      // routed, public → keep
-            a("8.0.0.1"),      // routed, public → keep
-            a("10.0.0.1"),     // reserved
-            a("192.168.1.1"),  // reserved
-            a("9.9.9.9"),      // public but unrouted
+            a("8.8.8.8"),     // routed, public → keep
+            a("8.0.0.1"),     // routed, public → keep
+            a("10.0.0.1"),    // reserved
+            a("192.168.1.1"), // reserved
+            a("9.9.9.9"),     // public but unrouted
         ]
         .into_iter()
         .collect();

@@ -12,6 +12,7 @@
 //!   the NetFlow sources (§4.5).
 //! * [`aggregate`] — Table-2-style per-source/per-year summaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

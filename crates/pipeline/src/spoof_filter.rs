@@ -120,7 +120,7 @@ pub fn detect_empty_eights(
             if ghosts_net::bogons::is_reserved(u32::from(octet) << 24) {
                 return None;
             }
-            if cfg.universe_of(o as usize) == 0.0 {
+            if ghosts_stats::approx::is_exact_zero(cfg.universe_of(o as usize)) {
                 return None;
             }
             if clean_counts[o as usize] > cfg.empty_eight_max_clean {
@@ -170,7 +170,7 @@ pub fn filter_spoofed<R: Rng + ?Sized>(
         (s, r.min(1.0))
     };
 
-    if rate == 0.0 {
+    if ghosts_stats::approx::is_exact_zero(rate) {
         // Nothing to filter.
         return SpoofFilterReport {
             filtered: target.clone(),
@@ -245,19 +245,19 @@ pub fn filter_spoofed<R: Rng + ?Sized>(
         Vec::new()
     } else {
         filtered
-        .iter()
-        .filter(|&addr| {
-            // Never remove addresses confirmed used by a spoof-free source.
-            if spoof_free.contains(addr) {
-                return false;
-            }
-            let pv = pr_valid[(addr >> 24) as usize];
-            let pb = p_b_given_v[(addr & 0xff) as usize];
-            let denom = pv * pb + (1.0 - pv) / 256.0;
-            let p_valid_given_b = if denom > 0.0 { pv * pb / denom } else { 0.0 };
-            rng.gen::<f64>() >= p_valid_given_b
-        })
-        .collect()
+            .iter()
+            .filter(|&addr| {
+                // Never remove addresses confirmed used by a spoof-free source.
+                if spoof_free.contains(addr) {
+                    return false;
+                }
+                let pv = pr_valid[(addr >> 24) as usize];
+                let pb = p_b_given_v[(addr & 0xff) as usize];
+                let denom = pv * pb + (1.0 - pv) / 256.0;
+                let p_valid_given_b = if denom > 0.0 { pv * pb / denom } else { 0.0 };
+                rng.gen::<f64>() >= p_valid_given_b
+            })
+            .collect()
     };
     for addr in doomed {
         filtered.remove(addr);
@@ -277,6 +277,7 @@ pub fn filter_spoofed<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use ghosts_stats::rng::component_rng;

@@ -120,6 +120,7 @@ pub fn paper_windows() -> Vec<TimeWindow> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 
@@ -154,10 +155,7 @@ mod tests {
         assert_eq!(ws[10].label(), "Jun 2014");
         // Consecutive windows overlap by three quarters.
         for pair in ws.windows(2) {
-            let shared = pair[0]
-                .quarters()
-                .filter(|q| pair[1].contains(*q))
-                .count();
+            let shared = pair[0].quarters().filter(|q| pair[1].contains(*q)).count();
             assert_eq!(shared, 3);
         }
     }

@@ -66,8 +66,8 @@ impl ChurnResult {
     /// Growth ratio of a series from `from_day` (1-based) to the end.
     fn ratio(series: &[u64], from_day: u8) -> f64 {
         let from = series[(from_day - 1) as usize] as f64;
-        let last = *series.last().expect("non-empty") as f64;
-        if from == 0.0 {
+        let last = *series.last().expect("non-empty") as f64; // lint: allow(no-unwrap) series built with >= 1 day
+        if ghosts_stats::approx::is_exact_zero(from) {
             f64::NAN
         } else {
             last / from
@@ -123,7 +123,12 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnResult {
 
     for day in 1..=cfg.days {
         for client in 0..cfg.clients {
-            let h = [cfg.seed, label("session"), u64::from(client), u64::from(day)];
+            let h = [
+                cfg.seed,
+                label("session"),
+                u64::from(client),
+                u64::from(day),
+            ];
             if unit(&h) >= cfg.session_prob {
                 continue;
             }
@@ -133,19 +138,22 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnResult {
             }
             // Home pool, or a roam target.
             let home = client / cfg.clients_per_pool;
-            let roam =
-                unit(&[cfg.seed, label("roam"), u64::from(client), u64::from(day)]);
+            let roam = unit(&[cfg.seed, label("roam"), u64::from(client), u64::from(day)]);
             let pool = if roam < cfg.roam_prob {
-                (mix(&[cfg.seed, label("roam-to"), u64::from(client), u64::from(day)])
-                    % u64::from(pools)) as u32
+                (mix(&[
+                    cfg.seed,
+                    label("roam-to"),
+                    u64::from(client),
+                    u64::from(day),
+                ]) % u64::from(pools)) as u32
             } else {
                 home
             };
             // Fresh DHCP lease: skewed /24 choice, uniform last byte.
             let su = unit(&[cfg.seed, label("subnet"), u64::from(client), u64::from(day)]);
             let subnet = pick_subnet(cfg, su);
-            let byte = 1 + (mix(&[cfg.seed, label("byte"), u64::from(client), u64::from(day)])
-                % 254) as u32;
+            let byte = 1
+                + (mix(&[cfg.seed, label("byte"), u64::from(client), u64::from(day)]) % 254) as u32;
             let addr = pool_base(pool) + subnet * 256 + byte;
             ips.insert(addr);
             subnets.insert_addr(addr);

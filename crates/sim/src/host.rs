@@ -153,6 +153,7 @@ pub fn counts_as_used(resp: ProbeResponse) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // determinism asserts compare exact values on purpose
 mod tests {
     use super::*;
 

@@ -23,7 +23,7 @@ use crate::util::{label, unit};
 use ghosts_net::registry::{Allocation, AllocationId, CountryCode, Industry, Registry, Rir};
 use ghosts_net::{AddrSet, Prefix, RoutedTable, SubnetSet};
 use ghosts_pipeline::time::Quarter;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Density class of a used /24 (Cai & Heidemann-style heterogeneity:
 /// "most addresses in about one-fifth of /24 blocks are in use less than
@@ -209,7 +209,7 @@ fn weighted_pick<T: Copy>(items: &[(T, f64)], u: f64) -> T {
             return item;
         }
     }
-    items.last().expect("non-empty weighted menu").0
+    items.last().expect("non-empty weighted menu").0 // lint: allow(no-unwrap) caller passes static menus
 }
 
 /// The /8s reserved for "dark" blocks: routed but essentially unused space
@@ -261,10 +261,7 @@ impl Carver {
                 continue;
             }
             self.offset = aligned + size;
-            return Some(Prefix::new(
-                (u64::from(block.base()) + aligned) as u32,
-                len,
-            ));
+            return Some(Prefix::new((u64::from(block.base()) + aligned) as u32, len));
         }
     }
 }
@@ -280,7 +277,7 @@ pub struct GroundTruth {
     /// Ground-truth networks A–F (empty unless configured).
     pub truth_networks: Vec<crate::truth_networks::TruthNetwork>,
     blocks: Vec<Block>,
-    block_by_subnet: HashMap<u32, u32>,
+    block_by_subnet: BTreeMap<u32, u32>,
     alloc_meta: Vec<AllocMeta>,
 }
 
@@ -308,8 +305,7 @@ impl GroundTruth {
         // to the registry furthest below its target. A random per-draw
         // pick would leave the small registries at the mercy of a handful
         // of large-prefix draws at mini-Internet scales.
-        const RIR_ORDER: [Rir; 5] =
-            [Rir::AfriNic, Rir::Apnic, Rir::Arin, Rir::LacNic, Rir::Ripe];
+        const RIR_ORDER: [Rir; 5] = [Rir::AfriNic, Rir::Apnic, Rir::Arin, Rir::LacNic, Rir::Ripe];
         let mut desired = [0.0f64; 5];
         let mut spent_per_rir = [0.0f64; 5];
         for &year in &years {
@@ -324,16 +320,14 @@ impl GroundTruth {
                 counter += 1;
                 let rir_idx = (0..5)
                     .max_by(|&a, &b| {
-                        (desired[a] - spent_per_rir[a])
-                            .total_cmp(&(desired[b] - spent_per_rir[b]))
+                        (desired[a] - spent_per_rir[a]).total_cmp(&(desired[b] - spent_per_rir[b]))
                     })
-                    .expect("five registries");
+                    .expect("five registries"); // lint: allow(no-unwrap) RIR_ORDER is a non-empty const
                 let rir = RIR_ORDER[rir_idx];
                 // Keep individual blocks within reach of the remaining
                 // budget (at small scales the legacy-era menu of short
                 // prefixes would otherwise blow straight through it).
-                let remaining =
-                    (cumulative_target - total_spent as f64).max(1.0) as u64;
+                let remaining = (cumulative_target - total_spent as f64).max(1.0) as u64;
                 let affordable: Vec<(u8, f64)> = era
                     .lens
                     .iter()
@@ -343,15 +337,14 @@ impl GroundTruth {
                 let menu: &[(u8, f64)] = if affordable.is_empty() {
                     // Fall back to the longest (smallest) prefix offered.
                     std::slice::from_ref(
+                        // lint: allow(no-unwrap) era tables are non-empty consts
                         era.lens.last().expect("era menus are non-empty"),
                     )
                 } else {
                     &affordable
                 };
-                let len = weighted_pick(
-                    menu,
-                    unit(&[seed, label("len"), u64::from(year), counter]),
-                );
+                let len =
+                    weighted_pick(menu, unit(&[seed, label("len"), u64::from(year), counter]));
                 let ctab = countries(rir);
                 let menu: Vec<(usize, f64)> =
                     ctab.iter().enumerate().map(|(i, c)| (i, c.1)).collect();
@@ -399,8 +392,7 @@ impl GroundTruth {
                 } else {
                     final_util / growth_ratio
                 };
-                let is_routed =
-                    unit(&[seed, label("routed"), u64::from(id)]) < cfg.routed_fraction;
+                let is_routed = unit(&[seed, label("routed"), u64::from(id)]) < cfg.routed_fraction;
                 if is_routed {
                     routed.announce(prefix);
                 }
@@ -447,7 +439,7 @@ impl GroundTruth {
 
         // --- Per-/24 blocks of the routed allocations. ---
         let mut blocks: Vec<Block> = Vec::new();
-        let mut block_by_subnet: HashMap<u32, u32> = HashMap::new();
+        let mut block_by_subnet: BTreeMap<u32, u32> = BTreeMap::new();
         for (id, alloc) in registry.allocations().iter().enumerate() {
             let meta = &alloc_meta[id];
             if !meta.routed {
@@ -482,8 +474,8 @@ impl GroundTruth {
                     target_addrs = (truth_networks[ti as usize].peak_fraction * 256.0) as u16;
                     dynamic_pool = false;
                 }
-                let stealth = tn.is_none()
-                    && unit(&[seed, label("stealth"), u64::from(subnet)]) < 0.07;
+                let stealth =
+                    tn.is_none() && unit(&[seed, label("stealth"), u64::from(subnet)]) < 0.07;
                 let idx = blocks.len() as u32;
                 blocks.push(Block {
                     subnet,
@@ -525,8 +517,7 @@ impl GroundTruth {
             // Ground-truth networks hold steady at full activation.
             return meta.final_util;
         }
-        let frac = meta.base_util
-            + (meta.final_util - meta.base_util) * f64::from(q.0) / 13.0;
+        let frac = meta.base_util + (meta.final_util - meta.base_util) * f64::from(q.0) / 13.0;
         frac.clamp(0.0, meta.final_util)
     }
 

@@ -16,6 +16,7 @@
 //! * [`truth_networks`] — the six ground-truth networks A–F of §5.2.
 //! * [`scenario`] — ties it together into per-window pipeline datasets.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

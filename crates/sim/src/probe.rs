@@ -89,18 +89,15 @@ impl<'a> ProbeEngine<'a> {
         };
         // Ground-truth network F blocks the prober outright.
         if let Some(i) = block.truth_network {
-            if self.gt.truth_networks[i as usize].icmp_scale == 0.0 {
+            if ghosts_stats::approx::is_exact_zero(self.gt.truth_networks[i as usize].icmp_scale) {
                 return ProbeResponse::Nothing;
             }
         }
-        if !self.gt.block_active(block, q)
-            || !self.gt.addr_used_in_block(block, addr & 0xff, q)
-        {
+        if !self.gt.block_active(block, q) || !self.gt.addr_used_in_block(block, addr & 0xff, q) {
             return ProbeResponse::Nothing;
         }
         // Stealth blocks drop probes at the perimeter.
-        if block.stealth
-            && unit(&[self.gt.cfg.seed, label("icmp-scale"), u64::from(addr)]) >= 0.04
+        if block.stealth && unit(&[self.gt.cfg.seed, label("icmp-scale"), u64::from(addr)]) >= 0.04
         {
             return ProbeResponse::Nothing;
         }
@@ -116,25 +113,22 @@ impl<'a> ProbeEngine<'a> {
             return ProbeResponse::Nothing;
         };
         if let Some(i) = block.truth_network {
-            if self.gt.truth_networks[i as usize].tcp_scale == 0.0 {
+            if ghosts_stats::approx::is_exact_zero(self.gt.truth_networks[i as usize].tcp_scale) {
                 return ProbeResponse::Nothing;
             }
         }
-        let used = self.gt.block_active(block, q)
-            && self.gt.addr_used_in_block(block, addr & 0xff, q);
+        let used =
+            self.gt.block_active(block, q) && self.gt.addr_used_in_block(block, addr & 0xff, q);
         if !used {
             // Perimeter firewalls RST for whole unused ranges (§4.4's
             // reason for ignoring RSTs).
-            return if unit(&[self.gt.cfg.seed, label("fw-rst"), u64::from(addr >> 7)]) < 0.02
-            {
+            return if unit(&[self.gt.cfg.seed, label("fw-rst"), u64::from(addr >> 7)]) < 0.02 {
                 ProbeResponse::Rst
             } else {
                 ProbeResponse::Nothing
             };
         }
-        if block.stealth
-            && unit(&[self.gt.cfg.seed, label("tcp-scale"), u64::from(addr)]) >= 0.04
-        {
+        if block.stealth && unit(&[self.gt.cfg.seed, label("tcp-scale"), u64::from(addr)]) >= 0.04 {
             return ProbeResponse::Nothing;
         }
         traits_for(self.gt.cfg.seed, addr, block.dynamic_pool).tcp80_response()
@@ -183,7 +177,9 @@ impl<'a> ProbeEngine<'a> {
     pub fn is_server(&self, addr: u32) -> bool {
         self.gt
             .block_of_addr(addr)
-            .map(|b| traits_for(self.gt.cfg.seed, addr, b.dynamic_pool).host_type == HostType::Server)
+            .map(|b| {
+                traits_for(self.gt.cfg.seed, addr, b.dynamic_pool).host_type == HostType::Server
+            })
             .unwrap_or(false)
     }
 }

@@ -37,8 +37,7 @@ impl Scenario {
     /// The observations of every active source over one quarter, without
     /// spoof injection. One pass over the used space.
     pub fn quarter_observations(&self, q: Quarter) -> Vec<(&'static str, AddrSet)> {
-        let active: Vec<&SourceSpec> =
-            self.specs.iter().filter(|s| s.active_in(q)).collect();
+        let active: Vec<&SourceSpec> = self.specs.iter().filter(|s| s.active_in(q)).collect();
         let mut sets: Vec<AddrSet> = active.iter().map(|_| AddrSet::new()).collect();
         self.gt.for_each_used_addr(q, |addr, block| {
             for (i, spec) in active.iter().enumerate() {
@@ -141,7 +140,10 @@ mod tests {
         let ws = paper_windows();
         // First window (2011): no SPAM, no CALT, no TPING.
         let names = |wd: &WindowData| {
-            wd.sources.iter().map(|d| d.name.clone()).collect::<Vec<_>>()
+            wd.sources
+                .iter()
+                .map(|d| d.name.clone())
+                .collect::<Vec<_>>()
         };
         let w0 = s.window_data(ws[0]);
         assert!(!names(&w0).contains(&"SPAM".to_string()));
@@ -210,7 +212,9 @@ mod tests {
         let wd = s.window_data_clean(w);
         let truth = s.truth_addrs(w).len() as f64;
         let frac = |name: &str| {
-            wd.source(name).map(|d| d.addrs.len() as f64 / truth).unwrap()
+            wd.source(name)
+                .map(|d| d.addrs.len() as f64 / truth)
+                .unwrap()
         };
         for d in &wd.sources {
             eprintln!(
@@ -229,8 +233,16 @@ mod tests {
         assert!(frac("GAME") > frac("WIKI"));
         assert!(frac("MLAB") > frac("WIKI"));
         // Rough absolute bands.
-        assert!((0.20..=0.50).contains(&frac("IPING")), "IPING {}", frac("IPING"));
-        assert!((0.15..=0.45).contains(&frac("CALT")), "CALT {}", frac("CALT"));
+        assert!(
+            (0.20..=0.50).contains(&frac("IPING")),
+            "IPING {}",
+            frac("IPING")
+        );
+        assert!(
+            (0.15..=0.45).contains(&frac("CALT")),
+            "CALT {}",
+            frac("CALT")
+        );
         assert!((0.04..=0.20).contains(&frac("WEB")), "WEB {}", frac("WEB"));
         assert!(frac("WIKI") < 0.03, "WIKI {}", frac("WIKI"));
     }

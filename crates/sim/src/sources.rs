@@ -371,16 +371,23 @@ mod tests {
                 }
             }
         });
-        let frac =
-            |name: &str| {
-                let i = specs.iter().position(|s| s.name == name).unwrap();
-                totals[i] as f64 / used as f64
-            };
+        let frac = |name: &str| {
+            let i = specs.iter().position(|s| s.name == name).unwrap();
+            totals[i] as f64 / used as f64
+        };
         // Census quarter: IPING detects roughly a third of used addresses
         // (§6.2: 430 M pingable of ~1.2 B used).
-        assert!((0.22..=0.48).contains(&frac("IPING")), "IPING {}", frac("IPING"));
+        assert!(
+            (0.22..=0.48).contains(&frac("IPING")),
+            "IPING {}",
+            frac("IPING")
+        );
         // TPING well below IPING (93 M vs 411 M in 2013).
-        assert!(frac("TPING") < frac("IPING") * 0.55, "TPING {}", frac("TPING"));
+        assert!(
+            frac("TPING") < frac("IPING") * 0.55,
+            "TPING {}",
+            frac("TPING")
+        );
         // WIKI is the smallest source.
         assert!(frac("WIKI") < frac("WEB"));
         assert!(frac("WIKI") < frac("MLAB") * 2.0);

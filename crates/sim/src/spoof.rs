@@ -39,9 +39,7 @@ impl SpoofSampler {
     /// Draws one uniformly random routed address.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         let x = rng.gen_range(0..self.total);
-        let idx = self
-            .cumulative
-            .partition_point(|(cum, _)| *cum <= x);
+        let idx = self.cumulative.partition_point(|(cum, _)| *cum <= x);
         let (cum, prefix) = self.cumulative[idx];
         let offset = prefix.num_addresses() - (cum - x);
         (u64::from(prefix.base()) + offset) as u32

@@ -59,9 +59,9 @@ pub(crate) fn build(
     for &(name, len, peak, icmp, tcp, passive) in &SPECS {
         let prefix = carver
             .carve(len)
-            .expect("universe cannot be exhausted at study scale");
-        // Spread the anonymous networks over the big three registries so
-        // they do not skew any single RIR's usage totals.
+            .expect("universe cannot be exhausted at study scale"); // lint: allow(no-unwrap) /8 pool >> SPECS demand
+                                                                    // Spread the anonymous networks over the big three registries so
+                                                                    // they do not skew any single RIR's usage totals.
         let (rir, country) = match name {
             'A' | 'D' => (Rir::Arin, "US"),
             'B' | 'E' => (Rir::Ripe, "DE"),

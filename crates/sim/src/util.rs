@@ -41,6 +41,7 @@ pub fn label(s: &str) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // determinism asserts compare exact values on purpose
 mod tests {
     use super::*;
 

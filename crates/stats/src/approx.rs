@@ -1,0 +1,59 @@
+//! Approved float-comparison helpers.
+//!
+//! The ghost-lint `float-eq` rule bans raw `==`/`!=` between floats in
+//! library code: exact float equality is almost always a latent bug next to
+//! iterative fitters, and where it *is* intended (bit-level determinism
+//! checks) the intent should be explicit. These helpers are the approved
+//! vocabulary; this file itself is on the linter's allowlist.
+
+/// Exact bit-level equality, NaN-safe. This is the determinism comparator:
+/// two runs are "bit-identical" iff every output satisfies `bits_eq`.
+#[must_use]
+pub fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Absolute-tolerance comparison: `|a − b| ≤ tol`. NaN compares unequal.
+#[must_use]
+pub fn abs_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Mixed relative/absolute comparison `|a − b| ≤ tol·(1 + |b|)` — the
+/// convention used throughout this workspace's numeric tests, exact at 0.
+#[must_use]
+pub fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + b.abs())
+}
+
+/// Whether `x` is exactly zero (either signed zero). Spelled as a helper so
+/// intent is visible where a structural zero (never a computed residual) is
+/// being tested.
+#[must_use]
+#[allow(clippy::float_cmp)]
+pub fn is_exact_zero(x: f64) -> bool {
+    x == 0.0 // lint: allow(float-eq) the helper *is* the approved site
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_eq_distinguishes_nan_payloads_and_zero_signs() {
+        assert!(bits_eq(1.5, 1.5));
+        assert!(bits_eq(f64::NAN, f64::NAN)); // same payload
+        assert!(!bits_eq(0.0, -0.0)); // different bits, == would say equal
+        assert!(!bits_eq(1.0, 1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn closeness_helpers() {
+        assert!(abs_close(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!abs_close(1.0, 2.0, 1e-9));
+        assert!(rel_close(1e12, 1e12 * (1.0 + 1e-12), 1e-9));
+        assert!(!rel_close(1.0, f64::NAN, 1e-9));
+        assert!(is_exact_zero(0.0) && is_exact_zero(-0.0));
+        assert!(!is_exact_zero(f64::MIN_POSITIVE));
+    }
+}

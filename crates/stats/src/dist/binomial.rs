@@ -54,15 +54,13 @@ impl Binomial {
         if k > self.n {
             return f64::NEG_INFINITY;
         }
-        if self.p == 0.0 {
+        if crate::approx::is_exact_zero(self.p) {
             return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
         }
-        if self.p == 1.0 {
+        if crate::approx::bits_eq(self.p, 1.0) {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     /// Probability mass function at `k`.
@@ -75,10 +73,10 @@ impl Binomial {
         if k >= self.n {
             return 1.0;
         }
-        if self.p == 0.0 {
+        if crate::approx::is_exact_zero(self.p) {
             return 1.0;
         }
-        if self.p == 1.0 {
+        if crate::approx::bits_eq(self.p, 1.0) {
             return 0.0;
         }
         reg_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
@@ -92,10 +90,10 @@ impl Binomial {
         if k >= self.n {
             return 0.0;
         }
-        if self.p == 0.0 {
+        if crate::approx::is_exact_zero(self.p) {
             return 0.0;
         }
-        if self.p == 1.0 {
+        if crate::approx::bits_eq(self.p, 1.0) {
             return 1.0;
         }
         reg_beta(k as f64 + 1.0, (self.n - k) as f64, self.p)
@@ -135,7 +133,7 @@ impl Binomial {
             // Sparse regime: approximate by Poisson thinning — geometric
             // skips between successes.
             let ln_q = (1.0 - self.p).ln();
-            if ln_q == 0.0 {
+            if crate::approx::is_exact_zero(ln_q) {
                 return 0;
             }
             let mut k = 0u64;
@@ -158,6 +156,7 @@ impl Binomial {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use rand::SeedableRng;

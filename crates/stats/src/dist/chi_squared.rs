@@ -123,7 +123,11 @@ mod tests {
         close(d.quantile(0.95), 3.841_458_820_694_124, 1e-8);
         close(d.quantile(0.99), 6.634_896_601_021_214, 1e-8);
         // χ²₅ at 0.95.
-        close(ChiSquared::new(5.0).quantile(0.95), 11.070_497_693_516_35, 1e-8);
+        close(
+            ChiSquared::new(5.0).quantile(0.95),
+            11.070_497_693_516_35,
+            1e-8,
+        );
     }
 
     #[test]

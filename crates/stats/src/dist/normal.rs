@@ -170,7 +170,17 @@ mod tests {
     #[test]
     fn quantile_round_trips_cdf() {
         let n = Normal::standard();
-        for &p in &[1e-10, 1e-7, 0.001, 0.025, 0.5, 0.8, 0.975, 0.999, 1.0 - 1e-9] {
+        for &p in &[
+            1e-10,
+            1e-7,
+            0.001,
+            0.025,
+            0.5,
+            0.8,
+            0.975,
+            0.999,
+            1.0 - 1e-9,
+        ] {
             let x = n.quantile(p);
             close(n.cdf(x), p, 1e-9);
         }
@@ -189,7 +199,11 @@ mod tests {
         let n = Normal::new(10.0, 2.0);
         close(n.cdf(10.0), 0.5, 1e-14);
         close(n.quantile(0.841_344_746_068_542_9), 12.0, 1e-8);
-        close(n.pdf(10.0), 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-12);
+        close(
+            n.pdf(10.0),
+            1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()),
+            1e-12,
+        );
     }
 
     #[test]

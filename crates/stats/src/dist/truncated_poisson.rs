@@ -159,6 +159,7 @@ impl TruncatedPoisson {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
     use rand::SeedableRng;

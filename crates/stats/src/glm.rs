@@ -86,8 +86,20 @@ pub enum GlmError {
         /// The offending value.
         value: f64,
     },
+    /// The design matrix contains a NaN or infinite entry.
+    InvalidDesign {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// The Newton system could not be solved even with ridging.
     SingularSystem,
+    /// The iteration produced non-finite coefficients (numerical
+    /// breakdown that ridging could not prevent).
+    NonFiniteFit,
 }
 
 impl std::fmt::Display for GlmError {
@@ -99,7 +111,11 @@ impl std::fmt::Display for GlmError {
             GlmError::InvalidResponse { index, value } => {
                 write!(f, "invalid response value {value} at index {index}")
             }
+            GlmError::InvalidDesign { row, col, value } => {
+                write!(f, "invalid design entry {value} at ({row}, {col})")
+            }
             GlmError::SingularSystem => write!(f, "Newton system singular"),
+            GlmError::NonFiniteFit => write!(f, "iteration produced non-finite coefficients"),
         }
     }
 }
@@ -123,19 +139,12 @@ fn cell_loglik(family: &CountFamily, i: usize, lambda: f64, y: f64) -> f64 {
     let base = y * lambda.ln() - lambda - ln_gamma(y + 1.0);
     match family {
         CountFamily::Poisson => base,
-        CountFamily::TruncatedPoisson(limits) => {
-            base - Poisson::new(lambda).ln_cdf(limits[i])
-        }
+        CountFamily::TruncatedPoisson(limits) => base - Poisson::new(lambda).ln_cdf(limits[i]),
     }
 }
 
 /// Total log-likelihood at coefficients `coef`.
-pub fn log_likelihood(
-    design: &Matrix,
-    y: &[f64],
-    family: &CountFamily,
-    coef: &[f64],
-) -> f64 {
+pub fn log_likelihood(design: &Matrix, y: &[f64], family: &CountFamily, coef: &[f64]) -> f64 {
     let eta = design.matvec(coef);
     eta.iter()
         .enumerate()
@@ -161,7 +170,10 @@ pub fn fit(
     let n = design.rows();
     let p = design.cols();
     if y.len() != n {
-        return Err(GlmError::DimensionMismatch { rows: n, ys: y.len() });
+        return Err(GlmError::DimensionMismatch {
+            rows: n,
+            ys: y.len(),
+        });
     }
     if let CountFamily::TruncatedPoisson(limits) = family {
         if limits.len() != n {
@@ -174,6 +186,14 @@ pub fn fit(
     for (i, &v) in y.iter().enumerate() {
         if !v.is_finite() || v < 0.0 {
             return Err(GlmError::InvalidResponse { index: i, value: v });
+        }
+    }
+    for row in 0..n {
+        for col in 0..p {
+            let value = design[(row, col)];
+            if !value.is_finite() {
+                return Err(GlmError::InvalidDesign { row, col, value });
+            }
         }
     }
 
@@ -212,11 +232,7 @@ pub fn fit(
         let mut step = 1.0f64;
         let mut accepted = false;
         for _ in 0..40 {
-            let trial: Vec<f64> = coef
-                .iter()
-                .zip(&delta)
-                .map(|(c, d)| c + step * d)
-                .collect();
+            let trial: Vec<f64> = coef.iter().zip(&delta).map(|(c, d)| c + step * d).collect();
             let trial_ll = log_likelihood(design, y, family, &trial);
             if trial_ll.is_finite() && trial_ll >= loglik - 1e-12 {
                 let improvement = trial_ll - loglik;
@@ -238,6 +254,12 @@ pub fn fit(
         if converged {
             break;
         }
+    }
+
+    // Numerical-safety invariant: never hand back NaN/∞ coefficients — a
+    // caller summing stratum estimates would silently poison the total.
+    if coef.iter().any(|c| !c.is_finite()) || !loglik.is_finite() {
+        return Err(GlmError::NonFiniteFit);
     }
 
     let eta = design.matvec(&coef);
@@ -294,12 +316,7 @@ mod tests {
     #[test]
     fn two_group_poisson_matches_group_means() {
         // Column 0 = intercept, column 1 = group indicator.
-        let design = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 1.0],
-        ]);
+        let design = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 1.0], &[1.0, 1.0]]);
         let y = [10.0, 14.0, 30.0, 34.0];
         let fit = fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()).unwrap();
         close(fit.coef[0].exp(), 12.0, 1e-7); // group-0 mean
@@ -312,11 +329,7 @@ mod tests {
         // both-sources 30, only-1 60, only-2 20. Under independence the
         // intercept exp(u) estimates the unseen cell: z00 = z10*z01/z11.
         // Cells ordered (s1,s2) = (1,1), (1,0), (0,1); columns: 1, s1, s2.
-        let design = Matrix::from_rows(&[
-            &[1.0, 1.0, 1.0],
-            &[1.0, 1.0, 0.0],
-            &[1.0, 0.0, 1.0],
-        ]);
+        let design = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]]);
         let y = [30.0, 60.0, 20.0];
         let fit = fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()).unwrap();
         // Saturated model on 3 cells with 3 params → fitted == observed, and
@@ -379,11 +392,7 @@ mod tests {
     #[test]
     fn loglik_increases_along_fit() {
         // The fit's maximised log-likelihood is at least the init's.
-        let design = Matrix::from_rows(&[
-            &[1.0, 1.0, 1.0],
-            &[1.0, 1.0, 0.0],
-            &[1.0, 0.0, 1.0],
-        ]);
+        let design = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]]);
         let y = [12.0, 40.0, 9.0];
         let f = fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()).unwrap();
         let at_zero = log_likelihood(&design, &y, &CountFamily::Poisson, &[0.0, 0.0, 0.0]);

@@ -19,8 +19,10 @@
 //! * [`summary`] — RMSE/MAE/quantiles for the cross-validation (§5).
 //! * [`rng`] — deterministic per-component random streams.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod dist;
 pub mod glm;
 pub mod linalg;

@@ -108,7 +108,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                if a == 0.0 {
+                if crate::approx::is_exact_zero(a) {
                     continue;
                 }
                 let orow = other.row(k);
@@ -145,7 +145,7 @@ impl Matrix {
         let mut out = vec![0.0; self.cols];
         for i in 0..self.rows {
             let vi = v[i];
-            if vi == 0.0 {
+            if crate::approx::is_exact_zero(vi) {
                 continue;
             }
             for (o, &a) in out.iter_mut().zip(self.row(i)) {
@@ -166,13 +166,13 @@ impl Matrix {
         let p = self.cols;
         let mut g = Matrix::zeros(p, p);
         for (i, &wi) in w.iter().enumerate() {
-            if wi == 0.0 {
+            if crate::approx::is_exact_zero(wi) {
                 continue;
             }
             let row = self.row(i);
             for a in 0..p {
                 let ra = wi * row[a];
-                if ra == 0.0 {
+                if crate::approx::is_exact_zero(ra) {
                     continue;
                 }
                 let grow = g.row_mut(a);
@@ -229,6 +229,7 @@ impl fmt::Debug for Matrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

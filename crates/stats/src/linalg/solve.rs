@@ -198,6 +198,7 @@ pub fn solve_spd_with_ridge(a: &Matrix, b: &[f64]) -> Result<(Vec<f64>, f64), Li
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

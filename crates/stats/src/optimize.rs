@@ -57,11 +57,19 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     }
     let mut flo = f(lo);
     let mut fhi = f(hi);
-    if flo == 0.0 {
-        return Ok(Root { x: lo, f: 0.0, iterations: 0 });
+    if crate::approx::is_exact_zero(flo) {
+        return Ok(Root {
+            x: lo,
+            f: 0.0,
+            iterations: 0,
+        });
     }
-    if fhi == 0.0 {
-        return Ok(Root { x: hi, f: 0.0, iterations: 0 });
+    if crate::approx::is_exact_zero(fhi) {
+        return Ok(Root {
+            x: hi,
+            f: 0.0,
+            iterations: 0,
+        });
     }
     if flo.signum() == fhi.signum() {
         return Err(OptimizeError::NoBracket);
@@ -71,8 +79,12 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         iterations += 1;
         let mid = 0.5 * (lo + hi);
         let fmid = f(mid);
-        if fmid == 0.0 || (hi - lo) < tol * (1.0 + mid.abs()) {
-            return Ok(Root { x: mid, f: fmid, iterations });
+        if crate::approx::is_exact_zero(fmid) || (hi - lo) < tol * (1.0 + mid.abs()) {
+            return Ok(Root {
+                x: mid,
+                f: fmid,
+                iterations,
+            });
         }
         if fmid.signum() == flo.signum() {
             lo = mid;
@@ -84,7 +96,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         let _ = fhi;
     }
     let mid = 0.5 * (lo + hi);
-    Ok(Root { x: mid, f: f(mid), iterations })
+    Ok(Root {
+        x: mid,
+        f: f(mid),
+        iterations,
+    })
 }
 
 /// Minimises a unimodal `f` on `[lo, hi]` by golden-section search.
@@ -157,6 +173,7 @@ pub fn expand_until_sign_change<F: FnMut(f64) -> f64>(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

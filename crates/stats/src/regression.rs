@@ -111,6 +111,7 @@ pub fn moving_average(ys: &[f64], half: usize) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 
@@ -130,7 +131,14 @@ mod tests {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 5.0 + 0.45 * x + if (x as u64).is_multiple_of(2) { 0.1 } else { -0.1 })
+            .map(|&x| {
+                5.0 + 0.45 * x
+                    + if (x as u64).is_multiple_of(2) {
+                        0.1
+                    } else {
+                        -0.1
+                    }
+            })
             .collect();
         let f = linear_fit(&xs, &ys).unwrap();
         assert!((f.slope - 0.45).abs() < 0.01);

@@ -37,7 +37,7 @@ pub fn ln_gamma(x: f64) -> f64 {
         // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
         let sin_pi_x = (std::f64::consts::PI * x).sin();
         assert!(
-            sin_pi_x != 0.0,
+            !crate::approx::is_exact_zero(sin_pi_x),
             "ln_gamma: pole at non-positive integer {x}"
         );
         return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
@@ -114,7 +114,7 @@ const FPMIN: f64 = 1e-300;
 pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "reg_gamma_p: shape must be positive, got {a}");
     assert!(x >= 0.0, "reg_gamma_p: x must be non-negative, got {x}");
-    if x == 0.0 {
+    if crate::approx::is_exact_zero(x) {
         return 0.0;
     }
     if a > LARGE_SHAPE {
@@ -131,7 +131,7 @@ pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
 pub fn reg_gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "reg_gamma_q: shape must be positive, got {a}");
     assert!(x >= 0.0, "reg_gamma_q: x must be non-negative, got {x}");
-    if x == 0.0 {
+    if crate::approx::is_exact_zero(x) {
         return 1.0;
     }
     if a > LARGE_SHAPE {
@@ -214,11 +214,14 @@ fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
 /// Panics if `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
 pub fn reg_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "reg_beta: shapes must be positive");
-    assert!((0.0..=1.0).contains(&x), "reg_beta: x must be in [0,1], got {x}");
-    if x == 0.0 {
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "reg_beta: x must be in [0,1], got {x}"
+    );
+    if crate::approx::is_exact_zero(x) {
         return 0.0;
     }
-    if x == 1.0 {
+    if crate::approx::bits_eq(x, 1.0) {
         return 1.0;
     }
     let ln_pref = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
@@ -280,7 +283,7 @@ fn beta_contfrac(a: f64, b: f64, x: f64) -> f64 {
 
 /// Error function `erf(x)`, via the incomplete gamma function.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if crate::approx::is_exact_zero(x) {
         0.0
     } else if x > 0.0 {
         reg_gamma_p(0.5, x * x)
@@ -300,6 +303,7 @@ pub fn erfc(x: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 
@@ -343,8 +347,8 @@ mod tests {
     fn ln_gamma_large_argument_stirling() {
         // Stirling: ln Γ(x) ≈ (x-0.5)ln x - x + 0.5 ln(2π) + 1/(12x)
         let x: f64 = 1e6;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x);
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
         close(ln_gamma(x), stirling, 1e-12);
     }
 
@@ -437,10 +441,8 @@ mod tests {
         for k in 1..=20u64 {
             let mut direct = 0.0;
             for j in k..=n {
-                direct += (ln_choose(n, j)
-                    + j as f64 * p.ln()
-                    + (n - j) as f64 * (1.0 - p).ln())
-                .exp();
+                direct +=
+                    (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp();
             }
             close(reg_beta(k as f64, (n - k + 1) as f64, p), direct, 1e-11);
         }

@@ -34,11 +34,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "rmse: length mismatch");
     assert!(!pred.is_empty(), "rmse: empty input");
-    let ss: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     (ss / pred.len() as f64).sqrt()
 }
 
@@ -50,7 +46,11 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "mae: length mismatch");
     assert!(!pred.is_empty(), "mae: empty input");
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Linear-interpolated quantile `q ∈ [0, 1]` of the data.
@@ -62,7 +62,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile: empty input");
     assert!((0.0..=1.0).contains(&q), "quantile: q out of range");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data")); // lint: allow(no-unwrap) loud NaN rejection is the contract
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -80,6 +80,7 @@ pub fn median(xs: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
     use super::*;
 

@@ -133,6 +133,73 @@ proptest! {
         }
     }
 
+    /// Adversarial GLM inputs: exactly collinear columns (rank-deficient
+    /// normal equations), wildly scaled covariates and huge counts. The
+    /// contract under attack is all-or-nothing: `fit` must either return
+    /// `Err` or a fit whose every coefficient, mean and rate is finite —
+    /// never a "successful" result carrying NaN/∞ into model selection.
+    #[test]
+    fn glm_rejects_or_stays_finite_on_adversarial_input(
+        counts in proptest::collection::vec(0u64..1_000_000, 3..12),
+        scale in prop_oneof![Just(1e-30f64), Just(1e-8), Just(1.0), Just(1e8), Just(1e30)],
+        collinear in any::<bool>(),
+        truncated in any::<bool>(),
+    ) {
+        let n = counts.len();
+        let mut data = vec![0.0; n * 3];
+        for i in 0..n {
+            data[i * 3] = 1.0; // intercept
+            data[i * 3 + 1] = (i % 4) as f64 * scale;
+            // Third column: either an exact copy of the second (singular
+            // normal equations) or an independent alternating covariate.
+            data[i * 3 + 2] = if collinear {
+                data[i * 3 + 1]
+            } else {
+                f64::from(u8::from(i % 2 == 0))
+            };
+        }
+        let design = Matrix::from_vec(n, 3, data);
+        let y: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let family = if truncated {
+            let max_count = *counts.iter().max().unwrap();
+            CountFamily::TruncatedPoisson(vec![max_count + 1; n])
+        } else {
+            CountFamily::Poisson
+        };
+        if let Ok(fit) = fit(&design, &y, &family, GlmOptions::default()) {
+            for (i, &c) in fit.coef.iter().enumerate() {
+                prop_assert!(c.is_finite(), "coef {i} = {c} not finite");
+            }
+            for (i, (&m, &l)) in fit.fitted.iter().zip(&fit.lambda).enumerate() {
+                prop_assert!(m.is_finite() && m >= 0.0, "fitted[{i}] = {m}");
+                prop_assert!(l.is_finite() && l >= 0.0, "lambda[{i}] = {l}");
+            }
+            prop_assert!(fit.log_likelihood.is_finite(), "loglik not finite");
+        }
+    }
+
+    /// Non-finite inputs must be rejected up front, never fitted through.
+    #[test]
+    fn glm_rejects_non_finite_design_and_response(
+        counts in proptest::collection::vec(0u64..100, 3..8),
+        poison in prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+        in_design in any::<bool>(),
+    ) {
+        let n = counts.len();
+        let mut data = vec![1.0; n * 2];
+        for i in 0..n {
+            data[i * 2 + 1] = i as f64;
+        }
+        let mut y: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        if in_design {
+            data[n] = poison; // somewhere past the first row
+        } else {
+            y[n / 2] = poison;
+        }
+        let design = Matrix::from_vec(n, 2, data);
+        prop_assert!(fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()).is_err());
+    }
+
     /// Poisson GLM invariant: with an intercept column, the fitted means
     /// sum to the observed total (score equation for the intercept).
     #[test]

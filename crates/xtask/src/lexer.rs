@@ -1,0 +1,548 @@
+//! A lightweight hand-rolled Rust lexer.
+//!
+//! crates.io is unreachable in this build environment, so `syn` is not an
+//! option; ghost-lint's rules only need a *token-accurate* view of the
+//! source — comments, strings and char literals stripped, float literals
+//! distinguished from integers, identifiers and punctuation kept with line
+//! numbers. The lexer therefore handles exactly the Rust surface syntax
+//! that can confuse a naive regex: nested block comments, raw strings with
+//! arbitrary `#` fences, byte/char literals vs lifetimes, numeric literals
+//! with separators/exponents/suffixes, and tuple indexing (`x.0` is not a
+//! float).
+//!
+//! Line comments are kept (as [`TokenKind::Comment`] tokens) because the
+//! justification escape hatch (`// lint: allow(rule) reason`) lives in
+//! them.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (any base, any suffix except f32/f64).
+    Int,
+    /// A float literal (decimal point, exponent, or f32/f64 suffix).
+    Float,
+    /// A string/char/byte literal (contents dropped).
+    Literal,
+    /// A lifetime or loop label, e.g. `'a`.
+    Lifetime,
+    /// One punctuation character: `.`, `=`, `!`, `<`, `(`, `[`, `#`, ….
+    Punct(char),
+    /// A line or block comment (text kept for `lint:` markers).
+    Comment(String),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line where the token starts.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenizes Rust source. Never fails: unterminated constructs consume to
+/// end of input (the compiler will reject such files anyway; the linter
+/// must simply not panic on them).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let _ = self.src;
+        let mut tokens = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    let text = self.line_comment();
+                    tokens.push(Token {
+                        kind: TokenKind::Comment(text),
+                        line,
+                    });
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let text = self.block_comment();
+                    tokens.push(Token {
+                        kind: TokenKind::Comment(text),
+                        line,
+                    });
+                }
+                '"' => {
+                    self.string_literal();
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+                '\'' => {
+                    let kind = self.char_or_lifetime();
+                    tokens.push(Token { kind, line });
+                }
+                'r' | 'b' if self.raw_or_byte_literal_ahead() => {
+                    self.raw_or_byte_literal();
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    let kind = self.number();
+                    tokens.push(Token { kind, line });
+                }
+                c if c == '_' || c.is_alphanumeric() => {
+                    let ident = self.ident();
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(ident),
+                        line,
+                    });
+                }
+                _ => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(c),
+                        line,
+                    });
+                }
+            }
+        }
+        tokens
+    }
+
+    fn line_comment(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    fn block_comment(&mut self) -> String {
+        let mut text = String::new();
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        text
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br`, `rb`-style
+    /// literal openers (rather than an identifier starting with r/b)?
+    fn raw_or_byte_literal_ahead(&self) -> bool {
+        let mut i = 0;
+        // Up to two prefix letters: r, b, br, rb.
+        while i < 2 {
+            match self.peek(i) {
+                Some('r') | Some('b') => i += 1,
+                _ => break,
+            }
+        }
+        if i == 0 {
+            return false;
+        }
+        match self.peek(i) {
+            Some('"') | Some('\'') => true,
+            Some('#') => {
+                // raw string fence: r#"..."# or r#ident (raw identifier).
+                // Raw identifiers are r#name with no quote after the hashes.
+                let mut j = i;
+                while self.peek(j) == Some('#') {
+                    j += 1;
+                }
+                self.peek(j) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte_literal(&mut self) {
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            match c {
+                'r' => {
+                    raw = true;
+                    self.bump();
+                }
+                'b' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if !raw {
+            // b"..." or b'.': delegate to the cooked scanners.
+            match self.peek(0) {
+                Some('"') => self.string_literal(),
+                Some('\'') => {
+                    self.bump(); // opening '
+                    if self.peek(0) == Some('\\') {
+                        self.bump();
+                    }
+                    self.bump(); // the byte
+                    self.bump(); // closing '
+                }
+                _ => {}
+            }
+            return;
+        }
+        // Raw string: count fence hashes, then scan to `"` + fence.
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut matched = 0usize;
+                    while matched < fence && self.peek(0) == Some('#') {
+                        matched += 1;
+                        self.bump();
+                    }
+                    if matched == fence {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // At a `'`. Lifetime iff an ident follows and is NOT closed by `'`.
+        let mut j = 1;
+        if let Some(c) = self.peek(1) {
+            if c == '_' || c.is_alphabetic() {
+                j += 1;
+                while let Some(c2) = self.peek(j) {
+                    if c2 == '_' || c2.is_alphanumeric() {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(j) != Some('\'') {
+                    // lifetime or label: consume `'` + ident
+                    for _ in 0..j {
+                        self.bump();
+                    }
+                    return TokenKind::Lifetime;
+                }
+            }
+        }
+        // Char literal: `'x'`, `'\n'`, `'\u{1F47B}'`.
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                if self.peek(0) == Some('u') {
+                    // \u{...}
+                    self.bump();
+                    if self.peek(0) == Some('{') {
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    self.bump();
+                }
+            }
+            Some(_) => {
+                self.bump();
+            }
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        TokenKind::Literal
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut is_float = false;
+        // Radix prefixes are always integers (0x, 0o, 0b).
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return TokenKind::Int;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Decimal point: float only if NOT `..` (range) and NOT `.ident`
+        // (method call / tuple field).
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some('.') => {}
+                Some(c) if c == '_' || c.is_alphabetic() => {}
+                _ => {
+                    is_float = true;
+                    self.bump(); // the dot
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign = usize::from(matches!(self.peek(1), Some('+') | Some('-')));
+            if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(); // e
+                for _ in 0..sign {
+                    self.bump();
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix: f32/f64 forces float; other suffixes keep int-ness.
+        if self.peek(0) == Some('f')
+            && (self.lookahead_word(1, "32") || self.lookahead_word(1, "64"))
+        {
+            is_float = true;
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn lookahead_word(&self, offset: usize, word: &str) -> bool {
+        word.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek(offset + i) == Some(c))
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges_vs_methods() {
+        assert_eq!(kinds("1.0"), vec![TokenKind::Float]);
+        assert_eq!(kinds("1e-9"), vec![TokenKind::Float]);
+        assert_eq!(kinds("3f64"), vec![TokenKind::Float]);
+        assert_eq!(kinds("42"), vec![TokenKind::Int]);
+        assert_eq!(kinds("0xffff"), vec![TokenKind::Int]);
+        // `0..10` is int, range, int — not a float.
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                TokenKind::Int,
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Int
+            ]
+        );
+        // `1.max(2)` is a method call on an integer.
+        assert_eq!(
+            kinds("1.max"),
+            vec![
+                TokenKind::Int,
+                TokenKind::Punct('.'),
+                TokenKind::Ident("max".into())
+            ]
+        );
+        // Trailing-dot floats.
+        assert_eq!(kinds("1."), vec![TokenKind::Float]);
+    }
+
+    #[test]
+    fn comments_strings_chars_lifetimes() {
+        assert_eq!(
+            kinds("// lint: sorted"),
+            vec![TokenKind::Comment("// lint: sorted".into())]
+        );
+        assert_eq!(
+            kinds("/* a /* nested */ b */"),
+            vec![TokenKind::Comment(" a  nested  b ".into())]
+        );
+        assert_eq!(kinds(r#""text with == 1.0""#), vec![TokenKind::Literal]);
+        assert_eq!(
+            kinds(r##"r#"raw "with" quotes"#"##),
+            vec![TokenKind::Literal]
+        );
+        assert_eq!(kinds("'x'"), vec![TokenKind::Literal]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Literal]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![
+                TokenKind::Punct('&'),
+                TokenKind::Lifetime,
+                TokenKind::Ident("str".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_contents_never_leak_tokens() {
+        // A string containing code must produce exactly one token.
+        let src = r#"let s = "HashMap.unwrap() == 1.0";"#;
+        let idents: Vec<String> = tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::Literal]);
+        assert_eq!(kinds("b'x'"), vec![TokenKind::Literal]);
+        assert_eq!(kinds(r##"br#"raw bytes"#"##), vec![TokenKind::Literal]);
+        // r#keyword is a raw identifier, not a raw string.
+        assert_eq!(
+            kinds("r#fn"),
+            vec![
+                TokenKind::Ident("r".into()),
+                TokenKind::Punct('#'),
+                TokenKind::Ident("fn".into())
+            ]
+        );
+    }
+}

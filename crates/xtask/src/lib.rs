@@ -1,0 +1,45 @@
+//! # xtask — workspace task runner
+//!
+//! Home of **ghost-lint**, the repo-specific static-analysis pass enforcing
+//! the determinism and numerical-safety invariants the *Capturing Ghosts*
+//! reproduction depends on (see DESIGN.md, "Static analysis & invariants").
+//!
+//! The linter is dependency-free by necessity — the build environment has
+//! no crates.io access, so there is no `syn`. Instead [`lexer`] hand-rolls
+//! a token stream (comments retained, string/char contents discarded) and
+//! [`rules`] pattern-matches invariants over it. [`api_lock`] pins the
+//! public surface of the vendored shims, and [`workspace`] walks and
+//! classifies the files.
+//!
+//! Run it as `cargo run -p xtask -- lint` (wired into `scripts/ci.sh`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api_lock;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use rules::Violation;
+use std::path::Path;
+
+/// Lints one file's source text under the given classification. This is the
+/// entry point the self-tests drive against fixture files.
+pub fn lint_source(source: &str, class: &rules::FileClass) -> Vec<Violation> {
+    rules::lint_tokens(&lexer::tokenize(source), class)
+}
+
+/// Lints the whole workspace rooted at `root`: every discovered `.rs` file
+/// plus the vendor API-drift check. Violations come back sorted by path
+/// then line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (path, class) in workspace::discover(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(&source, &class));
+    }
+    out.extend(api_lock::check(root)?);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}

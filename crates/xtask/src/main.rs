@@ -1,0 +1,55 @@
+//! ghost-lint CLI: `cargo run -p xtask -- lint [--update-api]`.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use xtask::{api_lock, lint_workspace, workspace};
+
+const USAGE: &str = "\
+Usage: cargo run -p xtask -- <command>
+
+Commands:
+  lint               run ghost-lint over the whole workspace (exit 1 on violations)
+  lint --update-api  regenerate crates/xtask/vendor_api.lock, then lint
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match args.as_slice() {
+        ["lint"] => run_lint(false),
+        ["lint", "--update-api"] | ["lint", "--update-api", "lint"] => run_lint(true),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(update_api: bool) -> ExitCode {
+    let root = workspace::workspace_root();
+    if update_api {
+        if let Err(e) = api_lock::update(&root) {
+            eprintln!("ghost-lint: failed to update vendor API lock: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("ghost-lint: regenerated {}", api_lock::LOCK_PATH);
+    }
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("ghost-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("ghost-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ghost-lint: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! ghost-lint rules: repo-specific invariants that clippy cannot express.
+//!
+//! Every rule operates on the token stream of one file plus a
+//! [`FileClass`] describing where the file sits in the workspace. Rules
+//! are scoped per crate and per section (library source vs tests vs
+//! benches), and every rule honours the justification escape hatch:
+//!
+//! ```text
+//! // lint: allow(<rule-id>) <reason>
+//! ```
+//!
+//! on the offending line or the line directly above it. `// lint: sorted`
+//! is an alias for `allow(hash-collections)` — it asserts that the hash
+//! container's iteration order cannot reach any output (or that the use is
+//! a deliberate reference model).
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Crates whose estimation paths feed the paper's AIC/BIC selection and
+/// profile-likelihood ranges: hash-iteration order must never reach them.
+const ESTIMATION_CRATES: [&str; 4] = ["core", "stats", "pipeline", "bench"];
+
+/// Crates required to be bit-deterministic in their inputs: no wall-clock,
+/// no OS randomness, and library code must not panic via unwrap/expect.
+const DETERMINISTIC_CRATES: [&str; 7] = [
+    "core", "stats", "net", "pipeline", "sim", "analysis", "ghosts",
+];
+
+/// Files allowed to compare floats with `==`: the approved helpers.
+const FLOAT_EQ_HELPERS: [&str; 1] = ["crates/stats/src/approx.rs"];
+
+/// Files that must call into `ghosts_core::invariant` (the estimation
+/// entry points the runtime validators guard).
+const INVARIANT_CALLERS: [&str; 3] = [
+    "crates/core/src/estimator.rs",
+    "crates/core/src/fit.rs",
+    "crates/core/src/select.rs",
+];
+
+/// Which target a file belongs to inside its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Library source (`src/`, excluding `src/bin/`).
+    Src,
+    /// Binary source (`src/bin/`).
+    Bin,
+    /// Integration tests (`tests/`).
+    Tests,
+    /// Criterion benches (`benches/`).
+    Benches,
+    /// Examples (`examples/`).
+    Examples,
+    /// Anything else (build scripts, fixtures).
+    Other,
+}
+
+/// Where a file sits in the workspace.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Crate name without the `ghosts-` prefix (`core`, `stats`, …),
+    /// `vendor/<name>` for vendored shims, or `""` for workspace-root
+    /// tests/examples.
+    pub crate_name: String,
+    /// The target section.
+    pub section: Section,
+    /// Repo-relative path with `/` separators.
+    pub rel_path: String,
+    /// Whether this file is a crate root (`src/lib.rs` or `src/main.rs`).
+    pub is_crate_root: bool,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (stable, used by `lint: allow(...)`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule ids (the vocabulary `lint: allow(...)` accepts).
+pub const RULE_HASH: &str = "hash-collections";
+/// Float `==`/`!=` comparisons outside the approved helpers.
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// Wall-clock or OS randomness in deterministic crates.
+pub const RULE_NONDETERMINISM: &str = "nondeterminism";
+/// `unwrap()`/`expect()` in library code outside tests.
+pub const RULE_UNWRAP: &str = "no-unwrap";
+/// Missing `#![forbid(unsafe_code)]` in a crate root.
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Estimation entry points not calling the runtime validators.
+pub const RULE_INVARIANT: &str = "invariant-usage";
+/// Vendored shim public API drifted from the checked-in lock.
+pub const RULE_API_DRIFT: &str = "api-drift";
+
+/// Lints one tokenized file. `tokens` must come from
+/// [`crate::lexer::tokenize`] on the file's full text.
+pub fn lint_tokens(tokens: &[Token], class: &FileClass) -> Vec<Violation> {
+    let allowed = allowed_lines(tokens);
+    let test_lines = cfg_test_lines(tokens);
+    let mut out = Vec::new();
+
+    rule_hash_collections(tokens, class, &allowed, &mut out);
+    rule_float_eq(tokens, class, &allowed, &test_lines, &mut out);
+    rule_nondeterminism(tokens, class, &allowed, &mut out);
+    rule_no_unwrap(tokens, class, &allowed, &test_lines, &mut out);
+    rule_forbid_unsafe(tokens, class, &mut out);
+    rule_invariant_usage(tokens, class, &test_lines, &mut out);
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lines carrying (or directly below) a `lint:` marker, with the rules the
+/// marker allows. The marker covers its own line and the next line, so both
+/// trailing comments and full-line comments above the code work.
+fn allowed_lines(tokens: &[Token]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for token in tokens {
+        let TokenKind::Comment(text) = &token.kind else {
+            continue;
+        };
+        let Some(idx) = text.find("lint:") else {
+            continue;
+        };
+        let directive = text[idx + "lint:".len()..].trim();
+        if directive.starts_with("sorted") {
+            out.push((token.line, RULE_HASH.to_string()));
+        } else if let Some(rest) = directive.strip_prefix("allow(") {
+            if let Some(end) = rest.find(')') {
+                out.push((token.line, rest[..end].trim().to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn is_allowed(allowed: &[(usize, String)], line: usize, rule: &str) -> bool {
+    allowed
+        .iter()
+        .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+}
+
+/// The set of lines inside `#[cfg(test)]` items (typically the in-file
+/// `mod tests { … }` block).
+fn cfg_test_lines(tokens: &[Token]) -> BTreeSet<usize> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Parse the attribute `#[ ... ]` and check it mentions cfg + test.
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].is_punct('!') {
+            j += 1; // inner attribute
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let attr_start = j + 1;
+        let mut depth = 1usize;
+        j += 1;
+        let (mut saw_cfg, mut saw_test) = (false, false);
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Ident(s) if j >= attr_start => {
+                    saw_cfg |= s == "cfg";
+                    saw_test |= s == "test";
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then swallow the annotated item:
+        // everything to the matching `}` of its first brace (or to `;`).
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            let mut d = 1usize;
+            j += 2;
+            while j < tokens.len() && d > 0 {
+                match tokens[j].kind {
+                    TokenKind::Punct('[') => d += 1,
+                    TokenKind::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let item_start_line = tokens.get(j).map_or(0, |t| t.line);
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Punct('{') => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                TokenKind::Punct('}') => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if entered && brace_depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if !entered => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let item_end_line = tokens.get(j).map_or(usize::MAX, |t| t.line);
+        for line in item_start_line..=item_end_line {
+            lines.insert(line);
+        }
+        i = j + 1;
+    }
+    lines
+}
+
+fn rule_hash_collections(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    out: &mut Vec<Violation>,
+) {
+    if !ESTIMATION_CRATES.contains(&class.crate_name.as_str())
+        || !matches!(class.section, Section::Src | Section::Benches)
+    {
+        return;
+    }
+    for token in tokens {
+        let Some(name) = token.ident() else { continue };
+        if (name == "HashMap" || name == "HashSet") && !is_allowed(allowed, token.line, RULE_HASH) {
+            out.push(Violation {
+                file: class.rel_path.clone(),
+                line: token.line,
+                rule: RULE_HASH,
+                message: format!(
+                    "{name} in an estimation crate: iteration order is \
+                     nondeterministic and can reach AIC/BIC selection — use \
+                     BTreeMap/BTreeSet, or justify with `// lint: sorted`"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_float_eq(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    let in_scope = (DETERMINISTIC_CRATES.contains(&class.crate_name.as_str())
+        || class.crate_name == "bench")
+        && matches!(class.section, Section::Src | Section::Bin)
+        && !FLOAT_EQ_HELPERS.contains(&class.rel_path.as_str());
+    if !in_scope {
+        return;
+    }
+    let float_operand = |idx: usize, forward: bool| -> bool {
+        // A float literal right at the operand position, optionally behind
+        // a unary minus, or a `f64::`/`f32::` associated constant.
+        let get = |k: usize| tokens.get(k);
+        if forward {
+            let mut k = idx;
+            if get(k).is_some_and(|t| t.is_punct('-')) {
+                k += 1;
+            }
+            match get(k).map(|t| &t.kind) {
+                Some(TokenKind::Float) => true,
+                Some(TokenKind::Ident(s)) if s == "f64" || s == "f32" => {
+                    get(k + 1).is_some_and(|t| t.is_punct(':'))
+                }
+                _ => false,
+            }
+        } else {
+            matches!(get(idx).map(|t| &t.kind), Some(TokenKind::Float))
+        }
+    };
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        let (a, b) = (&tokens[i], &tokens[i + 1]);
+        let is_eq = a.is_punct('=') && b.is_punct('=');
+        let is_ne = a.is_punct('!') && b.is_punct('=');
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // Not a comparison: `<=`, `>=`, `+=`, `=>`, `..=` and friends.
+        if is_eq
+            && i > 0
+            && matches!(
+                tokens[i - 1].kind,
+                TokenKind::Punct('<')
+                    | TokenKind::Punct('>')
+                    | TokenKind::Punct('!')
+                    | TokenKind::Punct('=')
+                    | TokenKind::Punct('+')
+                    | TokenKind::Punct('-')
+                    | TokenKind::Punct('*')
+                    | TokenKind::Punct('/')
+                    | TokenKind::Punct('%')
+                    | TokenKind::Punct('&')
+                    | TokenKind::Punct('|')
+                    | TokenKind::Punct('^')
+                    | TokenKind::Punct('.')
+            )
+        {
+            i += 1;
+            continue;
+        }
+        if tokens.get(i + 2).is_some_and(|t| t.is_punct('=')) {
+            i += 1;
+            continue;
+        }
+        let line = a.line;
+        let float_involved = (i > 0 && float_operand(i - 1, false)) || float_operand(i + 2, true);
+        if float_involved
+            && !test_lines.contains(&line)
+            && !is_allowed(allowed, line, RULE_FLOAT_EQ)
+        {
+            out.push(Violation {
+                file: class.rel_path.clone(),
+                line,
+                rule: RULE_FLOAT_EQ,
+                message: String::from(
+                    "exact float comparison: use ghosts_stats::approx \
+                     (bits_eq / rel_close / is_exact_zero), or justify with \
+                     `// lint: allow(float-eq) <reason>`",
+                ),
+            });
+        }
+        i += 2;
+    }
+}
+
+fn rule_nondeterminism(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    out: &mut Vec<Violation>,
+) {
+    if !DETERMINISTIC_CRATES.contains(&class.crate_name.as_str())
+        || !matches!(class.section, Section::Src)
+    {
+        return;
+    }
+    for token in tokens {
+        let Some(name) = token.ident() else { continue };
+        if matches!(name, "SystemTime" | "Instant" | "thread_rng")
+            && !is_allowed(allowed, token.line, RULE_NONDETERMINISM)
+        {
+            out.push(Violation {
+                file: class.rel_path.clone(),
+                line: token.line,
+                rule: RULE_NONDETERMINISM,
+                message: format!(
+                    "{name} in a deterministic crate: results must be a pure \
+                     function of the seed (use ghosts_stats::rng::component_rng \
+                     for randomness; timing belongs in the bench harness)"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_no_unwrap(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if !DETERMINISTIC_CRATES.contains(&class.crate_name.as_str())
+        || !matches!(class.section, Section::Src)
+    {
+        return;
+    }
+    for i in 0..tokens.len().saturating_sub(2) {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = tokens[i + 1].ident() else {
+            continue;
+        };
+        if (name == "unwrap" || name == "expect")
+            && tokens[i + 2].is_punct('(')
+            && !test_lines.contains(&tokens[i + 1].line)
+            && !is_allowed(allowed, tokens[i + 1].line, RULE_UNWRAP)
+        {
+            out.push(Violation {
+                file: class.rel_path.clone(),
+                line: tokens[i + 1].line,
+                rule: RULE_UNWRAP,
+                message: format!(
+                    "{name}() in library code: propagate a Result, or state \
+                     the invariant with `// lint: allow(no-unwrap) <why it \
+                     cannot fail>`"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_forbid_unsafe(tokens: &[Token], class: &FileClass, out: &mut Vec<Violation>) {
+    if !class.is_crate_root {
+        return;
+    }
+    // Look for `#![forbid(unsafe_code)]` — `#` `!` `[` forbid `(`
+    // unsafe_code `)` `]`, possibly with other lints in the same list.
+    let mut found = false;
+    for i in 0..tokens.len().saturating_sub(2) {
+        if tokens[i].is_punct('#') && tokens[i + 1].is_punct('!') && tokens[i + 2].is_punct('[') {
+            let mut j = i + 3;
+            let mut depth = 1usize;
+            let (mut saw_forbid, mut saw_unsafe) = (false, false);
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => depth -= 1,
+                    TokenKind::Ident(s) => {
+                        saw_forbid |= s == "forbid" || s == "deny";
+                        saw_unsafe |= s == "unsafe_code";
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_forbid && saw_unsafe {
+                found = true;
+                break;
+            }
+        }
+    }
+    if !found {
+        out.push(Violation {
+            file: class.rel_path.clone(),
+            line: 1,
+            rule: RULE_FORBID_UNSAFE,
+            message: String::from("crate root is missing `#![forbid(unsafe_code)]`"),
+        });
+    }
+}
+
+fn rule_invariant_usage(
+    tokens: &[Token],
+    class: &FileClass,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if !INVARIANT_CALLERS.contains(&class.rel_path.as_str()) {
+        return;
+    }
+    let called = tokens.windows(3).any(|w| {
+        w[0].ident() == Some("invariant")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && !test_lines.contains(&w[0].line)
+    });
+    if !called {
+        out.push(Violation {
+            file: class.rel_path.clone(),
+            line: 1,
+            rule: RULE_INVARIANT,
+            message: String::from(
+                "estimation entry point never calls the runtime validators \
+                 (ghosts_core::invariant::check_*)",
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn class(crate_name: &str, section: Section, rel: &str) -> FileClass {
+        FileClass {
+            crate_name: crate_name.into(),
+            section,
+            rel_path: rel.into(),
+            is_crate_root: false,
+        }
+    }
+
+    fn lint(src: &str, c: &FileClass) -> Vec<Violation> {
+        lint_tokens(&tokenize(src), c)
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let lines = cfg_test_lines(&tokenize(src));
+        assert!(lines.contains(&3) && lines.contains(&4) && lines.contains(&5));
+        assert!(!lines.contains(&1) && !lines.contains(&6));
+    }
+
+    #[test]
+    fn escape_hatch_applies_to_own_and_next_line() {
+        let c = class("core", Section::Src, "crates/core/src/x.rs");
+        let trailing = "use std::collections::HashMap; // lint: sorted\n";
+        assert!(lint(trailing, &c).is_empty());
+        let above = "// lint: sorted probe-only\nuse std::collections::HashMap;\n";
+        assert!(lint(above, &c).is_empty());
+        let missing = "use std::collections::HashMap;\n";
+        assert_eq!(lint(missing, &c).len(), 1);
+    }
+
+    #[test]
+    fn float_eq_ignores_compound_operators_and_ints() {
+        let c = class("core", Section::Src, "crates/core/src/x.rs");
+        for ok in [
+            "fn f(x: f64) -> bool { x <= 1.0 }",
+            "fn f(x: f64) -> f64 { let mut y = 0.0; y += 1.0; y }",
+            "fn f(x: usize) -> bool { x == 1 }",
+            "fn f(x: f64) -> f64 { if x > 2.0 { x } else { 2.0 } }",
+        ] {
+            assert!(lint(ok, &c).is_empty(), "false positive on: {ok}");
+        }
+        for bad in [
+            "fn f(x: f64) -> bool { x == 1.0 }",
+            "fn f(x: f64) -> bool { 0.5 != x }",
+            "fn f(x: f64) -> bool { x == -1.0 }",
+            "fn f(x: f64) -> bool { x == f64::INFINITY }",
+        ] {
+            let v = lint(bad, &c);
+            assert_eq!(v.len(), 1, "missed: {bad}");
+            assert_eq!(v[0].rule, RULE_FLOAT_EQ);
+        }
+    }
+
+    #[test]
+    fn unwrap_rule_spares_tests_and_unwrap_or() {
+        let c = class("net", Section::Src, "crates/net/src/x.rs");
+        let src = "\
+fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+fn g(x: Option<u32>) -> u32 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    fn h(x: Option<u32>) -> u32 { x.unwrap() }
+}
+";
+        let v = lint(src, &c);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].line, v[0].rule), (2, RULE_UNWRAP));
+    }
+
+    #[test]
+    fn nondeterminism_only_in_deterministic_crates() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }";
+        let in_sim = class("sim", Section::Src, "crates/sim/src/x.rs");
+        assert_eq!(lint(src, &in_sim).len(), 1);
+        // The bench harness may time things.
+        let in_bench = class("bench", Section::Bin, "crates/bench/src/bin/repro.rs");
+        assert!(lint(src, &in_bench).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_crate_roots_only() {
+        let mut c = class("net", Section::Src, "crates/net/src/lib.rs");
+        c.is_crate_root = true;
+        assert_eq!(lint("pub fn f() {}", &c).len(), 1);
+        assert!(lint("#![forbid(unsafe_code)]\npub fn f() {}", &c).is_empty());
+        let inner = class("net", Section::Src, "crates/net/src/other.rs");
+        assert!(lint("pub fn f() {}", &inner).is_empty());
+    }
+
+    #[test]
+    fn invariant_usage_required_in_entry_points() {
+        let c = class("core", Section::Src, "crates/core/src/fit.rs");
+        let bad = "pub fn fit_llm() {}";
+        let v = lint(bad, &c);
+        assert!(v.iter().any(|v| v.rule == RULE_INVARIANT));
+        let good = "use crate::invariant;\npub fn fit_llm(t: &T) { invariant::check_table(t); }";
+        assert!(lint(good, &c).iter().all(|v| v.rule != RULE_INVARIANT));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let c = class("core", Section::Src, "crates/core/src/x.rs");
+        let src = r#"
+/// Docs may say HashMap and x == 1.0 freely.
+fn f() -> &'static str { "HashMap .unwrap() == 1.0 Instant" }
+"#;
+        assert!(lint(src, &c).is_empty());
+    }
+}

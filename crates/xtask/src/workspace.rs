@@ -1,0 +1,133 @@
+//! Workspace discovery: find every `.rs` file ghost-lint should see and
+//! classify it with a [`FileClass`].
+//!
+//! No external walker crates (the build is offline), so this is a plain
+//! recursive `std::fs` traversal with a deny-list.
+
+use crate::rules::{FileClass, Section};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into, relative names.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "results", "data"];
+
+/// Path fragments excluded from linting: the lint self-test fixtures are
+/// deliberate violations.
+const SKIP_FRAGMENTS: [&str; 1] = ["crates/xtask/tests/fixtures"];
+
+/// Discovers every lintable `.rs` file under `root`, classified and sorted
+/// by path (deterministic output order).
+pub fn discover(root: &Path) -> std::io::Result<Vec<(PathBuf, FileClass)>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.1.rel_path.cmp(&b.1.rel_path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, FileClass)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            if SKIP_FRAGMENTS.iter().any(|f| rel.starts_with(f)) {
+                continue;
+            }
+            let class = classify(&rel);
+            out.push((path, class));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classifies a repo-relative path (`/`-separated).
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, rest): (String, &[&str]) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => ((*name).to_string(), rest),
+        ["vendor", name, rest @ ..] => (format!("vendor/{name}"), rest),
+        rest => (String::new(), rest),
+    };
+    let section = match rest {
+        ["src", "bin", ..] => Section::Bin,
+        ["src", ..] => Section::Src,
+        ["tests", ..] => Section::Tests,
+        ["benches", ..] => Section::Benches,
+        ["examples", ..] => Section::Examples,
+        _ => Section::Other,
+    };
+    let is_crate_root =
+        !crate_name.is_empty() && (rest == ["src", "lib.rs"] || rest == ["src", "main.rs"]);
+    FileClass {
+        crate_name,
+        section,
+        rel_path: rel.to_string(),
+        is_crate_root,
+    }
+}
+
+/// Locates the workspace root: walks up from this crate's manifest dir.
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").is_file() && p.join("crates").is_dir())
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_sections() {
+        let c = classify("crates/core/src/fit.rs");
+        assert_eq!(c.crate_name, "core");
+        assert!(matches!(c.section, Section::Src));
+        assert!(!c.is_crate_root);
+
+        let c = classify("crates/bench/src/bin/repro.rs");
+        assert!(matches!(c.section, Section::Bin));
+
+        let c = classify("crates/net/src/lib.rs");
+        assert!(c.is_crate_root);
+
+        let c = classify("vendor/rand/src/lib.rs");
+        assert_eq!(c.crate_name, "vendor/rand");
+        assert!(c.is_crate_root);
+
+        let c = classify("crates/stats/tests/prop.rs");
+        assert!(matches!(c.section, Section::Tests));
+
+        let c = classify("crates/bench/benches/bench_addrset.rs");
+        assert!(matches!(c.section, Section::Benches));
+    }
+
+    #[test]
+    fn discover_finds_this_file_and_skips_fixtures() {
+        let root = workspace_root();
+        let files = discover(&root).expect("walk workspace");
+        let rels: Vec<&str> = files.iter().map(|(_, c)| c.rel_path.as_str()).collect();
+        assert!(rels.contains(&"crates/xtask/src/workspace.rs"));
+        assert!(rels.iter().all(|r| !r.contains("tests/fixtures")));
+        assert!(rels.iter().all(|r| !r.starts_with("target/")));
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture: float-eq fires on lines 4, 9, 14; quiet on the integer compare
+// (line 19), compound operators (lines 25-26) and the test module.
+
+fn direct(x: f64) -> bool { x == 1.0 }
+
+fn reversed(x: f64) -> bool {
+    // The literal is on the left this time.
+
+    0.5 != x
+}
+
+fn against_const(x: f64) -> bool {
+    let nan = f64::NAN;
+    x == f64::INFINITY && !(x == nan)
+}
+
+fn ints_are_fine(x: usize) -> bool {
+
+    x == 1
+}
+
+fn compound(mut x: f64) -> f64 {
+    // `+=`, `<=`, `>=` are not equality tests.
+
+    x += 1.0;
+    if x <= 2.0 || x >= 3.0 { x } else { -x }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_in_tests_is_fine() {
+        let y = 0.25;
+        assert!(y == 0.25);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: hash-collections must fire on lines 4 and 7, but not on the
+// justified use on line 11 or the comment/string mentions on lines 15-16.
+
+use std::collections::HashMap;
+
+fn build() {
+    let mut m: HashMap<u32, u32> = Default::default();
+    m.insert(1, 2);
+}
+
+fn justified() -> std::collections::HashSet<u32> { /* lint: sorted drained into a Vec and sorted before use */
+    Default::default()
+}
+
+// A doc mention of HashMap is fine.
+fn strings() -> &'static str { "HashMap" }

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` — forbid-unsafe
+//! must fire at line 1 when this text is classified as a crate root.
+
+pub fn harmless() -> u32 {
+    7
+}

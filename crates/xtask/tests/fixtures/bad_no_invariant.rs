@@ -1,0 +1,16 @@
+//! Fixture: an estimation entry point that never calls the runtime
+//! validators — invariant-usage must fire when this text is classified as
+//! `crates/core/src/fit.rs`. The mention inside the test module must not
+//! count as a real call.
+
+pub fn fit_llm(y: &[f64]) -> f64 {
+    y.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mentions_do_not_count() {
+        crate::invariant::check_table;
+    }
+}

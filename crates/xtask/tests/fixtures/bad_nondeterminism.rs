@@ -1,0 +1,13 @@
+// Fixture: nondeterminism must fire on lines 4, 6 and 8, and accept the
+// justified timing read on line 12.
+
+use std::time::Instant;
+
+fn stamp() { let _ = std::time::SystemTime::now(); }
+
+fn roll() { let _ = rand::thread_rng(); }
+
+fn justified() {
+    // lint: allow(nondeterminism) coarse progress logging, never in results
+    let _ = Instant::now();
+}

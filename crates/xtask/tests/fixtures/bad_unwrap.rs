@@ -1,0 +1,22 @@
+// Fixture: no-unwrap must fire on lines 4 and 7, skip the justified site on
+// line 11, skip `unwrap_or` (line 14) and skip the test module entirely.
+
+fn first(v: &[u32]) -> u32 { *v.first().unwrap() }
+
+fn named(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees non-empty")
+}
+
+fn justified(v: &[u32]) -> u32 {
+    *v.first().expect("non-empty") // lint: allow(no-unwrap) checked by caller
+}
+
+fn fallback(v: &[u32]) -> u32 { v.first().copied().unwrap_or(0) }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::fallback(&[]), [0u32].first().copied().unwrap());
+    }
+}

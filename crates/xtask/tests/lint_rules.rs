@@ -1,0 +1,128 @@
+//! Self-tests for ghost-lint: each fixture under `tests/fixtures/` is a
+//! known-bad file for one rule; the test pins exactly which lines fire.
+//! The final test runs the real linter over the real workspace — the
+//! tree must be clean, which is the same gate `scripts/ci.sh` enforces.
+
+use xtask::rules::{FileClass, Section, Violation};
+use xtask::{lint_source, lint_workspace, workspace};
+
+fn fixture(name: &str) -> String {
+    let path = workspace::workspace_root()
+        .join("crates/xtask/tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+fn class(crate_name: &str, section: Section, rel: &str, root: bool) -> FileClass {
+    FileClass {
+        crate_name: crate_name.into(),
+        section,
+        rel_path: rel.into(),
+        is_crate_root: root,
+    }
+}
+
+/// (rule, line) pairs of the violations, for compact comparison.
+fn fired(violations: &[Violation]) -> Vec<(&str, usize)> {
+    violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn hash_collections_fixture() {
+    let c = class("core", Section::Src, "crates/core/src/bad.rs", false);
+    let v = lint_source(&fixture("bad_hash.rs"), &c);
+    assert_eq!(
+        fired(&v),
+        vec![("hash-collections", 4), ("hash-collections", 7)]
+    );
+    // Out of scope (net is not an estimation crate): no violations at all.
+    let c = class("net", Section::Src, "crates/net/src/bad.rs", false);
+    assert!(lint_source(&fixture("bad_hash.rs"), &c).is_empty());
+}
+
+#[test]
+fn float_eq_fixture() {
+    let c = class("stats", Section::Src, "crates/stats/src/bad.rs", false);
+    let v = lint_source(&fixture("bad_float_eq.rs"), &c);
+    assert_eq!(
+        fired(&v),
+        vec![("float-eq", 4), ("float-eq", 9), ("float-eq", 14)]
+    );
+    // The approved-helper file is allowlisted wholesale.
+    let c = class("stats", Section::Src, "crates/stats/src/approx.rs", false);
+    assert!(lint_source(&fixture("bad_float_eq.rs"), &c).is_empty());
+}
+
+#[test]
+fn nondeterminism_fixture() {
+    let c = class("sim", Section::Src, "crates/sim/src/bad.rs", false);
+    let v = lint_source(&fixture("bad_nondeterminism.rs"), &c);
+    assert_eq!(
+        fired(&v),
+        vec![
+            ("nondeterminism", 4),
+            ("nondeterminism", 6),
+            ("nondeterminism", 8)
+        ]
+    );
+    // The bench binary harness may time things.
+    let c = class(
+        "bench",
+        Section::Bin,
+        "crates/bench/src/bin/repro.rs",
+        false,
+    );
+    assert!(lint_source(&fixture("bad_nondeterminism.rs"), &c).is_empty());
+}
+
+#[test]
+fn no_unwrap_fixture() {
+    let c = class("net", Section::Src, "crates/net/src/bad.rs", false);
+    let v = lint_source(&fixture("bad_unwrap.rs"), &c);
+    assert_eq!(fired(&v), vec![("no-unwrap", 4), ("no-unwrap", 7)]);
+}
+
+#[test]
+fn forbid_unsafe_fixture() {
+    let src = fixture("bad_missing_forbid.rs");
+    let root = class("net", Section::Src, "crates/net/src/lib.rs", true);
+    assert_eq!(fired(&lint_source(&src, &root)), vec![("forbid-unsafe", 1)]);
+    // Same text as a non-root module: fine.
+    let inner = class("net", Section::Src, "crates/net/src/inner.rs", false);
+    assert!(lint_source(&src, &inner).is_empty());
+    // With the pragma present: fine.
+    let fixed = format!("#![forbid(unsafe_code)]\n{src}");
+    assert!(lint_source(&fixed, &root).is_empty());
+}
+
+#[test]
+fn invariant_usage_fixture() {
+    let src = fixture("bad_no_invariant.rs");
+    let c = class("core", Section::Src, "crates/core/src/fit.rs", false);
+    let v = lint_source(&src, &c);
+    assert!(
+        fired(&v).contains(&("invariant-usage", 1)),
+        "mention inside #[cfg(test)] must not satisfy the rule: {v:?}"
+    );
+    // A real call site outside tests satisfies it.
+    let fixed =
+        format!("use crate::invariant;\nfn f(t: &T) {{ invariant::check_table(t); }}\n{src}");
+    let v = lint_source(&fixed, &c);
+    assert!(v.iter().all(|v| v.rule != "invariant-usage"), "{v:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = workspace::workspace_root();
+    let violations = lint_workspace(&root).expect("lint workspace");
+    assert!(
+        violations.is_empty(),
+        "ghost-lint found violations in the tree:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

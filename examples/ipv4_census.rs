@@ -18,7 +18,10 @@ fn main() {
 
     println!("synthetic Internet:");
     println!("  allocations     : {}", gt.registry.len());
-    println!("  allocated addrs : {}", gt.registry.allocated_address_count());
+    println!(
+        "  allocated addrs : {}",
+        gt.registry.allocated_address_count()
+    );
     println!("  routed addrs    : {}", gt.routed.address_count());
     println!("  routed /24s     : {}", gt.routed.subnet24_count());
 
@@ -55,8 +58,8 @@ fn main() {
     let sets = data.addr_sets();
     let table = ContingencyTable::from_addr_sets(&sets);
     let cfg = CrConfig::paper();
-    let est = estimate_table(&table, Some(gt.routed.address_count()), &cfg)
-        .expect("estimable window");
+    let est =
+        estimate_table(&table, Some(gt.routed.address_count()), &cfg).expect("estimable window");
     println!("\ncapture-recapture:");
     println!("  selected model : {}", est.model);
     println!("  ghosts         : {:.0}", est.unseen);
@@ -73,6 +76,8 @@ fn main() {
         est_err < obs_err,
         "CR must recover ghosts the union misses ({est_err:.0} vs {obs_err:.0})"
     );
-    println!("\nCR closed {:.0}% of the gap the union leaves.",
-        100.0 * (1.0 - est_err / obs_err));
+    println!(
+        "\nCR closed {:.0}% of the gap the union leaves.",
+        100.0 * (1.0 - est_err / obs_err)
+    );
 }

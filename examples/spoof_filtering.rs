@@ -26,10 +26,16 @@ fn main() {
     let swin_clean = &clean_truth.source("SWIN").expect("SWIN online").addrs;
     let spoof_free = dirty.spoof_free_union();
 
-    println!("SWIN raw          : {:>7} addrs, {:>6} /24s",
-        swin_dirty.len(), swin_dirty.to_subnet24().len());
-    println!("SWIN without spoof: {:>7} addrs, {:>6} /24s (counterfactual)",
-        swin_clean.len(), swin_clean.to_subnet24().len());
+    println!(
+        "SWIN raw          : {:>7} addrs, {:>6} /24s",
+        swin_dirty.len(),
+        swin_dirty.to_subnet24().len()
+    );
+    println!(
+        "SWIN without spoof: {:>7} addrs, {:>6} /24s (counterfactual)",
+        swin_clean.len(),
+        swin_clean.to_subnet24().len()
+    );
 
     // At mini-Internet scale the spoofable universe is the routed space,
     // so the filter normalises spoof rates per routed /8 (DESIGN.md §2).
@@ -39,14 +45,20 @@ fn main() {
 
     println!("\nfilter internals:");
     println!("  empty /8s used  : {:?}", report.empty_eights);
-    println!("  S estimate      : {:.0} spoofed per /8", report.s_estimate);
+    println!(
+        "  S estimate      : {:.0} spoofed per /8",
+        report.s_estimate
+    );
     println!("  threshold m     : {}", report.m);
     println!("  /24s removed    : {}", report.removed_subnets);
     println!("  stage-1 addrs   : {}", report.removed_stage1);
     println!("  stage-2 addrs   : {}", report.removed_stage2);
 
-    println!("\nSWIN filtered     : {:>7} addrs, {:>6} /24s",
-        report.filtered.len(), report.filtered.to_subnet24().len());
+    println!(
+        "\nSWIN filtered     : {:>7} addrs, {:>6} /24s",
+        report.filtered.len(),
+        report.filtered.to_subnet24().len()
+    );
 
     // How much of the real signal survived, and how much spoof leaked?
     let kept_real = report

@@ -82,11 +82,7 @@ fn main() {
     println!("\nghost /24-equivalents (merge model) : {ghost24:.0}");
 
     // Independent cross-check: the LLM's own /24 ghost estimate.
-    let subnet_sets: Vec<_> = data
-        .sources
-        .iter()
-        .map(|d| d.subnets())
-        .collect();
+    let subnet_sets: Vec<_> = data.sources.iter().map(|d| d.subnets()).collect();
     let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
     let table24 = ContingencyTable::from_subnet_sets(&refs);
     let est24 = estimate_table(

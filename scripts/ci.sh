@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> ghost-lint (cargo run -p xtask -- lint)"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

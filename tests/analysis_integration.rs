@@ -57,7 +57,11 @@ fn growth_series_shapes_match_paper() {
     let obs_fit = obs_series.trend().unwrap();
     let truth_fit = truth_series.trend().unwrap();
     assert!(obs_fit.slope > 0.0 && truth_fit.slope > 0.0);
-    assert!(truth_fit.r_squared > 0.95, "truth R² {}", truth_fit.r_squared);
+    assert!(
+        truth_fit.r_squared > 0.95,
+        "truth R² {}",
+        truth_fit.r_squared
+    );
     // Normalised growth of the observed union outpaces the routed space
     // (which is constant here), as in Fig 5.
     let norm = obs_series.normalised();
@@ -159,8 +163,8 @@ fn fig3_style_ranges_cover_most_sources() {
         min_stratum_observed: 0,
         ..CrConfig::paper()
     };
-    let results = cross_validate_window(&data, Granularity::Addresses, &cfg, true)
-        .expect("cv with ranges");
+    let results =
+        cross_validate_window(&data, Granularity::Addresses, &cfg, true).expect("cv with ranges");
     let mut covered = 0usize;
     for r in &results {
         let range = r.range.expect("requested");

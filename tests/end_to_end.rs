@@ -20,8 +20,12 @@ fn cr_beats_observed_union_on_addresses() {
     let sets = data.addr_sets();
     let table = ContingencyTable::from_addr_sets(&sets);
     let observed = table.observed_total() as f64;
-    let est = estimate_table(&table, Some(s.gt.routed.address_count()), &CrConfig::paper())
-        .expect("window estimable");
+    let est = estimate_table(
+        &table,
+        Some(s.gt.routed.address_count()),
+        &CrConfig::paper(),
+    )
+    .expect("window estimable");
 
     assert!(observed < truth, "the union must undercount");
     assert!(est.total > observed, "CR must add ghosts");
@@ -47,8 +51,12 @@ fn cr_beats_observed_union_on_subnets() {
     let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
     let table = ContingencyTable::from_subnet_sets(&refs);
     let observed = table.observed_total() as f64;
-    let est = estimate_table(&table, Some(s.gt.routed.subnet24_count()), &CrConfig::paper())
-        .expect("window estimable");
+    let est = estimate_table(
+        &table,
+        Some(s.gt.routed.subnet24_count()),
+        &CrConfig::paper(),
+    )
+    .expect("window estimable");
 
     assert!(observed < truth);
     assert!(est.total >= observed);

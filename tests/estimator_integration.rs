@@ -13,15 +13,12 @@ fn scenario() -> Scenario {
 /// Builds per-RIR stratified tables for a window.
 fn rir_tables(s: &Scenario, data: &WindowData) -> (Vec<ContingencyTable>, Vec<u64>) {
     let sets = data.addr_sets();
-    let tables = ghosts::core::ContingencyTable::stratified_from_addr_sets(
-        &sets,
-        Rir::ALL.len(),
-        |addr| {
+    let tables =
+        ghosts::core::ContingencyTable::stratified_from_addr_sets(&sets, Rir::ALL.len(), |addr| {
             s.gt.registry
                 .lookup(addr)
                 .map(|(_, a)| Rir::ALL.iter().position(|r| *r == a.rir).unwrap())
-        },
-    );
+        });
     let mut limits = vec![0u64; Rir::ALL.len()];
     for p in s.gt.routed.prefixes() {
         if let Some((_, a)) = s.gt.registry.lookup(p.base()) {
@@ -42,8 +39,12 @@ fn stratified_total_consistent_with_unstratified() {
 
     let sets = data.addr_sets();
     let table = ContingencyTable::from_addr_sets(&sets);
-    let flat = estimate_table(&table, Some(s.gt.routed.address_count()), &CrConfig::paper())
-        .expect("flat estimate");
+    let flat = estimate_table(
+        &table,
+        Some(s.gt.routed.address_count()),
+        &CrConfig::paper(),
+    )
+    .expect("flat estimate");
 
     let (tables, limits) = rir_tables(&s, &data);
     let strat = estimate_stratified(&tables, Some(&limits), &CrConfig::paper())
@@ -124,12 +125,8 @@ fn truth_networks_estimated_better_than_observed() {
             continue; // network barely sampled at this scale
         }
         let net_truth = truth.count_in_prefix(n.prefix) as f64;
-        let est = estimate_table(
-            &table,
-            Some(n.prefix.num_addresses()),
-            &CrConfig::paper(),
-        )
-        .expect("network estimable");
+        let est = estimate_table(&table, Some(n.prefix.num_addresses()), &CrConfig::paper())
+            .expect("network estimable");
         total += 1;
         let obs_err = (net_truth - est.observed as f64).abs();
         let est_err = (net_truth - est.total).abs();
@@ -186,12 +183,8 @@ fn truncated_beats_poisson_on_small_strata() {
             ..CrConfig::paper()
         };
         let plain = estimate_table(&table, None, &plain_cfg).unwrap();
-        let trunc = estimate_table(
-            &table,
-            Some(n.prefix.num_addresses()),
-            &CrConfig::paper(),
-        )
-        .unwrap();
+        let trunc =
+            estimate_table(&table, Some(n.prefix.num_addresses()), &CrConfig::paper()).unwrap();
         cases += 1;
         if (net_truth - trunc.total).abs() <= (net_truth - plain.total).abs() {
             trunc_wins += 1;

@@ -33,11 +33,10 @@ fn routed_filter_drops_injected_garbage() {
     let before = polluted.len();
     polluted.insert(addr_from_str("10.1.2.3").unwrap()); // reserved
     polluted.insert(addr_from_str("192.168.7.7").unwrap()); // reserved
-    // An address in public but unrouted space: find one.
+                                                            // An address in public but unrouted space: find one.
     let mut unrouted = None;
     for candidate in (0..20_000u32).map(|i| 0xDD00_0000 + i * 131) {
-        if !s.gt.routed.is_routed(candidate) && !ghosts::net::bogons::is_reserved(candidate)
-        {
+        if !s.gt.routed.is_routed(candidate) && !ghosts::net::bogons::is_reserved(candidate) {
             unrouted = Some(candidate);
             break;
         }

@@ -11,6 +11,10 @@
 //! filtering and the `--test` smoke-run flag (used by `cargo test
 //! --benches`) are honoured.
 
+#![forbid(unsafe_code)]
+// A bench harness measures wall-clock time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// An opaque-to-the-optimiser identity function.
@@ -51,8 +55,8 @@ impl Bencher<'_> {
         let t0 = Instant::now();
         black_box(routine());
         let once = t0.elapsed();
-        let inner = (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1))
-            .clamp(1, 10_000) as usize;
+        let inner = (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+            as usize;
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..inner {
@@ -118,11 +122,7 @@ impl Criterion {
     }
 
     /// Benchmarks outside any group.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
-        &mut self,
-        id: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
         let id = id.to_string();
         run_one(self, &id, 30, f);
         self
@@ -149,11 +149,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
-        &mut self,
-        id: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         run_one(self.parent, &full, self.sample_size, f);
         self
@@ -163,12 +159,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher<'_>)>(
-    c: &mut Criterion,
-    id: &str,
-    samples: usize,
-    mut f: F,
-) {
+fn run_one<F: FnMut(&mut Bencher<'_>)>(c: &mut Criterion, id: &str, samples: usize, mut f: F) {
     if let Some(filter) = &c.filter {
         if !id.contains(filter.as_str()) {
             return;

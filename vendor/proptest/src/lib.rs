@@ -12,6 +12,11 @@
 //!   without a persistence file.
 //! * `PROPTEST_CASES` overrides the per-test case count (default 64).
 
+#![forbid(unsafe_code)]
+// API parity with real proptest requires exposing HashSet strategies;
+// test reference models are outside the determinism boundary.
+#![allow(clippy::disallowed_types)]
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
@@ -399,7 +404,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }
@@ -427,8 +434,8 @@ macro_rules! prop_oneof {
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude`.
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Just, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy, TestCaseError,
     };
 }
 

@@ -10,6 +10,8 @@
 //! output streams are this crate's own (all workspace expectations are
 //! derived from these streams, not upstream's).
 
+#![forbid(unsafe_code)]
+
 /// The core of a random number generator, mirroring `rand_core::RngCore`.
 pub trait RngCore {
     /// Returns the next 32 random bits.

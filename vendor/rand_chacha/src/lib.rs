@@ -10,6 +10,8 @@
 //! equality with crates.io `rand_chacha` streams is not guaranteed and not
 //! relied upon anywhere in the workspace.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
@@ -135,9 +137,9 @@ mod tests {
     #[test]
     fn rfc8439_block_vector() {
         let mut rng = ChaCha20Rng::from_seed([
-            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
-            0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19,
-            0x1a, 0x1b, 0x1c, 0x1d, 0x1e, 0x1f,
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+            0x1c, 0x1d, 0x1e, 0x1f,
         ]);
         // RFC nonce: 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1.
         // Our layout has a 64-bit counter followed by a 64-bit nonce, so

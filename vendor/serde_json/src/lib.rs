@@ -8,6 +8,8 @@
 //! crate's `preserve_order` feature that result files were designed
 //! around.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON number: integers are kept exact, everything else is an `f64`.
