@@ -1,0 +1,155 @@
+//! `perf_record` — measures the estimator's hot paths through the
+//! observability layer and writes a `RunManifest` perf record
+//! (`BENCH_pr3.json` is the committed first point of the trajectory).
+//!
+//! ```text
+//! cargo run -p ghosts-bench --release --bin perf_record -- BENCH_pr3.json
+//! ```
+//!
+//! Two timing lanes per workload:
+//! * `*_disabled_us` — recorder disabled (the no-op branch production code
+//!   runs with); this is the trajectory number.
+//! * `*_enabled_us` — full tracing on, to keep the cost of observing
+//!   itself observable.
+//!
+//! Wall timings are volatile by construction and land only in the
+//! manifest's `volatile` section; the deterministic counters/histograms
+//! ingested alongside them (fit counts, GLM iterations, models evaluated)
+//! are byte-stable for the pinned seed.
+
+use ghosts_core::{
+    estimate_stratified, estimate_table, CellModel, ContingencyTable, CrConfig, LogLinearModel,
+    Parallelism,
+};
+use ghosts_obs::{Clock, FieldValue, LogicalClock, Recorder, RunManifest, WallClock};
+use ghosts_stats::rng::component_rng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Fixed-seed synthetic table: `t` sources, `n` individuals, two latent
+/// capture classes (same generator as the Criterion model-selection bench).
+fn synthetic_table(t: usize, n: usize, seed: u64) -> ContingencyTable {
+    let mut rng = component_rng(seed, "perf-record");
+    let mut table = ContingencyTable::new(t);
+    for _ in 0..n {
+        let sociable = rng.gen_bool(0.5);
+        let mut mask = 0u16;
+        for i in 0..t {
+            let p = if sociable { 0.5 } else { 0.15 };
+            if rng.gen_bool(p) {
+                mask |= 1 << i;
+            }
+        }
+        table.record(mask);
+    }
+    table
+}
+
+/// Median wall microseconds of `iters` runs of `f`, after two untimed
+/// warm-up runs (cold caches otherwise bias whichever lane runs first).
+fn median_us<F: FnMut()>(wall: &WallClock, iters: usize, mut f: F) -> u64 {
+    f();
+    f();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = wall.now();
+        f();
+        samples.push(wall.now() - t0);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let wall = WallClock::new();
+    let iters = 9usize;
+
+    let table6 = synthetic_table(6, 60_000, 1);
+    let strata: Vec<ContingencyTable> = (0..8)
+        .map(|s| synthetic_table(4, 20_000, 100 + s))
+        .collect();
+    let cfg_quiet = CrConfig {
+        truncated: false,
+        ..CrConfig::paper()
+    };
+
+    eprintln!("perf_record: timing estimate_table (recorder disabled)…");
+    let est_disabled_us = median_us(&wall, iters, || {
+        estimate_table(&table6, None, &cfg_quiet).expect("synthetic table estimable");
+    });
+
+    eprintln!("perf_record: timing estimate_table (recorder enabled)…");
+    // One long-lived recorder: the enabled lane measures recording into a
+    // live sink, and its counters become the deterministic payload below.
+    let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+    let cfg_traced = CrConfig {
+        truncated: false,
+        obs: rec.root("perf").child("select6"),
+        ..CrConfig::paper()
+    };
+    let est_enabled_us = median_us(&wall, iters, || {
+        estimate_table(&table6, None, &cfg_traced).expect("synthetic table estimable");
+    });
+
+    eprintln!("perf_record: timing estimate_stratified (8 strata, auto threads)…");
+    let strat_cfg = CrConfig {
+        truncated: false,
+        min_stratum_observed: 100,
+        parallelism: Parallelism::Auto,
+        obs: rec.root("perf").child("stratified"),
+        ..CrConfig::paper()
+    };
+    let strat_us = median_us(&wall, 3, || {
+        estimate_stratified(&strata, None, &strat_cfg).expect("strata estimable");
+    });
+
+    eprintln!("perf_record: timing fit_llm (independence, 6 sources)…");
+    let indep = LogLinearModel::independence(6);
+    let fit_us = median_us(&wall, iters, || {
+        ghosts_core::fit_llm(&table6, &indep, CellModel::Poisson).expect("fit");
+    });
+
+    rec.volatile_add("perf.estimate_table_disabled_us", est_disabled_us);
+    rec.volatile_add("perf.estimate_table_enabled_us", est_enabled_us);
+    rec.volatile_add("perf.estimate_stratified_us", strat_us);
+    rec.volatile_add("perf.fit_llm_us", fit_us);
+    rec.volatile_max("perf.worker_threads", Parallelism::Auto.threads() as u64);
+    let overhead_pct = if est_disabled_us > 0 {
+        100.0 * (est_enabled_us as f64 - est_disabled_us as f64) / est_disabled_us as f64
+    } else {
+        0.0
+    };
+    rec.root("perf").event(
+        "bench_point",
+        &[
+            ("bench", FieldValue::Str("pr3".to_string())),
+            (
+                "estimate_table_disabled_us",
+                FieldValue::U64(est_disabled_us),
+            ),
+            ("estimate_table_enabled_us", FieldValue::U64(est_enabled_us)),
+            ("tracing_overhead_pct", FieldValue::F64(overhead_pct)),
+            ("estimate_stratified_us", FieldValue::U64(strat_us)),
+            ("fit_llm_us", FieldValue::U64(fit_us)),
+        ],
+    );
+
+    let log = rec.flush();
+    let mut manifest = RunManifest::new();
+    manifest.set_config("bench", "pr3");
+    manifest.set_config("workload.select", "6 sources x 60k individuals, BIC");
+    manifest.set_config("workload.stratified", "8 strata x 4 sources x 20k");
+    manifest.set_config("iters", iters.to_string());
+    manifest.ingest_metrics(&log);
+    // Only the summary point: the enabled lane re-records model_chosen et
+    // al. every iteration, and those repeats add nothing to a perf record.
+    manifest.ingest_events(&log, &["bench_point"]);
+    std::fs::write(&out, manifest.to_json()).expect("can write perf record");
+    eprintln!(
+        "perf_record: estimate_table {est_disabled_us}us (disabled) / {est_enabled_us}us \
+         (enabled, {overhead_pct:+.1}%), stratified {strat_us}us, fit {fit_us}us → {out}"
+    );
+}

@@ -4,6 +4,7 @@
 //! cargo run -p ghosts-bench --release --bin repro -- all
 //! cargo run -p ghosts-bench --release --bin repro -- table5 fig4 fig5
 //! cargo run -p ghosts-bench --release --bin repro -- all --denom 256
+//! cargo run -p ghosts-bench --release --bin repro -- table3 --trace trace.jsonl
 //! ```
 //!
 //! Options:
@@ -13,87 +14,264 @@
 //! * `--threads auto|N` — worker threads for model selection and
 //!   stratified estimation (default `auto` = all cores; results are
 //!   bit-identical at every setting, `1` runs fully sequentially).
+//! * `--trace PATH` — write the deterministic JSONL event log (DESIGN.md
+//!   §10) to PATH. Byte-identical for a given scenario and experiment
+//!   list at every `--threads` setting.
+//! * `--metrics-out PATH` — write a `RunManifest` JSON summary (config
+//!   echo, chosen models, IC candidates, counters, wall timings) to PATH.
+//! * `--quiet` — suppress progress chatter and per-experiment text on
+//!   stdout; errors still go to stderr.
 //!
 //! Output goes to stdout and to `results/<id>.txt` / `results/<id>.json`.
-
-// The repro binary is the reporting harness: wall-clock timing here is
-// operator feedback and never enters any result.
-#![allow(clippy::disallowed_methods)]
+//! If any experiment fails, a structured `experiment_failed` error event is
+//! recorded (visible in `--trace`/`--metrics-out`) and the exit code is 1.
 
 use ghosts_bench::context::write_results;
 use ghosts_bench::experiments::{self, ALL_IDS_FULL};
 use ghosts_bench::ReproContext;
-use ghosts_core::Parallelism;
+use ghosts_core::{estimate_table, ContingencyTable, Parallelism};
+use ghosts_obs::{FieldValue, LogicalClock, Recorder, RunManifest, WallClock};
+use std::sync::Arc;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ids: Vec<String> = Vec::new();
-    let mut denom = 1024u64;
-    let mut seed = 2014u64;
-    let mut parallelism = Parallelism::Auto;
+/// Hidden experiment id: runs a deliberately degenerate design through the
+/// estimator to exercise the failure path end to end (structured error
+/// event + nonzero exit). Not listed in `ALL_IDS_FULL`.
+const SELFTEST_FAIL: &str = "selftest-fail";
+
+/// Manifest sections: the summary events worth echoing per span.
+const MANIFEST_EVENTS: &[&str] = &[
+    "model_chosen",
+    "ic_candidate",
+    "estimate",
+    "stratified_total",
+    "ci",
+    "filter",
+    "spoof_filter",
+    "window_observed",
+];
+
+struct Options {
+    ids: Vec<String>,
+    denom: u64,
+    seed: u64,
+    parallelism: Parallelism,
+    trace: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options {
+        ids: Vec::new(),
+        denom: 1024,
+        seed: 2014,
+        parallelism: Parallelism::Auto,
+        trace: None,
+        metrics_out: None,
+        quiet: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--denom" => {
-                denom = it
+                opts.denom = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--denom needs an integer"));
             }
             "--seed" => {
-                seed = it
+                opts.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--threads" => {
-                parallelism = it
+                opts.parallelism = it
                     .next()
                     .ok_or_else(|| "missing value".to_string())
                     .and_then(|v| Parallelism::parse(v))
                     .unwrap_or_else(|e| usage(&format!("--threads: {e}")));
             }
-            "all" => ids.extend(ALL_IDS_FULL.iter().map(|s| s.to_string())),
+            "--trace" => {
+                opts.trace = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--trace needs a path"))
+                        .clone(),
+                );
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a path"))
+                        .clone(),
+                );
+            }
+            "--quiet" => opts.quiet = true,
+            "all" => opts.ids.extend(ALL_IDS_FULL.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
             other => {
-                if ALL_IDS_FULL.contains(&other) {
-                    ids.push(other.to_string());
+                if ALL_IDS_FULL.contains(&other) || other == SELFTEST_FAIL {
+                    opts.ids.push(other.to_string());
                 } else {
                     usage(&format!("unknown experiment {other:?}"));
                 }
             }
         }
     }
-    if ids.is_empty() {
+    if opts.ids.is_empty() {
         usage("no experiments requested");
     }
-    ids.dedup();
+    opts.ids.dedup();
+    opts
+}
 
-    eprintln!(
-        "repro: building scenario at scale 1/{denom} (seed {seed}, {} worker threads)…",
-        parallelism.threads()
-    );
-    let start = std::time::Instant::now();
-    let mut ctx = ReproContext::new(denom, seed);
-    ctx.parallelism = parallelism;
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    // Tracing uses the deterministic logical clock so the event log is
+    // byte-identical across runs; wall time is read separately (below) and
+    // only ever lands in the volatile lane / manifest.
+    let tracing = opts.trace.is_some() || opts.metrics_out.is_some();
+    let rec = if tracing {
+        Recorder::enabled(Arc::new(LogicalClock::new()))
+    } else {
+        Recorder::disabled()
+    };
+    let wall = WallClock::new();
+    use ghosts_obs::Clock;
+
+    let progress = |msg: &str| {
+        if !opts.quiet {
+            eprintln!("{msg}");
+        }
+    };
+
+    progress(&format!(
+        "repro: building scenario at scale 1/{} (seed {}, {} worker threads)…",
+        opts.denom,
+        opts.seed,
+        opts.parallelism.threads()
+    ));
+    let t_build = wall.now();
+    let mut ctx = ReproContext::new(opts.denom, opts.seed);
+    ctx.parallelism = opts.parallelism;
+    ctx.recorder = rec.clone();
     let ctx = ctx;
-    eprintln!(
+    rec.volatile_add("repro.scenario_build_us", wall.now() - t_build);
+    progress(&format!(
         "repro: scenario ready in {:.1}s — {} allocations, {} routed addrs, {} routed /24s",
-        start.elapsed().as_secs_f64(),
+        (wall.now() - t_build) as f64 / 1e6,
         ctx.scenario.gt.registry.len(),
         ctx.scenario.gt.routed.address_count(),
         ctx.scenario.gt.routed.subnet24_count(),
-    );
+    ));
 
-    for id in &ids {
-        let t0 = std::time::Instant::now();
-        eprintln!("repro: running {id}…");
-        let (text, json) = experiments::run(id, &ctx);
-        println!("\n{text}");
-        if let Err(e) = write_results(id, &text, &json) {
-            eprintln!("repro: could not write results/{id}: {e}");
+    let mut failures = 0u32;
+    for id in &opts.ids {
+        let t0 = wall.now();
+        progress(&format!("repro: running {id}…"));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if id == SELFTEST_FAIL {
+                run_selftest_fail(&ctx)
+            } else {
+                Ok(experiments::run(id, &ctx))
+            }
+        }));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(panic) => Err(panic_message(&panic)),
+        };
+        match result {
+            Ok((text, json)) => {
+                if !opts.quiet {
+                    println!("\n{text}");
+                }
+                if let Err(e) = write_results(id, &text, &json) {
+                    eprintln!("repro: could not write results/{id}: {e}");
+                }
+                progress(&format!(
+                    "repro: {id} done in {:.1}s",
+                    (wall.now() - t0) as f64 / 1e6
+                ));
+            }
+            Err(message) => {
+                failures += 1;
+                rec.root("repro").error(
+                    "experiment_failed",
+                    &[
+                        ("id", FieldValue::Str(id.clone())),
+                        ("error", FieldValue::Str(message.clone())),
+                    ],
+                );
+                eprintln!("repro: {id} FAILED: {message}");
+            }
         }
-        eprintln!("repro: {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+        rec.volatile_add(&format!("repro.{id}_us"), wall.now() - t0);
+    }
+    rec.volatile_add("repro.total_us", wall.now());
+    rec.volatile_max("repro.worker_threads", opts.parallelism.threads() as u64);
+
+    // Flush once; the same log feeds both sinks.
+    if tracing {
+        let log = rec.flush();
+        if let Some(path) = &opts.trace {
+            if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+                eprintln!("repro: could not write trace {path}: {e}");
+                failures += 1;
+            }
+        }
+        if let Some(path) = &opts.metrics_out {
+            let mut manifest = RunManifest::new();
+            manifest.set_config("denom", opts.denom.to_string());
+            manifest.set_config("seed", opts.seed.to_string());
+            manifest.set_config("threads", format!("{:?}", opts.parallelism));
+            manifest.set_config("experiments", opts.ids.join(" "));
+            manifest.ingest_metrics(&log);
+            manifest.ingest_events(&log, MANIFEST_EVENTS);
+            if let Err(e) = std::fs::write(path, manifest.to_json()) {
+                eprintln!("repro: could not write manifest {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("repro: {failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// The deliberately singular design: a single-source study. Capture–
+/// recapture needs at least two overlapping sources — with one there is no
+/// recapture information at all and the ghost cell is unidentifiable. The
+/// estimator must reject it ([`ghosts_core::EstimateError::NotEnoughSources`],
+/// recording an `estimate_failed` error event on the `selftest` span), and
+/// the harness must surface that as a nonzero exit — not a silent panic.
+/// (Richer degeneracies — disjoint sources, all-zero interactions — are
+/// absorbed by the Newton fitter's ridge fallback and yield implausibly
+/// huge but well-formed estimates, so they cannot drive this path.)
+fn run_selftest_fail(ctx: &ReproContext) -> Result<(String, serde_json::Value), String> {
+    let table = ContingencyTable::from_histories(1, std::iter::repeat_n(0b1u16, 50));
+    let mut cfg = ctx.cr_config();
+    cfg.obs = ctx.recorder.root("selftest");
+    match estimate_table(&table, None, &cfg) {
+        Ok(est) => Err(format!(
+            "degenerate design unexpectedly estimable (total {})",
+            est.total
+        )),
+        Err(e) => Err(format!("estimation failed as designed: {e}")),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -103,6 +281,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N] [--threads auto|N]\n\
+         \x20            [--trace PATH] [--metrics-out PATH] [--quiet]\n\
          experiments: {}",
         ALL_IDS_FULL.join(" ")
     );

@@ -7,10 +7,13 @@
 //! a global lock. Every cached value is deterministic in the scenario, so
 //! a racing double-compute stores the same bytes either way.
 
-use ghosts_core::{estimate_table, ContingencyTable, CrConfig, CrEstimate, Parallelism};
+use ghosts_core::{
+    estimate_table, ContingencyTable, CrConfig, CrEstimate, EstimateError, Parallelism,
+};
 use ghosts_net::SubnetSet;
+use ghosts_obs::{Recorder, Scope};
 use ghosts_pipeline::dataset::{SourceDataset, WindowData};
-use ghosts_pipeline::spoof_filter::{filter_spoofed, SpoofFilterConfig};
+use ghosts_pipeline::spoof_filter::{filter_spoofed_traced, SpoofFilterConfig};
 use ghosts_pipeline::time::{paper_windows, TimeWindow};
 use ghosts_sim::{Scenario, SimConfig};
 use ghosts_stats::rng::component_rng;
@@ -42,19 +45,30 @@ impl<V> ShardedCache<V> {
     }
 
     fn get_or_insert_with<F: FnOnce() -> V>(&self, key: usize, compute: F) -> Arc<V> {
+        self.try_get_or_insert_with(key, || Ok::<V, std::convert::Infallible>(compute()))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// Fallible variant: errors are returned to the caller and **not**
+    /// cached, so a transient failure does not poison the slot.
+    fn try_get_or_insert_with<E, F: FnOnce() -> Result<V, E>>(
+        &self,
+        key: usize,
+        compute: F,
+    ) -> Result<Arc<V>, E> {
         if let Some(v) = self.shard(key).lock().expect("cache shard").get(&key) {
-            return Arc::clone(v);
+            return Ok(Arc::clone(v));
         }
         // Compute outside the lock: concurrent misses may compute twice,
         // but both results are identical and the first insert wins.
-        let value = Arc::new(compute());
-        Arc::clone(
+        let value = Arc::new(compute()?);
+        Ok(Arc::clone(
             self.shard(key)
                 .lock()
                 .expect("cache shard")
                 .entry(key)
                 .or_insert(value),
-        )
+        ))
     }
 }
 
@@ -75,6 +89,14 @@ pub struct ReproContext {
     /// Worker-thread setting handed to every estimation run started from
     /// this context (the `repro` binary's `--threads` flag lands here).
     pub parallelism: Parallelism,
+    /// Observability sink every estimation and filtering run traces into.
+    /// Disabled by default (a no-op branch); the `repro` binary enables it
+    /// when `--trace`/`--metrics-out` is given. Spans are indexed by window
+    /// (`addr/window[i]`, `subnet/window[i]`, `pipeline/window[i]`), so the
+    /// merged event log is deterministic regardless of which experiment
+    /// first populated a cache slot — as long as experiments themselves
+    /// run sequentially (racing double-computes would double-record).
+    pub recorder: Recorder,
     raw: ShardedCache<WindowData>,
     filtered: ShardedCache<WindowData>,
     addr_estimates: ShardedCache<CrEstimate>,
@@ -100,6 +122,7 @@ impl ReproContext {
             windows: paper_windows(),
             denom: denom as f64,
             parallelism: Parallelism::Auto,
+            recorder: Recorder::disabled(),
             raw: ShardedCache::new(),
             filtered: ShardedCache::new(),
             addr_estimates: ShardedCache::new(),
@@ -116,10 +139,21 @@ impl ReproContext {
         let mut cfg = CrConfig {
             min_stratum_observed: 200,
             parallelism: self.parallelism,
+            // Experiments that estimate ad-hoc tables trace onto a shared
+            // `estimate` span (experiments run sequentially, so append
+            // order is deterministic); the cached per-window entry points
+            // override this with their indexed window span.
+            obs: self.recorder.root("estimate"),
             ..CrConfig::paper()
         };
         cfg.selection.parallelism = self.parallelism;
         cfg
+    }
+
+    /// A per-window tracing scope under `stage` (`addr`, `subnet`,
+    /// `pipeline`). No-op when the recorder is disabled.
+    fn window_scope(&self, stage: &str, i: usize) -> Scope {
+        self.recorder.root(stage).child_idx("window", i as u64)
     }
 
     /// Raw window data: spoofed traffic still inside SWIN/CALT.
@@ -135,6 +169,7 @@ impl ReproContext {
             let raw = self.raw_window(i);
             let spoof_free = raw.spoof_free_union();
             let fcfg = SpoofFilterConfig::with_universe(self.scenario.routed_per_eight());
+            let obs = self.window_scope("pipeline", i);
             let sources: Vec<SourceDataset> = raw
                 .sources
                 .iter()
@@ -146,7 +181,13 @@ impl ReproContext {
                             self.scenario.gt.cfg.seed,
                             &format!("repro-filter-{}-{}", d.name, i),
                         );
-                        let report = filter_spoofed(&d.addrs, &spoof_free, &fcfg, &mut rng);
+                        let report = filter_spoofed_traced(
+                            &d.addrs,
+                            &spoof_free,
+                            &fcfg,
+                            &mut rng,
+                            &obs.child(&d.name),
+                        );
                         SourceDataset::new(d.name.clone(), report.filtered, false)
                     }
                 })
@@ -160,33 +201,60 @@ impl ReproContext {
 
     /// The CR address estimate for window `i` (filtered data, truncated
     /// cells bounded by the routed space). Cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window's table cannot be fitted — experiments treat
+    /// that as fatal. Callers that need to survive a bad window use
+    /// [`Self::try_addr_estimate`].
     pub fn addr_estimate(&self, i: usize) -> Arc<CrEstimate> {
-        self.addr_estimates.get_or_insert_with(i, || {
+        self.try_addr_estimate(i)
+            .unwrap_or_else(|e| panic!("window {i} address estimation failed: {e}"))
+    }
+
+    /// Fallible variant of [`Self::addr_estimate`]: failures are reported
+    /// (and recorded as structured error events on the window's span)
+    /// instead of panicking, and are not cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EstimateError`] from the model search / fit.
+    pub fn try_addr_estimate(&self, i: usize) -> Result<Arc<CrEstimate>, EstimateError> {
+        self.addr_estimates.try_get_or_insert_with(i, || {
             let data = self.filtered_window(i);
             let sets = data.addr_sets();
             let table = ContingencyTable::from_addr_sets(&sets);
-            estimate_table(
-                &table,
-                Some(self.scenario.gt.routed.address_count()),
-                &self.cr_config(),
-            )
-            .expect("window estimable")
+            let mut cfg = self.cr_config();
+            cfg.obs = self.window_scope("addr", i);
+            estimate_table(&table, Some(self.scenario.gt.routed.address_count()), &cfg)
         })
     }
 
     /// The CR /24-subnet estimate for window `i`. Cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window's table cannot be fitted; see
+    /// [`Self::try_subnet_estimate`].
     pub fn subnet_estimate(&self, i: usize) -> Arc<CrEstimate> {
-        self.subnet_estimates.get_or_insert_with(i, || {
+        self.try_subnet_estimate(i)
+            .unwrap_or_else(|e| panic!("window {i} subnet estimation failed: {e}"))
+    }
+
+    /// Fallible variant of [`Self::subnet_estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EstimateError`] from the model search / fit.
+    pub fn try_subnet_estimate(&self, i: usize) -> Result<Arc<CrEstimate>, EstimateError> {
+        self.subnet_estimates.try_get_or_insert_with(i, || {
             let data = self.filtered_window(i);
             let subnet_sets: Vec<SubnetSet> = data.sources.iter().map(|d| d.subnets()).collect();
             let refs: Vec<&SubnetSet> = subnet_sets.iter().collect();
             let table = ContingencyTable::from_subnet_sets(&refs);
-            estimate_table(
-                &table,
-                Some(self.scenario.gt.routed.subnet24_count()),
-                &self.cr_config(),
-            )
-            .expect("window estimable")
+            let mut cfg = self.cr_config();
+            cfg.obs = self.window_scope("subnet", i);
+            estimate_table(&table, Some(self.scenario.gt.routed.subnet24_count()), &cfg)
         })
     }
 

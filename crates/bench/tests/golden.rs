@@ -59,7 +59,7 @@ fn window10_estimate_ci_and_model_are_pinned() {
 
     // The selected model itself is also thread-count invariant.
     let cell = CellModel::Truncated { limit };
-    let mut seq_opts = cfg.selection;
+    let mut seq_opts = cfg.selection.clone();
     seq_opts.parallelism = Parallelism::SEQUENTIAL;
     let sel_seq = select_model(&table, cell, &seq_opts).unwrap();
     let mut par_opts = cfg.selection;

@@ -1,0 +1,83 @@
+//! End-to-end CLI tests for the `repro` binary's observability surface:
+//! the hidden `selftest-fail` experiment must exit nonzero while leaving a
+//! schema-valid trace containing the structured failure, and the manifest
+//! must round-trip.
+
+use ghosts_obs::{validate_jsonl, RunManifest};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn selftest_fail_exits_nonzero_with_structured_error_trace() {
+    let dir = std::env::temp_dir().join("ghosts-repro-cli-fail");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let manifest = dir.join("manifest.json");
+
+    let out = repro()
+        .args([
+            "selftest-fail",
+            "--denom",
+            "16384",
+            "--seed",
+            "7",
+            "--threads",
+            "1",
+            "--quiet",
+            "--trace",
+        ])
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&manifest)
+        .output()
+        .expect("repro runs");
+
+    assert!(
+        !out.status.success(),
+        "selftest-fail must exit nonzero; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("FAILED"),
+        "stderr should report the failure: {stderr}"
+    );
+
+    // The trace is still written, schema-valid, and carries the structured
+    // error event chain: the GLM-level failure and the harness-level one.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let summary = validate_jsonl(&text).expect("trace is schema-valid");
+    assert!(summary.errors >= 1, "no error events in:\n{text}");
+    assert!(
+        text.contains("\"experiment_failed\""),
+        "missing experiment_failed in:\n{text}"
+    );
+    assert!(
+        text.contains("\"span\":\"repro\""),
+        "harness error not on the repro span:\n{text}"
+    );
+    assert!(
+        text.contains("\"estimate_failed\""),
+        "estimator-level error event missing:\n{text}"
+    );
+
+    // The manifest round-trips and echoes the run configuration.
+    let mtext = std::fs::read_to_string(&manifest).expect("manifest written");
+    let m = RunManifest::from_json(&mtext).expect("manifest parses");
+    assert!(m.config.iter().any(|(k, v)| k == "denom" && v == "16384"));
+    assert!(m
+        .config
+        .iter()
+        .any(|(k, v)| k == "experiments" && v == "selftest-fail"));
+}
+
+#[test]
+fn unknown_experiment_exits_with_usage() {
+    let out = repro().arg("no-such-experiment").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "{stderr}");
+}

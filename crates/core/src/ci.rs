@@ -11,12 +11,14 @@
 //! sensitivity heuristic, with the very small `α = 10⁻⁷` used to obtain
 //! deliberately wide ranges.
 
-use crate::fit::{fit_llm, CellModel};
+use crate::fit::{fit_llm_traced, CellModel};
 use crate::history::ContingencyTable;
 use crate::model::LogLinearModel;
+use ghosts_obs::{FieldValue, Scope};
 use ghosts_stats::glm::{self, GlmError, GlmOptions};
 use ghosts_stats::optimize::{bisect, expand_until_sign_change, golden_min};
 use ghosts_stats::ChiSquared;
+use std::cell::Cell;
 
 /// The paper's α for the profile-likelihood ranges.
 pub const PAPER_ALPHA: f64 = 1e-7;
@@ -94,15 +96,36 @@ pub fn profile_interval(
     cell_model: CellModel,
     alpha: f64,
 ) -> Result<EstimateRange, CiError> {
+    profile_interval_traced(table, model, cell_model, alpha, &Scope::disabled())
+}
+
+/// [`profile_interval`] with tracing: records the profile-evaluation
+/// budget, each bisection's step count, and the resulting range into
+/// `obs`.
+///
+/// # Errors
+///
+/// Same as [`profile_interval`] (error events are recorded before
+/// returning).
+pub fn profile_interval_traced(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    alpha: f64,
+    obs: &Scope,
+) -> Result<EstimateRange, CiError> {
     let observed = table.observed_total() as f64;
-    let point_fit = fit_llm(table, model, cell_model)?;
+    let point_fit = fit_llm_traced(table, model, cell_model, obs)?;
     let z0_hat = point_fit.z0;
+    // The profile search is sequential, so a plain Cell counts evaluations.
+    let evals = Cell::new(0u64);
 
     // Locate the profile maximum near the point estimate (it coincides for
     // Poisson cells up to numerics; golden-search a bracket around it).
     let lo_bracket = 0.0;
     let hi_bracket = (z0_hat * 3.0).max(10.0);
     let neg_ell = |n0: f64| -> f64 {
+        evals.set(evals.get() + 1);
         -profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY)
     };
     let n0_star = golden_min(neg_ell, lo_bracket, hi_bracket, 1e-8)
@@ -112,27 +135,61 @@ pub fn profile_interval(
 
     // Shifted profile: positive inside the interval, negative outside.
     let g = |n0: f64| -> f64 {
+        evals.set(evals.get() + 1);
         profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY) - threshold
     };
 
     // Lower end: between 0 and the maximiser.
-    let lower_z0 = if g(0.0) >= 0.0 {
-        0.0
+    let (lower_z0, lower_steps) = if g(0.0) >= 0.0 {
+        (0.0, 0)
     } else {
-        bisect(g, 0.0, n0_star, 1e-6).map(|r| r.x).unwrap_or(0.0)
+        bisect(g, 0.0, n0_star, 1e-6)
+            .map(|r| (r.x, r.iterations))
+            .unwrap_or((0.0, 0))
     };
+    obs.observe("ci.bisect_steps", lower_steps as u64);
+    obs.event(
+        "ci_lower",
+        &[
+            ("z0", FieldValue::F64(lower_z0)),
+            ("bisect_steps", FieldValue::U64(lower_steps as u64)),
+        ],
+    );
 
     // Upper end: expand beyond the maximiser until the profile drops.
     let step = (n0_star * 0.5).max(10.0);
-    let hi = expand_until_sign_change(g, n0_star, step, 80).ok_or(CiError::Unbounded)?;
-    let upper_z0 = bisect(g, n0_star, hi, 1e-6)
-        .map(|r| r.x)
-        .map_err(|_| CiError::Unbounded)?;
+    let hi = expand_until_sign_change(g, n0_star, step, 80).ok_or_else(|| {
+        obs.error("ci_unbounded", &[("z0_hat", FieldValue::F64(z0_hat))]);
+        CiError::Unbounded
+    })?;
+    let upper = bisect(g, n0_star, hi, 1e-6).map_err(|_| {
+        obs.error("ci_unbounded", &[("z0_hat", FieldValue::F64(z0_hat))]);
+        CiError::Unbounded
+    })?;
+    obs.observe("ci.bisect_steps", upper.iterations as u64);
+    obs.event(
+        "ci_upper",
+        &[
+            ("z0", FieldValue::F64(upper.x)),
+            ("bisect_steps", FieldValue::U64(upper.iterations as u64)),
+        ],
+    );
+    obs.add("ci.profile_evaluations", evals.get());
+    obs.event(
+        "ci",
+        &[
+            ("lower", FieldValue::F64(observed + lower_z0)),
+            ("point", FieldValue::F64(observed + z0_hat)),
+            ("upper", FieldValue::F64(observed + upper.x)),
+            ("alpha", FieldValue::F64(alpha)),
+            ("profile_evaluations", FieldValue::U64(evals.get())),
+        ],
+    );
 
     Ok(EstimateRange {
         lower: observed + lower_z0,
         point: observed + z0_hat,
-        upper: observed + upper_z0,
+        upper: observed + upper.x,
         alpha,
     })
 }

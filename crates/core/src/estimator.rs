@@ -2,12 +2,13 @@
 //! (optionally) stratified totals with the paper's sampling-zeros
 //! exclusion rule (§3.3.4, §3.4).
 
-use crate::ci::{profile_interval, CiError, EstimateRange, PAPER_ALPHA};
-use crate::fit::{fit_llm, CellModel};
+use crate::ci::{profile_interval_traced, CiError, EstimateRange, PAPER_ALPHA};
+use crate::fit::{fit_llm_traced, CellModel};
 use crate::history::ContingencyTable;
 use crate::invariant;
 use crate::parallel::{par_map, Parallelism};
 use crate::select::{select_model, SelectionOptions};
+use ghosts_obs::{FieldValue, Scope};
 use ghosts_stats::glm::GlmError;
 
 /// Configuration of a CR estimation run.
@@ -29,6 +30,10 @@ pub struct CrConfig {
     /// summed in stratum order, so every setting yields bit-identical
     /// results; `Fixed(1)` is the sequential path.
     pub parallelism: Parallelism,
+    /// Observability scope estimation traces into (disabled by default).
+    /// [`estimate_stratified`] derives an indexed child span per stratum,
+    /// so parallel strata never share a span.
+    pub obs: Scope,
 }
 
 impl Default for CrConfig {
@@ -39,6 +44,7 @@ impl Default for CrConfig {
             min_stratum_observed: 1000,
             excluded_policy: ExcludedPolicy::ObservedOnly,
             parallelism: Parallelism::Auto,
+            obs: Scope::disabled(),
         }
     }
 }
@@ -140,12 +146,20 @@ pub fn estimate_table(
     cfg: &CrConfig,
 ) -> Result<CrEstimate, EstimateError> {
     if table.num_sources() < 2 {
+        cfg.obs.error(
+            "estimate_failed",
+            &[
+                ("error", FieldValue::Str("not enough sources".to_string())),
+                ("sources", FieldValue::U64(table.num_sources() as u64)),
+            ],
+        );
         return Err(EstimateError::NotEnoughSources {
             got: table.num_sources(),
         });
     }
     invariant::check_table(table);
     if table.observed_total() == 0 {
+        cfg.obs.event("estimate_empty", &[]);
         return Ok(CrEstimate {
             observed: 0,
             unseen: 0.0,
@@ -156,16 +170,44 @@ pub fn estimate_table(
         });
     }
     let cell_model = cfg.cell_model(limit);
-    let sel = select_model(table, cell_model, &cfg.selection)?;
-    let fit = fit_llm(table, &sel.model, cell_model)?;
-    Ok(CrEstimate {
+    let sel = select_model(table, cell_model, &selection_with_obs(cfg))?;
+    let fit = fit_llm_traced(table, &sel.model, cell_model, &cfg.obs)?;
+    let est = CrEstimate {
         observed: fit.observed,
         unseen: fit.z0,
         total: fit.n_hat,
         model: sel.model.describe(),
         ic: sel.ic,
         divisor: sel.divisor,
-    })
+    };
+    record_estimate(&cfg.obs, &est);
+    Ok(est)
+}
+
+/// The selection options to actually run with: if the caller did not give
+/// the selection its own scope, the search inherits the estimator's.
+fn selection_with_obs(cfg: &CrConfig) -> SelectionOptions {
+    let mut sel = cfg.selection.clone();
+    if !sel.obs.is_enabled() {
+        sel.obs = cfg.obs.clone();
+    }
+    sel
+}
+
+/// Records the summary event for one table's estimate.
+fn record_estimate(obs: &Scope, est: &CrEstimate) {
+    obs.add("estimate.count", 1);
+    obs.event(
+        "estimate",
+        &[
+            ("observed", FieldValue::U64(est.observed)),
+            ("unseen", FieldValue::F64(est.unseen)),
+            ("total", FieldValue::F64(est.total)),
+            ("model", FieldValue::Str(est.model.clone())),
+            ("ic", FieldValue::F64(est.ic)),
+            ("divisor", FieldValue::U64(est.divisor)),
+        ],
+    );
 }
 
 /// Like [`estimate_table`] but also computes the profile-likelihood range
@@ -182,20 +224,19 @@ pub fn estimate_table_with_range(
     }
     invariant::check_table(table);
     let cell_model = cfg.cell_model(limit);
-    let sel = select_model(table, cell_model, &cfg.selection)?;
-    let fit = fit_llm(table, &sel.model, cell_model)?;
-    let range = profile_interval(table, &sel.model, cell_model, PAPER_ALPHA)?;
-    Ok((
-        CrEstimate {
-            observed: fit.observed,
-            unseen: fit.z0,
-            total: fit.n_hat,
-            model: sel.model.describe(),
-            ic: sel.ic,
-            divisor: sel.divisor,
-        },
-        range,
-    ))
+    let sel = select_model(table, cell_model, &selection_with_obs(cfg))?;
+    let fit = fit_llm_traced(table, &sel.model, cell_model, &cfg.obs)?;
+    let range = profile_interval_traced(table, &sel.model, cell_model, PAPER_ALPHA, &cfg.obs)?;
+    let est = CrEstimate {
+        observed: fit.observed,
+        unseen: fit.z0,
+        total: fit.n_hat,
+        model: sel.model.describe(),
+        ic: sel.ic,
+        divisor: sel.divisor,
+    };
+    record_estimate(&cfg.obs, &est);
+    Ok((est, range))
 }
 
 /// A stratified estimate: per-stratum results and their sum (§3.4: "we
@@ -243,13 +284,31 @@ pub fn estimate_stratified(
         inner.selection.parallelism = Parallelism::SEQUENTIAL;
     }
     let results = par_map(cfg.parallelism, tables, |i, table| {
+        // Each stratum traces into its own indexed span, owned by exactly
+        // one worker — cross-stratum event order is imposed at flush time
+        // by the span paths, not by scheduling.
+        let mut stratum_cfg = inner.clone();
+        stratum_cfg.obs = cfg.obs.child_idx("stratum", i as u64);
         let observed = table.observed_total();
         if observed < cfg.min_stratum_observed {
+            stratum_cfg.obs.event(
+                "stratum_excluded",
+                &[
+                    ("observed", FieldValue::U64(observed)),
+                    ("threshold", FieldValue::U64(cfg.min_stratum_observed)),
+                ],
+            );
             return Ok(None);
         }
         let limit = limits.map(|ls| ls[i]);
-        estimate_table(table, limit, &inner).map(Some)
+        estimate_table(table, limit, &stratum_cfg).map(Some)
     });
+    cfg.obs
+        .volatile_add("stratified.par_map_tasks", tables.len() as u64);
+    cfg.obs.volatile_max(
+        "stratified.par_map_workers",
+        cfg.parallelism.threads().min(tables.len().max(1)) as u64,
+    );
 
     // Deterministic merge in stratum order; like the sequential loop, the
     // lowest-indexed failing stratum decides the returned error.
@@ -275,6 +334,15 @@ pub fn estimate_stratified(
             }
         }
     }
+    cfg.obs.event(
+        "stratified_total",
+        &[
+            ("strata", FieldValue::U64(tables.len() as u64)),
+            ("excluded", FieldValue::U64(excluded.len() as u64)),
+            ("observed_total", FieldValue::U64(observed_total)),
+            ("estimated_total", FieldValue::F64(estimated_total)),
+        ],
+    );
     Ok(StratifiedEstimate {
         strata,
         observed_total,

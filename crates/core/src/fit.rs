@@ -4,6 +4,7 @@
 use crate::history::ContingencyTable;
 use crate::invariant;
 use crate::model::LogLinearModel;
+use ghosts_obs::{FieldValue, Scope};
 use ghosts_stats::glm::{self, CountFamily, GlmError, GlmFit, GlmOptions};
 use ghosts_stats::TruncatedPoisson;
 
@@ -65,6 +66,23 @@ pub fn fit_llm(
     model: &LogLinearModel,
     cell_model: CellModel,
 ) -> Result<FittedLlm, GlmError> {
+    fit_llm_traced(table, model, cell_model, &Scope::disabled())
+}
+
+/// [`fit_llm`] with tracing: records the fit event (log-likelihood,
+/// Newton iterations, convergence, ghost estimate) and truncation-bound
+/// counters into `obs`.
+///
+/// # Errors
+///
+/// Propagates [`GlmError`] from the Newton fitter (after recording an
+/// error event).
+pub fn fit_llm_traced(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    obs: &Scope,
+) -> Result<FittedLlm, GlmError> {
     assert_eq!(
         table.num_sources(),
         model.num_sources(),
@@ -75,7 +93,15 @@ pub fn fit_llm(
     invariant::check_design(&design);
     let y = table.observed_cells();
     let family = cell_model.family(y.len(), 1);
-    let glm = glm::fit(&design, &y, &family, GlmOptions::default())?;
+    let glm = glm::fit(&design, &y, &family, GlmOptions::default()).inspect_err(|e| {
+        obs.error(
+            "fit_failed",
+            &[
+                ("model", FieldValue::Str(model.describe())),
+                ("error", FieldValue::Str(e.to_string())),
+            ],
+        );
+    })?;
     invariant::check_glm(&glm, &y, &family);
     let observed = table.observed_total();
     let lambda0 = glm.coef[0].exp();
@@ -84,12 +110,34 @@ pub fn fit_llm(
         CellModel::Truncated { limit } => {
             let remaining = limit.saturating_sub(observed);
             if remaining == 0 {
+                obs.add("fit.truncation_exhausted", 1);
                 0.0
             } else {
-                TruncatedPoisson::new(lambda0.max(1e-300), remaining).mean()
+                let mean = TruncatedPoisson::new(lambda0.max(1e-300), remaining).mean();
+                // The bound "bites" when the truncated mean is pressed
+                // against the remaining space — the estimate would exceed
+                // the routed space if unbounded (§6.2's plausibility
+                // guarantee doing actual work).
+                if mean >= 0.95 * remaining as f64 {
+                    obs.add("fit.truncation_bound_hit", 1);
+                }
+                mean
             }
         }
     };
+    obs.add("fit.count", 1);
+    obs.observe("fit.glm_iterations", glm.iterations as u64);
+    obs.event(
+        "fit",
+        &[
+            ("model", FieldValue::Str(model.describe())),
+            ("log_likelihood", FieldValue::F64(glm.log_likelihood)),
+            ("iterations", FieldValue::U64(glm.iterations as u64)),
+            ("converged", FieldValue::Bool(glm.converged)),
+            ("observed", FieldValue::U64(observed)),
+            ("z0", FieldValue::F64(z0)),
+        ],
+    );
     let fitted = FittedLlm {
         model: model.clone(),
         glm,

@@ -99,6 +99,10 @@ pub struct IcResult {
     pub k: usize,
     /// The divisor that was applied.
     pub divisor: u64,
+    /// Newton iterations the underlying GLM fit took (for the trace).
+    pub iterations: usize,
+    /// Whether that fit converged within its iteration budget.
+    pub converged: bool,
 }
 
 /// Fits `model` to the **scaled** table and evaluates the criterion.
@@ -132,6 +136,8 @@ pub fn evaluate_ic(
         log_likelihood: fit.log_likelihood,
         k,
         divisor: d,
+        iterations: fit.iterations,
+        converged: fit.converged,
     })
 }
 

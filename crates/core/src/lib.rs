@@ -66,12 +66,12 @@ pub mod parallel;
 pub mod select;
 
 pub use chao::{chao_lower_bound, ChaoEstimate};
-pub use ci::{profile_interval, EstimateRange, PAPER_ALPHA};
+pub use ci::{profile_interval, profile_interval_traced, EstimateRange, PAPER_ALPHA};
 pub use estimator::{
     estimate_stratified, estimate_table, estimate_table_with_range, CrConfig, CrEstimate,
     EstimateError, ExcludedPolicy, StratifiedEstimate,
 };
-pub use fit::{fit_llm, CellModel, FittedLlm};
+pub use fit::{fit_llm, fit_llm_traced, CellModel, FittedLlm};
 pub use history::ContingencyTable;
 pub use ic::{DivisorRule, IcKind};
 pub use jackknife::{jackknife, jackknife_select, JackknifeEstimate};

@@ -16,10 +16,11 @@ use crate::ic::{evaluate_ic, DivisorRule, IcKind};
 use crate::invariant;
 use crate::model::LogLinearModel;
 use crate::parallel::{par_map, Parallelism};
+use ghosts_obs::{FieldValue, Scope};
 use ghosts_stats::glm::GlmError;
 
 /// Options controlling the stepwise search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SelectionOptions {
     /// Criterion to minimise.
     pub ic: IcKind,
@@ -40,6 +41,9 @@ pub struct SelectionOptions {
     /// fits are independent and merged in term order, so every setting
     /// yields bit-identical results; `Fixed(1)` is the sequential path.
     pub parallelism: Parallelism,
+    /// Observability scope the search traces into (disabled by default —
+    /// then every recording call is a no-op branch).
+    pub obs: Scope,
 }
 
 impl Default for SelectionOptions {
@@ -51,8 +55,20 @@ impl Default for SelectionOptions {
             max_added_terms: 24,
             within: 7.0,
             parallelism: Parallelism::Auto,
+            obs: Scope::disabled(),
         }
     }
+}
+
+/// Human-readable label of an interaction term mask, e.g. `0b011` → `12`.
+fn term_label(mask: u16) -> String {
+    let mut out = String::new();
+    for i in 0..16 {
+        if mask & (1 << i) != 0 {
+            out.push_str(&(i + 1).to_string());
+        }
+    }
+    out
 }
 
 /// One evaluated model with its criterion value.
@@ -92,38 +108,104 @@ pub fn select_model(
 ) -> Result<SelectionResult, GlmError> {
     invariant::check_table(table);
     let divisor = opts.divisor.divisor_for(table);
+    let span = opts.obs.child("select");
+    span.event(
+        "search_started",
+        &[
+            ("sources", FieldValue::U64(table.num_sources() as u64)),
+            ("observed", FieldValue::U64(table.observed_total())),
+            ("ic", FieldValue::Str(opts.ic.name().to_string())),
+            ("divisor", FieldValue::U64(divisor)),
+        ],
+    );
     let mut evaluated: Vec<EvaluatedModel> = Vec::new();
 
     let mut current = LogLinearModel::independence(table.num_sources());
-    let mut current_ic = evaluate_ic(table, &current, cell_model, opts.ic, opts.divisor)?.ic;
+    let baseline =
+        evaluate_ic(table, &current, cell_model, opts.ic, opts.divisor).inspect_err(|e| {
+            span.error(
+                "baseline_failed",
+                &[("error", FieldValue::Str(e.to_string()))],
+            );
+        })?;
+    let mut current_ic = baseline.ic;
+    span.event(
+        "candidate",
+        &[
+            ("model", FieldValue::Str(current.describe())),
+            ("ic", FieldValue::F64(baseline.ic)),
+            ("k", FieldValue::U64(baseline.k as u64)),
+            ("iterations", FieldValue::U64(baseline.iterations as u64)),
+            ("converged", FieldValue::Bool(baseline.converged)),
+        ],
+    );
+    span.add("select.models_evaluated", 1);
+    span.observe("select.glm_iterations", baseline.iterations as u64);
     evaluated.push(EvaluatedModel {
         model: current.clone(),
         ic: current_ic,
     });
 
-    for _ in 0..opts.max_added_terms {
+    for round in 0..opts.max_added_terms {
         let candidates = current.addable_terms(opts.max_order);
         // Candidate fits are independent, so a round fans out across
         // workers; merging in candidate (term) order below keeps the trace
         // and the first-minimum tie-break identical to the sequential loop.
         let fits = par_map(opts.parallelism, &candidates, |_, &mask| {
             let trial = current.with_term(mask);
-            evaluate_ic(table, &trial, cell_model, opts.ic, opts.divisor)
-                .ok()
-                .map(|res| (trial, res.ic))
+            evaluate_ic(table, &trial, cell_model, opts.ic, opts.divisor).map(|res| (trial, res))
         });
+        span.volatile_add("select.par_map_tasks", candidates.len() as u64);
+        span.volatile_max(
+            "select.par_map_workers",
+            opts.parallelism.threads().min(candidates.len().max(1)) as u64,
+        );
+        let round_span = span.child_idx("round", round as u64);
         let mut best: Option<(u16, f64)> = None;
         for (mask, fit) in candidates.iter().zip(fits) {
-            let Some((trial, ic)) = fit else {
-                continue; // numerically unfittable candidate: skip
+            span.add("select.models_evaluated", 1);
+            let (trial, res) = match fit {
+                Ok(ok) => ok,
+                Err(e) => {
+                    // numerically unfittable candidate: skip
+                    round_span.event(
+                        "candidate_failed",
+                        &[
+                            ("term", FieldValue::Str(term_label(*mask))),
+                            ("error", FieldValue::Str(e.to_string())),
+                        ],
+                    );
+                    span.add("select.candidates_failed", 1);
+                    continue;
+                }
             };
+            round_span.event(
+                "candidate",
+                &[
+                    ("term", FieldValue::Str(term_label(*mask))),
+                    ("ic", FieldValue::F64(res.ic)),
+                    ("k", FieldValue::U64(res.k as u64)),
+                    ("iterations", FieldValue::U64(res.iterations as u64)),
+                    ("converged", FieldValue::Bool(res.converged)),
+                ],
+            );
+            span.observe("select.glm_iterations", res.iterations as u64);
+            let ic = res.ic;
             evaluated.push(EvaluatedModel { model: trial, ic });
             if best.is_none_or(|(_, b)| ic < b) {
                 best = Some((*mask, ic));
             }
         }
+        span.add("select.rounds", 1);
         match best {
             Some((mask, ic)) if ic < current_ic - 1e-9 => {
+                round_span.event(
+                    "term_added",
+                    &[
+                        ("term", FieldValue::Str(term_label(mask))),
+                        ("ic", FieldValue::F64(ic)),
+                    ],
+                );
                 current = current.with_term(mask);
                 current_ic = ic;
             }
@@ -135,6 +217,21 @@ pub fn select_model(
     // is within `within` of the minimum, then take the one with the fewest
     // parameters (ties broken by lower IC).
     let best_ic = evaluated.iter().map(|e| e.ic).fold(f64::INFINITY, f64::min);
+    if span.is_enabled() {
+        // The IC-candidates table: every model still in the running under
+        // the within-margin rule, in search-trace order.
+        for e in evaluated.iter().filter(|e| e.ic <= best_ic + opts.within) {
+            span.event(
+                "ic_candidate",
+                &[
+                    ("model", FieldValue::Str(e.model.describe())),
+                    ("ic", FieldValue::F64(e.ic)),
+                    ("delta", FieldValue::F64(e.ic - best_ic)),
+                    ("k", FieldValue::U64(e.model.num_params() as u64)),
+                ],
+            );
+        }
+    }
     let chosen = evaluated
         .iter()
         .filter(|e| e.ic <= best_ic + opts.within)
@@ -146,6 +243,16 @@ pub fn select_model(
         // lint: allow(no-unwrap) the candidate set always contains the independence model
         .expect("at least the independence model was evaluated")
         .clone();
+    span.event(
+        "model_chosen",
+        &[
+            ("model", FieldValue::Str(chosen.model.describe())),
+            ("ic", FieldValue::F64(chosen.ic)),
+            ("best_ic", FieldValue::F64(best_ic)),
+            ("k", FieldValue::U64(chosen.model.num_params() as u64)),
+            ("divisor", FieldValue::U64(divisor)),
+        ],
+    );
 
     Ok(SelectionResult {
         model: chosen.model,

@@ -1,0 +1,77 @@
+//! The [`Clock`] capability and its deterministic implementation.
+//!
+//! Library code that wants to time or order anything must go through a
+//! `&dyn Clock` (usually the one carried by a
+//! [`Recorder`](crate::Recorder)). The ghost-lint `obs-clock` rule forbids
+//! touching `std::time::Instant`/`SystemTime` anywhere else, so the only
+//! way for wall time to enter the system is the explicitly-constructed
+//! [`WallClock`](crate::wall::WallClock) — and even then its readings only
+//! ever reach the volatile lane of the recorder, never the deterministic
+//! event log.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic time source.
+///
+/// Readings are `u64` in a clock-specific unit: microseconds for wall
+/// clocks, event ticks for logical clocks. Readings never decrease.
+pub trait Clock: Send + Sync {
+    /// The current reading.
+    fn now(&self) -> u64;
+
+    /// Whether readings are wall-clock microseconds (`true`) or logical
+    /// ticks (`false`). Wall readings are runtime facts and must stay in
+    /// the volatile lane.
+    fn is_wall(&self) -> bool;
+}
+
+/// A deterministic clock: a process-wide monotonic event counter.
+///
+/// Every [`now`](Clock::now) call advances the counter by one, so readings
+/// measure "how many clock reads happened before this one" — a causal
+/// ordering, not a duration. That is exactly what deterministic library
+/// code is allowed to observe.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A fresh counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn is_wall(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_is_strictly_monotonic() {
+        let c = LogicalClock::new();
+        let a = c.now();
+        let b = c.now();
+        let d = c.now();
+        assert!(a < b && b < d);
+        assert!(!c.is_wall());
+    }
+
+    #[test]
+    fn logical_clock_counts_reads() {
+        let c = LogicalClock::new();
+        for want in 0..100 {
+            assert_eq!(c.now(), want);
+        }
+    }
+}

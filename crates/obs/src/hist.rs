@@ -1,0 +1,156 @@
+//! Fixed-bucket histograms over non-negative integers.
+//!
+//! All instrumented quantities that need a distribution — GLM iteration
+//! counts, profile-CI bisection steps, per-stage drop counts — are integer
+//! valued, so the histogram stores only `u64`s: bucket counts, an exact
+//! sum, and min/max. Every accumulator is commutative, which is what makes
+//! concurrent recording deterministic: the same multiset of observations
+//! yields the same snapshot regardless of arrival order or thread count.
+
+/// Number of buckets (the last one is the `> BUCKET_BOUNDS[last-1]`
+/// overflow bucket).
+pub const NUM_BUCKETS: usize = 12;
+
+/// Inclusive upper bounds of the first `NUM_BUCKETS − 1` buckets (powers of
+/// two); the final bucket catches everything larger.
+pub const BUCKET_BOUNDS: [u64; NUM_BUCKETS - 1] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// A point-in-time histogram state (also the merge/serialisation form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Observations per bucket, aligned with [`BUCKET_BOUNDS`] plus the
+    /// overflow bucket.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    /// Same as [`HistSnapshot::new`] — note `min` starts at `u64::MAX`, the
+    /// identity of `min`-merging, not zero.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistSnapshot {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(v: u64) -> usize {
+        BUCKET_BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(NUM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another snapshot into this one (commutative, associative).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive() {
+        assert_eq!(HistSnapshot::bucket_of(0), 0);
+        assert_eq!(HistSnapshot::bucket_of(1), 0);
+        assert_eq!(HistSnapshot::bucket_of(2), 1);
+        assert_eq!(HistSnapshot::bucket_of(3), 2);
+        assert_eq!(HistSnapshot::bucket_of(4), 2);
+        assert_eq!(HistSnapshot::bucket_of(5), 3);
+        assert_eq!(HistSnapshot::bucket_of(1024), 10);
+        assert_eq!(HistSnapshot::bucket_of(1025), 11);
+        assert_eq!(HistSnapshot::bucket_of(u64::MAX), 11);
+    }
+
+    #[test]
+    fn observe_tracks_count_sum_min_max() {
+        let mut h = HistSnapshot::new();
+        for v in [3, 1, 7, 1024, 2000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 3 + 1 + 7 + 1024 + 2000);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 2000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        assert_eq!(h.buckets[11], 1); // only 2000 overflows
+        assert_eq!(h.mean(), Some(607.0));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let obs = [5u64, 9, 130, 1, 1, 64, 4096];
+        let mut left = HistSnapshot::new();
+        let mut right = HistSnapshot::new();
+        for (i, &v) in obs.iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+        }
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right.clone();
+        ba.merge(&left);
+        assert_eq!(ab, ba);
+
+        let mut seq = HistSnapshot::new();
+        for &v in &obs {
+            seq.observe(v);
+        }
+        assert_eq!(ab, seq);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mean() {
+        let h = HistSnapshot::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min, u64::MAX);
+        assert_eq!(h.max, 0);
+    }
+}

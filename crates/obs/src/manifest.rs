@@ -1,0 +1,397 @@
+//! The end-of-run [`RunManifest`]: the one artefact that may contain
+//! volatile (runtime) facts.
+//!
+//! A manifest is assembled by the binary after the run: it echoes the
+//! effective configuration, ingests summary events from the flushed
+//! [`EventLog`](crate::EventLog) (model choices, IC candidate tables,
+//! errors), and carries the final counters, histograms and the volatile
+//! lane (wall durations, worker stats). Unlike the JSONL trace it is *not*
+//! required to be identical across thread counts — that is the whole point
+//! of the split.
+
+use crate::hist::{HistSnapshot, NUM_BUCKETS};
+use crate::json::{parse, JsonError, JsonValue};
+use crate::recorder::{EventLog, FieldValue};
+use std::collections::BTreeMap;
+
+/// Schema identifier written into every manifest.
+pub const MANIFEST_SCHEMA: &str = "ghosts-manifest/1";
+
+/// One named entry in a manifest section — a summarised trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Which section this belongs to (usually the originating event name,
+    /// e.g. `model_chosen` or `ic_candidate`).
+    pub section: String,
+    /// The span path the event came from.
+    pub span: String,
+    /// The event's fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Record {
+    /// The field `key` as an `f64`, if present and numeric.
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                FieldValue::U64(x) => Some(*x as f64),
+                FieldValue::I64(x) => Some(*x as f64),
+                FieldValue::F64(x) => Some(*x),
+                _ => None,
+            })
+    }
+
+    /// The field `key` as a string, if present.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                FieldValue::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+    }
+}
+
+/// The run manifest. See the module docs for the determinism contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// Echo of the effective configuration, in insertion order.
+    pub config: Vec<(String, String)>,
+    /// Summarised events, in trace order.
+    pub records: Vec<Record>,
+    /// Final deterministic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Final deterministic histograms.
+    pub hists: BTreeMap<String, HistSnapshot>,
+    /// The volatile lane: wall durations, worker/task stats. Runtime facts;
+    /// allowed to differ between runs.
+    pub volatile: BTreeMap<String, u64>,
+}
+
+impl RunManifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Echoes one configuration key.
+    pub fn set_config(&mut self, key: &str, value: impl Into<String>) {
+        let value = value.into();
+        if let Some(slot) = self.config.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.config.push((key.to_string(), value));
+        }
+    }
+
+    /// Copies counters, histograms and the volatile lane from a flushed
+    /// log (merging into anything already present).
+    pub fn ingest_metrics(&mut self, log: &EventLog) {
+        for (name, v) in &log.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &log.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, v) in &log.volatile {
+            *self.volatile.entry(name.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Summarises events whose names appear in `names` into [`Record`]s
+    /// (in trace order). Error events are always ingested, regardless of
+    /// `names`.
+    pub fn ingest_events(&mut self, log: &EventLog, names: &[&str]) {
+        for (path, events) in &log.spans {
+            for e in events {
+                let is_error = e.kind == crate::recorder::EventKind::Error;
+                if is_error || names.contains(&e.name.as_str()) {
+                    self.records.push(Record {
+                        section: e.name.clone(),
+                        span: path.render(),
+                        fields: e.fields.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// All records of one section.
+    pub fn section<'a>(&'a self, section: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.records.iter().filter(move |r| r.section == section)
+    }
+
+    /// Serialises to a compact JSON document.
+    pub fn to_json(&self) -> String {
+        let config = JsonValue::Object(
+            self.config
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                .collect(),
+        );
+        let records = JsonValue::Array(
+            self.records
+                .iter()
+                .map(|r| {
+                    JsonValue::Object(vec![
+                        ("section".to_string(), JsonValue::Str(r.section.clone())),
+                        ("span".to_string(), JsonValue::Str(r.span.clone())),
+                        (
+                            "fields".to_string(),
+                            JsonValue::Object(
+                                r.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), field_to_json(v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = JsonValue::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+                .collect(),
+        );
+        let hists = JsonValue::Object(
+            self.hists
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        JsonValue::Object(vec![
+                            ("count".to_string(), JsonValue::UInt(h.count)),
+                            ("sum".to_string(), JsonValue::UInt(h.sum)),
+                            ("min".to_string(), JsonValue::UInt(h.min)),
+                            ("max".to_string(), JsonValue::UInt(h.max)),
+                            (
+                                "buckets".to_string(),
+                                JsonValue::Array(
+                                    h.buckets.iter().map(|&b| JsonValue::UInt(b)).collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let volatile = JsonValue::Object(
+            self.volatile
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::Str(MANIFEST_SCHEMA.to_string()),
+            ),
+            ("config".to_string(), config),
+            ("records".to_string(), records),
+            ("counters".to_string(), counters),
+            ("hists".to_string(), hists),
+            ("volatile".to_string(), volatile),
+        ])
+        .to_compact()
+    }
+
+    /// Parses a manifest back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON or a wrong/missing schema
+    /// identifier.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = parse(text)?;
+        let bad = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        if doc.get("schema").and_then(JsonValue::as_str) != Some(MANIFEST_SCHEMA) {
+            return Err(bad("missing or unsupported manifest schema"));
+        }
+        let mut out = RunManifest::new();
+        if let Some(config) = doc.get("config").and_then(JsonValue::as_object) {
+            for (k, v) in config {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| bad("config values must be strings"))?;
+                out.config.push((k.clone(), v.to_string()));
+            }
+        }
+        if let Some(records) = doc.get("records").and_then(JsonValue::as_array) {
+            for r in records {
+                let section = r
+                    .get("section")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("record missing section"))?;
+                let span = r
+                    .get("span")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("record missing span"))?;
+                let mut fields = Vec::new();
+                if let Some(map) = r.get("fields").and_then(JsonValue::as_object) {
+                    for (k, v) in map {
+                        fields.push((
+                            k.clone(),
+                            field_from_json(v)
+                                .ok_or_else(|| bad("unsupported field value in record"))?,
+                        ));
+                    }
+                }
+                out.records.push(Record {
+                    section: section.to_string(),
+                    span: span.to_string(),
+                    fields,
+                });
+            }
+        }
+        if let Some(counters) = doc.get("counters").and_then(JsonValue::as_object) {
+            for (k, v) in counters {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| bad("counter values must be u64"))?;
+                out.counters.insert(k.clone(), v);
+            }
+        }
+        if let Some(hists) = doc.get("hists").and_then(JsonValue::as_object) {
+            for (k, v) in hists {
+                out.hists.insert(
+                    k.clone(),
+                    hist_from_json(v).ok_or_else(|| bad("malformed histogram"))?,
+                );
+            }
+        }
+        if let Some(volatile) = doc.get("volatile").and_then(JsonValue::as_object) {
+            for (k, v) in volatile {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| bad("volatile values must be u64"))?;
+                out.volatile.insert(k.clone(), v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn field_to_json(v: &FieldValue) -> JsonValue {
+    match v {
+        FieldValue::U64(x) => JsonValue::UInt(*x),
+        FieldValue::I64(x) => JsonValue::Int(*x),
+        FieldValue::F64(x) => JsonValue::Float(*x),
+        FieldValue::Str(s) => JsonValue::Str(s.clone()),
+        FieldValue::Bool(b) => JsonValue::Bool(*b),
+    }
+}
+
+fn field_from_json(v: &JsonValue) -> Option<FieldValue> {
+    match v {
+        JsonValue::UInt(x) => Some(FieldValue::U64(*x)),
+        JsonValue::Int(x) => Some(FieldValue::I64(*x)),
+        JsonValue::Float(x) => Some(FieldValue::F64(*x)),
+        JsonValue::Str(s) => Some(FieldValue::Str(s.clone())),
+        JsonValue::Bool(b) => Some(FieldValue::Bool(*b)),
+        // A non-finite float was serialised as null; surface it as NaN so
+        // the record keeps its field rather than failing the parse.
+        JsonValue::Null => Some(FieldValue::F64(f64::NAN)),
+        _ => None,
+    }
+}
+
+fn hist_from_json(v: &JsonValue) -> Option<HistSnapshot> {
+    let mut h = HistSnapshot::new();
+    h.count = v.get("count")?.as_u64()?;
+    h.sum = v.get("sum")?.as_u64()?;
+    h.min = v.get("min")?.as_u64()?;
+    h.max = v.get("max")?.as_u64()?;
+    let buckets = v.get("buckets")?.as_array()?;
+    if buckets.len() != NUM_BUCKETS {
+        return None;
+    }
+    for (slot, b) in h.buckets.iter_mut().zip(buckets) {
+        *slot = b.as_u64()?;
+    }
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::recorder::Recorder;
+    use std::sync::Arc;
+
+    fn sample_manifest() -> RunManifest {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let root = rec.root("select");
+        root.event(
+            "model_chosen",
+            &[
+                ("model", FieldValue::Str("M0+s1".into())),
+                ("ic", FieldValue::F64(1234.5)),
+                ("k", FieldValue::U64(3)),
+            ],
+        );
+        root.event("skipped", &[]);
+        root.child_idx("candidate", 0).error(
+            "fit_failed",
+            &[("error", FieldValue::Str("singular".into()))],
+        );
+        rec.add("fits", 7);
+        rec.observe("glm.iterations", 12);
+        rec.volatile_add("wall_us", 98_765);
+
+        let log = rec.flush();
+        let mut m = RunManifest::new();
+        m.set_config("denominator", "16384");
+        m.set_config("seed", "7");
+        m.ingest_metrics(&log);
+        m.ingest_events(&log, &["model_chosen"]);
+        m
+    }
+
+    #[test]
+    fn ingests_selected_events_and_all_errors() {
+        let m = sample_manifest();
+        assert_eq!(m.section("model_chosen").count(), 1);
+        assert_eq!(m.section("fit_failed").count(), 1); // error auto-ingested
+        assert_eq!(m.section("skipped").count(), 0); // not selected
+        let chosen = m.section("model_chosen").next().expect("present");
+        assert_eq!(chosen.str("model"), Some("M0+s1"));
+        assert_eq!(chosen.f64("ic"), Some(1234.5));
+        assert_eq!(chosen.f64("k"), Some(3.0));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let m = sample_manifest();
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).expect("parses");
+        assert_eq!(back, m);
+        // And the re-serialisation is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn set_config_overwrites_in_place() {
+        let mut m = RunManifest::new();
+        m.set_config("a", "1");
+        m.set_config("b", "2");
+        m.set_config("a", "3");
+        assert_eq!(
+            m.config,
+            vec![("a".into(), "3".into()), ("b".into(), "2".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(RunManifest::from_json("{\"schema\":\"other/9\"}").is_err());
+        assert!(RunManifest::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Structural validation of `ghosts-events/1` JSONL trace files.
+//!
+//! `xtask lint --check-events <file>` and the CI smoke step use this to
+//! verify that a trace emitted by `repro --trace` is well-formed: a single
+//! meta line first, then events/errors, then counters, then histograms,
+//! with every line carrying exactly the keys the writer produces and every
+//! span's `seq` numbering dense from zero.
+
+use crate::hist::NUM_BUCKETS;
+use crate::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema identifier expected on the meta line (same constant the
+/// writer uses).
+pub const EVENTS_SCHEMA: &str = crate::recorder::JSONL_SCHEMA;
+
+/// A validation failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Counts of what a validated trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JsonlSummary {
+    /// Ordinary events.
+    pub events: usize,
+    /// Error events.
+    pub errors: usize,
+    /// Counter lines.
+    pub counters: usize,
+    /// Histogram lines.
+    pub hists: usize,
+}
+
+/// The writer emits kinds in this phase order; later phases may not be
+/// followed by earlier ones.
+fn phase_of(kind: &str) -> Option<u8> {
+    match kind {
+        "meta" => Some(0),
+        "event" | "error" => Some(1),
+        "counter" => Some(2),
+        "hist" => Some(3),
+        _ => None,
+    }
+}
+
+fn keys_of(v: &JsonValue) -> Vec<&str> {
+    v.as_object()
+        .map(|m| m.iter().map(|(k, _)| k.as_str()).collect())
+        .unwrap_or_default()
+}
+
+/// Validates a single trace line in isolation (any kind, including meta).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_event_line(line: &str) -> Result<(), String> {
+    let doc = parse(line).map_err(|e| e.to_string())?;
+    if doc.as_object().is_none() {
+        return Err("line is not a JSON object".to_string());
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string 'kind'".to_string())?;
+    match kind {
+        "meta" => {
+            if keys_of(&doc) != ["kind", "schema", "clock"] {
+                return Err("meta line must have exactly kind, schema, clock".to_string());
+            }
+            let schema = doc.get("schema").and_then(JsonValue::as_str);
+            if schema != Some(EVENTS_SCHEMA) {
+                return Err(format!(
+                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?}"
+                ));
+            }
+            match doc.get("clock").and_then(JsonValue::as_str) {
+                Some("logical" | "wall") => Ok(()),
+                other => Err(format!("clock must be 'logical' or 'wall', got {other:?}")),
+            }
+        }
+        "event" | "error" => {
+            if keys_of(&doc) != ["kind", "span", "seq", "name", "fields"] {
+                return Err(format!(
+                    "{kind} line must have exactly kind, span, seq, name, fields"
+                ));
+            }
+            if doc.get("span").and_then(JsonValue::as_str).is_none() {
+                return Err("span must be a string".to_string());
+            }
+            if doc.get("seq").and_then(JsonValue::as_u64).is_none() {
+                return Err("seq must be a non-negative integer".to_string());
+            }
+            if doc.get("name").and_then(JsonValue::as_str).is_none() {
+                return Err("name must be a string".to_string());
+            }
+            match doc.get("fields") {
+                Some(JsonValue::Object(fields)) => {
+                    for (k, v) in fields {
+                        match v {
+                            JsonValue::UInt(_)
+                            | JsonValue::Int(_)
+                            | JsonValue::Float(_)
+                            | JsonValue::Str(_)
+                            | JsonValue::Bool(_)
+                            | JsonValue::Null => {}
+                            _ => return Err(format!("field '{k}' must be a scalar")),
+                        }
+                    }
+                    Ok(())
+                }
+                _ => Err("fields must be an object".to_string()),
+            }
+        }
+        "counter" => {
+            if keys_of(&doc) != ["kind", "name", "value"] {
+                return Err("counter line must have exactly kind, name, value".to_string());
+            }
+            if doc.get("name").and_then(JsonValue::as_str).is_none() {
+                return Err("name must be a string".to_string());
+            }
+            if doc.get("value").and_then(JsonValue::as_u64).is_none() {
+                return Err("value must be a non-negative integer".to_string());
+            }
+            Ok(())
+        }
+        "hist" => {
+            if keys_of(&doc) != ["kind", "name", "count", "sum", "min", "max", "buckets"] {
+                return Err(
+                    "hist line must have exactly kind, name, count, sum, min, max, buckets"
+                        .to_string(),
+                );
+            }
+            if doc.get("name").and_then(JsonValue::as_str).is_none() {
+                return Err("name must be a string".to_string());
+            }
+            let mut nums = [0u64; 4];
+            for (slot, key) in nums.iter_mut().zip(["count", "sum", "min", "max"]) {
+                *slot = doc
+                    .get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("{key} must be a non-negative integer"))?;
+            }
+            let buckets = doc
+                .get("buckets")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| "buckets must be an array".to_string())?;
+            if buckets.len() != NUM_BUCKETS {
+                return Err(format!(
+                    "buckets must have {NUM_BUCKETS} entries, got {}",
+                    buckets.len()
+                ));
+            }
+            let mut total: u64 = 0;
+            for b in buckets {
+                total = total
+                    .saturating_add(b.as_u64().ok_or_else(|| {
+                        "bucket counts must be non-negative integers".to_string()
+                    })?);
+            }
+            if total != nums[0] {
+                return Err(format!(
+                    "bucket counts sum to {total} but count is {}",
+                    nums[0]
+                ));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown kind '{other}'")),
+    }
+}
+
+/// Validates a whole trace document.
+///
+/// Beyond per-line checks this enforces: the first line is the only meta
+/// line; kinds appear in writer phase order (events, then counters, then
+/// histograms); every span's `seq` numbers are dense from zero; and the
+/// document is newline-terminated with no blank lines.
+///
+/// # Errors
+///
+/// Returns the first violation with its line number.
+pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
+    let fail = |line: usize, message: String| SchemaError { line, message };
+    if text.is_empty() {
+        return Err(fail(1, "empty trace (expected a meta line)".to_string()));
+    }
+    if !text.ends_with('\n') {
+        let line = text.lines().count();
+        return Err(fail(line, "trace must end with a newline".to_string()));
+    }
+    let mut summary = JsonlSummary::default();
+    let mut phase: u8 = 0;
+    let mut next_seq: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            return Err(fail(lineno, "blank line in trace".to_string()));
+        }
+        validate_event_line(line).map_err(|m| fail(lineno, m))?;
+        // validate_event_line guarantees the parse and the kind.
+        let doc = parse(line).map_err(|e| fail(lineno, e.to_string()))?;
+        let kind = doc.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+        let this_phase = phase_of(kind).unwrap_or(u8::MAX);
+        if i == 0 {
+            if kind != "meta" {
+                return Err(fail(lineno, "first line must be the meta line".to_string()));
+            }
+        } else if kind == "meta" {
+            return Err(fail(lineno, "duplicate meta line".to_string()));
+        } else if this_phase < phase {
+            return Err(fail(
+                lineno,
+                format!("'{kind}' line after a later-phase line (out of writer order)"),
+            ));
+        }
+        phase = this_phase;
+        match kind {
+            "event" => summary.events += 1,
+            "error" => summary.errors += 1,
+            "counter" => summary.counters += 1,
+            "hist" => summary.hists += 1,
+            _ => {}
+        }
+        if kind == "event" || kind == "error" {
+            let span = doc
+                .get("span")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string();
+            let seq = doc.get("seq").and_then(JsonValue::as_u64).unwrap_or(0);
+            let expected = next_seq.entry(span.clone()).or_insert(0);
+            if seq != *expected {
+                return Err(fail(
+                    lineno,
+                    format!("span '{span}' expected seq {expected}, got {seq}"),
+                ));
+            }
+            *expected += 1;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::recorder::{FieldValue, Recorder};
+    use std::sync::Arc;
+
+    fn sample_trace() -> String {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let root = rec.root("run");
+        root.event("start", &[("denom", FieldValue::U64(16384))]);
+        let w = root.child_idx("window", 3);
+        w.event(
+            "fit",
+            &[
+                ("iters", FieldValue::U64(9)),
+                ("ll", FieldValue::F64(-12.5)),
+            ],
+        );
+        w.error(
+            "estimate_failed",
+            &[("error", FieldValue::Str("singular".into()))],
+        );
+        rec.add("pipeline.dropped_reserved", 42);
+        rec.observe("glm.iterations", 9);
+        rec.flush().to_jsonl()
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let trace = sample_trace();
+        let summary = validate_jsonl(&trace).expect("valid");
+        assert_eq!(
+            summary,
+            JsonlSummary {
+                events: 2,
+                errors: 1,
+                counters: 1,
+                hists: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn empty_log_is_just_a_meta_line() {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let trace = rec.flush().to_jsonl();
+        let summary = validate_jsonl(&trace).expect("valid");
+        assert_eq!(summary, JsonlSummary::default());
+    }
+
+    #[test]
+    fn rejects_missing_meta_and_duplicates() {
+        let trace = sample_trace();
+        let mut lines: Vec<&str> = trace.lines().collect();
+        let headless = format!("{}\n", lines[1..].join("\n"));
+        assert!(validate_jsonl(&headless).is_err());
+
+        let meta = lines[0];
+        lines.insert(1, meta);
+        let doubled = format!("{}\n", lines.join("\n"));
+        let err = validate_jsonl(&doubled).expect_err("duplicate meta");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_order_phases() {
+        let trace = sample_trace();
+        let mut lines: Vec<&str> = trace.lines().collect();
+        // Move the counter line to the end, after the hist line.
+        let counter_pos = lines
+            .iter()
+            .position(|l| l.contains("\"kind\":\"counter\""))
+            .expect("has counter");
+        let counter = lines.remove(counter_pos);
+        lines.push(counter);
+        let reordered = format!("{}\n", lines.join("\n"));
+        assert!(validate_jsonl(&reordered).is_err());
+    }
+
+    #[test]
+    fn rejects_seq_gaps() {
+        let trace = sample_trace();
+        let tampered = trace.replace("\"seq\":1", "\"seq\":5");
+        assert!(validate_jsonl(&tampered).is_err());
+    }
+
+    #[test]
+    fn rejects_bucket_count_mismatch() {
+        let line = r#"{"kind":"hist","name":"h","count":3,"sum":9,"min":1,"max":5,"buckets":[1,0,0,0,0,0,0,0,0,0,0,0]}"#;
+        let err = validate_event_line(line).expect_err("count mismatch");
+        assert!(err.contains("sum to 1"));
+    }
+
+    #[test]
+    fn rejects_unknown_kinds_and_extra_keys() {
+        assert!(validate_event_line(r#"{"kind":"mystery"}"#).is_err());
+        assert!(
+            validate_event_line(r#"{"kind":"counter","name":"c","value":1,"extra":2}"#).is_err()
+        );
+        assert!(validate_event_line("not json").is_err());
+    }
+
+    #[test]
+    fn requires_trailing_newline_and_no_blanks() {
+        let trace = sample_trace();
+        assert!(validate_jsonl(trace.trim_end()).is_err());
+        let blank = trace.replacen('\n', "\n\n", 1);
+        assert!(validate_jsonl(&blank).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! The wall clock — the **only** module in the workspace allowed to touch
+//! `std::time::Instant`.
+//!
+//! ghost-lint's `nondeterminism` and `obs-clock` rules pin the exception to
+//! this file: binaries and benches construct a [`WallClock`] here and hand
+//! it to a [`Recorder`](crate::Recorder); library code only ever sees it as
+//! a `&dyn Clock` and cannot tell it apart from a
+//! [`LogicalClock`](crate::LogicalClock) other than via
+//! [`is_wall`](crate::Clock::is_wall). Wall readings are runtime facts:
+//! recorders route them to the volatile lane (manifest only), keeping the
+//! deterministic event log byte-identical across runs and thread counts.
+
+use crate::clock::Clock;
+use std::time::Instant;
+
+/// A real monotonic clock reporting microseconds since construction.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Starts a wall clock at "now". Only binaries and benches may call
+    /// this — ghost-lint's `obs-clock` rule rejects `WallClock` in library
+    /// source.
+    #[must_use]
+    #[allow(clippy::disallowed_methods)] // the one sanctioned Instant::now
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn is_wall(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_wall() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(c.is_wall());
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::dataset::WindowData;
 use ghosts_net::{AddrSet, SubnetSet};
+use ghosts_obs::{FieldValue, Scope};
 
 /// One row of a Table-2-style summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,11 +52,42 @@ pub struct WindowObserved {
 
 /// Computes the union counts for a window.
 pub fn window_observed(data: &WindowData) -> WindowObserved {
+    window_observed_traced(data, &Scope::disabled())
+}
+
+/// [`window_observed`] with tracing: records a `window_observed` event
+/// (per-window union sizes plus per-source sizes) and bumps the
+/// `aggregate.*` counters in `obs`.
+pub fn window_observed_traced(data: &WindowData, obs: &Scope) -> WindowObserved {
     let u = data.observed_union();
-    WindowObserved {
+    let observed = WindowObserved {
         ips: u.len(),
         subnets: u.to_subnet24().len(),
+    };
+    obs.add("aggregate.windows", 1);
+    obs.add("aggregate.union_ips", observed.ips);
+    obs.event(
+        "window_observed",
+        &[
+            ("sources", FieldValue::U64(data.sources.len() as u64)),
+            ("ips", FieldValue::U64(observed.ips)),
+            ("subnets", FieldValue::U64(observed.subnets)),
+        ],
+    );
+    if obs.is_enabled() {
+        for (i, s) in data.sources.iter().enumerate() {
+            let subs: SubnetSet = s.subnets();
+            obs.child_idx("source", i as u64).event(
+                "source_observed",
+                &[
+                    ("name", FieldValue::Str(s.name.clone())),
+                    ("ips", FieldValue::U64(s.addrs.len())),
+                    ("subnets", FieldValue::U64(subs.len())),
+                ],
+            );
+        }
     }
+    observed
 }
 
 /// Per-source observation sizes for a window (the per-dataset columns the

@@ -4,6 +4,7 @@
 
 use ghosts_net::bogons::is_reserved;
 use ghosts_net::{AddrSet, RoutedTable};
+use ghosts_obs::{FieldValue, Scope};
 
 /// Statistics of a filtering pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,6 +20,16 @@ pub struct FilterStats {
 /// Returns the subset of `set` that is publicly routed and not reserved,
 /// with counts of what was dropped.
 pub fn filter_to_routed(set: &AddrSet, routed: &RoutedTable) -> (AddrSet, FilterStats) {
+    filter_to_routed_traced(set, routed, &Scope::disabled())
+}
+
+/// [`filter_to_routed`] with tracing: records a `filter` event with the
+/// drop/keep breakdown and bumps the `filter.*` pipeline counters in `obs`.
+pub fn filter_to_routed_traced(
+    set: &AddrSet,
+    routed: &RoutedTable,
+    obs: &Scope,
+) -> (AddrSet, FilterStats) {
     let mut out = AddrSet::new();
     let mut stats = FilterStats::default();
     for addr in set.iter() {
@@ -31,6 +42,18 @@ pub fn filter_to_routed(set: &AddrSet, routed: &RoutedTable) -> (AddrSet, Filter
             stats.kept += 1;
         }
     }
+    obs.add("filter.dropped_reserved", stats.dropped_reserved);
+    obs.add("filter.dropped_unrouted", stats.dropped_unrouted);
+    obs.add("filter.kept", stats.kept);
+    obs.event(
+        "filter",
+        &[
+            ("input", FieldValue::U64(set.len())),
+            ("dropped_reserved", FieldValue::U64(stats.dropped_reserved)),
+            ("dropped_unrouted", FieldValue::U64(stats.dropped_unrouted)),
+            ("kept", FieldValue::U64(stats.kept)),
+        ],
+    );
     (out, stats)
 }
 

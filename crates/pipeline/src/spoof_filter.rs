@@ -18,6 +18,7 @@
 //!    probability `P(V|B)` (spoofed addresses have uniform last bytes).
 
 use ghosts_net::{AddrSet, Prefix, SubnetSet};
+use ghosts_obs::{FieldValue, Scope};
 use ghosts_stats::Binomial;
 use rand::Rng;
 
@@ -100,6 +101,36 @@ pub struct SpoofFilterReport {
     pub removed_stage2: u64,
 }
 
+impl SpoofFilterReport {
+    /// Records this report into `obs`: a `spoof_filter` event with the
+    /// estimate and removal breakdown, plus `spoof.*` counters.
+    ///
+    /// Note: stage 2 is driven by the caller's RNG, so its removal counts
+    /// are deterministic only under a seeded RNG — callers feeding a
+    /// deterministic trace must use `component_rng` or similar.
+    pub fn record(&self, obs: &Scope) {
+        obs.add("spoof.removed_subnets", self.removed_subnets);
+        obs.add("spoof.removed_stage1", self.removed_stage1);
+        obs.add("spoof.removed_stage2", self.removed_stage2);
+        obs.event(
+            "spoof_filter",
+            &[
+                ("s_estimate", FieldValue::F64(self.s_estimate)),
+                ("rate", FieldValue::F64(self.rate)),
+                ("m", FieldValue::U64(self.m)),
+                (
+                    "empty_eights",
+                    FieldValue::U64(self.empty_eights.len() as u64),
+                ),
+                ("removed_subnets", FieldValue::U64(self.removed_subnets)),
+                ("removed_stage1", FieldValue::U64(self.removed_stage1)),
+                ("removed_stage2", FieldValue::U64(self.removed_stage2)),
+                ("kept", FieldValue::U64(self.filtered.len())),
+            ],
+        );
+    }
+}
+
 /// Finds the `count` /8 prefixes that the spoof-free sources see least
 /// (candidates for the paper's 'empty' /8s, e.g. 53/8 or 55/8), excluding
 /// reserved space and /8s the spoof-free sources see more than
@@ -144,6 +175,29 @@ pub fn detect_empty_eights(
 /// using `spoof_free` (the union of the spoof-free datasets) as the
 /// reference. `rng` drives the probabilistic stage-2 removals.
 pub fn filter_spoofed<R: Rng + ?Sized>(
+    target: &AddrSet,
+    spoof_free: &AddrSet,
+    cfg: &SpoofFilterConfig,
+    rng: &mut R,
+) -> SpoofFilterReport {
+    filter_spoofed_traced(target, spoof_free, cfg, rng, &Scope::disabled())
+}
+
+/// [`filter_spoofed`] with tracing: records the resulting
+/// [`SpoofFilterReport`] into `obs` (see [`SpoofFilterReport::record`]).
+pub fn filter_spoofed_traced<R: Rng + ?Sized>(
+    target: &AddrSet,
+    spoof_free: &AddrSet,
+    cfg: &SpoofFilterConfig,
+    rng: &mut R,
+    obs: &Scope,
+) -> SpoofFilterReport {
+    let report = filter_spoofed_inner(target, spoof_free, cfg, rng);
+    report.record(obs);
+    report
+}
+
+fn filter_spoofed_inner<R: Rng + ?Sized>(
     target: &AddrSet,
     spoof_free: &AddrSet,
     cfg: &SpoofFilterConfig,

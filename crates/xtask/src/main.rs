@@ -9,8 +9,10 @@ const USAGE: &str = "\
 Usage: cargo run -p xtask -- <command>
 
 Commands:
-  lint               run ghost-lint over the whole workspace (exit 1 on violations)
-  lint --update-api  regenerate crates/xtask/vendor_api.lock, then lint
+  lint                      run ghost-lint over the whole workspace (exit 1 on violations)
+  lint --update-api         regenerate crates/xtask/vendor_api.lock, then lint
+  lint --check-events PATH  validate a JSONL event trace (repro --trace output)
+                            against the ghosts-events/1 schema
 ";
 
 fn main() -> ExitCode {
@@ -19,9 +21,36 @@ fn main() -> ExitCode {
     match args.as_slice() {
         ["lint"] => run_lint(false),
         ["lint", "--update-api"] | ["lint", "--update-api", "lint"] => run_lint(true),
+        ["lint", "--check-events", path] => run_check_events(path),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Validates a `repro --trace` JSONL file: schema version, line grammar,
+/// section ordering, dense per-span sequence numbers, trailing newline.
+fn run_check_events(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("ghost-lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ghosts_obs::validate_jsonl(&text) {
+        Ok(summary) => {
+            eprintln!(
+                "ghost-lint: {path}: valid event stream ({} events, {} errors, \
+                 {} counters, {} histograms)",
+                summary.events, summary.errors, summary.counters, summary.hists
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ghost-lint: {path}:{}: {}", e.line, e.message);
+            ExitCode::FAILURE
         }
     }
 }

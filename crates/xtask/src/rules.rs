@@ -23,9 +23,14 @@ const ESTIMATION_CRATES: [&str; 4] = ["core", "stats", "pipeline", "bench"];
 
 /// Crates required to be bit-deterministic in their inputs: no wall-clock,
 /// no OS randomness, and library code must not panic via unwrap/expect.
-const DETERMINISTIC_CRATES: [&str; 7] = [
-    "core", "stats", "net", "pipeline", "sim", "analysis", "ghosts",
+const DETERMINISTIC_CRATES: [&str; 8] = [
+    "core", "stats", "net", "pipeline", "sim", "analysis", "ghosts", "obs",
 ];
+
+/// The single file allowed to read the OS clock. Everything else goes
+/// through `ghosts_obs`: binaries and benches construct a `WallClock`,
+/// libraries read time (if at all) through the recorder's `Clock`.
+const WALL_CLOCK_FILE: &str = "crates/obs/src/wall.rs";
 
 /// Files allowed to compare floats with `==`: the approved helpers.
 const FLOAT_EQ_HELPERS: [&str; 1] = ["crates/stats/src/approx.rs"];
@@ -107,6 +112,9 @@ pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const RULE_INVARIANT: &str = "invariant-usage";
 /// Vendored shim public API drifted from the checked-in lock.
 pub const RULE_API_DRIFT: &str = "api-drift";
+/// Direct `Instant`/`SystemTime` outside `ghosts_obs::wall`, or a
+/// `WallClock` constructed inside deterministic library code.
+pub const RULE_OBS_CLOCK: &str = "obs-clock";
 
 /// Lints one tokenized file. `tokens` must come from
 /// [`crate::lexer::tokenize`] on the file's full text.
@@ -118,6 +126,7 @@ pub fn lint_tokens(tokens: &[Token], class: &FileClass) -> Vec<Violation> {
     rule_hash_collections(tokens, class, &allowed, &mut out);
     rule_float_eq(tokens, class, &allowed, &test_lines, &mut out);
     rule_nondeterminism(tokens, class, &allowed, &mut out);
+    rule_obs_clock(tokens, class, &allowed, &test_lines, &mut out);
     rule_no_unwrap(tokens, class, &allowed, &test_lines, &mut out);
     rule_forbid_unsafe(tokens, class, &mut out);
     rule_invariant_usage(tokens, class, &test_lines, &mut out);
@@ -365,6 +374,7 @@ fn rule_nondeterminism(
 ) {
     if !DETERMINISTIC_CRATES.contains(&class.crate_name.as_str())
         || !matches!(class.section, Section::Src)
+        || class.rel_path == WALL_CLOCK_FILE
     {
         return;
     }
@@ -383,6 +393,66 @@ fn rule_nondeterminism(
                      for randomness; timing belongs in the bench harness)"
                 ),
             });
+        }
+    }
+}
+
+/// Clock access is a capability handed out by `ghosts_obs`: raw
+/// `Instant`/`SystemTime` reads are confined to [`WALL_CLOCK_FILE`] so that
+/// every timestamp in the system is attributable to exactly one clock
+/// (deterministic logical, or the explicitly-volatile wall clock). Unlike
+/// [`rule_nondeterminism`] this also covers binaries and benches — they may
+/// time things, but through `WallClock`, never by calling the OS directly.
+fn rule_obs_clock(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if class.crate_name.is_empty()
+        || class.crate_name.starts_with("vendor/")
+        || class.rel_path == WALL_CLOCK_FILE
+        || !matches!(
+            class.section,
+            Section::Src | Section::Bin | Section::Benches
+        )
+    {
+        return;
+    }
+    // `WallClock` itself is part of the capability scheme: only binaries
+    // and benches may construct one. Deterministic library code takes the
+    // recorder's clock (a `Scope` or `Arc<dyn Clock>`) from its caller.
+    let wall_clock_banned = DETERMINISTIC_CRATES.contains(&class.crate_name.as_str())
+        && class.crate_name != "obs"
+        && matches!(class.section, Section::Src);
+    for token in tokens {
+        let Some(name) = token.ident() else { continue };
+        if test_lines.contains(&token.line) || is_allowed(allowed, token.line, RULE_OBS_CLOCK) {
+            continue;
+        }
+        match name {
+            "Instant" | "SystemTime" => out.push(Violation {
+                file: class.rel_path.clone(),
+                line: token.line,
+                rule: RULE_OBS_CLOCK,
+                message: format!(
+                    "direct {name} use: wall-clock reads go through ghosts_obs \
+                     (WallClock in binaries/benches, the recorder's Clock in \
+                     libraries)"
+                ),
+            }),
+            "WallClock" if wall_clock_banned => out.push(Violation {
+                file: class.rel_path.clone(),
+                line: token.line,
+                rule: RULE_OBS_CLOCK,
+                message: String::from(
+                    "WallClock in deterministic library code: accept the \
+                     recorder's clock (a Scope or Arc<dyn Clock>) from the \
+                     caller — only binaries and benches construct wall clocks",
+                ),
+            }),
+            _ => {}
         }
     }
 }
@@ -572,11 +642,46 @@ mod tests {
     #[test]
     fn nondeterminism_only_in_deterministic_crates() {
         let src = "fn t() { let _ = std::time::Instant::now(); }";
+        // Deterministic library source: both the nondeterminism rule and
+        // the clock-capability rule object.
         let in_sim = class("sim", Section::Src, "crates/sim/src/x.rs");
-        assert_eq!(lint(src, &in_sim).len(), 1);
-        // The bench harness may time things.
+        let rules: Vec<&str> = lint(src, &in_sim).iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![RULE_NONDETERMINISM, RULE_OBS_CLOCK]);
+        // The bench harness may time things — but through WallClock, not
+        // by calling the OS clock directly.
         let in_bench = class("bench", Section::Bin, "crates/bench/src/bin/repro.rs");
-        assert!(lint(src, &in_bench).is_empty());
+        let rules: Vec<&str> = lint(src, &in_bench).iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![RULE_OBS_CLOCK]);
+        let wall = "fn t(w: &WallClock) -> u64 { w.now() }";
+        assert!(lint(wall, &in_bench).is_empty());
+    }
+
+    #[test]
+    fn obs_clock_spares_the_wall_module_and_bans_wallclock_in_libs() {
+        // The one sanctioned Instant site.
+        let src = "fn t() { let _ = std::time::Instant::now(); }";
+        let in_wall = class("obs", Section::Src, "crates/obs/src/wall.rs");
+        assert!(lint(src, &in_wall).is_empty());
+        // Elsewhere in the obs crate it is still banned.
+        let in_obs = class("obs", Section::Src, "crates/obs/src/clock.rs");
+        assert!(!lint(src, &in_obs).is_empty());
+        // WallClock is a binary/bench capability, not a library one…
+        let wall = "fn t(w: &WallClock) -> u64 { w.now() }";
+        let in_core = class("core", Section::Src, "crates/core/src/x.rs");
+        let rules: Vec<&str> = lint(wall, &in_core).iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![RULE_OBS_CLOCK]);
+        // …except in the obs crate itself, which defines and re-exports it.
+        let in_obs_lib = class("obs", Section::Src, "crates/obs/src/lib.rs");
+        assert!(lint(wall, &in_obs_lib).is_empty());
+        // Vendored shims and tests are out of scope.
+        let in_vendor = class(
+            "vendor/criterion",
+            Section::Src,
+            "vendor/criterion/src/lib.rs",
+        );
+        assert!(lint(src, &in_vendor).is_empty());
+        let in_tests = class("core", Section::Tests, "crates/core/tests/x.rs");
+        assert!(lint(src, &in_tests).is_empty());
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Fixture: direct clock access that must go through ghosts_obs.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn elapsed_us() -> u64 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_micros() as u64
+}
+
+// lint: allow(obs-clock) fixture-sanctioned operator feedback
+fn sanctioned() -> std::time::Instant {
+    std::time::Instant::now() // lint: allow(obs-clock) same, trailing form
+}
+
+struct Pinned {
+    clock: WallClock,
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_time() {
+        let _ = std::time::Instant::now();
+    }
+}

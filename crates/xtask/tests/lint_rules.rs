@@ -62,18 +62,66 @@ fn nondeterminism_fixture() {
         fired(&v),
         vec![
             ("nondeterminism", 4),
+            ("obs-clock", 4),
             ("nondeterminism", 6),
-            ("nondeterminism", 8)
+            ("obs-clock", 6),
+            ("nondeterminism", 8),
+            // allow(nondeterminism) on line 11 covers that rule only; the
+            // clock-capability rule still wants the read behind WallClock.
+            ("obs-clock", 12),
         ]
     );
-    // The bench binary harness may time things.
+    // The bench binary harness is exempt from the nondeterminism rule but
+    // must still reach the clock through ghosts_obs.
     let c = class(
         "bench",
         Section::Bin,
         "crates/bench/src/bin/repro.rs",
         false,
     );
-    assert!(lint_source(&fixture("bad_nondeterminism.rs"), &c).is_empty());
+    let v = lint_source(&fixture("bad_nondeterminism.rs"), &c);
+    assert_eq!(
+        fired(&v),
+        vec![("obs-clock", 4), ("obs-clock", 6), ("obs-clock", 12)]
+    );
+}
+
+#[test]
+fn obs_clock_fixture() {
+    // In a binary the OS clock is off-limits (WallClock is the sanctioned
+    // way to time) but holding a WallClock is exactly what binaries do.
+    let c = class("bench", Section::Bin, "crates/bench/src/bin/bad.rs", false);
+    let v = lint_source(&fixture("bad_obs_clock.rs"), &c);
+    assert_eq!(
+        fired(&v),
+        vec![
+            ("obs-clock", 3),
+            ("obs-clock", 4),
+            ("obs-clock", 7),
+            ("obs-clock", 8)
+        ]
+    );
+    // In deterministic library source the WallClock field fires too (the
+    // raw reads additionally trip the nondeterminism rule, filtered here).
+    let c = class("core", Section::Src, "crates/core/src/bad.rs", false);
+    let v = lint_source(&fixture("bad_obs_clock.rs"), &c);
+    let obs: Vec<(&str, usize)> = fired(&v)
+        .into_iter()
+        .filter(|(rule, _)| *rule == "obs-clock")
+        .collect();
+    assert_eq!(
+        obs,
+        vec![
+            ("obs-clock", 3),
+            ("obs-clock", 4),
+            ("obs-clock", 7),
+            ("obs-clock", 8),
+            ("obs-clock", 18)
+        ]
+    );
+    // The one sanctioned wall-clock file is exempt wholesale.
+    let c = class("obs", Section::Src, "crates/obs/src/wall.rs", false);
+    assert!(lint_source(&fixture("bad_obs_clock.rs"), &c).is_empty());
 }
 
 #[test]

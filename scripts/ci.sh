@@ -13,6 +13,17 @@ cargo test -q
 echo "==> ghost-lint (cargo run -p xtask -- lint)"
 cargo run -q -p xtask -- lint
 
+echo "==> observability smoke (repro --trace / --metrics-out + schema check)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+repo_root="$(pwd)"
+# Run from the temp dir so the smoke run's results/ don't clobber the
+# committed default-scale artifacts.
+(cd "$smoke_dir" && "$repo_root/target/release/repro" table4 --denom 16384 --seed 7 --quiet \
+    --trace trace.jsonl --metrics-out manifest.json)
+cargo run -q -p xtask -- lint --check-events "$smoke_dir/trace.jsonl"
+test -s "$smoke_dir/manifest.json"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
