@@ -47,11 +47,7 @@ fn bench(c: &mut Criterion) {
         Some((addr as usize) % n_strata)
     });
     g.bench_function("estimate_8_strata", |b| {
-        b.iter(|| {
-            estimate_stratified(&tables, None, &cfg)
-                .unwrap()
-                .estimated_total
-        })
+        b.iter(|| estimate_stratified(&tables, None, &cfg).estimated_total)
     });
     // Sequential vs parallel per-stratum fan-out on the same workload.
     for (name, parallelism) in [
@@ -64,11 +60,7 @@ fn bench(c: &mut Criterion) {
             ..cfg.clone()
         };
         g.bench_function(name, |b| {
-            b.iter(|| {
-                estimate_stratified(&tables, None, &cfg)
-                    .unwrap()
-                    .estimated_total
-            })
+            b.iter(|| estimate_stratified(&tables, None, &cfg).estimated_total)
         });
     }
     g.finish();

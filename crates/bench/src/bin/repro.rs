@@ -19,24 +19,38 @@
 //!   list at every `--threads` setting.
 //! * `--metrics-out PATH` — write a `RunManifest` JSON summary (config
 //!   echo, chosen models, IC candidates, counters, wall timings) to PATH.
+//! * `--fault-plan PATH` — install a deterministic fault-injection plan
+//!   (DESIGN.md §11) before running; implies tracing so every fired fault
+//!   and every degradation is recorded.
 //! * `--quiet` — suppress progress chatter and per-experiment text on
 //!   stdout; errors still go to stderr.
 //!
 //! Output goes to stdout and to `results/<id>.txt` / `results/<id>.json`.
-//! If any experiment fails, a structured `experiment_failed` error event is
-//! recorded (visible in `--trace`/`--metrics-out`) and the exit code is 1.
+//!
+//! Exit codes: `0` — clean reproduction; `1` — one or more experiments
+//! failed outright; `2` — usage error (including an unparsable fault
+//! plan); `3` — every experiment completed, but only by degrading (ladder
+//! fallbacks, failed strata, or injected faults) — the results are
+//! partial and must not be read as a clean reproduction.
 
 use ghosts_bench::context::write_results;
 use ghosts_bench::experiments::{self, ALL_IDS_FULL};
 use ghosts_bench::ReproContext;
-use ghosts_core::{estimate_table, ContingencyTable, Parallelism};
+use ghosts_core::{estimate_stratified, estimate_table, ContingencyTable, Parallelism};
 use ghosts_obs::{FieldValue, LogicalClock, Recorder, RunManifest, WallClock};
+use serde_json::json;
 use std::sync::Arc;
 
 /// Hidden experiment id: runs a deliberately degenerate design through the
 /// estimator to exercise the failure path end to end (structured error
 /// event + nonzero exit). Not listed in `ALL_IDS_FULL`.
 const SELFTEST_FAIL: &str = "selftest-fail";
+
+/// Hidden experiment id: a tiny synthetic stratified estimation (four
+/// strata, three sources). Clean without a fault plan; under one it is the
+/// cheapest end-to-end path to a partially-failed stratified run (worker
+/// panics, per-stratum ladder fallbacks). Not listed in `ALL_IDS_FULL`.
+const SELFTEST_DEGRADE: &str = "selftest-degrade";
 
 /// Manifest sections: the summary events worth echoing per span.
 const MANIFEST_EVENTS: &[&str] = &[
@@ -57,8 +71,14 @@ struct Options {
     parallelism: Parallelism,
     trace: Option<String>,
     metrics_out: Option<String>,
+    fault_plan: Option<String>,
     quiet: bool,
 }
+
+/// Exit code for a run that completed only by degrading: partial results,
+/// ladder fallbacks or injected faults. Distinct from hard failure (1)
+/// and usage errors (2).
+const EXIT_DEGRADED: i32 = 3;
 
 fn parse_args(args: &[String]) -> Options {
     let mut opts = Options {
@@ -68,6 +88,7 @@ fn parse_args(args: &[String]) -> Options {
         parallelism: Parallelism::Auto,
         trace: None,
         metrics_out: None,
+        fault_plan: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -106,11 +127,21 @@ fn parse_args(args: &[String]) -> Options {
                         .clone(),
                 );
             }
+            "--fault-plan" => {
+                opts.fault_plan = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--fault-plan needs a path"))
+                        .clone(),
+                );
+            }
             "--quiet" => opts.quiet = true,
             "all" => opts.ids.extend(ALL_IDS_FULL.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
             other => {
-                if ALL_IDS_FULL.contains(&other) || other == SELFTEST_FAIL {
+                if ALL_IDS_FULL.contains(&other)
+                    || other == SELFTEST_FAIL
+                    || other == SELFTEST_DEGRADE
+                {
                     opts.ids.push(other.to_string());
                 } else {
                     usage(&format!("unknown experiment {other:?}"));
@@ -129,10 +160,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
 
+    install_fault_plan(opts.fault_plan.as_deref());
+
     // Tracing uses the deterministic logical clock so the event log is
     // byte-identical across runs; wall time is read separately (below) and
-    // only ever lands in the volatile lane / manifest.
-    let tracing = opts.trace.is_some() || opts.metrics_out.is_some();
+    // only ever lands in the volatile lane / manifest. A fault plan forces
+    // tracing so fired faults and degradations are always accounted for.
+    let tracing = opts.trace.is_some() || opts.metrics_out.is_some() || opts.fault_plan.is_some();
     let rec = if tracing {
         Recorder::enabled(Arc::new(LogicalClock::new()))
     } else {
@@ -174,6 +208,8 @@ fn main() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if id == SELFTEST_FAIL {
                 run_selftest_fail(&ctx)
+            } else if id == SELFTEST_DEGRADE {
+                run_selftest_degrade(&ctx)
             } else {
                 Ok(experiments::run(id, &ctx))
             }
@@ -212,9 +248,33 @@ fn main() {
     rec.volatile_add("repro.total_us", wall.now());
     rec.volatile_max("repro.worker_threads", opts.parallelism.threads() as u64);
 
+    // Record every fired fault before the flush, in the fire log's
+    // deterministic (site, scope, fault, hit) order, so the trace of a
+    // `--fault-plan` run documents exactly which faults actually struck.
+    let fires = ghosts_faultinject::drain_fires();
+    let fault_span = rec.root("faultinject");
+    for f in &fires {
+        fault_span.fault_injected(
+            "fired",
+            &[
+                ("site", FieldValue::Str(f.site.clone())),
+                ("scope", FieldValue::Str(f.scope.clone())),
+                ("fault", FieldValue::Str(f.fault.name().to_string())),
+                ("hit", FieldValue::U64(f.hit)),
+            ],
+        );
+    }
+
     // Flush once; the same log feeds both sinks.
+    let mut degraded_run = !fires.is_empty();
     if tracing {
         let log = rec.flush();
+        degraded_run = degraded_run
+            || log.degradation_count() > 0
+            || log
+                .spans
+                .iter()
+                .any(|(_, events)| events.iter().any(|e| e.name == "stratum_failed"));
         if let Some(path) = &opts.trace {
             if let Err(e) = std::fs::write(path, log.to_jsonl()) {
                 eprintln!("repro: could not write trace {path}: {e}");
@@ -240,6 +300,27 @@ fn main() {
         eprintln!("repro: {failures} experiment(s) failed");
         std::process::exit(1);
     }
+    if degraded_run {
+        eprintln!(
+            "repro: run completed DEGRADED ({} fault(s) fired) — results are partial",
+            fires.len()
+        );
+        std::process::exit(EXIT_DEGRADED);
+    }
+}
+
+/// Reads, parses and installs the fault plan, if any. Plan problems are
+/// usage errors: nothing has run yet, so exiting 2 cannot hide a partial
+/// result.
+fn install_fault_plan(path: Option<&str>) {
+    let Some(path) = path else { return };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("--fault-plan: cannot read {path}: {e}")));
+    let plan = ghosts_faultinject::FaultPlan::parse(&text)
+        .unwrap_or_else(|e| usage(&format!("--fault-plan {path}: {e}")));
+    if ghosts_faultinject::install(plan).is_err() {
+        usage("--fault-plan: this binary was built without the fault-inject feature");
+    }
 }
 
 /// The deliberately singular design: a single-source study. Capture–
@@ -264,6 +345,68 @@ fn run_selftest_fail(ctx: &ReproContext) -> Result<(String, serde_json::Value), 
     }
 }
 
+/// One synthetic stratum for [`SELFTEST_DEGRADE`]: three sources with
+/// every overlap pattern populated, scaled so the strata differ.
+fn selftest_stratum(scale: usize) -> ContingencyTable {
+    ContingencyTable::from_histories(
+        3,
+        std::iter::repeat_n(0b001u16, 300 * scale)
+            .chain(std::iter::repeat_n(0b010, 200 * scale))
+            .chain(std::iter::repeat_n(0b100, 100 * scale))
+            .chain(std::iter::repeat_n(0b011, 80 * scale))
+            .chain(std::iter::repeat_n(0b101, 60 * scale))
+            .chain(std::iter::repeat_n(0b110, 40 * scale))
+            .chain(std::iter::repeat_n(0b111, 20 * scale)),
+    )
+}
+
+/// Four clean synthetic strata through the stratified estimator. With no
+/// fault plan installed every stratum is estimable and the run is clean;
+/// a plan can fail individual strata (the run then reports the survivors
+/// as partial results and exits via [`EXIT_DEGRADED`]).
+fn run_selftest_degrade(ctx: &ReproContext) -> Result<(String, serde_json::Value), String> {
+    let tables: Vec<ContingencyTable> = [1usize, 2, 1, 3]
+        .into_iter()
+        .map(selftest_stratum)
+        .collect();
+    let mut cfg = ctx.cr_config();
+    cfg.truncated = false;
+    cfg.obs = ctx.recorder.root("selftest-degrade");
+    let s = estimate_stratified(&tables, None, &cfg);
+    let mut lines = Vec::new();
+    let mut rows = Vec::new();
+    for (i, est) in s.strata.iter().enumerate() {
+        match est {
+            Some(e) => {
+                lines.push(format!(
+                    "stratum {i}: total {:.1} model {}",
+                    e.total, e.model
+                ));
+                rows.push(json!({ "stratum": i, "total": e.total, "model": e.model }));
+            }
+            None => {
+                lines.push(format!("stratum {i}: FAILED"));
+                rows.push(json!({ "stratum": i, "total": null }));
+            }
+        }
+    }
+    let text = format!(
+        "Selftest (degrade) — {} strata, estimated total {:.1}\n{}\ndegraded strata: {:?}; failed strata: {:?}\n",
+        tables.len(),
+        s.estimated_total,
+        lines.join("\n"),
+        s.degraded,
+        s.failed,
+    );
+    let json = json!({
+        "estimated_total": s.estimated_total,
+        "strata": rows,
+        "degraded": s.degraded,
+        "failed": s.failed,
+    });
+    Ok((text, json))
+}
+
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<String>() {
@@ -281,7 +424,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N] [--threads auto|N]\n\
-         \x20            [--trace PATH] [--metrics-out PATH] [--quiet]\n\
+         \x20            [--trace PATH] [--metrics-out PATH] [--fault-plan PATH] [--quiet]\n\
          experiments: {}",
         ALL_IDS_FULL.join(" ")
     );

@@ -170,7 +170,7 @@ impl ReproContext {
             let spoof_free = raw.spoof_free_union();
             let fcfg = SpoofFilterConfig::with_universe(self.scenario.routed_per_eight());
             let obs = self.window_scope("pipeline", i);
-            let sources: Vec<SourceDataset> = raw
+            let mut sources: Vec<SourceDataset> = raw
                 .sources
                 .iter()
                 .map(|d| {
@@ -192,6 +192,15 @@ impl ReproContext {
                     }
                 })
                 .collect();
+            // Fault site `pipeline.window`, scoped by window index: a
+            // drop-source fault models a measurement source missing from
+            // this window's upload. CR degrades gracefully as long as two
+            // sources remain.
+            if let Some(ghosts_faultinject::Fault::DropSource) =
+                ghosts_faultinject::task_scope(i, || ghosts_faultinject::fire("pipeline.window"))
+            {
+                sources.pop();
+            }
             WindowData {
                 window: raw.window,
                 sources,

@@ -217,13 +217,13 @@ pub fn estimate(
             ContingencyTable::stratified_from_subnet_sets(&refs, info.labels.len(), |base| {
                 (info.key)(base)
             });
-        estimate_stratified(&tables, Some(&info.subnet_limits), &cfg).expect("stratified estimable")
+        estimate_stratified(&tables, Some(&info.subnet_limits), &cfg)
     } else {
         let sets = data.addr_sets();
         let tables =
             ContingencyTable::stratified_from_addr_sets(&sets, info.labels.len(), |addr| {
                 (info.key)(addr)
             });
-        estimate_stratified(&tables, Some(&info.addr_limits), &cfg).expect("stratified estimable")
+        estimate_stratified(&tables, Some(&info.addr_limits), &cfg)
     }
 }

@@ -1,0 +1,196 @@
+//! End-to-end CLI tests for `repro --fault-plan` (DESIGN.md §11): every
+//! injectable fault class must leave the harness with partial results, a
+//! schema-valid trace accounting for each fired fault, and the dedicated
+//! degraded exit code (3) — and the degraded trace must stay byte-identical
+//! across `--threads` settings.
+//!
+//! Each test spawns its own `repro` process with its own working
+//! directory, so the plan installed in one run can never leak into
+//! another (the in-process equivalent lives in ghosts-core's
+//! `fault_ladder` tests behind a mutex).
+
+use ghosts_obs::{validate_jsonl, RunManifest};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Exit code contract of `repro`: completed, but only by degrading.
+const EXIT_DEGRADED: i32 = 3;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ghosts-fault-cli-{name}"));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// Runs `repro <experiment> --fault-plan <plan>` (plan optional) at the
+/// tiny golden scale with a trace, returning the process output.
+fn run_repro(
+    dir: &Path,
+    experiment: &str,
+    plan: Option<&Path>,
+    threads: &str,
+    trace: &Path,
+    manifest: Option<&Path>,
+) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.current_dir(dir)
+        .args([
+            experiment,
+            "--denom",
+            "16384",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--quiet",
+            "--trace",
+        ])
+        .arg(trace);
+    if let Some(p) = plan {
+        cmd.arg("--fault-plan").arg(p);
+    }
+    if let Some(m) = manifest {
+        cmd.arg("--metrics-out").arg(m);
+    }
+    cmd.output().expect("repro runs")
+}
+
+/// The multi-class plan drives three GLM fault classes plus a dropped
+/// pipeline source through `table4`; the run must finish with partial
+/// results, exit 3, and account for all four faults in the trace — and
+/// the whole degraded trace must not depend on the worker thread count.
+#[test]
+fn table4_fault_plan_degrades_exits_3_and_is_thread_count_invariant() {
+    let dir = workdir("table4");
+    let plan = fixture("table4_faults.plan");
+    let trace1 = dir.join("trace-t1.jsonl");
+    let trace4 = dir.join("trace-t4.jsonl");
+    let manifest = dir.join("manifest.json");
+
+    let out = run_repro(&dir, "table4", Some(&plan), "1", &trace1, Some(&manifest));
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_DEGRADED),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DEGRADED"), "stderr: {stderr}");
+    assert!(stderr.contains("4 fault(s) fired"), "stderr: {stderr}");
+
+    // The trace is schema-valid and accounts for every planned fault: the
+    // three GLM fault classes on the main thread plus the dropped source.
+    let text = std::fs::read_to_string(&trace1).expect("trace written");
+    let summary = validate_jsonl(&text).expect("degraded trace is schema-valid");
+    assert_eq!(summary.faults, 4, "{summary:?}");
+    assert!(summary.degradations >= 3, "{summary:?}");
+    for needle in [
+        "non-finite-fit",
+        "budget-exhaustion",
+        "nan-cell",
+        "drop-source",
+        "ladder_step",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Partial results were still written: all six networks are present
+    // (degraded entries carry fallback estimates rather than vanishing).
+    let results = std::fs::read_to_string(dir.join("results/table4.json")).expect("results");
+    assert_eq!(
+        results.matches("\"network\"").count(),
+        6,
+        "results:\n{results}"
+    );
+
+    // The manifest ingests the degradation events as a `degraded` section.
+    let mtext = std::fs::read_to_string(&manifest).expect("manifest written");
+    let m = RunManifest::from_json(&mtext).expect("manifest parses");
+    assert!(m
+        .config
+        .iter()
+        .any(|(k, v)| k == "experiments" && v == "table4"));
+    assert!(mtext.contains("degraded"), "manifest:\n{mtext}");
+    assert!(mtext.contains("ladder_step"), "manifest:\n{mtext}");
+    assert!(mtext.contains("fault_injected"), "manifest:\n{mtext}");
+
+    // Same plan, four worker threads: byte-identical trace.
+    let out4 = run_repro(&dir, "table4", Some(&plan), "4", &trace4, None);
+    assert_eq!(out4.status.code(), Some(EXIT_DEGRADED));
+    let text4 = std::fs::read_to_string(&trace4).expect("trace written");
+    assert_eq!(
+        text, text4,
+        "degraded table4 trace differs between --threads 1 and --threads 4"
+    );
+}
+
+/// A worker panic in one stratum of a stratified run must not take the
+/// run down: the remaining strata are reported as partial results and the
+/// failure is a structured `stratum_failed` error event. The same
+/// experiment with no plan installed reproduces cleanly.
+#[test]
+fn worker_panic_yields_partial_stratified_results() {
+    let dir = workdir("panic");
+    let plan = fixture("stratified_panic.plan");
+    let trace_clean = dir.join("trace-clean.jsonl");
+    let trace = dir.join("trace.jsonl");
+
+    let clean = run_repro(&dir, "selftest-degrade", None, "1", &trace_clean, None);
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "clean selftest-degrade must exit 0; stderr: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let out = run_repro(&dir, "selftest-degrade", Some(&plan), "1", &trace, None);
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_DEGRADED),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("DEGRADED"));
+
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let summary = validate_jsonl(&text).expect("degraded trace is schema-valid");
+    assert_eq!(summary.faults, 1, "{summary:?}");
+    assert!(summary.errors >= 1, "{summary:?}");
+    assert!(text.contains("worker-panic"), "{text}");
+    assert!(text.contains("stratum_failed"), "{text}");
+
+    // Three of the four strata survive as partial results.
+    let results =
+        std::fs::read_to_string(dir.join("results/selftest-degrade.txt")).expect("results");
+    assert!(results.contains("stratum 2: FAILED"), "{results}");
+    for i in [0usize, 1, 3] {
+        assert!(
+            results.contains(&format!("stratum {i}: total")),
+            "stratum {i} must survive:\n{results}"
+        );
+    }
+    assert!(results.contains("failed strata: [2]"), "{results}");
+}
+
+/// An unparsable plan is a usage error (exit 2) before anything runs.
+#[test]
+fn malformed_fault_plan_exits_with_usage() {
+    let dir = workdir("badplan");
+    let plan = dir.join("bad.plan");
+    std::fs::write(&plan, "site=glm.fit kind=voltage-spike\n").expect("write plan");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .current_dir(&dir)
+        .args(["table4", "--quiet", "--fault-plan"])
+        .arg(&plan)
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown fault kind"), "{stderr}");
+}

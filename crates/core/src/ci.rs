@@ -11,11 +11,11 @@
 //! sensitivity heuristic, with the very small `α = 10⁻⁷` used to obtain
 //! deliberately wide ranges.
 
-use crate::fit::{fit_llm_traced, CellModel};
+use crate::fit::{fit_llm_opts, CellModel, FitOptions};
 use crate::history::ContingencyTable;
 use crate::model::LogLinearModel;
 use ghosts_obs::{FieldValue, Scope};
-use ghosts_stats::glm::{self, GlmError, GlmOptions};
+use ghosts_stats::glm::{self, GlmError};
 use ghosts_stats::optimize::{bisect, expand_until_sign_change, golden_min};
 use ghosts_stats::ChiSquared;
 use std::cell::Cell;
@@ -68,6 +68,7 @@ fn profile_loglik(
     table: &ContingencyTable,
     model: &LogLinearModel,
     cell_model: CellModel,
+    fit_opts: &FitOptions,
     n0: f64,
 ) -> Result<f64, GlmError> {
     let design = model.design_matrix_with_ghost();
@@ -80,7 +81,7 @@ fn profile_loglik(
             glm::CountFamily::TruncatedPoisson(vec![limit.max(1); y.len()])
         }
     };
-    let fit = glm::fit(&design, &y, &family, GlmOptions::default())?;
+    let fit = glm::fit(&design, &y, &family, fit_opts.glm_options())?;
     Ok(fit.log_likelihood)
 }
 
@@ -114,8 +115,46 @@ pub fn profile_interval_traced(
     alpha: f64,
     obs: &Scope,
 ) -> Result<EstimateRange, CiError> {
+    profile_interval_opts(table, model, cell_model, alpha, &FitOptions::default(), obs)
+}
+
+/// [`profile_interval_traced`] with explicit [`FitOptions`] for every
+/// profile refit.
+///
+/// # Errors
+///
+/// Same as [`profile_interval`] (error events are recorded before
+/// returning).
+pub fn profile_interval_opts(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    alpha: f64,
+    fit_opts: &FitOptions,
+    obs: &Scope,
+) -> Result<EstimateRange, CiError> {
     let observed = table.observed_total() as f64;
-    let point_fit = fit_llm_traced(table, model, cell_model, obs)?;
+    // Fault site `ci.profile`: a non-finite-fit fault fails the point fit;
+    // any other injected fault stands in for a profile likelihood whose
+    // upper end cannot be bracketed.
+    match ghosts_faultinject::fire("ci.profile") {
+        Some(ghosts_faultinject::Fault::NonFiniteFit) => {
+            obs.error(
+                "ci_fit_failed",
+                &[("model", FieldValue::Str(model.describe()))],
+            );
+            return Err(CiError::Fit(GlmError::NonFiniteFit));
+        }
+        Some(_) => {
+            obs.error(
+                "ci_unbounded",
+                &[("model", FieldValue::Str(model.describe()))],
+            );
+            return Err(CiError::Unbounded);
+        }
+        None => {}
+    }
+    let point_fit = fit_llm_opts(table, model, cell_model, fit_opts, obs)?;
     let z0_hat = point_fit.z0;
     // The profile search is sequential, so a plain Cell counts evaluations.
     let evals = Cell::new(0u64);
@@ -126,17 +165,18 @@ pub fn profile_interval_traced(
     let hi_bracket = (z0_hat * 3.0).max(10.0);
     let neg_ell = |n0: f64| -> f64 {
         evals.set(evals.get() + 1);
-        -profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY)
+        -profile_loglik(table, model, cell_model, fit_opts, n0).unwrap_or(f64::NEG_INFINITY)
     };
     let n0_star = golden_min(neg_ell, lo_bracket, hi_bracket, 1e-8)
         .expect("bracket is well-formed by construction"); // lint: allow(no-unwrap) lo < hi checked above
-    let ell_max = profile_loglik(table, model, cell_model, n0_star)?;
+    let ell_max = profile_loglik(table, model, cell_model, fit_opts, n0_star)?;
     let threshold = ell_max - ChiSquared::new(1.0).quantile(1.0 - alpha) / 2.0;
 
     // Shifted profile: positive inside the interval, negative outside.
     let g = |n0: f64| -> f64 {
         evals.set(evals.get() + 1);
-        profile_loglik(table, model, cell_model, n0).unwrap_or(f64::NEG_INFINITY) - threshold
+        profile_loglik(table, model, cell_model, fit_opts, n0).unwrap_or(f64::NEG_INFINITY)
+            - threshold
     };
 
     // Lower end: between 0 and the maximiser.

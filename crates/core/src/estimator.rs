@@ -2,12 +2,13 @@
 //! (optionally) stratified totals with the paper's sampling-zeros
 //! exclusion rule (§3.3.4, §3.4).
 
-use crate::ci::{profile_interval_traced, CiError, EstimateRange, PAPER_ALPHA};
-use crate::fit::{fit_llm_traced, CellModel};
+use crate::ci::{profile_interval_opts, CiError, EstimateRange, PAPER_ALPHA};
+use crate::degrade::{run_ladder, Degradation, LadderRequest};
+use crate::fit::{fit_llm_opts, CellModel, FitOptions};
 use crate::history::ContingencyTable;
 use crate::invariant;
-use crate::parallel::{par_map, Parallelism};
-use crate::select::{select_model, SelectionOptions};
+use crate::parallel::{try_par_map, Parallelism};
+use crate::select::{select_model, SelectionOptions, SelectionResult};
 use ghosts_obs::{FieldValue, Scope};
 use ghosts_stats::glm::GlmError;
 
@@ -20,6 +21,14 @@ pub struct CrConfig {
     pub truncated: bool,
     /// Model-selection options (IC, divisor rule, interaction order).
     pub selection: SelectionOptions,
+    /// Newton-fit knobs (iteration budget included) applied to the final
+    /// fit and the profile refits. [`selection_with_obs`] copies them onto
+    /// the search so one policy governs every GLM fit of a run.
+    pub fit: FitOptions,
+    /// Whether fit/selection/range failures walk the graceful-degradation
+    /// ladder ([`crate::degrade`]) instead of aborting the estimate. On by
+    /// default; [`EstimateError::NotEnoughSources`] is never degradable.
+    pub degrade: bool,
     /// Strata with fewer observed individuals than this are not estimated
     /// (the paper excludes country strata with < 1000 observed IPs).
     pub min_stratum_observed: u64,
@@ -41,6 +50,8 @@ impl Default for CrConfig {
         Self {
             truncated: true,
             selection: SelectionOptions::default(),
+            fit: FitOptions::default(),
+            degrade: true,
             min_stratum_observed: 1000,
             excluded_policy: ExcludedPolicy::ObservedOnly,
             parallelism: Parallelism::Auto,
@@ -89,6 +100,10 @@ pub struct CrEstimate {
     pub ic: f64,
     /// Divisor applied by the scaling rule.
     pub divisor: u64,
+    /// `Some` when the estimate came off the graceful-degradation ladder
+    /// rather than the primary selected-model path; `None` in clean runs,
+    /// so golden values are unaffected.
+    pub degraded: Option<Degradation>,
 }
 
 /// Errors from high-level estimation.
@@ -167,11 +182,80 @@ pub fn estimate_table(
             model: String::from("(empty)"),
             ic: f64::NAN,
             divisor: 1,
+            degraded: None,
         });
     }
     let cell_model = cfg.cell_model(limit);
-    let sel = select_model(table, cell_model, &selection_with_obs(cfg))?;
-    let fit = fit_llm_traced(table, &sel.model, cell_model, &cfg.obs)?;
+    let (est, _) = estimate_cell(table, cell_model, None, cfg)?;
+    record_estimate(&cfg.obs, &est);
+    Ok(est)
+}
+
+/// The shared select → fit (→ range) path of [`estimate_table`] and
+/// [`estimate_table_with_range`], with the degradation ladder wrapped
+/// around every fallible stage.
+fn estimate_cell(
+    table: &ContingencyTable,
+    cell_model: CellModel,
+    alpha: Option<f64>,
+    cfg: &CrConfig,
+) -> Result<(CrEstimate, Option<EstimateRange>), EstimateError> {
+    let degrade = |sel: Option<&SelectionResult>, stage: &str, reason: String, from: String| {
+        run_ladder(
+            &LadderRequest {
+                table,
+                cell_model,
+                sel,
+                stage,
+                reason,
+                from,
+                alpha,
+            },
+            cfg,
+        )
+    };
+    let sel = match select_model(table, cell_model, &selection_with_obs(cfg)) {
+        Ok(sel) => sel,
+        Err(e) if cfg.degrade => {
+            return Ok(degrade(
+                None,
+                "select",
+                e.to_string(),
+                String::from("(selection)"),
+            ));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let fit = match fit_llm_opts(table, &sel.model, cell_model, &cfg.fit, &cfg.obs) {
+        Ok(fit) => fit,
+        Err(e) if cfg.degrade => {
+            return Ok(degrade(
+                Some(&sel),
+                "fit",
+                e.to_string(),
+                sel.model.describe(),
+            ));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let range = match alpha {
+        Some(alpha_v) => {
+            match profile_interval_opts(table, &sel.model, cell_model, alpha_v, &cfg.fit, &cfg.obs)
+            {
+                Ok(range) => Some(range),
+                Err(e) if cfg.degrade => {
+                    return Ok(degrade(
+                        Some(&sel),
+                        "ci",
+                        e.to_string(),
+                        sel.model.describe(),
+                    ));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        None => None,
+    };
     let est = CrEstimate {
         observed: fit.observed,
         unseen: fit.z0,
@@ -179,9 +263,9 @@ pub fn estimate_table(
         model: sel.model.describe(),
         ic: sel.ic,
         divisor: sel.divisor,
+        degraded: None,
     };
-    record_estimate(&cfg.obs, &est);
-    Ok(est)
+    Ok((est, range))
 }
 
 /// The selection options to actually run with: if the caller did not give
@@ -194,24 +278,29 @@ fn selection_with_obs(cfg: &CrConfig) -> SelectionOptions {
     sel
 }
 
-/// Records the summary event for one table's estimate.
+/// Records the summary event for one table's estimate. Degraded estimates
+/// carry an extra `degraded` field naming the ladder rung; clean runs emit
+/// exactly the same bytes as before the ladder existed.
 fn record_estimate(obs: &Scope, est: &CrEstimate) {
     obs.add("estimate.count", 1);
-    obs.event(
-        "estimate",
-        &[
-            ("observed", FieldValue::U64(est.observed)),
-            ("unseen", FieldValue::F64(est.unseen)),
-            ("total", FieldValue::F64(est.total)),
-            ("model", FieldValue::Str(est.model.clone())),
-            ("ic", FieldValue::F64(est.ic)),
-            ("divisor", FieldValue::U64(est.divisor)),
-        ],
-    );
+    let mut fields = vec![
+        ("observed", FieldValue::U64(est.observed)),
+        ("unseen", FieldValue::F64(est.unseen)),
+        ("total", FieldValue::F64(est.total)),
+        ("model", FieldValue::Str(est.model.clone())),
+        ("ic", FieldValue::F64(est.ic)),
+        ("divisor", FieldValue::U64(est.divisor)),
+    ];
+    if let Some(deg) = &est.degraded {
+        fields.push(("degraded", FieldValue::Str(deg.rung.name().to_string())));
+    }
+    obs.event("estimate", &fields);
 }
 
 /// Like [`estimate_table`] but also computes the profile-likelihood range
-/// at the paper's `α = 10⁻⁷`.
+/// at the paper's `α = 10⁻⁷`. Under the degradation ladder the estimate
+/// and the range always come from the *same* rung; the terminal Chao rung
+/// reports the one-sided range `[n̂, ∞)`.
 pub fn estimate_table_with_range(
     table: &ContingencyTable,
     limit: Option<u64>,
@@ -224,17 +313,8 @@ pub fn estimate_table_with_range(
     }
     invariant::check_table(table);
     let cell_model = cfg.cell_model(limit);
-    let sel = select_model(table, cell_model, &selection_with_obs(cfg))?;
-    let fit = fit_llm_traced(table, &sel.model, cell_model, &cfg.obs)?;
-    let range = profile_interval_traced(table, &sel.model, cell_model, PAPER_ALPHA, &cfg.obs)?;
-    let est = CrEstimate {
-        observed: fit.observed,
-        unseen: fit.z0,
-        total: fit.n_hat,
-        model: sel.model.describe(),
-        ic: sel.ic,
-        divisor: sel.divisor,
-    };
+    let (est, range) = estimate_cell(table, cell_model, Some(PAPER_ALPHA), cfg)?;
+    let range = range.expect("estimate_cell returns a range when alpha is set"); // lint: allow(no-unwrap) alpha was passed
     record_estimate(&cfg.obs, &est);
     Ok((est, range))
 }
@@ -246,24 +326,43 @@ pub fn estimate_table_with_range(
 #[derive(Debug, Clone)]
 pub struct StratifiedEstimate {
     /// Per-stratum estimates; `None` where the stratum was excluded by the
-    /// minimum-observed rule.
+    /// minimum-observed rule or failed outright (see [`Self::failed`]).
     pub strata: Vec<Option<CrEstimate>>,
     /// Sum of observed individuals over all strata (including excluded
-    /// ones under [`ExcludedPolicy::ObservedOnly`]).
+    /// and failed ones under [`ExcludedPolicy::ObservedOnly`]).
     pub observed_total: u64,
     /// Sum of estimated totals.
     pub estimated_total: f64,
     /// Indices of excluded strata.
     pub excluded: Vec<usize>,
+    /// Indices of strata whose estimate came off the degradation ladder.
+    pub degraded: Vec<usize>,
+    /// Indices of strata that produced no estimate at all — a
+    /// non-degradable error (too few sources, or a run with the ladder
+    /// switched off) or a worker panic. They contribute like excluded
+    /// strata under the configured [`ExcludedPolicy`].
+    pub failed: Vec<usize>,
+}
+
+impl StratifiedEstimate {
+    /// Whether every stratum produced a clean (non-degraded) estimate or
+    /// a deliberate exclusion.
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty() && self.failed.is_empty()
+    }
 }
 
 /// Estimates every stratum and sums. `limits[i]` is stratum `i`'s routed
 /// size (`limits` may be `None` for untruncated runs).
 ///
-/// # Errors
-///
-/// Propagates the first hard fitting error; small-stratum exclusions are
-/// not errors.
+/// Infallible by design: per-stratum failures are isolated. A stratum
+/// whose model fails walks the degradation ladder inside
+/// [`estimate_table`]; a stratum that fails non-degradably (or whose
+/// worker panics) is recorded in [`StratifiedEstimate::failed`] with a
+/// `stratum_failed` error event, and the remaining strata still produce a
+/// partial total. The merge runs in stratum order, so results — including
+/// which strata degraded or failed — are bit-identical at every thread
+/// count.
 ///
 /// # Panics
 ///
@@ -272,7 +371,7 @@ pub fn estimate_stratified(
     tables: &[ContingencyTable],
     limits: Option<&[u64]>,
     cfg: &CrConfig,
-) -> Result<StratifiedEstimate, EstimateError> {
+) -> StratifiedEstimate {
     if let Some(ls) = limits {
         assert_eq!(ls.len(), tables.len(), "one limit per stratum required");
     }
@@ -283,7 +382,7 @@ pub fn estimate_stratified(
     if cfg.parallelism.threads() > 1 && tables.len() > 1 {
         inner.selection.parallelism = Parallelism::SEQUENTIAL;
     }
-    let results = par_map(cfg.parallelism, tables, |i, table| {
+    let results = try_par_map(cfg.parallelism, tables, |i, table| {
         // Each stratum traces into its own indexed span, owned by exactly
         // one worker — cross-stratum event order is imposed at flush time
         // by the span paths, not by scheduling.
@@ -310,21 +409,46 @@ pub fn estimate_stratified(
         cfg.parallelism.threads().min(tables.len().max(1)) as u64,
     );
 
-    // Deterministic merge in stratum order; like the sequential loop, the
-    // lowest-indexed failing stratum decides the returned error.
+    // Deterministic merge in stratum order. `stratum_failed` events are
+    // appended here (after every worker is done), so within each stratum
+    // span they always follow the worker's own events — the same order at
+    // every thread count.
     let mut strata = Vec::with_capacity(tables.len());
     let mut observed_total = 0u64;
     let mut estimated_total = 0.0f64;
     let mut excluded = Vec::new();
+    let mut degraded = Vec::new();
+    let mut failed = Vec::new();
     for (i, result) in results.into_iter().enumerate() {
-        match result? {
-            Some(est) => {
+        // Flatten worker panics and estimation errors into one failure
+        // lane; both leave the stratum without an estimate.
+        let flat = match result {
+            Ok(inner) => inner.map_err(|e| e.to_string()),
+            Err(panic_msg) => Err(format!("worker panicked: {panic_msg}")),
+        };
+        match flat {
+            Ok(Some(est)) => {
+                if est.degraded.is_some() {
+                    degraded.push(i);
+                }
                 observed_total += est.observed;
                 estimated_total += est.total;
                 strata.push(Some(est));
             }
-            None => {
+            Ok(None) => {
                 excluded.push(i);
+                if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
+                    let observed = tables[i].observed_total();
+                    observed_total += observed;
+                    estimated_total += observed as f64;
+                }
+                strata.push(None);
+            }
+            Err(message) => {
+                failed.push(i);
+                cfg.obs
+                    .child_idx("stratum", i as u64)
+                    .error("stratum_failed", &[("error", FieldValue::Str(message))]);
                 if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
                     let observed = tables[i].observed_total();
                     observed_total += observed;
@@ -339,16 +463,20 @@ pub fn estimate_stratified(
         &[
             ("strata", FieldValue::U64(tables.len() as u64)),
             ("excluded", FieldValue::U64(excluded.len() as u64)),
+            ("degraded", FieldValue::U64(degraded.len() as u64)),
+            ("failed", FieldValue::U64(failed.len() as u64)),
             ("observed_total", FieldValue::U64(observed_total)),
             ("estimated_total", FieldValue::F64(estimated_total)),
         ],
     );
-    Ok(StratifiedEstimate {
+    StratifiedEstimate {
         strata,
         observed_total,
         estimated_total,
         excluded,
-    })
+        degraded,
+        failed,
+    }
 }
 
 #[cfg(test)]
@@ -437,8 +565,14 @@ mod tests {
             truncated: false,
             ..CrConfig::paper()
         };
-        let s = estimate_stratified(&[big.clone(), small.clone()], None, &cfg).unwrap();
+        let s = estimate_stratified(&[big.clone(), small.clone()], None, &cfg);
         assert_eq!(s.excluded, vec![1]);
+        assert!(
+            s.is_clean(),
+            "clean fixture: {:?} {:?}",
+            s.degraded,
+            s.failed
+        );
         assert!(s.strata[0].is_some() && s.strata[1].is_none());
         // ObservedOnly policy: the small stratum's observed count is in.
         assert_eq!(
@@ -452,8 +586,42 @@ mod tests {
             excluded_policy: ExcludedPolicy::Drop,
             ..cfg
         };
-        let s2 = estimate_stratified(&[big.clone(), small], None, &cfg_drop).unwrap();
+        let s2 = estimate_stratified(&[big.clone(), small], None, &cfg_drop);
         assert_eq!(s2.observed_total, big.observed_total());
+    }
+
+    /// A stratum with too few sources is a non-degradable failure: it is
+    /// isolated into `failed` and the other strata still sum.
+    #[test]
+    fn failing_stratum_yields_partial_results() {
+        let good = simulate(3, 30_000, 1);
+        let bad = ContingencyTable::from_histories(1, std::iter::repeat_n(1u16, 2_000));
+        let cfg = CrConfig {
+            truncated: false,
+            ..CrConfig::paper()
+        };
+        let s = estimate_stratified(&[good.clone(), bad.clone()], None, &cfg);
+        assert_eq!(s.failed, vec![1]);
+        assert!(s.excluded.is_empty() && s.degraded.is_empty());
+        assert!(s.strata[0].is_some() && s.strata[1].is_none());
+        // ObservedOnly: the failed stratum still contributes its observed.
+        assert_eq!(
+            s.observed_total,
+            good.observed_total() + bad.observed_total()
+        );
+        assert!(s.estimated_total > s.observed_total as f64);
+    }
+
+    /// Clean estimates are not marked degraded.
+    #[test]
+    fn clean_estimate_is_not_degraded() {
+        let table = simulate(3, 10_000, 9);
+        let cfg = CrConfig {
+            truncated: false,
+            ..CrConfig::paper()
+        };
+        let est = estimate_table(&table, None, &cfg).unwrap();
+        assert!(est.degraded.is_none());
     }
 
     #[test]

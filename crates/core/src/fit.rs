@@ -35,6 +35,46 @@ impl CellModel {
     }
 }
 
+/// Knobs for the Newton fits run by the estimation layer, carried on
+/// [`CrConfig`](crate::estimator::CrConfig) and
+/// [`SelectionOptions`](crate::select::SelectionOptions) so every GLM fit
+/// of a run — selection candidates, the final fit, profile refits — obeys
+/// one policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitOptions {
+    /// Maximum Newton iterations; reaching it returns a non-converged fit.
+    pub max_iter: usize,
+    /// Convergence tolerance on the relative log-likelihood change.
+    pub tol: f64,
+    /// Hard iteration budget: exhausting it is a structured error
+    /// ([`GlmError::BudgetExhausted`]) rather than a silently
+    /// non-converged fit, so the degradation ladder can catch it.
+    /// `None` disables the budget.
+    pub iteration_budget: Option<usize>,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        let glm = GlmOptions::default();
+        Self {
+            max_iter: glm.max_iter,
+            tol: glm.tol,
+            iteration_budget: glm.iteration_budget,
+        }
+    }
+}
+
+impl FitOptions {
+    /// The equivalent low-level GLM options.
+    pub(crate) fn glm_options(&self) -> GlmOptions {
+        GlmOptions {
+            max_iter: self.max_iter,
+            tol: self.tol,
+            iteration_budget: self.iteration_budget,
+        }
+    }
+}
+
 /// A fitted log-linear capture–recapture model.
 #[derive(Debug, Clone)]
 pub struct FittedLlm {
@@ -83,6 +123,24 @@ pub fn fit_llm_traced(
     cell_model: CellModel,
     obs: &Scope,
 ) -> Result<FittedLlm, GlmError> {
+    fit_llm_opts(table, model, cell_model, &FitOptions::default(), obs)
+}
+
+/// [`fit_llm_traced`] with explicit [`FitOptions`] — the entry point the
+/// estimator uses so the configured Newton budget reaches every fit.
+///
+/// # Errors
+///
+/// Propagates [`GlmError`] from the Newton fitter (after recording an
+/// error event), including [`GlmError::BudgetExhausted`] when a budget is
+/// configured and exhausted.
+pub fn fit_llm_opts(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    fit_opts: &FitOptions,
+    obs: &Scope,
+) -> Result<FittedLlm, GlmError> {
     assert_eq!(
         table.num_sources(),
         model.num_sources(),
@@ -93,7 +151,7 @@ pub fn fit_llm_traced(
     invariant::check_design(&design);
     let y = table.observed_cells();
     let family = cell_model.family(y.len(), 1);
-    let glm = glm::fit(&design, &y, &family, GlmOptions::default()).inspect_err(|e| {
+    let glm = glm::fit(&design, &y, &family, fit_opts.glm_options()).inspect_err(|e| {
         obs.error(
             "fit_failed",
             &[

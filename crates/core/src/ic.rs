@@ -10,10 +10,10 @@
 //! rule "start at 1000 and halve until `d` is smaller than the smallest
 //! cell count" (§3.3.2, §5.1).
 
-use crate::fit::CellModel;
+use crate::fit::{CellModel, FitOptions};
 use crate::history::ContingencyTable;
 use crate::model::LogLinearModel;
-use ghosts_stats::glm::{self, GlmError, GlmOptions};
+use ghosts_stats::glm::{self, GlmError};
 
 /// Which information criterion to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,11 +120,29 @@ pub fn evaluate_ic(
     kind: IcKind,
     rule: DivisorRule,
 ) -> Result<IcResult, GlmError> {
+    evaluate_ic_opts(table, model, cell_model, kind, rule, &FitOptions::default())
+}
+
+/// [`evaluate_ic`] with explicit [`FitOptions`], so the model search can
+/// impose the run's Newton budget on every candidate fit.
+///
+/// # Errors
+///
+/// Propagates [`GlmError`] from the fitter, including
+/// [`GlmError::BudgetExhausted`] when a budget is configured.
+pub fn evaluate_ic_opts(
+    table: &ContingencyTable,
+    model: &LogLinearModel,
+    cell_model: CellModel,
+    kind: IcKind,
+    rule: DivisorRule,
+    fit_opts: &FitOptions,
+) -> Result<IcResult, GlmError> {
     let d = rule.divisor_for(table);
     let y = scaled_counts(table, d);
     let design = model.design_matrix();
     let family = cell_model.family(y.len(), d);
-    let fit = glm::fit(&design, &y, &family, GlmOptions::default())?;
+    let fit = glm::fit(&design, &y, &family, fit_opts.glm_options())?;
     let k = model.num_params();
     let m_scaled: f64 = y.iter().sum::<f64>().max(1.0);
     let ic = match kind {

@@ -53,6 +53,7 @@
 
 pub mod chao;
 pub mod ci;
+pub mod degrade;
 pub mod estimator;
 pub mod fit;
 pub mod history;
@@ -66,17 +67,20 @@ pub mod parallel;
 pub mod select;
 
 pub use chao::{chao_lower_bound, ChaoEstimate};
-pub use ci::{profile_interval, profile_interval_traced, EstimateRange, PAPER_ALPHA};
+pub use ci::{
+    profile_interval, profile_interval_opts, profile_interval_traced, EstimateRange, PAPER_ALPHA,
+};
+pub use degrade::{Degradation, LadderRung};
 pub use estimator::{
     estimate_stratified, estimate_table, estimate_table_with_range, CrConfig, CrEstimate,
     EstimateError, ExcludedPolicy, StratifiedEstimate,
 };
-pub use fit::{fit_llm, fit_llm_traced, CellModel, FittedLlm};
+pub use fit::{fit_llm, fit_llm_opts, fit_llm_traced, CellModel, FitOptions, FittedLlm};
 pub use history::ContingencyTable;
 pub use ic::{DivisorRule, IcKind};
 pub use jackknife::{jackknife, jackknife_select, JackknifeEstimate};
 pub use lp::{chapman, lincoln_petersen, lincoln_petersen_pair, TwoSampleEstimate};
 pub use model::LogLinearModel;
 pub use mpcr::{mpcr_estimate, MinHashSketch, MpcrResult};
-pub use parallel::{par_map, Parallelism};
+pub use parallel::{panic_message, par_map, try_par_map, Parallelism};
 pub use select::{select_model, SelectionOptions, SelectionResult};

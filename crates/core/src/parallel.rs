@@ -14,7 +14,12 @@
 //! Only `std` is used (`std::thread::scope` + atomics) — the workspace
 //! builds offline and adds no dependency for this.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A caught worker panic payload.
+type PanicPayload = Box<dyn Any + Send + 'static>;
 
 /// How many worker threads fan-out sections may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,8 +74,31 @@ impl std::fmt::Display for Parallelism {
     }
 }
 
-/// Maps `f` over `items` with self-scheduling workers, returning outputs
-/// in input order.
+/// Runs one item inside its fault-injection task frame with the panic
+/// trapped. Trapping *per item* (instead of letting a panic tear down the
+/// worker) means every item always runs at every thread count, so the
+/// side effects an item produced before panicking — recorded trace events
+/// in particular — are the same set whether `threads` is 1 or N.
+fn run_item<T, U, F>(i: usize, item: &T, f: &F) -> Result<U, PanicPayload>
+where
+    F: Fn(usize, &T) -> U,
+{
+    ghosts_faultinject::task_scope(i, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            // Fault point (no-op unless a fault plan is armed; DESIGN.md
+            // §11): simulates a worker dying mid-item.
+            if let Some(ghosts_faultinject::Fault::WorkerPanic) =
+                ghosts_faultinject::fire("parallel.worker")
+            {
+                panic!("injected worker panic (site parallel.worker, item {i})");
+            }
+            f(i, item)
+        }))
+    })
+}
+
+/// Maps `f` over `items` with self-scheduling workers, collecting each
+/// item's outcome — `Ok` or the caught panic payload — in input order.
 ///
 /// With one worker (or one item) this is a plain sequential loop on the
 /// calling thread. Otherwise `min(threads, items.len())` scoped workers
@@ -78,11 +106,10 @@ impl std::fmt::Display for Parallelism {
 /// and run `f(index, &items[index])`; results are stitched back into
 /// index order afterwards, so the output is independent of scheduling.
 ///
-/// # Panics
-///
-/// Re-raises the first worker panic on the calling thread (like the
-/// sequential loop would).
-pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+/// Every item runs even when an earlier one panics — a worker panic is
+/// confined to its item and can no longer leak an unjoined thread or
+/// poison sibling items.
+fn run_all<T, U, F>(par: Parallelism, items: &[T], f: &F) -> Vec<Result<U, PanicPayload>>
 where
     T: Sync,
     U: Send,
@@ -90,23 +117,34 @@ where
 {
     let threads = par.threads().min(items.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_item(i, t, f))
+            .collect();
     }
 
+    let token = ghosts_faultinject::current_scope();
     let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+    let buckets: Vec<Vec<(usize, Result<U, PanicPayload>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+                let (token, next) = (&token, &next);
+                scope.spawn(move || {
+                    // Workers inherit the spawning thread's fault scope so
+                    // nested fan-outs address items identically at every
+                    // thread count.
+                    ghosts_faultinject::with_scope(token, || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, run_item(i, &items[i], f)));
                         }
-                        out.push((i, f(i, &items[i])));
-                    }
-                    out
+                        out
+                    })
                 })
             })
             .collect();
@@ -114,13 +152,16 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(bucket) => bucket,
+                // Unreachable in practice — run_item traps item panics —
+                // but a panic in the claiming loop itself must still
+                // surface rather than vanish.
                 Err(panic) => std::panic::resume_unwind(panic),
             })
             .collect()
     });
 
     // Deterministic merge: place every result at its input index.
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<Result<U, PanicPayload>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     for bucket in buckets {
         for (i, u) in bucket {
@@ -131,6 +172,66 @@ where
         .into_iter()
         .map(|s| s.expect("every index is claimed exactly once")) // lint: allow(no-unwrap) see scheduler proof above
         .collect()
+}
+
+/// Maps `f` over `items` with self-scheduling workers, returning outputs
+/// in input order. See [`try_par_map`] for the panic-isolating variant.
+///
+/// # Panics
+///
+/// If any item panics, re-raises the panic of the *lowest-index* failing
+/// item on the calling thread — deterministic first-error reporting,
+/// independent of which worker hit it first. All items still run before
+/// the panic is re-raised.
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    let mut first_panic: Option<PanicPayload> = None;
+    for result in run_all(par, items, &f) {
+        match result {
+            Ok(u) => out.push(u),
+            Err(panic) => {
+                if first_panic.is_none() {
+                    first_panic = Some(panic);
+                }
+            }
+        }
+    }
+    if let Some(panic) = first_panic {
+        std::panic::resume_unwind(panic);
+    }
+    out
+}
+
+/// Like [`par_map`], but a panicking item yields `Err(message)` in its
+/// slot instead of aborting the whole map — the robustness primitive
+/// behind per-stratum failure isolation in
+/// [`crate::estimator::estimate_stratified`].
+pub fn try_par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    run_all(par, items, &f)
+        .into_iter()
+        .map(|r| r.map_err(|p| panic_message(&p)))
+        .collect()
+}
+
+/// Best-effort extraction of a human-readable message from a panic payload.
+pub fn panic_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +316,48 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_reports_lowest_index_panic() {
+        // Two items panic; regardless of which worker trips first, the
+        // re-raised payload must be the lowest-index one.
+        for threads in [1usize, 4] {
+            let result = std::panic::catch_unwind(|| {
+                par_map(
+                    Parallelism::Fixed(threads),
+                    &[0u32, 1, 2, 3, 4, 5, 6, 7],
+                    |_, &x| {
+                        assert!(x != 2 && x != 5, "boom at {x}");
+                        x
+                    },
+                )
+            });
+            let payload = result.expect_err("panic must propagate");
+            assert_eq!(panic_message(&payload), "boom at 2", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_and_runs_every_item() {
+        let items: Vec<u32> = (0..16).collect();
+        for threads in [1usize, 4] {
+            let ran = AtomicUsize::new(0);
+            let results = try_par_map(Parallelism::Fixed(threads), &items, |_, &x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(x % 5 != 0, "boom at {x}");
+                x * 2
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), 16, "threads = {threads}");
+            assert_eq!(results.len(), 16);
+            for (i, result) in results.iter().enumerate() {
+                if i % 5 == 0 {
+                    let message = result.as_ref().expect_err("multiple-of-5 items panic");
+                    assert_eq!(message, &format!("boom at {i}"));
+                } else {
+                    assert_eq!(result.as_ref().ok().copied(), Some(i as u32 * 2));
+                }
+            }
+        }
     }
 }

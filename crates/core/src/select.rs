@@ -10,9 +10,9 @@
 //! evaluated along the way is remembered so the within-7 rule can pick a
 //! simpler model than the IC minimiser.
 
-use crate::fit::CellModel;
+use crate::fit::{CellModel, FitOptions};
 use crate::history::ContingencyTable;
-use crate::ic::{evaluate_ic, DivisorRule, IcKind};
+use crate::ic::{evaluate_ic_opts, DivisorRule, IcKind};
 use crate::invariant;
 use crate::model::LogLinearModel;
 use crate::parallel::{par_map, Parallelism};
@@ -37,6 +37,10 @@ pub struct SelectionOptions {
     /// The final-rule margin: choose the simplest model whose IC is within
     /// this many units of the best (the paper uses 7, citing MARK).
     pub within: f64,
+    /// Newton-fit knobs applied to every candidate fit (iteration budget
+    /// included, so a runaway candidate fails structurally and is skipped
+    /// instead of stalling the search).
+    pub fit: FitOptions,
     /// Worker threads for evaluating a round's candidate terms. Candidate
     /// fits are independent and merged in term order, so every setting
     /// yields bit-identical results; `Fixed(1)` is the sequential path.
@@ -54,6 +58,7 @@ impl Default for SelectionOptions {
             max_order: 2,
             max_added_terms: 24,
             within: 7.0,
+            fit: FitOptions::default(),
             parallelism: Parallelism::Auto,
             obs: Scope::disabled(),
         }
@@ -121,13 +126,26 @@ pub fn select_model(
     let mut evaluated: Vec<EvaluatedModel> = Vec::new();
 
     let mut current = LogLinearModel::independence(table.num_sources());
-    let baseline =
-        evaluate_ic(table, &current, cell_model, opts.ic, opts.divisor).inspect_err(|e| {
-            span.error(
-                "baseline_failed",
-                &[("error", FieldValue::Str(e.to_string()))],
-            );
-        })?;
+    // Fault site `select.baseline`: any injected fault here stands in for a
+    // search whose baseline fit cannot be completed, which is the trigger
+    // for the independence rung of the degradation ladder.
+    let baseline = match ghosts_faultinject::fire("select.baseline") {
+        Some(_) => Err(GlmError::NonFiniteFit),
+        None => evaluate_ic_opts(
+            table,
+            &current,
+            cell_model,
+            opts.ic,
+            opts.divisor,
+            &opts.fit,
+        ),
+    }
+    .inspect_err(|e| {
+        span.error(
+            "baseline_failed",
+            &[("error", FieldValue::Str(e.to_string()))],
+        );
+    })?;
     let mut current_ic = baseline.ic;
     span.event(
         "candidate",
@@ -153,7 +171,8 @@ pub fn select_model(
         // and the first-minimum tie-break identical to the sequential loop.
         let fits = par_map(opts.parallelism, &candidates, |_, &mask| {
             let trial = current.with_term(mask);
-            evaluate_ic(table, &trial, cell_model, opts.ic, opts.divisor).map(|res| (trial, res))
+            evaluate_ic_opts(table, &trial, cell_model, opts.ic, opts.divisor, &opts.fit)
+                .map(|res| (trial, res))
         });
         span.volatile_add("select.par_map_tasks", candidates.len() as u64);
         span.volatile_max(

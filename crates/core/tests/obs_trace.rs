@@ -52,7 +52,8 @@ fn run_trace(threads: usize) -> String {
         },
         ..CrConfig::paper()
     };
-    let s = estimate_stratified(&tables, None, &cfg).expect("fixture is estimable");
+    let s = estimate_stratified(&tables, None, &cfg);
+    assert!(s.is_clean(), "fixture is estimable");
     assert_eq!(s.excluded, vec![1]);
     rec.flush().to_jsonl()
 }
@@ -103,7 +104,7 @@ fn volatile_lane_is_populated_but_not_serialised() {
         obs: rec.root("run"),
         ..CrConfig::paper()
     };
-    estimate_stratified(&tables, None, &cfg).expect("fixture is estimable");
+    assert!(estimate_stratified(&tables, None, &cfg).is_clean());
     let log = rec.flush();
     assert!(
         log.volatile.contains_key("stratified.par_map_tasks"),

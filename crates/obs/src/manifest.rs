@@ -103,14 +103,28 @@ impl RunManifest {
 
     /// Summarises events whose names appear in `names` into [`Record`]s
     /// (in trace order). Error events are always ingested, regardless of
-    /// `names`.
+    /// `names`, as are the robustness kinds: degradation steps land in the
+    /// `degraded` section and fired fault-plan rules in `fault_injected`,
+    /// so a partial run's manifest always says what was degraded and why.
     pub fn ingest_events(&mut self, log: &EventLog, names: &[&str]) {
+        use crate::recorder::EventKind;
         for (path, events) in &log.spans {
             for e in events {
-                let is_error = e.kind == crate::recorder::EventKind::Error;
-                if is_error || names.contains(&e.name.as_str()) {
+                let section = match e.kind {
+                    EventKind::Degradation => Some("degraded"),
+                    EventKind::FaultInjected => Some("fault_injected"),
+                    EventKind::Error => Some(e.name.as_str()),
+                    EventKind::Event => {
+                        if names.contains(&e.name.as_str()) {
+                            Some(e.name.as_str())
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(section) = section {
                     self.records.push(Record {
-                        section: e.name.clone(),
+                        section: section.to_string(),
                         span: path.render(),
                         fields: e.fields.clone(),
                     });
@@ -365,6 +379,31 @@ mod tests {
         assert_eq!(chosen.str("model"), Some("M0+s1"));
         assert_eq!(chosen.f64("ic"), Some(1234.5));
         assert_eq!(chosen.f64("k"), Some(3.0));
+    }
+
+    #[test]
+    fn degradations_and_faults_are_auto_ingested() {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let span = rec.root("estimate").child_idx("stratum", 1);
+        span.degradation(
+            "degradation",
+            &[
+                ("to", FieldValue::Str("chao".into())),
+                ("reason", FieldValue::Str("Newton budget exhausted".into())),
+            ],
+        );
+        rec.root("faultinject").fault_injected(
+            "fault_injected",
+            &[("site", FieldValue::Str("glm.fit".into()))],
+        );
+        let log = rec.flush();
+        let mut m = RunManifest::new();
+        m.ingest_events(&log, &[]); // no names selected — still ingested
+        let degraded: Vec<_> = m.section("degraded").collect();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].str("to"), Some("chao"));
+        assert_eq!(degraded[0].span, "estimate/stratum[1]");
+        assert_eq!(m.section("fault_injected").count(), 1);
     }
 
     #[test]

@@ -60,7 +60,8 @@ impl FieldValue {
     }
 }
 
-/// Whether a record is an ordinary event or an error.
+/// Whether a record is an ordinary event, an error, or one of the
+/// robustness kinds introduced by `ghosts-events/2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A normal trace event.
@@ -68,6 +69,13 @@ pub enum EventKind {
     /// An error event (estimation failure, degenerate input, …). The
     /// `repro` binary exits non-zero when the flushed log contains any.
     Error,
+    /// A graceful-degradation step: a preferred estimator failed and a
+    /// ladder fallback was attempted (DESIGN.md §11). The `repro` binary
+    /// exits with the distinct partial-results code when the flushed log
+    /// contains any.
+    Degradation,
+    /// A fault-plan rule fired at an injection site (`repro --fault-plan`).
+    FaultInjected,
 }
 
 /// The structural identity of a span: `(name, optional index)` segments
@@ -458,6 +466,16 @@ impl Scope {
         self.record(EventKind::Error, name, fields);
     }
 
+    /// Records a graceful-degradation step under this span.
+    pub fn degradation(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.record(EventKind::Degradation, name, fields);
+    }
+
+    /// Records a fired fault-injection rule under this span.
+    pub fn fault_injected(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.record(EventKind::FaultInjected, name, fields);
+    }
+
     fn record(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
         if let Some(inner) = &self.inner {
             let owned: Vec<(String, FieldValue)> = fields
@@ -490,16 +508,37 @@ pub struct EventLog {
     pub volatile: BTreeMap<String, u64>,
 }
 
-/// Schema identifier written on the JSONL meta line.
-pub const JSONL_SCHEMA: &str = "ghosts-events/1";
+/// Schema identifier written on the JSONL meta line. Version 2 adds the
+/// `degradation` and `fault_injected` line kinds; everything else is
+/// unchanged from version 1, and the validator still accepts v1 traces
+/// (see [`crate::schema`]).
+pub const JSONL_SCHEMA: &str = "ghosts-events/2";
+
+/// The previous schema identifier, still accepted by the validator for
+/// traces written before the robustness kinds existed.
+pub const JSONL_SCHEMA_V1: &str = "ghosts-events/1";
 
 impl EventLog {
     /// Total number of [`EventKind::Error`] records.
     pub fn error_count(&self) -> usize {
+        self.count_kind(EventKind::Error)
+    }
+
+    /// Total number of [`EventKind::Degradation`] records.
+    pub fn degradation_count(&self) -> usize {
+        self.count_kind(EventKind::Degradation)
+    }
+
+    /// Total number of [`EventKind::FaultInjected`] records.
+    pub fn fault_injected_count(&self) -> usize {
+        self.count_kind(EventKind::FaultInjected)
+    }
+
+    fn count_kind(&self, kind: EventKind) -> usize {
         self.spans
             .iter()
             .flat_map(|(_, events)| events.iter())
-            .filter(|e| e.kind == EventKind::Error)
+            .filter(|e| e.kind == kind)
             .count()
     }
 
@@ -545,6 +584,8 @@ impl EventLog {
                 let kind = match e.kind {
                     EventKind::Event => "event",
                     EventKind::Error => "error",
+                    EventKind::Degradation => "degradation",
+                    EventKind::FaultInjected => "fault_injected",
                 };
                 let fields = JsonValue::Object(
                     e.fields
@@ -720,6 +761,28 @@ mod tests {
         let log = rec.flush();
         assert_eq!(log.error_count(), 1);
         assert!(log.to_jsonl().contains("\"kind\":\"error\""));
+    }
+
+    #[test]
+    fn degradation_and_fault_kinds_are_counted_and_serialised() {
+        let rec = enabled();
+        let span = rec.root("estimate");
+        span.degradation(
+            "degradation",
+            &[("to", FieldValue::Str("independence".into()))],
+        );
+        span.fault_injected(
+            "fault_injected",
+            &[("site", FieldValue::Str("glm.fit".into()))],
+        );
+        let log = rec.flush();
+        assert_eq!(log.degradation_count(), 1);
+        assert_eq!(log.fault_injected_count(), 1);
+        assert_eq!(log.error_count(), 0);
+        let jsonl = log.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"degradation\""));
+        assert!(jsonl.contains("\"kind\":\"fault_injected\""));
+        assert!(jsonl.contains("\"schema\":\"ghosts-events/2\""));
     }
 
     #[test]

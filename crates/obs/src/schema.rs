@@ -1,10 +1,15 @@
-//! Structural validation of `ghosts-events/1` JSONL trace files.
+//! Structural validation of `ghosts-events/2` (and legacy `ghosts-events/1`)
+//! JSONL trace files.
 //!
 //! `xtask lint --check-events <file>` and the CI smoke step use this to
 //! verify that a trace emitted by `repro --trace` is well-formed: a single
-//! meta line first, then events/errors, then counters, then histograms,
-//! with every line carrying exactly the keys the writer produces and every
-//! span's `seq` numbering dense from zero.
+//! meta line first, then events/errors/degradations/fault-injections, then
+//! counters, then histograms, with every line carrying exactly the keys the
+//! writer produces and every span's `seq` numbering dense from zero.
+//!
+//! Version 2 adds the `degradation` and `fault_injected` line kinds (same
+//! grammar as `event`). A trace whose meta line declares version 1 is still
+//! accepted, but must not contain the v2 kinds.
 
 use crate::hist::NUM_BUCKETS;
 use crate::json::{parse, JsonValue};
@@ -14,6 +19,9 @@ use std::fmt;
 /// The schema identifier expected on the meta line (same constant the
 /// writer uses).
 pub const EVENTS_SCHEMA: &str = crate::recorder::JSONL_SCHEMA;
+
+/// The legacy schema identifier, still accepted on the meta line.
+pub const EVENTS_SCHEMA_V1: &str = crate::recorder::JSONL_SCHEMA_V1;
 
 /// A validation failure, with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +47,10 @@ pub struct JsonlSummary {
     pub events: usize,
     /// Error events.
     pub errors: usize,
+    /// Degradation events (v2).
+    pub degradations: usize,
+    /// Fault-injection events (v2).
+    pub faults: usize,
     /// Counter lines.
     pub counters: usize,
     /// Histogram lines.
@@ -50,11 +62,16 @@ pub struct JsonlSummary {
 fn phase_of(kind: &str) -> Option<u8> {
     match kind {
         "meta" => Some(0),
-        "event" | "error" => Some(1),
+        "event" | "error" | "degradation" | "fault_injected" => Some(1),
         "counter" => Some(2),
         "hist" => Some(3),
         _ => None,
     }
+}
+
+/// Whether `kind` shares the event-line grammar (span/seq/name/fields).
+fn is_event_like(kind: &str) -> bool {
+    matches!(kind, "event" | "error" | "degradation" | "fault_injected")
 }
 
 fn keys_of(v: &JsonValue) -> Vec<&str> {
@@ -83,9 +100,9 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
                 return Err("meta line must have exactly kind, schema, clock".to_string());
             }
             let schema = doc.get("schema").and_then(JsonValue::as_str);
-            if schema != Some(EVENTS_SCHEMA) {
+            if schema != Some(EVENTS_SCHEMA) && schema != Some(EVENTS_SCHEMA_V1) {
                 return Err(format!(
-                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?}"
+                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?} (or legacy {EVENTS_SCHEMA_V1:?})"
                 ));
             }
             match doc.get("clock").and_then(JsonValue::as_str) {
@@ -93,7 +110,7 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
                 other => Err(format!("clock must be 'logical' or 'wall', got {other:?}")),
             }
         }
-        "event" | "error" => {
+        "event" | "error" | "degradation" | "fault_injected" => {
             if keys_of(&doc) != ["kind", "span", "seq", "name", "fields"] {
                 return Err(format!(
                     "{kind} line must have exactly kind, span, seq, name, fields"
@@ -205,6 +222,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
     }
     let mut summary = JsonlSummary::default();
     let mut phase: u8 = 0;
+    let mut legacy_v1 = false;
     let mut next_seq: BTreeMap<String, u64> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -220,6 +238,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
             if kind != "meta" {
                 return Err(fail(lineno, "first line must be the meta line".to_string()));
             }
+            legacy_v1 = doc.get("schema").and_then(JsonValue::as_str) == Some(EVENTS_SCHEMA_V1);
         } else if kind == "meta" {
             return Err(fail(lineno, "duplicate meta line".to_string()));
         } else if this_phase < phase {
@@ -228,15 +247,23 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
                 format!("'{kind}' line after a later-phase line (out of writer order)"),
             ));
         }
+        if legacy_v1 && matches!(kind, "degradation" | "fault_injected") {
+            return Err(fail(
+                lineno,
+                format!("'{kind}' lines require schema {EVENTS_SCHEMA:?}, but the meta line declares {EVENTS_SCHEMA_V1:?}"),
+            ));
+        }
         phase = this_phase;
         match kind {
             "event" => summary.events += 1,
             "error" => summary.errors += 1,
+            "degradation" => summary.degradations += 1,
+            "fault_injected" => summary.faults += 1,
             "counter" => summary.counters += 1,
             "hist" => summary.hists += 1,
             _ => {}
         }
-        if kind == "event" || kind == "error" {
+        if is_event_like(kind) {
             let span = doc
                 .get("span")
                 .and_then(JsonValue::as_str)
@@ -295,8 +322,52 @@ mod tests {
                 errors: 1,
                 counters: 1,
                 hists: 1,
+                ..JsonlSummary::default()
             }
         );
+    }
+
+    #[test]
+    fn v2_kinds_validate_and_are_counted() {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let span = rec.root("estimate").child_idx("stratum", 2);
+        span.error(
+            "fit_failed",
+            &[("error", FieldValue::Str("non-finite".into()))],
+        );
+        span.degradation(
+            "degradation",
+            &[
+                ("from", FieldValue::Str("selected".into())),
+                ("to", FieldValue::Str("independence".into())),
+            ],
+        );
+        rec.root("faultinject").fault_injected(
+            "fault_injected",
+            &[("site", FieldValue::Str("glm.fit".into()))],
+        );
+        let trace = rec.flush().to_jsonl();
+        let summary = validate_jsonl(&trace).expect("valid v2 trace");
+        assert_eq!(summary.degradations, 1);
+        assert_eq!(summary.faults, 1);
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn legacy_v1_meta_accepted_but_v2_kinds_rejected_under_it() {
+        // A v1 trace without the new kinds still validates.
+        let v1 = sample_trace().replace(EVENTS_SCHEMA, EVENTS_SCHEMA_V1);
+        assert!(v1.contains(EVENTS_SCHEMA_V1), "substitution applied");
+        validate_jsonl(&v1).expect("legacy trace stays valid");
+
+        // The same meta line with a degradation line must be rejected.
+        let meta = format!(r#"{{"kind":"meta","schema":"{EVENTS_SCHEMA_V1}","clock":"logical"}}"#);
+        let degradation =
+            r#"{"kind":"degradation","span":"s","seq":0,"name":"degradation","fields":{}}"#;
+        let mixed = format!("{meta}\n{degradation}\n");
+        let err = validate_jsonl(&mixed).expect_err("v2 kind under v1 meta");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("require schema"));
     }
 
     #[test]

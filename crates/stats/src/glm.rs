@@ -26,10 +26,16 @@ const ETA_CLAMP: f64 = 120.0;
 /// Options controlling the Newton iteration.
 #[derive(Debug, Clone, Copy)]
 pub struct GlmOptions {
-    /// Maximum Newton iterations.
+    /// Maximum Newton iterations. Reaching it without meeting the tolerance
+    /// still returns a fit, flagged `converged: false`.
     pub max_iter: usize,
     /// Convergence tolerance on the relative log-likelihood change.
     pub tol: f64,
+    /// Hard iteration budget. Unlike `max_iter`, exhausting the budget
+    /// before convergence is an *error* ([`GlmError::BudgetExhausted`]),
+    /// so runaway non-convergence surfaces structurally instead of as
+    /// non-finite coefficients downstream. `None` disables the budget.
+    pub iteration_budget: Option<usize>,
 }
 
 impl Default for GlmOptions {
@@ -37,6 +43,7 @@ impl Default for GlmOptions {
         Self {
             max_iter: 200,
             tol: 1e-10,
+            iteration_budget: None,
         }
     }
 }
@@ -100,6 +107,12 @@ pub enum GlmError {
     /// The iteration produced non-finite coefficients (numerical
     /// breakdown that ridging could not prevent).
     NonFiniteFit,
+    /// The Newton iteration budget ran out before the tolerance was met
+    /// (only when [`GlmOptions::iteration_budget`] is set).
+    BudgetExhausted {
+        /// Iterations consumed when the budget ran out.
+        iterations: usize,
+    },
 }
 
 impl std::fmt::Display for GlmError {
@@ -116,6 +129,9 @@ impl std::fmt::Display for GlmError {
             }
             GlmError::SingularSystem => write!(f, "Newton system singular"),
             GlmError::NonFiniteFit => write!(f, "iteration produced non-finite coefficients"),
+            GlmError::BudgetExhausted { iterations } => {
+                write!(f, "Newton budget exhausted after {iterations} iterations")
+            }
         }
     }
 }
@@ -167,6 +183,31 @@ pub fn fit(
     family: &CountFamily,
     opts: GlmOptions,
 ) -> Result<GlmFit, GlmError> {
+    // Fault point (a no-op unless a fault plan is armed; DESIGN.md §11):
+    // forces the failure classes the degradation ladder must handle. The
+    // NaN-cell fault poisons a copy of the response so the regular
+    // validation below reports it — injection exercises the real error
+    // path, it does not invent a new one.
+    let mut y = y;
+    let poisoned: Vec<f64>;
+    match ghosts_faultinject::fire("glm.fit") {
+        Some(ghosts_faultinject::Fault::NonFiniteFit) => return Err(GlmError::NonFiniteFit),
+        Some(ghosts_faultinject::Fault::BudgetExhaustion) => {
+            return Err(GlmError::BudgetExhausted {
+                iterations: opts.iteration_budget.unwrap_or(0),
+            });
+        }
+        Some(ghosts_faultinject::Fault::NanCell) => {
+            let mut cells = y.to_vec();
+            if let Some(first) = cells.first_mut() {
+                *first = f64::NAN;
+            }
+            poisoned = cells;
+            y = &poisoned;
+        }
+        _ => {}
+    }
+
     let n = design.rows();
     let p = design.cols();
     if y.len() != n {
@@ -253,6 +294,11 @@ pub fn fit(
         }
         if converged {
             break;
+        }
+        if let Some(budget) = opts.iteration_budget {
+            if iterations >= budget {
+                return Err(GlmError::BudgetExhausted { iterations });
+            }
         }
     }
 
@@ -417,6 +463,36 @@ mod tests {
             fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()),
             Err(GlmError::InvalidResponse { index: 1, .. })
         ));
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_structured_error() {
+        // The saturated 3-cell fit needs several Newton steps; a budget of 1
+        // must surface as BudgetExhausted, not as a silent non-converged fit.
+        let design = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]]);
+        let y = [30.0, 60.0, 20.0];
+        let opts = GlmOptions {
+            iteration_budget: Some(1),
+            ..GlmOptions::default()
+        };
+        assert_eq!(
+            fit(&design, &y, &CountFamily::Poisson, opts).unwrap_err(),
+            GlmError::BudgetExhausted { iterations: 1 }
+        );
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_the_fit() {
+        let design = Matrix::from_vec(4, 1, vec![1.0; 4]);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let opts = GlmOptions {
+            iteration_budget: Some(200),
+            ..GlmOptions::default()
+        };
+        let budgeted = fit(&design, &y, &CountFamily::Poisson, opts).unwrap();
+        let plain = fit(&design, &y, &CountFamily::Poisson, GlmOptions::default()).unwrap();
+        assert!(budgeted.converged);
+        assert_eq!(budgeted.coef[0].to_bits(), plain.coef[0].to_bits());
     }
 
     #[test]

@@ -12,7 +12,8 @@ Commands:
   lint                      run ghost-lint over the whole workspace (exit 1 on violations)
   lint --update-api         regenerate crates/xtask/vendor_api.lock, then lint
   lint --check-events PATH  validate a JSONL event trace (repro --trace output)
-                            against the ghosts-events/1 schema
+                            against the ghosts-events/2 schema (v1 traces are
+                            still accepted)
 ";
 
 fn main() -> ExitCode {
@@ -43,8 +44,13 @@ fn run_check_events(path: &str) -> ExitCode {
         Ok(summary) => {
             eprintln!(
                 "ghost-lint: {path}: valid event stream ({} events, {} errors, \
-                 {} counters, {} histograms)",
-                summary.events, summary.errors, summary.counters, summary.hists
+                 {} degradations, {} faults, {} counters, {} histograms)",
+                summary.events,
+                summary.errors,
+                summary.degradations,
+                summary.faults,
+                summary.counters,
+                summary.hists
             );
             ExitCode::SUCCESS
         }

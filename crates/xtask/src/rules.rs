@@ -43,6 +43,17 @@ const INVARIANT_CALLERS: [&str; 3] = [
     "crates/core/src/select.rs",
 ];
 
+/// Crates whose library code may contain fault-injection probes
+/// (`ghosts_faultinject::fire` and the task-scope plumbing): exactly the
+/// crates that declare the documented fault sites of DESIGN.md §11.
+const FAULT_SITE_CRATES: [&str; 4] = ["stats", "core", "pipeline", "bench"];
+
+/// `ghosts_faultinject` items that manage the process-global plan rather
+/// than probe it. Installing, clearing or draining plans from library
+/// code would let a library rearm faults behind the harness's back, so
+/// these are reserved for binaries, benches and tests.
+const FAULT_PLAN_IDENTS: [&str; 5] = ["install", "clear", "drain_fires", "FaultPlan", "FaultRule"];
+
 /// Which target a file belongs to inside its crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Section {
@@ -115,6 +126,10 @@ pub const RULE_API_DRIFT: &str = "api-drift";
 /// Direct `Instant`/`SystemTime` outside `ghosts_obs::wall`, or a
 /// `WallClock` constructed inside deterministic library code.
 pub const RULE_OBS_CLOCK: &str = "obs-clock";
+/// Fault-injection probes outside the documented fault-site crates, or
+/// fault-plan management (`install`/`clear`/`drain_fires`/plan types) in
+/// library code.
+pub const RULE_FAULT_SITES: &str = "fault-sites";
 
 /// Lints one tokenized file. `tokens` must come from
 /// [`crate::lexer::tokenize`] on the file's full text.
@@ -130,6 +145,7 @@ pub fn lint_tokens(tokens: &[Token], class: &FileClass) -> Vec<Violation> {
     rule_no_unwrap(tokens, class, &allowed, &test_lines, &mut out);
     rule_forbid_unsafe(tokens, class, &mut out);
     rule_invariant_usage(tokens, class, &test_lines, &mut out);
+    rule_fault_sites(tokens, class, &allowed, &test_lines, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -563,6 +579,89 @@ fn rule_invariant_usage(
     }
 }
 
+/// Every mention of `ghosts_faultinject::<item>` (paths and `use` lists)
+/// is classified as either plan management ([`FAULT_PLAN_IDENTS`]) or a
+/// probe. Management is reserved for binaries/benches; probes may appear
+/// only in the [`FAULT_SITE_CRATES`]. Tests are exempt — they serialise
+/// plan installs behind a lock.
+fn rule_fault_sites(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if class.crate_name == "faultinject"
+        || class.crate_name.starts_with("vendor/")
+        || !matches!(
+            class.section,
+            Section::Src | Section::Bin | Section::Benches
+        )
+    {
+        return;
+    }
+    let mut flag = |line: usize, item: &str| {
+        if test_lines.contains(&line) || is_allowed(allowed, line, RULE_FAULT_SITES) {
+            return;
+        }
+        if FAULT_PLAN_IDENTS.contains(&item) {
+            if matches!(class.section, Section::Src) {
+                out.push(Violation {
+                    file: class.rel_path.clone(),
+                    line,
+                    rule: RULE_FAULT_SITES,
+                    message: format!(
+                        "ghosts_faultinject::{item} in library code: fault \
+                         plans are installed and drained only by binaries, \
+                         benches and tests"
+                    ),
+                });
+            }
+        } else if !FAULT_SITE_CRATES.contains(&class.crate_name.as_str()) {
+            out.push(Violation {
+                file: class.rel_path.clone(),
+                line,
+                rule: RULE_FAULT_SITES,
+                message: format!(
+                    "ghosts_faultinject::{item} outside the documented \
+                     fault-site crates ({}): declare new fault points there \
+                     and record them in DESIGN.md §11",
+                    FAULT_SITE_CRATES.join(", ")
+                ),
+            });
+        }
+    };
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].ident() != Some("ghosts_faultinject")
+            || !tokens[i + 1].is_punct(':')
+            || !tokens[i + 2].is_punct(':')
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 3;
+        if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+            // `use ghosts_faultinject::{a, b, …};` — classify each name.
+            let mut depth = 1usize;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => depth -= 1,
+                    TokenKind::Ident(name) => flag(tokens[j].line, name),
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else if let Some(name) = tokens.get(j).and_then(|t| t.ident()) {
+            flag(tokens[j].line, name);
+            j += 1;
+        }
+        i = j;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,6 +801,29 @@ mod tests {
         assert!(v.iter().any(|v| v.rule == RULE_INVARIANT));
         let good = "use crate::invariant;\npub fn fit_llm(t: &T) { invariant::check_table(t); }";
         assert!(lint(good, &c).iter().all(|v| v.rule != RULE_INVARIANT));
+    }
+
+    #[test]
+    fn fault_probes_confined_to_site_crates() {
+        let probe = "fn f() { let _ = ghosts_faultinject::fire(\"x.y\"); }";
+        let in_core = class("core", Section::Src, "crates/core/src/x.rs");
+        assert!(lint(probe, &in_core).is_empty());
+        let in_net = class("net", Section::Src, "crates/net/src/x.rs");
+        let v = lint(probe, &in_net);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_FAULT_SITES);
+    }
+
+    #[test]
+    fn fault_plan_management_confined_to_binaries_and_tests() {
+        let src = "fn f() { ghosts_faultinject::clear(); }";
+        let in_core = class("core", Section::Src, "crates/core/src/x.rs");
+        assert_eq!(lint(src, &in_core).len(), 1);
+        let in_bin = class("bench", Section::Bin, "crates/bench/src/bin/repro.rs");
+        assert!(lint(src, &in_bin).is_empty());
+        // Inside #[cfg(test)] even library files may manage plans.
+        let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}\n");
+        assert!(lint(&test_mod, &in_core).is_empty());
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Known-bad fixture for the `fault-sites` rule: a probe in a crate with
+//! no documented fault sites, and plan management in library code.
+fn probe() {
+    let _ = ghosts_faultinject::fire("net.lookup");
+}
+fn manage() {
+    ghosts_faultinject::install(ghosts_faultinject::FaultPlan::default()).ok();
+}
+use ghosts_faultinject::{drain_fires, task_scope};
+fn excused() {
+    // lint: allow(fault-sites) justified probe for the fixture
+    let _ = ghosts_faultinject::fire("net.lookup");
+}

@@ -161,6 +161,44 @@ fn invariant_usage_fixture() {
 }
 
 #[test]
+fn fault_sites_fixture() {
+    let src = fixture("bad_fault_sites.rs");
+    // In a crate with no documented fault sites, every probe fires and the
+    // plan management fires too; the allow() escape covers line 12.
+    let c = class("net", Section::Src, "crates/net/src/bad.rs", false);
+    let v = lint_source(&src, &c);
+    assert_eq!(
+        fired(&v),
+        vec![
+            ("fault-sites", 4),
+            ("fault-sites", 7),
+            ("fault-sites", 7),
+            ("fault-sites", 9),
+            ("fault-sites", 9),
+        ]
+    );
+    // In a fault-site crate the probes are fine but plan management in
+    // library code still fires (install, FaultPlan, drain_fires).
+    let c = class("core", Section::Src, "crates/core/src/bad.rs", false);
+    let v = lint_source(&src, &c);
+    assert_eq!(
+        fired(&v),
+        vec![("fault-sites", 7), ("fault-sites", 7), ("fault-sites", 9)]
+    );
+    // Binaries drive plans: nothing fires for the repro harness.
+    let c = class(
+        "bench",
+        Section::Bin,
+        "crates/bench/src/bin/repro.rs",
+        false,
+    );
+    assert!(lint_source(&src, &c).is_empty());
+    // Tests are exempt wholesale.
+    let c = class("core", Section::Tests, "crates/core/tests/bad.rs", false);
+    assert!(lint_source(&src, &c).is_empty());
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = workspace::workspace_root();
     let violations = lint_workspace(&root).expect("lint workspace");

@@ -24,6 +24,25 @@ repo_root="$(pwd)"
 cargo run -q -p xtask -- lint --check-events "$smoke_dir/trace.jsonl"
 test -s "$smoke_dir/manifest.json"
 
+echo "==> fault-injection smoke (repro --fault-plan + degraded exit code)"
+# The multi-class plan must leave partial results, a schema-valid trace
+# and the dedicated degraded exit code (3) — anything else is a regression
+# in the graceful-degradation ladder (DESIGN.md §11).
+fault_plan="$repo_root/crates/bench/tests/fixtures/table4_faults.plan"
+fault_rc=0
+(cd "$smoke_dir" && "$repo_root/target/release/repro" table4 --denom 16384 --seed 7 --quiet \
+    --fault-plan "$fault_plan" --trace fault_trace.jsonl) || fault_rc=$?
+if [ "$fault_rc" -ne 3 ]; then
+    echo "ci.sh: repro --fault-plan exited $fault_rc, expected 3 (degraded)" >&2
+    exit 1
+fi
+cargo run -q -p xtask -- lint --check-events "$smoke_dir/fault_trace.jsonl"
+grep -q '"kind":"fault_injected"' "$smoke_dir/fault_trace.jsonl" || {
+    echo "ci.sh: no fault_injected events in the degraded trace" >&2
+    exit 1
+}
+test -s "$smoke_dir/results/table4.json"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
