@@ -1,10 +1,18 @@
 //! `perf_record` — measures the estimator's hot paths through the
 //! observability layer and writes a `RunManifest` perf record
-//! (`BENCH_pr3.json` is the committed first point of the trajectory).
+//! (`BENCH_pr3.json` is the committed first point of the trajectory;
+//! `BENCH_pr5.json` is the serving layer's).
 //!
 //! ```text
 //! cargo run -p ghosts-bench --release --bin perf_record -- BENCH_pr3.json
+//! cargo run -p ghosts-bench --release --bin perf_record -- serve BENCH_pr5.json
 //! ```
+//!
+//! The `serve` mode measures the estimation server end to end over
+//! loopback: cold-estimate vs cached-hit latency and requests/sec at
+//! worker counts 1 and 4, against an in-process inline backend so the
+//! numbers isolate the serving layer (HTTP parse, digest, cache, single
+//! flight) from scenario generation.
 //!
 //! Two timing lanes per workload:
 //! * `*_disabled_us` — recorder disabled (the no-op branch production code
@@ -60,9 +68,149 @@ fn median_us<F: FnMut()>(wall: &WallClock, iters: usize, mut f: F) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// The serve-mode backend: three overlapping synthetic sources over
+/// 8.0.0.0/8, big enough that a cold estimate dominates HTTP overhead.
+fn serve_backend(seed: u64) -> std::sync::Arc<ghosts_serve::InlineBackend> {
+    use ghosts_net::{AddrSet, RoutedTable};
+    let mut rng = component_rng(seed, "perf-serve");
+    let routed = RoutedTable::from_prefixes(["8.0.0.0/8".parse().expect("prefix")]);
+    let mut sources = vec![AddrSet::new(), AddrSet::new(), AddrSet::new()];
+    for i in 0..40_000u32 {
+        let addr = 0x0800_0000 + i * 13;
+        let sociable = rng.gen_bool(0.5);
+        for set in sources.iter_mut() {
+            let p = if sociable { 0.6 } else { 0.2 };
+            if rng.gen_bool(p) {
+                set.insert(addr);
+            }
+        }
+    }
+    std::sync::Arc::new(ghosts_serve::InlineBackend::new(routed, sources))
+}
+
+/// Requests/sec over `clients` loopback connections issuing `per_client`
+/// digest-identical (cache-hot) POSTs each.
+fn serve_rps(
+    wall: &WallClock,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    per_client: usize,
+    body: &str,
+) -> u64 {
+    let t0 = wall.now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.to_string();
+            std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    let r = ghosts_serve::client::post_json(addr, "/v1/estimate", &body)
+                        .expect("serve answers");
+                    assert_eq!(r.status, 200, "{}", r.body_text());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed_us = (wall.now() - t0).max(1);
+    ((clients * per_client) as u64) * 1_000_000 / elapsed_us
+}
+
+/// The serving layer's perf record (`BENCH_pr5.json`).
+fn serve_mode(out: &str) {
+    use ghosts_serve::{client, MetricsHub, Server, ServerConfig};
+    let wall = WallClock::new();
+    let iters = 9usize;
+    let start = |workers: usize| {
+        Server::bind(
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+            serve_backend(5),
+            MetricsHub::wall(),
+        )
+        .expect("bind loopback")
+    };
+
+    eprintln!("perf_record: timing cold vs cached estimates (1 worker)…");
+    let server = start(1);
+    let addr = server.local_addr();
+    // Distinct `limit` values give distinct digests: every request below
+    // is a cache miss that runs the estimator ("cold").
+    let mut next_limit = 10_000_000u64;
+    let cold_us = median_us(&wall, iters, || {
+        next_limit += 1;
+        let body = format!("{{\"window\":0,\"limit\":{next_limit}}}");
+        let r = client::post_json(addr, "/v1/estimate", &body).expect("serve answers");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+    });
+    let hot_body = r#"{"window":0}"#;
+    client::post_json(addr, "/v1/estimate", hot_body).expect("warm the cache");
+    let cached_us = median_us(&wall, iters, || {
+        let r = client::post_json(addr, "/v1/estimate", hot_body).expect("serve answers");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-cache"), Some("hit-mem"));
+    });
+
+    eprintln!("perf_record: cache-hot throughput at 1 and 4 workers…");
+    let rps_w1 = serve_rps(&wall, addr, 1, 200, hot_body);
+    server.shutdown();
+    let server = start(4);
+    let addr = server.local_addr();
+    client::post_json(addr, "/v1/estimate", hot_body).expect("warm the cache");
+    let rps_w4 = serve_rps(&wall, addr, 4, 200, hot_body);
+    let shed = server.hub().counter("serve.shed");
+    server.shutdown();
+
+    let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+    rec.volatile_add("perf.serve_cold_us", cold_us);
+    rec.volatile_add("perf.serve_cached_us", cached_us);
+    rec.volatile_add("perf.serve_rps_workers1", rps_w1);
+    rec.volatile_add("perf.serve_rps_workers4", rps_w4);
+    rec.root("perf").event(
+        "bench_point",
+        &[
+            ("bench", FieldValue::Str("pr5".to_string())),
+            ("serve_cold_us", FieldValue::U64(cold_us)),
+            ("serve_cached_us", FieldValue::U64(cached_us)),
+            ("serve_rps_workers1", FieldValue::U64(rps_w1)),
+            ("serve_rps_workers4", FieldValue::U64(rps_w4)),
+            ("shed_during_bench", FieldValue::U64(shed)),
+        ],
+    );
+    let log = rec.flush();
+    let mut manifest = RunManifest::new();
+    manifest.set_config("bench", "pr5");
+    manifest.set_config(
+        "workload.serve",
+        "inline backend, 3 sources x ~40k addrs; cold = unique limit per \
+         request, cached/rps = digest-identical requests",
+    );
+    manifest.set_config("iters", iters.to_string());
+    manifest.ingest_metrics(&log);
+    manifest.ingest_events(&log, &["bench_point"]);
+    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    eprintln!(
+        "perf_record: serve cold {cold_us}us / cached {cached_us}us, \
+         {rps_w1} req/s @1 worker, {rps_w4} req/s @4 workers → {out}"
+    );
+}
+
 fn main() {
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        let out = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+        serve_mode(&out);
+        return;
+    }
+    let out = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_pr3.json".to_string());
     let wall = WallClock::new();
     let iters = 9usize;

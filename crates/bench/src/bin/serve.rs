@@ -1,0 +1,170 @@
+//! `serve` — runs the estimation server over the reproduction scenario,
+//! plus a tiny raw-HTTP client subcommand for scripts and CI.
+//!
+//! ```text
+//! cargo run -p ghosts-bench --release --bin serve -- run --port 0 --denom 16384
+//! cargo run -p ghosts-bench --release --bin serve -- req GET http://127.0.0.1:8080/healthz
+//! cargo run -p ghosts-bench --release --bin serve -- req POST \
+//!     http://127.0.0.1:8080/v1/estimate '{"window":0}' --expect-status 200
+//! ```
+//!
+//! `run` options:
+//! * `--port N` — TCP port on 127.0.0.1 (default 0 = ephemeral; the bound
+//!   address is announced on stdout as
+//!   `ghosts-serve listening on http://<addr>`).
+//! * `--denom N` / `--seed N` — scenario scale and seed (defaults 16384 /
+//!   2014: small enough to start in seconds, big enough to estimate).
+//! * `--workers N` — worker threads (default 2).
+//! * `--cache-capacity N` — in-memory LRU entries (default 256).
+//! * `--cache-dir PATH` — enable the on-disk JSON spill.
+//! * `--max-pending N` — accept-queue bound before shedding (default 64).
+//! * `--quiet` — suppress the backend-info chatter on stderr.
+//!
+//! The process serves until killed; a clean `SIGTERM` terminates it with
+//! the conventional exit code 143, which the CI smoke step asserts.
+//!
+//! `req METHOD URL [BODY] [--expect-status N]` prints the response body
+//! to stdout and `status`/headers to stderr, exiting 1 on socket failure
+//! or a status mismatch — enough curl for the smoke tests.
+
+use ghosts_bench::ReproBackend;
+use ghosts_serve::{client, Backend, MetricsHub, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage(message: &str) -> ! {
+    eprintln!("serve: {message}");
+    eprintln!(
+        "usage: serve run [--port N] [--denom N] [--seed N] [--workers N] \
+         [--cache-capacity N] [--cache-dir PATH] [--max-pending N] [--quiet]\n\
+         \x20      serve req METHOD URL [BODY] [--expect-status N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("req") => req(&args[1..]),
+        _ => usage("expected a subcommand: run or req"),
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut port = 0u16;
+    let mut denom = 16_384u64;
+    let mut seed = 2014u64;
+    let mut config = ServerConfig::default();
+    let mut quiet = false;
+    fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> u64 {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{name} needs a non-negative integer")))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                port = u16::try_from(num(&mut it, "--port"))
+                    .unwrap_or_else(|_| usage("--port: not a port"))
+            }
+            "--denom" => denom = num(&mut it, "--denom").max(1),
+            "--seed" => seed = num(&mut it, "--seed"),
+            "--workers" => config.workers = num(&mut it, "--workers").max(1) as usize,
+            "--cache-capacity" => config.cache_capacity = num(&mut it, "--cache-capacity") as usize,
+            "--max-pending" => config.max_pending = num(&mut it, "--max-pending").max(1) as usize,
+            "--cache-dir" => {
+                config.cache_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--cache-dir needs a path"))
+                        .into(),
+                )
+            }
+            "--quiet" => quiet = true,
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    config.addr = format!("127.0.0.1:{port}");
+
+    if !quiet {
+        eprintln!("serve: building the 1/{denom} scenario (seed {seed})…");
+    }
+    let backend = Arc::new(ReproBackend::new(denom, seed));
+    if !quiet {
+        for (k, v) in backend.info() {
+            eprintln!("serve:   {k} = {v}");
+        }
+    }
+    let server = match Server::bind(config, backend, MetricsHub::wall()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The announcement line is the startup contract: scripts poll stdout
+    // for it to learn the ephemeral port.
+    println!("ghosts-serve listening on http://{}", server.local_addr());
+    // Serve until killed. SIGTERM takes the default path (process
+    // termination, exit 143) — the worker pool holds no cross-request
+    // state worth flushing: the spill cache is written atomically per
+    // entry and the metrics lane is process-local by design.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn req(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut expect: Option<u16> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--expect-status" {
+            expect = Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--expect-status needs a status code")),
+            );
+        } else {
+            positional.push(a);
+        }
+    }
+    let (method, url, body) = match positional.as_slice() {
+        [m, u] => (m.to_uppercase(), u.as_str(), None),
+        [m, u, b] => (m.to_uppercase(), u.as_str(), Some(b.as_bytes())),
+        _ => usage("req needs METHOD and URL (and optionally a BODY)"),
+    };
+    let Some(rest) = url.strip_prefix("http://") else {
+        usage("URL must start with http://");
+    };
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let Ok(addr) = host.parse::<SocketAddr>() else {
+        usage("URL host must be an ip:port literal (e.g. 127.0.0.1:8080)");
+    };
+
+    match client::request(addr, &method, path, body) {
+        Ok(response) => {
+            eprintln!("status: {}", response.status);
+            for (name, value) in &response.headers {
+                eprintln!("{name}: {value}");
+            }
+            println!("{}", response.body_text());
+            match expect {
+                Some(want) if want != response.status => {
+                    eprintln!("serve: expected status {want}, got {}", response.status);
+                    ExitCode::FAILURE
+                }
+                _ => ExitCode::SUCCESS,
+            }
+        }
+        Err(e) => {
+            eprintln!("serve: {method} {url} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

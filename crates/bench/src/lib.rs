@@ -13,6 +13,8 @@
 
 pub mod context;
 pub mod experiments;
+pub mod serve_backend;
 pub mod strata;
 
 pub use context::ReproContext;
+pub use serve_backend::ReproBackend;

@@ -120,6 +120,18 @@ pub enum EstimateError {
     Ci(CiError),
 }
 
+impl EstimateError {
+    /// A stable kebab-case label for the error class, used by serving and
+    /// tracing layers that report errors over a wire format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EstimateError::NotEnoughSources { .. } => "not-enough-sources",
+            EstimateError::Fit(_) => "fit",
+            EstimateError::Ci(_) => "ci",
+        }
+    }
+}
+
 impl std::fmt::Display for EstimateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -7,7 +7,13 @@
 //! the pipeline loaders, `par_map`) that a [`FaultPlan`] can trigger on
 //! demand — forcing a non-finite fit, exhausting the Newton budget,
 //! poisoning a cell with NaN, dropping a source from a window, or panicking
-//! inside a worker.
+//! inside a worker. The serving layer adds two sites of its own
+//! (DESIGN.md §12): `serve.handler` (worker-panic — the request handler
+//! panics mid-estimate and must answer 500 with a trace while its worker
+//! survives) and `serve.cache` (drop-source — the result cache vanishes
+//! for one request, which must then compute fresh without storing). The
+//! server wraps each estimate in `task_scope(request_id)`, so `scope=N`
+//! pins a rule to the N-th estimate request.
 //!
 //! ## Determinism
 //!

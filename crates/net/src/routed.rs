@@ -47,6 +47,12 @@ impl RoutedTable {
         self.trie.contains_addr(addr)
     }
 
+    /// The most specific advertised prefix covering `addr`, if any — the
+    /// entry a FIB would forward on, and what `/v1/membership` reports.
+    pub fn longest_match(&self, addr: u32) -> Option<Prefix> {
+        self.trie.longest_match(addr).map(|(p, _)| p)
+    }
+
     /// Total routed addresses (union of advertisements).
     pub fn address_count(&self) -> u64 {
         self.trie.union_address_count()
@@ -126,6 +132,14 @@ mod tests {
         assert_eq!(t.address_count(), (1 << 24) + (1 << 16));
         assert_eq!(t.subnet24_count(), 65536 + 256);
         assert_eq!(t.prefix_count(), 2);
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let t = RoutedTable::from_prefixes([p("8.0.0.0/8"), p("8.1.0.0/16")]);
+        assert_eq!(t.longest_match(a("8.1.2.3")), Some(p("8.1.0.0/16")));
+        assert_eq!(t.longest_match(a("8.200.0.1")), Some(p("8.0.0.0/8")));
+        assert_eq!(t.longest_match(a("9.0.0.1")), None);
     }
 
     #[test]

@@ -553,6 +553,41 @@ impl EventLog {
             .filter(move |(_, e)| e.name == name)
     }
 
+    /// Folds another log into this one, preserving every invariant the
+    /// serialisers rely on: spans stay sorted by path, events within a
+    /// span stay in arrival order with contiguous `seq`, counters and
+    /// volatile values add, histograms merge. This is what lets a
+    /// long-lived process (the estimation server) accumulate per-request
+    /// recorder flushes — [`Recorder::flush`] drains — into one
+    /// cumulative log for `/metrics` and the run manifest.
+    pub fn merge(&mut self, other: &EventLog) {
+        self.clock_is_wall |= other.clock_is_wall;
+        for (path, events) in &other.spans {
+            let idx = match self.spans.binary_search_by(|(p, _)| p.cmp(path)) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.spans.insert(i, (path.clone(), Vec::new()));
+                    i
+                }
+            };
+            let dst = &mut self.spans[idx].1;
+            let base = dst.len() as u64;
+            dst.extend(events.iter().enumerate().map(|(off, e)| EventRecord {
+                seq: base + off as u64,
+                ..e.clone()
+            }));
+        }
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(hist);
+        }
+        for (name, value) in &other.volatile {
+            *self.volatile.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+
     /// Serialises the deterministic lane as JSONL: one meta line, then
     /// events in (span path, seq) order, then counters, then histograms —
     /// all in lexicographic name order. The volatile lane is deliberately
@@ -653,6 +688,45 @@ mod tests {
         assert_eq!(rec.now(), 0);
         let log = rec.flush();
         assert_eq!(log, EventLog::default());
+    }
+
+    #[test]
+    fn merge_accumulates_flushes_preserving_invariants() {
+        let rec = enabled();
+        rec.root("serve").event("req", &[("i", FieldValue::U64(0))]);
+        rec.add("hits", 1);
+        rec.observe("lat", 8);
+        rec.volatile_add("wall_us", 100);
+        let mut total = rec.flush();
+
+        rec.root("serve").event("req", &[("i", FieldValue::U64(1))]);
+        rec.root("cache").event("evict", &[]);
+        rec.add("hits", 2);
+        rec.observe("lat", 32);
+        rec.volatile_add("wall_us", 50);
+        total.merge(&rec.flush());
+
+        // Spans stay path-sorted; the shared span's events renumber
+        // contiguously; the new span slots in.
+        let paths: Vec<String> = total.spans.iter().map(|(p, _)| p.render()).collect();
+        assert_eq!(paths, ["cache", "serve"]);
+        let serve = &total.spans[1].1;
+        assert_eq!(serve.len(), 2);
+        assert_eq!(
+            serve.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [0, 1],
+            "merged seq must stay contiguous"
+        );
+        assert_eq!(total.counters["hits"], 3);
+        let lat = &total.hists["lat"];
+        assert_eq!((lat.count, lat.sum, lat.min, lat.max), (2, 40, 8, 32));
+        assert_eq!(total.volatile["wall_us"], 150);
+        assert!(!total.clock_is_wall);
+
+        // Merging an empty log is the identity.
+        let before = total.clone();
+        total.merge(&EventLog::default());
+        assert_eq!(total, before);
     }
 
     #[test]

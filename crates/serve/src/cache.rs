@@ -1,0 +1,317 @@
+//! The content-addressed estimate cache.
+//!
+//! Keyed by the request digest (see [`crate::digest`]), the cache stores
+//! the exact response bytes of successful estimates so identical queries
+//! are byte-identical replays. Two tiers:
+//!
+//! * an in-memory LRU bounded by entry count, and
+//! * an optional on-disk JSON spill (`<cache-dir>/<digest-hex>.json`)
+//!   that survives restarts and absorbs LRU evictions.
+//!
+//! Only `200 OK` and `203 Non-Authoritative` (degraded-but-served)
+//! responses are cached: errors are cheap to recompute and must not be
+//! pinned. The cache itself never counts hits and misses — the server
+//! translates a [`Lookup`] into the `serve.cache.*` counters so metrics
+//! stay in one place.
+
+use crate::digest::{digest_hex, parse_digest_hex};
+use ghosts_obs::json::{parse, JsonValue};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Schema tag written into every spill file.
+pub const CACHE_SCHEMA: &str = "ghosts-cache/1";
+
+/// A cached response: the status and exact body bytes to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResponse {
+    /// HTTP status (200 or 203).
+    pub status: u16,
+    /// Exact response body (compact JSON).
+    pub body: String,
+}
+
+/// Where a lookup was satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Served from the in-memory LRU.
+    Memory(Arc<CachedResponse>),
+    /// Served from the disk spill (and promoted back into memory).
+    Disk(Arc<CachedResponse>),
+    /// Not cached; the caller must compute.
+    Miss,
+}
+
+struct Entry {
+    response: Arc<CachedResponse>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: std::collections::BTreeMap<u64, Entry>,
+    tick: u64,
+}
+
+/// The two-tier cache. All methods are `&self`; an internal mutex guards
+/// the LRU so the worker pool shares one instance.
+pub struct EstimateCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+}
+
+impl EstimateCache {
+    /// Creates a cache holding at most `capacity` in-memory entries
+    /// (minimum 1), spilling to `dir` when given.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: std::collections::BTreeMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            dir,
+        }
+    }
+
+    /// Number of entries currently in memory.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `digest`, trying memory then disk. A disk hit is promoted
+    /// back into the LRU.
+    pub fn lookup(&self, digest: u64) -> Lookup {
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&digest) {
+                entry.last_used = tick;
+                return Lookup::Memory(Arc::clone(&entry.response));
+            }
+        }
+        if let Some(response) = self.load_spill(digest) {
+            let response = Arc::new(response);
+            self.insert_memory(digest, Arc::clone(&response));
+            return Lookup::Disk(response);
+        }
+        Lookup::Miss
+    }
+
+    /// Stores a computed response under `digest` (memory + spill).
+    /// The caller has already filtered on status.
+    pub fn store(&self, digest: u64, response: CachedResponse) -> Arc<CachedResponse> {
+        let response = Arc::new(response);
+        self.insert_memory(digest, Arc::clone(&response));
+        self.write_spill(digest, &response);
+        response
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned cache mutex means a worker panicked while holding it;
+        // the data is plain values, so recover rather than cascade.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn insert_memory(&self, digest: u64, response: Arc<CachedResponse>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            digest,
+            Entry {
+                response,
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            match oldest {
+                Some(k) => inner.entries.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    fn spill_path(&self, digest: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", digest_hex(digest))))
+    }
+
+    fn load_spill(&self, digest: u64) -> Option<CachedResponse> {
+        let path = self.spill_path(digest)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        parse_spill(&text, digest)
+    }
+
+    fn write_spill(&self, digest: u64, response: &CachedResponse) {
+        let Some(path) = self.spill_path(digest) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            // Best effort: a read-only cache dir degrades to memory-only.
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let doc = JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::Str(CACHE_SCHEMA.to_string()),
+            ),
+            ("digest".to_string(), JsonValue::Str(digest_hex(digest))),
+            (
+                "status".to_string(),
+                JsonValue::UInt(u64::from(response.status)),
+            ),
+            ("body".to_string(), JsonValue::Str(response.body.clone())),
+        ]);
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, doc.to_compact()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// Parses a spill file, validating schema and digest; corrupt or
+/// mismatched files read as absent (never as wrong data).
+fn parse_spill(text: &str, expected_digest: u64) -> Option<CachedResponse> {
+    let doc = parse(text).ok()?;
+    if doc.get("schema")?.as_str()? != CACHE_SCHEMA {
+        return None;
+    }
+    let digest = parse_digest_hex(doc.get("digest")?.as_str()?)?;
+    if digest != expected_digest {
+        return None;
+    }
+    let status = doc.get("status")?.as_u64()?;
+    if !(status == 200 || status == 203) {
+        return None;
+    }
+    Some(CachedResponse {
+        status: status as u16,
+        body: doc.get("body")?.as_str()?.to_string(),
+    })
+}
+
+/// Walks a cache directory and returns the digests of valid spill files,
+/// sorted. Used by `/healthz` reporting and tests.
+pub fn spilled_digests(dir: &Path) -> Vec<u64> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue;
+        };
+        if let Some(d) = parse_digest_hex(stem) {
+            out.push(d);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(tag: &str) -> CachedResponse {
+        CachedResponse {
+            status: 200,
+            body: format!("{{\"tag\":\"{tag}\"}}"),
+        }
+    }
+
+    #[test]
+    fn memory_hit_after_store() {
+        let cache = EstimateCache::new(4, None);
+        assert_eq!(cache.lookup(7), Lookup::Miss);
+        cache.store(7, resp("a"));
+        match cache.lookup(7) {
+            Lookup::Memory(r) => assert_eq!(r.body, "{\"tag\":\"a\"}"),
+            other => panic!("expected memory hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = EstimateCache::new(2, None);
+        cache.store(1, resp("one"));
+        cache.store(2, resp("two"));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(matches!(cache.lookup(1), Lookup::Memory(_)));
+        cache.store(3, resp("three"));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup(1), Lookup::Memory(_)));
+        assert!(matches!(cache.lookup(3), Lookup::Memory(_)));
+        assert_eq!(cache.lookup(2), Lookup::Miss);
+    }
+
+    #[test]
+    fn spill_round_trips_and_promotes() {
+        let dir =
+            std::env::temp_dir().join(format!("ghosts-serve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = EstimateCache::new(1, Some(dir.clone()));
+        cache.store(
+            10,
+            CachedResponse {
+                status: 203,
+                body: "{\"degraded\":true}".to_string(),
+            },
+        );
+        cache.store(11, resp("evictor")); // evicts 10 from memory
+        assert_eq!(cache.len(), 1);
+        // 10 must come back from disk, byte-identical, status preserved.
+        match cache.lookup(10) {
+            Lookup::Disk(r) => {
+                assert_eq!(r.status, 203);
+                assert_eq!(r.body, "{\"degraded\":true}");
+            }
+            other => panic!("expected disk hit, got {other:?}"),
+        }
+        // ... and is now promoted back to memory.
+        assert!(matches!(cache.lookup(10), Lookup::Memory(_)));
+        assert_eq!(spilled_digests(&dir), vec![10, 11]);
+
+        // A fresh cache over the same dir sees the spill (restart survival).
+        let cache2 = EstimateCache::new(4, Some(dir.clone()));
+        assert!(matches!(cache2.lookup(11), Lookup::Disk(_)));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_spills_read_as_miss() {
+        assert_eq!(parse_spill("not json", 1), None);
+        assert_eq!(parse_spill("{}", 1), None);
+        let good = format!(
+            "{{\"schema\":\"{CACHE_SCHEMA}\",\"digest\":\"{}\",\"status\":200,\"body\":\"x\"}}",
+            digest_hex(5)
+        );
+        assert!(parse_spill(&good, 5).is_some());
+        assert_eq!(parse_spill(&good, 6), None, "digest mismatch must miss");
+        let bad_status = good.replace("200", "500");
+        assert_eq!(parse_spill(&bad_status, 5), None);
+        let bad_schema = good.replace(CACHE_SCHEMA, "ghosts-cache/0");
+        assert_eq!(parse_spill(&bad_schema, 5), None);
+    }
+}

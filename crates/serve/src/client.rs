@@ -1,0 +1,139 @@
+//! A tiny HTTP/1.1 client over `std::net::TcpStream` — just enough to
+//! talk to [`crate::server::Server`] from tests, the CI smoke step and
+//! the bench binary's `serve req` subcommand. One request per
+//! connection, mirroring the server's `Connection: close` contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — server bodies are always UTF-8 JSON or
+    /// text, so this is exact in practice).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues one request and reads the full response.
+///
+/// # Errors
+///
+/// Any socket failure, or a malformed response head.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let timeout = Some(Duration::from_secs(30));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+
+    let body = body.unwrap_or(b"");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Convenience: `GET path` expecting a UTF-8 body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// Convenience: `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_json(addr: SocketAddr, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(json.as_bytes()))
+}
+
+fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let status: u16 = parts.next()?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':')?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body = raw[head_end + 4..].to_vec();
+    // Trust content-length when present (the server always sends it).
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if body.len() < len {
+            return None; // truncated
+        }
+    }
+    Some(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 203 Non-Authoritative Information\r\ncontent-type: application/json\r\ncontent-length: 2\r\n\r\n{}";
+        let r = parse_response(raw).expect("parses");
+        assert_eq!(r.status, 203);
+        assert_eq!(r.header("Content-Type"), Some("application/json"));
+        assert_eq!(r.body_text(), "{}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse_response(b"not http").is_none());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nab").is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Request coalescing (single flight).
+//!
+//! When N digest-equal requests arrive concurrently, exactly one worker
+//! (the *leader*) computes; the rest (*waiters*) block on a condvar and
+//! replay the leader's bytes. If the leader fails — its handler panics or
+//! errors before publishing — the flight is *poisoned*: waiters wake with
+//! `None` and fall back to computing independently, so one bad request
+//! can't wedge its whole digest class.
+
+use crate::cache::CachedResponse;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Default)]
+struct FlightState {
+    /// `Some(Some(_))` published, `Some(None)` poisoned, `None` pending.
+    outcome: Option<Option<Arc<CachedResponse>>>,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+struct Inner {
+    flights: Mutex<BTreeMap<u64, Arc<Flight>>>,
+}
+
+/// The per-digest flight table. Cloning shares the table; workers each
+/// hold a clone.
+#[derive(Clone)]
+pub struct SingleFlight {
+    inner: Arc<Inner>,
+}
+
+impl Default for SingleFlight {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What [`SingleFlight::join`] decided for the calling worker.
+pub enum Role {
+    /// This worker computes; it MUST consume the guard via
+    /// [`FlightGuard::complete`] (dropping it unpublished poisons the
+    /// flight, which is exactly right on panic).
+    Leader(FlightGuard),
+    /// Another worker computed. `Some` carries its response; `None` means
+    /// the leader failed and the caller should compute for itself
+    /// (without leading — the flight is already gone).
+    Waiter(Option<Arc<CachedResponse>>),
+}
+
+/// Leadership of one in-flight digest. Held across the computation;
+/// its `Drop` guarantees waiters are released no matter how the
+/// computation ends.
+pub struct FlightGuard {
+    owner: Arc<Inner>,
+    digest: u64,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl SingleFlight {
+    /// Creates an empty flight table.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                flights: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Joins the flight for `digest`: the first caller becomes the
+    /// leader, later callers block until the leader publishes or fails.
+    pub fn join(&self, digest: u64) -> Role {
+        let flight = {
+            let mut flights = lock(&self.inner.flights);
+            match flights.get(&digest) {
+                Some(f) => Arc::clone(f),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::default()),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(digest, Arc::clone(&f));
+                    return Role::Leader(FlightGuard {
+                        owner: Arc::clone(&self.inner),
+                        digest,
+                        flight: f,
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut state = lock(&flight.state);
+        while state.outcome.is_none() {
+            state = match flight.cv.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        Role::Waiter(state.outcome.clone().unwrap_or(None))
+    }
+
+    /// Number of digests currently in flight (test observability).
+    pub fn in_flight(&self) -> usize {
+        lock(&self.inner.flights).len()
+    }
+}
+
+impl FlightGuard {
+    /// Publishes the leader's response to every waiter and retires the
+    /// flight.
+    pub fn complete(mut self, response: Arc<CachedResponse>) {
+        self.finish(Some(response));
+        self.published = true;
+    }
+
+    fn finish(&mut self, outcome: Option<Arc<CachedResponse>>) {
+        {
+            let mut flights = lock(&self.owner.flights);
+            flights.remove(&self.digest);
+        }
+        let mut state = lock(&self.flight.state);
+        state.outcome = Some(outcome);
+        self.flight.cv.notify_all();
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            // Leader died (panic/error path): poison, releasing waiters to
+            // compute for themselves.
+            self.finish(None);
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn resp(tag: &str) -> Arc<CachedResponse> {
+        Arc::new(CachedResponse {
+            status: 200,
+            body: tag.to_string(),
+        })
+    }
+
+    #[test]
+    fn leader_publishes_to_waiters() {
+        let sf = SingleFlight::new();
+        let guard = match sf.join(1) {
+            Role::Leader(g) => g,
+            Role::Waiter(_) => panic!("first join must lead"),
+        };
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sf = sf.clone();
+            let computed = Arc::clone(&computed);
+            handles.push(thread::spawn(move || match sf.join(1) {
+                Role::Leader(_) => {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    String::new()
+                }
+                Role::Waiter(r) => r.expect("published").body.clone(),
+            }));
+        }
+        // Wait until all four waiters hold the flight (each clones its Arc
+        // inside join before blocking; table + guard account for 2), then
+        // publish. A waiter that has cloned but not yet blocked still sees
+        // the published outcome without waiting.
+        while Arc::strong_count(&guard.flight) < 6 {
+            thread::yield_now();
+        }
+        guard.complete(resp("answer"));
+        for h in handles {
+            assert_eq!(h.join().expect("thread"), "answer");
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 0);
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn dropped_guard_poisons_flight() {
+        let sf = SingleFlight::new();
+        let guard = match sf.join(9) {
+            Role::Leader(g) => g,
+            Role::Waiter(_) => panic!("first join must lead"),
+        };
+        let sf2 = sf.clone();
+        let waiter = thread::spawn(move || match sf2.join(9) {
+            Role::Leader(_) => panic!("second join must wait"),
+            Role::Waiter(r) => r.is_none(),
+        });
+        // Handshake as above: don't drop until the waiter holds the flight.
+        while Arc::strong_count(&guard.flight) < 3 {
+            thread::yield_now();
+        }
+        drop(guard); // leader "panics"
+        assert!(waiter.join().expect("thread"), "waiter must see poison");
+        // The digest is free again: a fresh join leads.
+        assert!(matches!(sf.join(9), Role::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_digests_fly_independently() {
+        let sf = SingleFlight::new();
+        let g1 = match sf.join(1) {
+            Role::Leader(g) => g,
+            Role::Waiter(_) => panic!(),
+        };
+        let g2 = match sf.join(2) {
+            Role::Leader(g) => g,
+            Role::Waiter(_) => panic!(),
+        };
+        assert_eq!(sf.in_flight(), 2);
+        g1.complete(resp("a"));
+        g2.complete(resp("b"));
+        assert_eq!(sf.in_flight(), 0);
+    }
+}

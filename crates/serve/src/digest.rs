@@ -1,0 +1,118 @@
+//! Content addressing for estimate requests.
+//!
+//! The cache key of a request is the FNV-1a hash of its *canonical* JSON
+//! form: object keys sorted recursively, every optional knob materialised
+//! with its default, serialised compactly by the workspace's own writer.
+//! Two requests that differ only in key order, whitespace or
+//! spelled-out-default fields therefore share one digest — and one cached,
+//! byte-identical response. FNV-1a is the same deterministic hash the
+//! recorder uses for shard selection; it only has to be deterministic and
+//! well-spread, not adversarially strong (the cache is keyed, not trusted).
+
+use ghosts_obs::json::JsonValue;
+
+/// FNV-1a offset basis (the constant the whole workspace uses).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A digest as the 16 lowercase hex characters used in spill filenames,
+/// `X-Cache-Key` headers and trace events.
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// Parses [`digest_hex`] back (strict: exactly 16 lowercase hex chars).
+pub fn parse_digest_hex(text: &str) -> Option<u64> {
+    if text.len() != 16
+        || !text
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// Recursively sorts object keys (duplicates keep first occurrence),
+/// leaving arrays and scalars untouched. The result serialises to the
+/// canonical byte form that gets hashed.
+pub fn canonicalize(value: &JsonValue) -> JsonValue {
+    match value {
+        JsonValue::Object(map) => {
+            let mut entries: Vec<(String, JsonValue)> = Vec::with_capacity(map.len());
+            for (k, v) in map {
+                if !entries.iter().any(|(seen, _)| seen == k) {
+                    entries.push((k.clone(), canonicalize(v)));
+                }
+            }
+            entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+            JsonValue::Object(entries)
+        }
+        JsonValue::Array(items) => JsonValue::Array(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The content digest of a canonicalised value.
+pub fn digest_of(canonical: &JsonValue) -> u64 {
+    fnv1a64(canonical.to_compact().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghosts_obs::json::parse;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for d in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_digest_hex(&digest_hex(d)), Some(d));
+        }
+        assert_eq!(parse_digest_hex("xyz"), None);
+        assert_eq!(parse_digest_hex("ABCDEF0123456789"), None); // uppercase
+        assert_eq!(parse_digest_hex("0123456789abcde"), None); // short
+    }
+
+    #[test]
+    fn canonical_form_is_key_order_invariant() {
+        let a = parse(r#"{"b":1,"a":{"y":2,"x":[3,{"q":4,"p":5}]}}"#).expect("parses");
+        let b = parse(r#"{"a":{"x":[3,{"p":5,"q":4}],"y":2},"b":1}"#).expect("parses");
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert_eq!(digest_of(&canonicalize(&a)), digest_of(&canonicalize(&b)));
+    }
+
+    #[test]
+    fn canonical_form_keeps_array_order() {
+        let a = parse("[1,2]").expect("parses");
+        let b = parse("[2,1]").expect("parses");
+        assert_ne!(
+            digest_of(&canonicalize(&a)),
+            digest_of(&canonicalize(&b)),
+            "array order is semantic and must stay in the digest"
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first() {
+        let v = parse(r#"{"a":1,"a":2}"#).expect("parses");
+        assert_eq!(canonicalize(&v).to_compact(), r#"{"a":1}"#);
+    }
+}

@@ -1,0 +1,375 @@
+//! A minimal HTTP/1.1 subset: enough to parse one request and write one
+//! response over a blocking stream, with hard limits everywhere.
+//!
+//! The server speaks *one request per connection* (`Connection: close` on
+//! every response). That keeps the state machine trivial — there is no
+//! keep-alive bookkeeping, no pipelining, no chunked framing — and the
+//! in-repo [`client`](crate::client) reads to EOF, so framing can never
+//! drift. Bodies require an explicit `Content-Length`; header and body
+//! sizes are capped so a hostile peer cannot balloon memory.
+//!
+//! The parser must never panic on arbitrary bytes (a property test feeds
+//! it garbage): every failure is a typed [`ParseError`] that maps onto a
+//! 4xx status via [`ParseError::status`].
+
+use std::io::{Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum bytes of request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// The request target, e.g. `/v1/estimate`.
+    pub target: String,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed before sending a full request head. Includes the
+    /// zero-byte probe connections the shutdown path makes; not worth a
+    /// response.
+    Eof,
+    /// Transport failure mid-read (a socket timeout surfaces here).
+    Io(std::io::Error),
+    /// Request line / header syntax the subset does not accept.
+    BadRequest(&'static str),
+    /// Request head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl ParseError {
+    /// The response status this failure maps to (`Eof` gets no response;
+    /// callers special-case it).
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Eof => 400,
+            ParseError::Io(_) => 408,
+            ParseError::BadRequest(_) => 400,
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+        }
+    }
+
+    /// Short machine-readable label for error bodies and trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParseError::Eof => "eof",
+            ParseError::Io(_) => "io",
+            ParseError::BadRequest(_) => "bad-request",
+            ParseError::HeadTooLarge => "head-too-large",
+            ParseError::BodyTooLarge => "body-too-large",
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Eof => f.write_str("connection closed before a full request"),
+            ParseError::Io(e) => write!(f, "transport error: {e}"),
+            ParseError::BadRequest(why) => write!(f, "malformed request: {why}"),
+            ParseError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ParseError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Any [`ParseError`]; see [`ParseError::status`] for the response
+/// mapping.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
+    // Accumulate the head byte-wise in small chunks until CRLFCRLF. Any
+    // bytes read past the head separator belong to the body.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(ParseError::Eof)
+            } else {
+                Err(ParseError::BadRequest("truncated request head"))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(ParseError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::BadRequest("request head is not utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(ParseError::BadRequest("missing request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(ParseError::BadRequest("bad method token"))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(ParseError::BadRequest("bad request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::BadRequest("missing http version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadRequest("extra tokens on request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::BadRequest("unsupported http version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::BadRequest("header line without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadRequest("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadRequest("unparseable content-length"))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge);
+    }
+
+    // Body: whatever we over-read past the head, then the remainder.
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf.get(body_start..).unwrap_or(&[]).to_vec();
+    if body.len() > content_length {
+        return Err(ParseError::BadRequest("body longer than content-length"));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::BadRequest("truncated body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Byte offset of the first `\r\n\r\n`, if any.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Content-Type` and
+    /// `Connection: close` are always emitted by [`Response::write_to`]).
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (`Content-Type: application/json`).
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: vec![("Content-Type".to_string(), "application/json".to_string())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "text/plain; charset=utf-8".to_string(),
+            )],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The canonical reason phrase for the status codes this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            203 => "Non-Authoritative Information",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialises status line, headers and body. Deliberately no `Date`
+    /// header: responses must be byte-identical replays of their cached
+    /// form, and wall time belongs in the volatile metrics lane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, Self::reason(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ParseError> {
+        let mut cursor = raw;
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_overread() {
+        let req = parse(b"POST /v1/estimate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .expect("parses");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            &b"bogus\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: no\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ParseError::BadRequest(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_eof() {
+        assert!(matches!(parse(b""), Err(ParseError::Eof)));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let mut huge_head = b"GET /x HTTP/1.1\r\n".to_vec();
+        huge_head.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 16));
+        assert!(matches!(parse(&huge_head), Err(ParseError::HeadTooLarge)));
+
+        let oversized = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(oversized.as_bytes()),
+            Err(ParseError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_serialisation_is_framed() {
+        let resp = Response::json(200, "{\"ok\":true}".to_string()).with_header("X-Cache", "miss");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Cache: miss\r\n"));
+        assert!(text.contains("Connection: close\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,51 @@
+//! `ghosts-serve` — a dependency-free estimation server.
+//!
+//! The paper's workload is query-shaped: a small, enumerable universe of
+//! expensive-to-compute, cheap-to-cache results (stratified estimates per
+//! RIR/country/prefix size over quarterly-stepped windows, §3.4/§4.3–4.4).
+//! This crate turns the estimator into a long-lived process that serves
+//! those queries over HTTP/1.1 on nothing but `std::net`:
+//!
+//! * `POST /v1/estimate` — inline contingency tables or backend
+//!   window/strata requests, with a [`request`]-validated subset of
+//!   `CrConfig` knobs;
+//! * `GET /v1/membership/<addr>` — routed/bogon/observed lookups via
+//!   `ghosts_net`'s prefix trie;
+//! * `GET /healthz`, `GET /manifest`, `GET /metrics` — liveness, a
+//!   `ghosts-manifest/1` document, and a text exposition of the
+//!   cumulative `ghosts_obs` counters and histograms.
+//!
+//! Three mechanisms make it production-shaped (DESIGN.md §12):
+//!
+//! 1. **Content-addressed caching** ([`digest`], [`cache`]): requests are
+//!    canonicalised and FNV-hashed; the digest keys an in-memory LRU plus
+//!    an optional on-disk spill, so identical queries are byte-identical
+//!    replays.
+//! 2. **Single flight** ([`coalesce`]): concurrent digest-equal requests
+//!    run the estimator once; waiters replay the leader's bytes.
+//! 3. **Load shedding** ([`server`]): a bounded accept queue answers
+//!    `503` + `Retry-After` at the door when full.
+//!
+//! Degraded estimates (PR 4's ladder) serve with HTTP `203` and the rung
+//! in the body; handler panics (including fault-injected ones at
+//! [`server::FAULT_SITE_HANDLER`]) answer `500` with a schema-valid
+//! `ghosts-events` trace while the worker survives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cache;
+pub mod client;
+pub mod coalesce;
+pub mod digest;
+pub mod http;
+pub mod metrics;
+pub mod request;
+pub mod server;
+
+pub use backend::{Backend, BackendError, InlineBackend, Membership, TableSpec};
+pub use cache::{CachedResponse, EstimateCache, Lookup};
+pub use metrics::MetricsHub;
+pub use request::EstimateRequest;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,155 @@
+//! The server's metrics hub.
+//!
+//! Every request gets its own short-lived recorder span, but
+//! [`ghosts_obs::Recorder::flush`] *drains* — so a long-lived process
+//! needs somewhere for the drained logs to accumulate. The hub owns the
+//! process-wide [`Recorder`] plus a cumulative [`EventLog`] folded
+//! together with [`EventLog::merge`]; `/metrics` and `/manifest` render
+//! from the cumulative log, so counters are monotone across the process
+//! lifetime exactly like a real metrics endpoint.
+
+use ghosts_obs::json::JsonValue;
+use ghosts_obs::{EventLog, Recorder, RunManifest, WallClock};
+use std::sync::{Arc, Mutex};
+
+/// Shared recorder + cumulative log.
+pub struct MetricsHub {
+    recorder: Recorder,
+    cumulative: Mutex<EventLog>,
+}
+
+impl MetricsHub {
+    /// A hub driven by wall time (the serving default: request latencies
+    /// land in the volatile lane, never in deterministic output).
+    pub fn wall() -> Arc<Self> {
+        Arc::new(Self {
+            recorder: Recorder::enabled(Arc::new(WallClock::new())),
+            cumulative: Mutex::new(EventLog::default()),
+        })
+    }
+
+    /// The process recorder (per-request spans hang off this).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Drains the recorder into the cumulative log and returns a snapshot
+    /// of the totals.
+    pub fn snapshot(&self) -> EventLog {
+        let fresh = self.recorder.flush();
+        let mut total = match self.cumulative.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        total.merge(&fresh);
+        total.clone()
+    }
+
+    /// Folds an already-flushed log (e.g. a per-request trace recorder's)
+    /// into the cumulative totals.
+    pub fn absorb(&self, log: &EventLog) {
+        let mut total = match self.cumulative.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        total.merge(log);
+    }
+
+    /// The `/metrics` text exposition: one line per series, lexicographic
+    /// within each kind, deterministic given the same history.
+    ///
+    /// ```text
+    /// # ghosts-serve metrics
+    /// counter serve.requests 3
+    /// hist serve.estimate_units count=2 sum=40 min=8 max=32
+    /// volatile serve.request_wall_us 1520
+    /// ```
+    pub fn render_text(&self) -> String {
+        let log = self.snapshot();
+        let mut out = String::from("# ghosts-serve metrics\n");
+        for (name, value) in &log.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, h) in &log.hists {
+            let min = if h.count == 0 { 0 } else { h.min };
+            out.push_str(&format!(
+                "hist {name} count={} sum={} min={} max={}\n",
+                h.count, h.sum, min, h.max
+            ));
+        }
+        for (name, value) in &log.volatile {
+            out.push_str(&format!("volatile {name} {value}\n"));
+        }
+        out
+    }
+
+    /// The `/manifest` document: server configuration echoed through a
+    /// [`RunManifest`] with cumulative metrics and robustness events
+    /// (errors, degradations, fired faults) ingested.
+    pub fn render_manifest(&self, config: &[(String, String)]) -> String {
+        let log = self.snapshot();
+        let mut manifest = RunManifest::new();
+        for (key, value) in config {
+            manifest.set_config(key, value.clone());
+        }
+        manifest.ingest_metrics(&log);
+        manifest.ingest_events(&log, &[]);
+        manifest.to_json()
+    }
+
+    /// Reads one cumulative counter (test and shed-policy observability).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot().counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Renders a `Membership` answer (shared by server and tests so bodies
+/// stay byte-identical).
+pub fn membership_json(m: &crate::backend::Membership) -> String {
+    JsonValue::Object(vec![
+        (
+            "addr".to_string(),
+            JsonValue::Str(ghosts_net::addr_to_string(m.addr)),
+        ),
+        ("bogon".to_string(), JsonValue::Bool(m.bogon)),
+        ("observed".to_string(), JsonValue::Bool(m.observed)),
+        (
+            "routed".to_string(),
+            m.routed.map_or(JsonValue::Null, |p| {
+                JsonValue::Str(format!(
+                    "{}/{}",
+                    ghosts_net::addr_to_string(p.base()),
+                    p.len()
+                ))
+            }),
+        ),
+    ])
+    .to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_snapshots() {
+        let hub = MetricsHub::wall();
+        hub.recorder().add("serve.requests", 1);
+        assert_eq!(hub.counter("serve.requests"), 1);
+        hub.recorder().add("serve.requests", 2);
+        // flush() drained after the first snapshot; merge must keep totals.
+        assert_eq!(hub.counter("serve.requests"), 3);
+        let text = hub.render_text();
+        assert!(text.contains("counter serve.requests 3\n"), "{text}");
+    }
+
+    #[test]
+    fn manifest_echoes_config_and_metrics() {
+        let hub = MetricsHub::wall();
+        hub.recorder().add("serve.requests", 7);
+        let config = vec![("workers".to_string(), "4".to_string())];
+        let text = hub.render_manifest(&config);
+        let manifest = RunManifest::from_json(&text).expect("round-trips");
+        assert_eq!(manifest.to_json(), text);
+    }
+}

@@ -1,0 +1,678 @@
+//! The server proper: listener, fixed worker pool, bounded accept queue
+//! with load shedding, routing, and the estimate handler that ties the
+//! cache, the single-flight table and the fault probes together.
+//!
+//! Concurrency model (deliberately boring): one acceptor thread pushes
+//! connections into a bounded queue; `workers` threads pop and serve one
+//! request per connection (`Connection: close`). When the queue is full
+//! the *acceptor* answers `503` + `Retry-After` immediately — overload
+//! sheds at the door instead of growing an invisible backlog.
+//!
+//! Determinism contract: response *bodies* are pure functions of the
+//! canonical request (the content digest), so cache replays are
+//! byte-identical. Anything wall-clock-shaped — request latency, socket
+//! timeouts — lives in headers, the volatile metrics lane, or socket
+//! options, never in a body.
+
+use crate::backend::Backend;
+use crate::cache::{CachedResponse, EstimateCache, Lookup};
+use crate::coalesce::{Role, SingleFlight};
+use crate::digest::digest_hex;
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::metrics::{membership_json, MetricsHub};
+use crate::request::EstimateRequest;
+use ghosts_core::{
+    estimate_stratified, estimate_table, CrEstimate, Degradation, StratifiedEstimate,
+};
+use ghosts_faultinject as faults;
+use ghosts_obs::json::{parse as parse_json, JsonValue};
+use ghosts_obs::{FieldValue, LogicalClock, Recorder, Scope};
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault-probe site for the estimate handler (worker-panic → 500 path).
+pub const FAULT_SITE_HANDLER: &str = "serve.handler";
+/// Fault-probe site for the result cache (drop-source → bypass path).
+pub const FAULT_SITE_CACHE: &str = "serve.cache";
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Accepted-but-unserved connections tolerated before shedding.
+    pub max_pending: usize,
+    /// In-memory cache entries.
+    pub cache_capacity: usize,
+    /// On-disk spill directory for the cache.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Socket read/write timeout in milliseconds (wall time is confined
+    /// to the socket layer; bodies never depend on it).
+    pub io_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_pending: 64,
+            cache_capacity: 256,
+            cache_dir: None,
+            io_timeout_ms: 10_000,
+        }
+    }
+}
+
+struct Queue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    backend: Arc<dyn Backend>,
+    hub: Arc<MetricsHub>,
+    cache: EstimateCache,
+    flights: SingleFlight,
+    queue: Queue,
+    stop: AtomicBool,
+    next_request: AtomicU64,
+    config: ServerConfig,
+}
+
+/// A running server. Dropping the handle does NOT stop it; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error (address in use, permission, ...).
+    pub fn bind(
+        config: ServerConfig,
+        backend: Arc<dyn Backend>,
+        hub: Arc<MetricsHub>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = EstimateCache::new(config.cache_capacity, config.cache_dir.clone());
+        let shared = Arc::new(Shared {
+            backend,
+            hub,
+            cache,
+            flights: SingleFlight::new(),
+            queue: Queue {
+                pending: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+            },
+            stop: AtomicBool::new(false),
+            next_request: AtomicU64::new(0),
+            config,
+        });
+
+        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        for _ in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_loop(&listener, &shared))
+        };
+
+        Ok(ServerHandle {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (use this to learn the ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The metrics hub the server records into.
+    pub fn hub(&self) -> &Arc<MetricsHub> {
+        &self.shared.hub
+    }
+
+    /// Stops accepting, drains workers and joins every thread. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.queue.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let timeout = Duration::from_millis(shared.config.io_timeout_ms.max(1));
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+
+        let mut pending = lock(&shared.queue.pending);
+        if pending.len() >= shared.config.max_pending {
+            drop(pending);
+            shed(shared, stream);
+            continue;
+        }
+        pending.push_back(stream);
+        drop(pending);
+        shared.queue.ready.notify_one();
+    }
+}
+
+/// Overload: answer 503 from the acceptor without occupying a worker.
+fn shed(shared: &Shared, stream: TcpStream) {
+    shared.hub.recorder().add("serve.shed", 1);
+    let body = r#"{"error":"server overloaded, retry shortly"}"#;
+    let response = Response::json(503, body.to_string()).with_header("retry-after", "1");
+    respond_and_drain(stream, &response);
+}
+
+/// Writes a response to a peer whose request was not fully read, without
+/// losing it to a TCP reset: FIN our side first (so the peer's read
+/// completes), then drain a bounded amount of its unread input before
+/// dropping the socket. Closing with unread bytes queued would send RST,
+/// which discards the peer's receive buffer — including our response.
+fn respond_and_drain(mut stream: TcpStream, response: &Response) {
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 256 * 1024 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut pending = lock(&shared.queue.pending);
+            loop {
+                if let Some(s) = pending.pop_front() {
+                    break s;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                pending = match shared.queue.ready.wait(pending) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        shared.queue.ready.notify_one();
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(ParseError::Eof) => return, // closed before sending anything
+        Err(e) => {
+            shared.hub.recorder().add("serve.http.bad_request", 1);
+            let body = format!(
+                "{{\"error\":{}}}",
+                JsonValue::Str(e.label().to_string()).to_compact()
+            );
+            // The request was not fully read (oversized head/body, garbage):
+            // drain before closing so the error response survives delivery.
+            respond_and_drain(stream, &Response::json(e.status(), body));
+            return;
+        }
+    };
+    let start = shared.hub.recorder().now();
+    shared.hub.recorder().add("serve.requests", 1);
+    let response = route(shared, &request);
+    shared.hub.recorder().volatile_add(
+        "serve.request_wall_us",
+        shared.hub.recorder().now().saturating_sub(start),
+    );
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(200, &shared.hub.render_text()),
+        ("GET", "/manifest") => {
+            let mut config = server_config_pairs(shared);
+            config.extend(shared.backend.info());
+            Response::json(200, shared.hub.render_manifest(&config))
+        }
+        ("GET", target) if target.starts_with("/v1/membership/") => {
+            membership(shared, &target["/v1/membership/".len()..])
+        }
+        ("POST", "/v1/estimate") => estimate(shared, request),
+        ("GET", "/v1/estimate") => {
+            Response::json(405, r#"{"error":"use POST for /v1/estimate"}"#.to_string())
+                .with_header("allow", "POST")
+        }
+        _ => Response::json(404, r#"{"error":"no such resource"}"#.to_string()),
+    }
+}
+
+fn server_config_pairs(shared: &Shared) -> Vec<(String, String)> {
+    vec![
+        (
+            "serve.workers".to_string(),
+            shared.config.workers.to_string(),
+        ),
+        (
+            "serve.max_pending".to_string(),
+            shared.config.max_pending.to_string(),
+        ),
+        (
+            "serve.cache_capacity".to_string(),
+            shared.config.cache_capacity.to_string(),
+        ),
+        (
+            "serve.cache_dir".to_string(),
+            shared
+                .config
+                .cache_dir
+                .as_ref()
+                .map_or("(none)".to_string(), |d| d.display().to_string()),
+        ),
+    ]
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let mut entries = vec![
+        ("status".to_string(), JsonValue::Str("ok".to_string())),
+        (
+            "workers".to_string(),
+            JsonValue::UInt(shared.config.workers as u64),
+        ),
+        (
+            "cache_entries".to_string(),
+            JsonValue::UInt(shared.cache.len() as u64),
+        ),
+    ];
+    for (k, v) in shared.backend.info() {
+        entries.push((k, JsonValue::Str(v)));
+    }
+    entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    entries.dedup_by(|(a, _), (b, _)| a == b);
+    Response::json(200, JsonValue::Object(entries).to_compact())
+}
+
+fn membership(shared: &Shared, raw: &str) -> Response {
+    match ghosts_net::addr_from_str(raw) {
+        Ok(addr) => {
+            shared.hub.recorder().add("serve.membership", 1);
+            let m = shared.backend.membership(addr);
+            Response::json(200, membership_json(&m))
+        }
+        Err(_) => Response::json(
+            400,
+            format!(
+                "{{\"error\":{}}}",
+                JsonValue::Str(format!("not an IPv4 address: {raw}")).to_compact()
+            ),
+        ),
+    }
+}
+
+/// The estimate pipeline: parse → digest → (fault probe) cache →
+/// single-flight → compute → store. Panics anywhere inside are caught
+/// per-request; the worker survives and answers 500 with a trace.
+fn estimate(shared: &Shared, request: &Request) -> Response {
+    shared.hub.recorder().add("serve.estimate.received", 1);
+    let doc = match std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| parse_json(text).ok())
+    {
+        Some(doc) => doc,
+        None => {
+            shared.hub.recorder().add("serve.http.bad_request", 1);
+            return Response::json(400, r#"{"error":"body is not valid JSON"}"#.to_string());
+        }
+    };
+    let req = match EstimateRequest::parse(&doc) {
+        Ok(r) => r,
+        Err(message) => {
+            shared.hub.recorder().add("serve.http.bad_request", 1);
+            return Response::json(
+                400,
+                format!("{{\"error\":{}}}", JsonValue::Str(message).to_compact()),
+            );
+        }
+    };
+    let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst);
+    let digest = req.digest();
+
+    // Per-request trace recorder (logical clock: traces stay
+    // deterministic; wall time lives in the hub's volatile lane). Kept
+    // outside `catch_unwind` so events recorded before a panic survive
+    // into the 500 response and the cumulative log.
+    let recorder = Recorder::enabled(Arc::new(LogicalClock::new()));
+    let span = recorder.root("serve").child_idx("request", request_id);
+    span.event(
+        "estimate",
+        &[("digest", FieldValue::Str(digest_hex(digest)))],
+    );
+
+    let outcome = faults::task_scope(request_id as usize, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            estimate_inner(shared, &req, digest, &span)
+        }))
+    });
+    let response = match outcome {
+        Ok(response) => response,
+        Err(panic) => {
+            shared.hub.recorder().add("serve.panic", 1);
+            span.error(
+                "handler-panic",
+                &[
+                    (
+                        "message",
+                        FieldValue::Str(ghosts_core::panic_message(&panic)),
+                    ),
+                    ("request", FieldValue::U64(request_id)),
+                ],
+            );
+            let log = recorder.flush();
+            let trace = log.to_jsonl();
+            shared.hub.absorb(&log);
+            let body = JsonValue::Object(vec![
+                (
+                    "error".to_string(),
+                    JsonValue::Str("internal server error".to_string()),
+                ),
+                ("request".to_string(), JsonValue::UInt(request_id)),
+                ("trace".to_string(), JsonValue::Str(trace)),
+            ]);
+            return Response::json(500, body.to_compact())
+                .with_header("x-cache-key", &digest_hex(digest));
+        }
+    };
+    shared.hub.absorb(&recorder.flush());
+    response.with_header("x-cache-key", &digest_hex(digest))
+}
+
+fn estimate_inner(shared: &Shared, req: &EstimateRequest, digest: u64, span: &Scope) -> Response {
+    // Handler fault probe: a worker-panic rule proves the 500 path.
+    if let Some(fault) = faults::fire(FAULT_SITE_HANDLER) {
+        span.fault_injected(
+            FAULT_SITE_HANDLER,
+            &[("kind", FieldValue::Str(fault.name().to_string()))],
+        );
+        if fault == faults::Fault::WorkerPanic {
+            panic!("fault injection: {} at {FAULT_SITE_HANDLER}", fault.name());
+        }
+    }
+
+    // Cache fault probe: a drop-source rule bypasses both tiers (and the
+    // store below), proving results stay correct without the cache.
+    let bypass_cache = match faults::fire(FAULT_SITE_CACHE) {
+        Some(fault) => {
+            span.fault_injected(
+                FAULT_SITE_CACHE,
+                &[("kind", FieldValue::Str(fault.name().to_string()))],
+            );
+            fault == faults::Fault::DropSource
+        }
+        None => false,
+    };
+
+    if bypass_cache {
+        shared.hub.recorder().add("serve.cache.bypassed", 1);
+        let (status, body) = compute(shared, req, span);
+        return Response::json(status, body).with_header("x-cache", "bypass");
+    }
+
+    match shared.cache.lookup(digest) {
+        Lookup::Memory(r) => {
+            shared.hub.recorder().add("serve.cache.hit_mem", 1);
+            return Response::json(r.status, r.body.clone()).with_header("x-cache", "hit-mem");
+        }
+        Lookup::Disk(r) => {
+            shared.hub.recorder().add("serve.cache.hit_disk", 1);
+            return Response::json(r.status, r.body.clone()).with_header("x-cache", "hit-disk");
+        }
+        Lookup::Miss => shared.hub.recorder().add("serve.cache.miss", 1),
+    }
+
+    match shared.flights.join(digest) {
+        Role::Leader(guard) => {
+            let (status, body) = compute(shared, req, span);
+            if status == 200 || status == 203 {
+                let stored = shared.cache.store(
+                    digest,
+                    CachedResponse {
+                        status,
+                        body: body.clone(),
+                    },
+                );
+                guard.complete(stored);
+            }
+            // On error statuses the guard drops here, poisoning the
+            // flight: waiters recompute and see the error themselves.
+            Response::json(status, body).with_header("x-cache", "miss")
+        }
+        Role::Waiter(Some(r)) => {
+            shared.hub.recorder().add("serve.singleflight.waited", 1);
+            Response::json(r.status, r.body.clone()).with_header("x-cache", "coalesced")
+        }
+        Role::Waiter(None) => {
+            shared
+                .hub
+                .recorder()
+                .add("serve.singleflight.leader_failed", 1);
+            let (status, body) = compute(shared, req, span);
+            Response::json(status, body).with_header("x-cache", "miss")
+        }
+    }
+}
+
+/// Runs the estimator for a request. Returns `(status, body)`; bodies are
+/// canonical compact JSON — the bytes that get cached and replayed.
+fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String) {
+    shared.hub.recorder().add("serve.estimate.computed", 1);
+    let spec = match &req.table {
+        Some(inline) => crate::backend::TableSpec {
+            tables: vec![inline.to_table()],
+            limits: req.limit.map(|l| vec![l]),
+            labels: Vec::new(),
+        },
+        None => {
+            shared.hub.recorder().add("serve.backend.resolve", 1);
+            match shared.backend.resolve(req) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    span.error(
+                        "resolve",
+                        &[("message", FieldValue::Str(e.message().to_string()))],
+                    );
+                    return (
+                        e.status(),
+                        format!(
+                            "{{\"error\":{}}}",
+                            JsonValue::Str(e.message().to_string()).to_compact()
+                        ),
+                    );
+                }
+            }
+        }
+    };
+
+    let mut cfg = req.cr_config();
+    cfg.obs = span.child("estimate");
+
+    if spec.tables.len() == 1 && spec.labels.is_empty() {
+        let limit = spec.limits.as_ref().map(|l| l[0]);
+        match estimate_table(&spec.tables[0], limit, &cfg) {
+            Ok(est) => {
+                let status = if est.degraded.is_some() { 203 } else { 200 };
+                (status, estimate_json(&est))
+            }
+            Err(e) => {
+                span.error(
+                    "estimate",
+                    &[
+                        ("kind", FieldValue::Str(e.kind().to_string())),
+                        ("message", FieldValue::Str(e.to_string())),
+                    ],
+                );
+                (
+                    422,
+                    JsonValue::Object(vec![
+                        ("error".to_string(), JsonValue::Str(e.to_string())),
+                        ("kind".to_string(), JsonValue::Str(e.kind().to_string())),
+                    ])
+                    .to_compact(),
+                )
+            }
+        }
+    } else {
+        let stratified = estimate_stratified(&spec.tables, spec.limits.as_deref(), &cfg);
+        let status = if stratified.is_clean() { 200 } else { 203 };
+        (status, stratified_json(&stratified, &spec.labels))
+    }
+}
+
+fn degradation_json(d: &Degradation) -> JsonValue {
+    JsonValue::Object(vec![
+        ("from".to_string(), JsonValue::Str(d.from.clone())),
+        ("model".to_string(), JsonValue::Str(d.model.clone())),
+        ("reason".to_string(), JsonValue::Str(d.reason.clone())),
+        (
+            "rung".to_string(),
+            JsonValue::Str(d.rung.name().to_string()),
+        ),
+        ("stage".to_string(), JsonValue::Str(d.stage.clone())),
+    ])
+}
+
+/// Canonical single-estimate body (keys sorted).
+pub fn estimate_json(est: &CrEstimate) -> String {
+    estimate_value(est).to_compact()
+}
+
+fn estimate_value(est: &CrEstimate) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "degraded".to_string(),
+            est.degraded
+                .as_ref()
+                .map_or(JsonValue::Null, degradation_json),
+        ),
+        ("divisor".to_string(), JsonValue::UInt(est.divisor)),
+        ("ic".to_string(), JsonValue::Float(est.ic)),
+        ("model".to_string(), JsonValue::Str(est.model.clone())),
+        ("observed".to_string(), JsonValue::UInt(est.observed)),
+        ("total".to_string(), JsonValue::Float(est.total)),
+        ("unseen".to_string(), JsonValue::Float(est.unseen)),
+    ])
+}
+
+/// Canonical stratified body (keys sorted, strata in stratum order).
+pub fn stratified_json(s: &StratifiedEstimate, labels: &[String]) -> String {
+    let strata = JsonValue::Array(
+        s.strata
+            .iter()
+            .enumerate()
+            .map(|(i, est)| {
+                JsonValue::Object(vec![
+                    (
+                        "estimate".to_string(),
+                        est.as_ref().map_or(JsonValue::Null, estimate_value),
+                    ),
+                    (
+                        "label".to_string(),
+                        labels
+                            .get(i)
+                            .map_or(JsonValue::Null, |l| JsonValue::Str(l.clone())),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::Object(vec![
+        (
+            "degraded".to_string(),
+            JsonValue::Array(
+                s.degraded
+                    .iter()
+                    .map(|&i| JsonValue::UInt(i as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "estimated_total".to_string(),
+            JsonValue::Float(s.estimated_total),
+        ),
+        (
+            "excluded".to_string(),
+            JsonValue::Array(
+                s.excluded
+                    .iter()
+                    .map(|&i| JsonValue::UInt(i as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "failed".to_string(),
+            JsonValue::Array(
+                s.failed
+                    .iter()
+                    .map(|&i| JsonValue::UInt(i as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "observed_total".to_string(),
+            JsonValue::UInt(s.observed_total),
+        ),
+        ("strata".to_string(), strata),
+    ])
+    .to_compact()
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

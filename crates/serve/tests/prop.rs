@@ -1,0 +1,127 @@
+//! Property tests for the server's hostile-input surface: arbitrary
+//! bytes, truncated heads, oversized bodies and malformed JSON must all
+//! produce 4xx responses (or a clean close) — never a panic, never a 5xx.
+//! One long-lived server absorbs every case; a final health check proves
+//! it came through unharmed.
+
+mod common;
+
+use common::start;
+use ghosts_serve::client::{get, post_json};
+use ghosts_serve::http::{MAX_BODY_BYTES, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends raw bytes, returns the status code if the server answered.
+fn raw_roundtrip(addr: SocketAddr, payload: &[u8]) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let timeout = Some(Duration::from_secs(10));
+    stream.set_read_timeout(timeout).expect("timeout");
+    stream.set_write_timeout(timeout).expect("timeout");
+    let _ = stream.write_all(payload);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).ok()?;
+    let head = std::str::from_utf8(&raw).ok()?;
+    let status = head.split(' ').nth(1)?;
+    status.parse().ok()
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_yield_5xx(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let server = start(2);
+        let addr = server.local_addr();
+        if let Some(status) = raw_roundtrip(addr, &payload) {
+            // Random bytes essentially never form a valid request line, so
+            // any answer must be a 4xx.
+            prop_assert!((400..500).contains(&status), "status {status} for {payload:?}");
+        }
+        let health = get(addr, "/healthz").expect("server still alive");
+        prop_assert_eq!(health.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_estimate_json_is_400_never_panic(
+        bytes in proptest::collection::vec(0x20u8..0x7f, 0..200),
+    ) {
+        let body = String::from_utf8(bytes).expect("printable ascii");
+        let server = start(1);
+        let addr = server.local_addr();
+        let r = post_json(addr, "/v1/estimate", &body).expect("response");
+        // Printable garbage may parse as JSON but essentially never as a
+        // valid request document; both rejections are 4xx.
+        prop_assert!((400..500).contains(&r.status), "status {} for {body:?}", r.status);
+        let health = get(addr, "/healthz").expect("server still alive");
+        prop_assert_eq!(health.status, 200);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn truncated_head_gets_4xx_after_timeout() {
+    let server = common::start_with(ghosts_serve::ServerConfig {
+        workers: 1,
+        io_timeout_ms: 200,
+        ..ghosts_serve::ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    // A request head that never finishes: the socket read times out and
+    // the server answers 408 instead of hanging the worker.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: x")
+        .expect("partial head");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_head_and_body_are_rejected() {
+    let server = start(1);
+    let addr = server.local_addr();
+
+    let huge_target = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+    assert_eq!(raw_roundtrip(addr, huge_target.as_bytes()), Some(431));
+
+    let decl = format!(
+        "POST /v1/estimate HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    assert_eq!(raw_roundtrip(addr, decl.as_bytes()), Some(413));
+
+    let health = get(addr, "/healthz").expect("still alive");
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn bad_methods_and_versions_are_400() {
+    let server = start(1);
+    let addr = server.local_addr();
+    for payload in [
+        "get /healthz HTTP/1.1\r\n\r\n".as_bytes(), // lowercase method
+        b"GET /healthz HTTP/2\r\n\r\n",
+        b"GET healthz HTTP/1.1\r\n\r\n", // target missing leading slash
+        b"GET /healthz HTTP/1.1 extra\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        b"POST /v1/estimate HTTP/1.1\r\ncontent-length: nan\r\n\r\n",
+    ] {
+        assert_eq!(
+            raw_roundtrip(addr, payload),
+            Some(400),
+            "{}",
+            String::from_utf8_lossy(payload)
+        );
+    }
+    server.shutdown();
+}

@@ -46,7 +46,13 @@ const INVARIANT_CALLERS: [&str; 3] = [
 /// Crates whose library code may contain fault-injection probes
 /// (`ghosts_faultinject::fire` and the task-scope plumbing): exactly the
 /// crates that declare the documented fault sites of DESIGN.md §11.
-const FAULT_SITE_CRATES: [&str; 4] = ["stats", "core", "pipeline", "bench"];
+const FAULT_SITE_CRATES: [&str; 5] = ["stats", "core", "pipeline", "bench", "serve"];
+
+/// Crates allowed to open sockets. Network I/O is the serving layer's
+/// job (DESIGN.md §12); estimation code computes over in-memory tables
+/// and must stay runnable with networking stubbed out entirely. Tests
+/// and benches may drive loopback sockets freely.
+const NET_IO_CRATES: [&str; 1] = ["serve"];
 
 /// `ghosts_faultinject` items that manage the process-global plan rather
 /// than probe it. Installing, clearing or draining plans from library
@@ -130,6 +136,9 @@ pub const RULE_OBS_CLOCK: &str = "obs-clock";
 /// fault-plan management (`install`/`clear`/`drain_fires`/plan types) in
 /// library code.
 pub const RULE_FAULT_SITES: &str = "fault-sites";
+/// Socket types (`TcpListener`/`TcpStream`/`UdpSocket`) outside the
+/// serving layer's crates.
+pub const RULE_NET_IO: &str = "net-io";
 
 /// Lints one tokenized file. `tokens` must come from
 /// [`crate::lexer::tokenize`] on the file's full text.
@@ -146,6 +155,7 @@ pub fn lint_tokens(tokens: &[Token], class: &FileClass) -> Vec<Violation> {
     rule_forbid_unsafe(tokens, class, &mut out);
     rule_invariant_usage(tokens, class, &test_lines, &mut out);
     rule_fault_sites(tokens, class, &allowed, &test_lines, &mut out);
+    rule_net_io(tokens, class, &allowed, &test_lines, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -662,6 +672,47 @@ fn rule_fault_sites(
     }
 }
 
+/// Socket I/O is a capability of the serving layer: any mention of the
+/// `std::net` socket types outside [`NET_IO_CRATES`] means estimation
+/// code has grown a network dependency. Tests and benches are exempt —
+/// they spin up loopback servers — as are vendored shims and
+/// workspace-root files.
+fn rule_net_io(
+    tokens: &[Token],
+    class: &FileClass,
+    allowed: &[(usize, String)],
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if class.crate_name.is_empty()
+        || class.crate_name.starts_with("vendor/")
+        || NET_IO_CRATES.contains(&class.crate_name.as_str())
+        || !matches!(class.section, Section::Src | Section::Bin)
+    {
+        return;
+    }
+    for token in tokens {
+        let Some(name) = token.ident() else { continue };
+        if matches!(name, "TcpListener" | "TcpStream" | "UdpSocket")
+            && !test_lines.contains(&token.line)
+            && !is_allowed(allowed, token.line, RULE_NET_IO)
+        {
+            out.push(Violation {
+                file: class.rel_path.clone(),
+                line: token.line,
+                rule: RULE_NET_IO,
+                message: format!(
+                    "{name} outside the serving layer (crates: {}): \
+                     estimation code stays pure over in-memory tables — \
+                     route socket I/O through ghosts-serve, or justify with \
+                     `// lint: allow(net-io) <reason>`",
+                    NET_IO_CRATES.join(", ")
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -824,6 +875,27 @@ mod tests {
         // Inside #[cfg(test)] even library files may manage plans.
         let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}\n");
         assert!(lint(&test_mod, &in_core).is_empty());
+    }
+
+    #[test]
+    fn net_io_confined_to_the_serving_layer() {
+        let src = "fn f() { let _ = std::net::TcpStream::connect(\"x\"); }";
+        // The serving layer owns sockets.
+        let in_serve = class("serve", Section::Src, "crates/serve/src/server.rs");
+        assert!(lint(src, &in_serve).is_empty());
+        // Everywhere else, library and binary code must not open sockets…
+        let in_core = class("core", Section::Src, "crates/core/src/x.rs");
+        let v = lint(src, &in_core);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_NET_IO);
+        let in_bin = class("bench", Section::Bin, "crates/bench/src/bin/repro.rs");
+        assert_eq!(lint(src, &in_bin).len(), 1);
+        // …but tests drive loopback servers freely.
+        let in_tests = class("core", Section::Tests, "crates/core/tests/x.rs");
+        assert!(lint(src, &in_tests).is_empty());
+        // And the escape hatch works as everywhere else.
+        let allowed = format!("// lint: allow(net-io) diagnostics only\n{src}");
+        assert!(lint(&allowed, &in_core).is_empty());
     }
 
     #[test]

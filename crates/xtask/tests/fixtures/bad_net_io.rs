@@ -1,0 +1,15 @@
+// Fixture for the net-io rule: socket types outside the serving layer.
+use std::net::{TcpListener, TcpStream};
+
+fn serve_from_the_wrong_place() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
+fn probe(addr: &str) -> bool {
+    std::net::UdpSocket::bind(addr).is_ok()
+}
+
+fn allowed(addr: &str) -> bool {
+    // lint: allow(net-io) diagnostics helper, never reached from estimation
+    std::net::TcpStream::connect(addr).is_ok()
+}

@@ -199,6 +199,39 @@ fn fault_sites_fixture() {
 }
 
 #[test]
+fn net_io_fixture() {
+    let src = fixture("bad_net_io.rs");
+    // Library code outside the serving layer: the use-list names both
+    // types, then each call site fires; the allow() escape covers the
+    // diagnostics helper.
+    let c = class("core", Section::Src, "crates/core/src/bad.rs", false);
+    let v = lint_source(&src, &c);
+    assert_eq!(
+        fired(&v),
+        vec![
+            ("net-io", 2),
+            ("net-io", 2),
+            ("net-io", 4),
+            ("net-io", 5),
+            ("net-io", 9),
+        ]
+    );
+    // Binaries are equally confined…
+    let c = class(
+        "bench",
+        Section::Bin,
+        "crates/bench/src/bin/repro.rs",
+        false,
+    );
+    assert_eq!(lint_source(&src, &c).len(), 5);
+    // …the serving layer owns sockets, and tests drive loopback freely.
+    let c = class("serve", Section::Src, "crates/serve/src/server.rs", false);
+    assert!(lint_source(&src, &c).is_empty());
+    let c = class("core", Section::Tests, "crates/core/tests/bad.rs", false);
+    assert!(lint_source(&src, &c).is_empty());
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = workspace::workspace_root();
     let violations = lint_workspace(&root).expect("lint workspace");

@@ -4,8 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
+echo "==> cargo build --release (workspace + examples)"
 cargo build --release
+cargo build --release --examples
 
 echo "==> cargo test -q"
 cargo test -q
@@ -42,6 +43,53 @@ grep -q '"kind":"fault_injected"' "$smoke_dir/fault_trace.jsonl" || {
     exit 1
 }
 test -s "$smoke_dir/results/table4.json"
+
+echo "==> serve smoke (ephemeral port, cache hit, clean SIGTERM shutdown)"
+serve_log="$smoke_dir/serve.log"
+"$repo_root/target/release/serve" run --port 0 --denom 16384 --seed 7 --workers 2 \
+    --quiet >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 300); do
+    addr="$(sed -n 's#^ghosts-serve listening on http://##p' "$serve_log" | head -n 1)"
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci.sh: serve never announced a listening address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+serve_req() { "$repo_root/target/release/serve" req "$@"; }
+serve_req GET "http://$addr/healthz" --expect-status 200 >/dev/null 2>&1
+serve_req GET "http://$addr/v1/membership/8.8.8.8" --expect-status 200 >/dev/null 2>&1
+serve_req POST "http://$addr/v1/estimate" '{"window":0}' --expect-status 200 \
+    >"$smoke_dir/est1.json" 2>/dev/null
+serve_req POST "http://$addr/v1/estimate" '{"window":0}' --expect-status 200 \
+    >"$smoke_dir/est2.json" 2>"$smoke_dir/est2.headers"
+cmp -s "$smoke_dir/est1.json" "$smoke_dir/est2.json" || {
+    echo "ci.sh: repeated estimate responses are not byte-identical" >&2
+    exit 1
+}
+grep -q '^x-cache: hit-mem$' "$smoke_dir/est2.headers" || {
+    echo "ci.sh: second estimate was not served from the cache" >&2
+    cat "$smoke_dir/est2.headers" >&2
+    exit 1
+}
+serve_req GET "http://$addr/metrics" >"$smoke_dir/serve_metrics.txt" 2>/dev/null
+grep -q '^counter serve\.cache\.hit_mem 1$' "$smoke_dir/serve_metrics.txt" || {
+    echo "ci.sh: /metrics does not report the cache hit" >&2
+    cat "$smoke_dir/serve_metrics.txt" >&2
+    exit 1
+}
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 143 ]; then
+    echo "ci.sh: serve exited $serve_rc on SIGTERM, expected 143" >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
