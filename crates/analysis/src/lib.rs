@@ -6,7 +6,8 @@
 //! * [`growth`] — windowed series, linear trends, per-stratum yearly
 //!   growth (§6, Figs 4–9).
 //! * [`crossval`] — leave-one-source-as-universe cross-validation (§5,
-//!   Table 3, Fig 3).
+//!   Table 3, Fig 3), re-exported from `ghosts_reliability` where it now
+//!   lives as a first-class batched parallel experiment.
 //! * [`unused`] — the free-block merge model and ghost distribution (§7,
 //!   Fig 12).
 //! * [`supply`] — available space and run-out projections (Table 6).
@@ -18,7 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod crossval;
+pub use ghosts_reliability::crossval;
+
 pub mod fib;
 pub mod growth;
 pub mod histdata;
@@ -27,11 +29,11 @@ pub mod supply;
 pub mod unused;
 pub mod users;
 
-pub use crossval::{
-    aggregate_errors, cross_validate_window, observed_baseline_errors, CrossValResult, CvErrors,
-    Granularity,
-};
 pub use fib::{market_value, project_fib, FibProjection, MarketSketch};
+pub use ghosts_reliability::crossval::{
+    aggregate_errors, cross_validate_batch, cross_validate_window, observed_baseline_errors,
+    CrossValResult, CvBatchReport, CvCell, CvErrors, CvFailure, CvReport, CvSkip, Granularity,
+};
 pub use growth::{stratum_growth, Series, SeriesPoint, StratumGrowth};
 pub use report::TextTable;
 pub use supply::{project, SupplyRow};

@@ -1,11 +1,13 @@
 //! `perf_record` — measures the estimator's hot paths through the
 //! observability layer and writes a `RunManifest` perf record
 //! (`BENCH_pr3.json` is the committed first point of the trajectory;
-//! `BENCH_pr5.json` is the serving layer's).
+//! `BENCH_pr5.json` is the serving layer's; `BENCH_pr6.json` the
+//! reliability engine's).
 //!
 //! ```text
 //! cargo run -p ghosts-bench --release --bin perf_record -- BENCH_pr3.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- serve BENCH_pr5.json
+//! cargo run -p ghosts-bench --release --bin perf_record -- reliability BENCH_pr6.json
 //! ```
 //!
 //! The `serve` mode measures the estimation server end to end over
@@ -13,6 +15,11 @@
 //! worker counts 1 and 4, against an in-process inline backend so the
 //! numbers isolate the serving layer (HTTP parse, digest, cache, single
 //! flight) from scenario generation.
+//!
+//! The `reliability` mode measures the parametric-bootstrap fan-out:
+//! refit+reselect throughput (refits/sec) over one fixed synthetic table
+//! at 1 worker thread and at `auto`, so the record tracks both the
+//! per-replicate cost and the parallel speed-up.
 //!
 //! Two timing lanes per workload:
 //! * `*_disabled_us` — recorder disabled (the no-op branch production code
@@ -198,8 +205,90 @@ fn serve_mode(out: &str) {
     );
 }
 
+/// The reliability engine's perf record (`BENCH_pr6.json`): bootstrap
+/// refit throughput at 1 worker and at `auto`.
+fn reliability_mode(out: &str) {
+    use ghosts_reliability::{bootstrap_table, BootstrapConfig};
+    let wall = WallClock::new();
+    let replicates = 400u64;
+    let table = synthetic_table(5, 40_000, 9);
+    let cfg = CrConfig {
+        truncated: false,
+        ..CrConfig::paper()
+    };
+    let run = |par: Parallelism| {
+        let t0 = wall.now();
+        let summary = bootstrap_table(
+            &table,
+            None,
+            &cfg,
+            &BootstrapConfig {
+                replicates,
+                seed: 2014,
+                alpha: 0.05,
+                parallelism: par,
+            },
+        )
+        .expect("synthetic table bootstraps");
+        let elapsed_us = (wall.now() - t0).max(1);
+        assert_eq!(summary.completed, replicates, "no replicate failures");
+        (elapsed_us, summary)
+    };
+
+    eprintln!("perf_record: bootstrap {replicates} replicates at 1 thread…");
+    let (us_t1, s1) = run(Parallelism::Fixed(1));
+    eprintln!("perf_record: bootstrap {replicates} replicates at auto threads…");
+    let (us_auto, s_auto) = run(Parallelism::Auto);
+    assert_eq!(s1.to_json(), s_auto.to_json(), "threading changed results");
+
+    let rps_t1 = replicates * 1_000_000 / us_t1;
+    let rps_auto = replicates * 1_000_000 / us_auto;
+    let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+    rec.volatile_add("perf.bootstrap_refits_per_sec_threads1", rps_t1);
+    rec.volatile_add("perf.bootstrap_refits_per_sec_auto", rps_auto);
+    rec.volatile_max("perf.worker_threads", Parallelism::Auto.threads() as u64);
+    rec.root("perf").event(
+        "bench_point",
+        &[
+            ("bench", FieldValue::Str("pr6".to_string())),
+            ("replicates", FieldValue::U64(replicates)),
+            ("bootstrap_us_threads1", FieldValue::U64(us_t1)),
+            ("bootstrap_us_auto", FieldValue::U64(us_auto)),
+            ("refits_per_sec_threads1", FieldValue::U64(rps_t1)),
+            ("refits_per_sec_auto", FieldValue::U64(rps_auto)),
+            (
+                "speedup_auto",
+                FieldValue::F64(us_t1 as f64 / us_auto as f64),
+            ),
+        ],
+    );
+    let log = rec.flush();
+    let mut manifest = RunManifest::new();
+    manifest.set_config("bench", "pr6");
+    manifest.set_config(
+        "workload.bootstrap",
+        "5 sources x 40k individuals, 400 parametric replicates (refit + reselect each)",
+    );
+    manifest.ingest_metrics(&log);
+    manifest.ingest_events(&log, &["bench_point"]);
+    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    eprintln!(
+        "perf_record: bootstrap {rps_t1} refits/s @1 thread, {rps_auto} refits/s @auto \
+         ({:.1}x) → {out}",
+        us_t1 as f64 / us_auto as f64
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("reliability") {
+        let out = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+        reliability_mode(&out);
+        return;
+    }
     if args.first().map(String::as_str) == Some("serve") {
         let out = args
             .get(1)

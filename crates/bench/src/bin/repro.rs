@@ -52,6 +52,13 @@ const SELFTEST_FAIL: &str = "selftest-fail";
 /// panics, per-stratum ladder fallbacks). Not listed in `ALL_IDS_FULL`.
 const SELFTEST_DEGRADE: &str = "selftest-degrade";
 
+/// Hidden experiment id: the reliability engine's report — parametric
+/// bootstrap of window 9, CI coverage curves over distortion regimes, and
+/// the batched cross-validation table. Its events land in the manifest's
+/// `reliability` section. Not listed in `ALL_IDS_FULL` (not a paper
+/// artifact).
+const RELIABILITY: &str = "reliability";
+
 /// Manifest sections: the summary events worth echoing per span.
 const MANIFEST_EVENTS: &[&str] = &[
     "model_chosen",
@@ -141,6 +148,7 @@ fn parse_args(args: &[String]) -> Options {
                 if ALL_IDS_FULL.contains(&other)
                     || other == SELFTEST_FAIL
                     || other == SELFTEST_DEGRADE
+                    || other == RELIABILITY
                 {
                     opts.ids.push(other.to_string());
                 } else {
@@ -425,7 +433,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N] [--threads auto|N]\n\
          \x20            [--trace PATH] [--metrics-out PATH] [--fault-plan PATH] [--quiet]\n\
-         experiments: {}",
+         experiments: {}\n\
+         extras: reliability (bootstrap + coverage + batched CV report)",
         ALL_IDS_FULL.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -16,8 +16,14 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
         min_stratum_observed: 0,
         ..ctx.cr_config()
     };
-    let results =
-        cross_validate_window(&data, Granularity::Addresses, &cfg, true).expect("cv with ranges");
+    let report = cross_validate_window(&data, Granularity::Addresses, &cfg, true);
+    assert!(
+        report.is_complete(),
+        "fig3 window must estimate every source (skipped {}, failed {})",
+        report.skipped.len(),
+        report.failed.len()
+    );
+    let results = report.results;
 
     let mut t = TextTable::new([
         "Source",

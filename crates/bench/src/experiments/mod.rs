@@ -10,6 +10,7 @@ pub mod fig3;
 pub mod fig4_5;
 pub mod fig6;
 pub mod fig7_8_9;
+pub mod reliability;
 pub mod table2;
 pub mod table3;
 pub mod table4;
@@ -49,6 +50,9 @@ pub fn run(id: &str, ctx: &ReproContext) -> (String, serde_json::Value) {
         "fig11" => fig11::run(ctx),
         "fig12" => fig12::run(ctx),
         "table6" => table6::run(ctx),
+        // Not a paper artifact (hence absent from ALL_IDS_FULL): the
+        // reliability engine's bootstrap / coverage / batched-CV report.
+        "reliability" => reliability::run(ctx),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

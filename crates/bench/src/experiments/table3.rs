@@ -2,7 +2,7 @@
 //! parameter settings (IC choice × count divisor).
 
 use crate::context::ReproContext;
-use ghosts_analysis::crossval::{aggregate_errors, cross_validate_window, Granularity};
+use ghosts_analysis::crossval::{aggregate_errors, cross_validate_batch, Granularity};
 use ghosts_analysis::report::TextTable;
 use ghosts_core::{CrConfig, DivisorRule, IcKind, SelectionOptions};
 use serde_json::json;
@@ -51,18 +51,27 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
             },
             ..CrConfig::paper()
         };
+        // All (window × held-out source × granularity) cells of this
+        // setting run concurrently through the batched engine.
+        let window_data: Vec<_> = windows.iter().map(|&i| ctx.filtered_window(i)).collect();
+        let batch = cross_validate_batch(
+            &window_data,
+            &[Granularity::Addresses, Granularity::Subnets],
+            &cfg,
+            false,
+        );
+        let (ok, skipped, failed) = batch.totals();
+        assert_eq!(
+            failed, 0,
+            "table3 cells must not fail (ok={ok}, skipped={skipped})"
+        );
         let mut addr_results = Vec::new();
         let mut subnet_results = Vec::new();
-        for &i in &windows {
-            let data = ctx.filtered_window(i);
-            addr_results.extend(
-                cross_validate_window(&data, Granularity::Addresses, &cfg, false)
-                    .expect("cv addresses"),
-            );
-            subnet_results.extend(
-                cross_validate_window(&data, Granularity::Subnets, &cfg, false)
-                    .expect("cv subnets"),
-            );
+        for cell in &batch.cells {
+            match cell.granularity {
+                Granularity::Addresses => addr_results.extend(cell.report.results.clone()),
+                Granularity::Subnets => subnet_results.extend(cell.report.results.clone()),
+            }
         }
         let a = aggregate_errors(&addr_results);
         let s = aggregate_errors(&subnet_results);

@@ -331,6 +331,58 @@ pub fn estimate_table_with_range(
     Ok((est, range))
 }
 
+/// A point estimate together with the fitted model's expected cell means —
+/// the parametric-bootstrap entry point. `expected_cells` follows the
+/// layout of [`ContingencyTable::observed_cells`]: mask order `1..2^t`.
+#[derive(Debug, Clone)]
+pub struct CrFit {
+    /// The selected-model point estimate.
+    pub estimate: CrEstimate,
+    /// Expected count per observed cell under the fitted model (truncated
+    /// means when the cell model is right-truncated), mask order `1..2^t`.
+    pub expected_cells: Vec<f64>,
+}
+
+/// Like [`estimate_table`] but returns the fitted model's expected cell
+/// means alongside the estimate, and never walks the degradation ladder:
+/// a parametric bootstrap needs a parametric model to resample from, so a
+/// selection or fit failure here must surface as an error the replicate
+/// engine can isolate, not silently swap in a Chao bound.
+///
+/// # Errors
+///
+/// [`EstimateError::NotEnoughSources`] for `t < 2`; selection/fit errors
+/// otherwise (regardless of `cfg.degrade`).
+pub fn estimate_table_with_fit(
+    table: &ContingencyTable,
+    limit: Option<u64>,
+    cfg: &CrConfig,
+) -> Result<CrFit, EstimateError> {
+    if table.num_sources() < 2 {
+        return Err(EstimateError::NotEnoughSources {
+            got: table.num_sources(),
+        });
+    }
+    invariant::check_table(table);
+    let cell_model = cfg.cell_model(limit);
+    let sel = select_model(table, cell_model, &selection_with_obs(cfg))?;
+    let fit = fit_llm_opts(table, &sel.model, cell_model, &cfg.fit, &cfg.obs)?;
+    let estimate = CrEstimate {
+        observed: fit.observed,
+        unseen: fit.z0,
+        total: fit.n_hat,
+        model: sel.model.describe(),
+        ic: sel.ic,
+        divisor: sel.divisor,
+        degraded: None,
+    };
+    record_estimate(&cfg.obs, &estimate);
+    Ok(CrFit {
+        estimate,
+        expected_cells: fit.glm.fitted.clone(),
+    })
+}
+
 /// A stratified estimate: per-stratum results and their sum (§3.4: "we
 /// separated each source into the different strata, then used CR to
 /// estimate the size of each stratum, and finally we summed up the

@@ -163,6 +163,17 @@ impl ContingencyTable {
         }
     }
 
+    /// Records `n` individuals with history `mask` at once — the bulk
+    /// variant the bootstrap resampler uses to rebuild a table from
+    /// per-cell replicate counts. A zero mask is ignored, as in
+    /// [`ContingencyTable::record`].
+    pub fn record_n(&mut self, mask: u16, n: u64) {
+        debug_assert!((mask as usize) < self.counts.len(), "history out of range");
+        if mask != 0 {
+            self.counts[mask as usize] += n;
+        }
+    }
+
     /// Number of sources `t`.
     pub fn num_sources(&self) -> usize {
         self.t

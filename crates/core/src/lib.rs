@@ -72,8 +72,8 @@ pub use ci::{
 };
 pub use degrade::{Degradation, LadderRung};
 pub use estimator::{
-    estimate_stratified, estimate_table, estimate_table_with_range, CrConfig, CrEstimate,
-    EstimateError, ExcludedPolicy, StratifiedEstimate,
+    estimate_stratified, estimate_table, estimate_table_with_fit, estimate_table_with_range,
+    CrConfig, CrEstimate, CrFit, EstimateError, ExcludedPolicy, StratifiedEstimate,
 };
 pub use fit::{fit_llm, fit_llm_opts, fit_llm_traced, CellModel, FitOptions, FittedLlm};
 pub use history::ContingencyTable;

@@ -13,6 +13,7 @@
 //! | [`sim`] | synthetic Internet + the nine measurement sources + spoofing (the data substitute) |
 //! | [`pipeline`] | time windows, routed/bogon filtering, the §4.5 spoof filter |
 //! | [`analysis`] | growth trends, cross-validation, unused-space model, supply projection |
+//! | [`reliability`] | parametric bootstrap, batched leave-one-source-out CV, CI coverage curves |
 //!
 //! ## Quickstart
 //!
@@ -49,7 +50,9 @@
 pub use ghosts_analysis as analysis;
 pub use ghosts_core as core;
 pub use ghosts_net as net;
+pub use ghosts_obs as obs;
 pub use ghosts_pipeline as pipeline;
+pub use ghosts_reliability as reliability;
 pub use ghosts_sim as sim;
 pub use ghosts_stats as stats;
 
@@ -67,6 +70,10 @@ pub mod prelude {
     pub use ghosts_pipeline::{
         filter_spoofed, filter_to_routed, paper_windows, Quarter, SpoofFilterConfig, TimeWindow,
         WindowData,
+    };
+    pub use ghosts_reliability::{
+        bootstrap_table, coverage_curves, cross_validate_batch, BootstrapConfig, BootstrapSummary,
+        CiMethod, CoverageConfig, CoveragePoint, CvReport, Regime, TruthModel,
     };
     pub use ghosts_sim::{ProbeEngine, Scenario, SimConfig};
 }

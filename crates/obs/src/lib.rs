@@ -59,5 +59,7 @@ pub use clock::{Clock, LogicalClock};
 pub use hist::{HistSnapshot, BUCKET_BOUNDS, NUM_BUCKETS};
 pub use manifest::{Record, RunManifest};
 pub use recorder::{EventKind, EventLog, EventRecord, FieldValue, Recorder, Scope, SpanPath};
-pub use schema::{validate_event_line, validate_jsonl, EVENTS_SCHEMA, EVENTS_SCHEMA_V1};
+pub use schema::{
+    validate_event_line, validate_jsonl, EVENTS_SCHEMA, EVENTS_SCHEMA_V1, EVENTS_SCHEMA_V2,
+};
 pub use wall::WallClock;

@@ -104,8 +104,9 @@ impl RunManifest {
     /// Summarises events whose names appear in `names` into [`Record`]s
     /// (in trace order). Error events are always ingested, regardless of
     /// `names`, as are the robustness kinds: degradation steps land in the
-    /// `degraded` section and fired fault-plan rules in `fault_injected`,
-    /// so a partial run's manifest always says what was degraded and why.
+    /// `degraded` section, fired fault-plan rules in `fault_injected` and
+    /// reliability-engine results in `reliability`, so a partial run's
+    /// manifest always says what was degraded and why.
     pub fn ingest_events(&mut self, log: &EventLog, names: &[&str]) {
         use crate::recorder::EventKind;
         for (path, events) in &log.spans {
@@ -113,6 +114,7 @@ impl RunManifest {
                 let section = match e.kind {
                     EventKind::Degradation => Some("degraded"),
                     EventKind::FaultInjected => Some("fault_injected"),
+                    EventKind::Reliability => Some("reliability"),
                     EventKind::Error => Some(e.name.as_str()),
                     EventKind::Event => {
                         if names.contains(&e.name.as_str()) {

@@ -76,6 +76,10 @@ pub enum EventKind {
     Degradation,
     /// A fault-plan rule fired at an injection site (`repro --fault-plan`).
     FaultInjected,
+    /// A reliability-engine result (bootstrap summary, coverage point,
+    /// CV cell outcome), introduced by `ghosts-events/3`. Manifest
+    /// ingestion groups these under a dedicated `reliability` section.
+    Reliability,
 }
 
 /// The structural identity of a span: `(name, optional index)` segments
@@ -476,6 +480,12 @@ impl Scope {
         self.record(EventKind::FaultInjected, name, fields);
     }
 
+    /// Records a reliability-engine result under this span (bootstrap
+    /// summaries, coverage points, CV cell outcomes).
+    pub fn reliability(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.record(EventKind::Reliability, name, fields);
+    }
+
     fn record(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
         if let Some(inner) = &self.inner {
             let owned: Vec<(String, FieldValue)> = fields
@@ -508,13 +518,17 @@ pub struct EventLog {
     pub volatile: BTreeMap<String, u64>,
 }
 
-/// Schema identifier written on the JSONL meta line. Version 2 adds the
-/// `degradation` and `fault_injected` line kinds; everything else is
-/// unchanged from version 1, and the validator still accepts v1 traces
-/// (see [`crate::schema`]).
-pub const JSONL_SCHEMA: &str = "ghosts-events/2";
+/// Schema identifier written on the JSONL meta line. Version 3 adds the
+/// `reliability` line kind; version 2 added `degradation` and
+/// `fault_injected`. Everything else is unchanged from version 1, and the
+/// validator still accepts v1 and v2 traces (see [`crate::schema`]).
+pub const JSONL_SCHEMA: &str = "ghosts-events/3";
 
-/// The previous schema identifier, still accepted by the validator for
+/// The version-2 schema identifier, still accepted by the validator for
+/// traces written before the reliability kind existed.
+pub const JSONL_SCHEMA_V2: &str = "ghosts-events/2";
+
+/// The original schema identifier, still accepted by the validator for
 /// traces written before the robustness kinds existed.
 pub const JSONL_SCHEMA_V1: &str = "ghosts-events/1";
 
@@ -532,6 +546,11 @@ impl EventLog {
     /// Total number of [`EventKind::FaultInjected`] records.
     pub fn fault_injected_count(&self) -> usize {
         self.count_kind(EventKind::FaultInjected)
+    }
+
+    /// Total number of [`EventKind::Reliability`] records.
+    pub fn reliability_count(&self) -> usize {
+        self.count_kind(EventKind::Reliability)
     }
 
     fn count_kind(&self, kind: EventKind) -> usize {
@@ -621,6 +640,7 @@ impl EventLog {
                     EventKind::Error => "error",
                     EventKind::Degradation => "degradation",
                     EventKind::FaultInjected => "fault_injected",
+                    EventKind::Reliability => "reliability",
                 };
                 let fields = JsonValue::Object(
                     e.fields
@@ -856,7 +876,7 @@ mod tests {
         let jsonl = log.to_jsonl();
         assert!(jsonl.contains("\"kind\":\"degradation\""));
         assert!(jsonl.contains("\"kind\":\"fault_injected\""));
-        assert!(jsonl.contains("\"schema\":\"ghosts-events/2\""));
+        assert!(jsonl.contains("\"schema\":\"ghosts-events/3\""));
     }
 
     #[test]

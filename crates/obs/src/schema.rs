@@ -1,5 +1,5 @@
-//! Structural validation of `ghosts-events/2` (and legacy `ghosts-events/1`)
-//! JSONL trace files.
+//! Structural validation of `ghosts-events/3` (and legacy `ghosts-events/1`
+//! / `ghosts-events/2`) JSONL trace files.
 //!
 //! `xtask lint --check-events <file>` and the CI smoke step use this to
 //! verify that a trace emitted by `repro --trace` is well-formed: a single
@@ -8,8 +8,9 @@
 //! writer produces and every span's `seq` numbering dense from zero.
 //!
 //! Version 2 adds the `degradation` and `fault_injected` line kinds (same
-//! grammar as `event`). A trace whose meta line declares version 1 is still
-//! accepted, but must not contain the v2 kinds.
+//! grammar as `event`); version 3 adds `reliability` (same grammar again).
+//! A trace whose meta line declares an older version is still accepted, but
+//! must not contain kinds introduced after that version.
 
 use crate::hist::NUM_BUCKETS;
 use crate::json::{parse, JsonValue};
@@ -19,6 +20,9 @@ use std::fmt;
 /// The schema identifier expected on the meta line (same constant the
 /// writer uses).
 pub const EVENTS_SCHEMA: &str = crate::recorder::JSONL_SCHEMA;
+
+/// The version-2 schema identifier, still accepted on the meta line.
+pub const EVENTS_SCHEMA_V2: &str = crate::recorder::JSONL_SCHEMA_V2;
 
 /// The legacy schema identifier, still accepted on the meta line.
 pub const EVENTS_SCHEMA_V1: &str = crate::recorder::JSONL_SCHEMA_V1;
@@ -51,6 +55,8 @@ pub struct JsonlSummary {
     pub degradations: usize,
     /// Fault-injection events (v2).
     pub faults: usize,
+    /// Reliability-engine events (v3).
+    pub reliability: usize,
     /// Counter lines.
     pub counters: usize,
     /// Histogram lines.
@@ -62,7 +68,7 @@ pub struct JsonlSummary {
 fn phase_of(kind: &str) -> Option<u8> {
     match kind {
         "meta" => Some(0),
-        "event" | "error" | "degradation" | "fault_injected" => Some(1),
+        "event" | "error" | "degradation" | "fault_injected" | "reliability" => Some(1),
         "counter" => Some(2),
         "hist" => Some(3),
         _ => None,
@@ -71,7 +77,10 @@ fn phase_of(kind: &str) -> Option<u8> {
 
 /// Whether `kind` shares the event-line grammar (span/seq/name/fields).
 fn is_event_like(kind: &str) -> bool {
-    matches!(kind, "event" | "error" | "degradation" | "fault_injected")
+    matches!(
+        kind,
+        "event" | "error" | "degradation" | "fault_injected" | "reliability"
+    )
 }
 
 fn keys_of(v: &JsonValue) -> Vec<&str> {
@@ -100,9 +109,12 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
                 return Err("meta line must have exactly kind, schema, clock".to_string());
             }
             let schema = doc.get("schema").and_then(JsonValue::as_str);
-            if schema != Some(EVENTS_SCHEMA) && schema != Some(EVENTS_SCHEMA_V1) {
+            if schema != Some(EVENTS_SCHEMA)
+                && schema != Some(EVENTS_SCHEMA_V2)
+                && schema != Some(EVENTS_SCHEMA_V1)
+            {
                 return Err(format!(
-                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?} (or legacy {EVENTS_SCHEMA_V1:?})"
+                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?} (or legacy {EVENTS_SCHEMA_V2:?} / {EVENTS_SCHEMA_V1:?})"
                 ));
             }
             match doc.get("clock").and_then(JsonValue::as_str) {
@@ -110,7 +122,7 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
                 other => Err(format!("clock must be 'logical' or 'wall', got {other:?}")),
             }
         }
-        "event" | "error" | "degradation" | "fault_injected" => {
+        "event" | "error" | "degradation" | "fault_injected" | "reliability" => {
             if keys_of(&doc) != ["kind", "span", "seq", "name", "fields"] {
                 return Err(format!(
                     "{kind} line must have exactly kind, span, seq, name, fields"
@@ -222,7 +234,9 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
     }
     let mut summary = JsonlSummary::default();
     let mut phase: u8 = 0;
-    let mut legacy_v1 = false;
+    // Schema version the meta line declares (1, 2 or the current 3); kinds
+    // introduced after the declared version are rejected below.
+    let mut declared_version: u8 = 3;
     let mut next_seq: BTreeMap<String, u64> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -238,7 +252,11 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
             if kind != "meta" {
                 return Err(fail(lineno, "first line must be the meta line".to_string()));
             }
-            legacy_v1 = doc.get("schema").and_then(JsonValue::as_str) == Some(EVENTS_SCHEMA_V1);
+            declared_version = match doc.get("schema").and_then(JsonValue::as_str) {
+                Some(s) if s == EVENTS_SCHEMA_V1 => 1,
+                Some(s) if s == EVENTS_SCHEMA_V2 => 2,
+                _ => 3,
+            };
         } else if kind == "meta" {
             return Err(fail(lineno, "duplicate meta line".to_string()));
         } else if this_phase < phase {
@@ -247,10 +265,15 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
                 format!("'{kind}' line after a later-phase line (out of writer order)"),
             ));
         }
-        if legacy_v1 && matches!(kind, "degradation" | "fault_injected") {
+        let needs_version: u8 = match kind {
+            "degradation" | "fault_injected" => 2,
+            "reliability" => 3,
+            _ => 1,
+        };
+        if needs_version > declared_version {
             return Err(fail(
                 lineno,
-                format!("'{kind}' lines require schema {EVENTS_SCHEMA:?}, but the meta line declares {EVENTS_SCHEMA_V1:?}"),
+                format!("'{kind}' lines require schema version {needs_version}, but the meta line declares version {declared_version}"),
             ));
         }
         phase = this_phase;
@@ -259,6 +282,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
             "error" => summary.errors += 1,
             "degradation" => summary.degradations += 1,
             "fault_injected" => summary.faults += 1,
+            "reliability" => summary.reliability += 1,
             "counter" => summary.counters += 1,
             "hist" => summary.hists += 1,
             _ => {}
@@ -368,6 +392,33 @@ mod tests {
         let err = validate_jsonl(&mixed).expect_err("v2 kind under v1 meta");
         assert_eq!(err.line, 2);
         assert!(err.message.contains("require schema"));
+    }
+
+    #[test]
+    fn reliability_kind_validates_and_is_version_gated() {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        rec.root("reliability").reliability(
+            "bootstrap_summary",
+            &[
+                ("replicates", FieldValue::U64(64)),
+                ("se", FieldValue::F64(12.5)),
+            ],
+        );
+        let trace = rec.flush().to_jsonl();
+        let summary = validate_jsonl(&trace).expect("valid v3 trace");
+        assert_eq!(summary.reliability, 1);
+
+        // The same line under a v2 (or v1) meta must be rejected.
+        for legacy in [EVENTS_SCHEMA_V2, EVENTS_SCHEMA_V1] {
+            let downgraded = trace.replace(EVENTS_SCHEMA, legacy);
+            let err = validate_jsonl(&downgraded).expect_err("v3 kind under old meta");
+            assert_eq!(err.line, 2);
+            assert!(err.message.contains("require schema version 3"));
+        }
+
+        // A v2 trace without reliability lines still validates.
+        let v2 = sample_trace().replace(EVENTS_SCHEMA, EVENTS_SCHEMA_V2);
+        validate_jsonl(&v2).expect("v2 trace stays valid");
     }
 
     #[test]

@@ -79,6 +79,86 @@ pub fn median(xs: &[f64]) -> f64 {
     quantile(xs, 0.5)
 }
 
+/// What went wrong in a fallible summary computation.
+///
+/// The panicking helpers above serve analysis code whose inputs are
+/// constructed locally; the reliability engine aggregates thousands of
+/// replicate outcomes where a single poisoned value must surface as a
+/// structured error, not a worker panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryError {
+    /// The input slice was empty.
+    Empty,
+    /// The input contained a NaN or infinite value.
+    NonFinite,
+    /// The requested quantile/alpha was outside its valid range.
+    InvalidLevel,
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryError::Empty => write!(f, "empty input"),
+            SummaryError::NonFinite => write!(f, "non-finite value in input"),
+            SummaryError::InvalidLevel => write!(f, "level outside its valid range"),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+/// Fallible linear-interpolated quantile: like [`quantile`] but returns a
+/// structured error instead of panicking on empty input, a NaN/infinite
+/// element, or `q` outside `[0, 1]`.
+///
+/// # Errors
+///
+/// [`SummaryError::Empty`], [`SummaryError::NonFinite`] or
+/// [`SummaryError::InvalidLevel`].
+pub fn try_quantile(xs: &[f64], q: f64) -> Result<f64, SummaryError> {
+    if xs.is_empty() {
+        return Err(SummaryError::Empty);
+    }
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(SummaryError::NonFinite);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(SummaryError::InvalidLevel);
+    }
+    Ok(quantile(xs, q))
+}
+
+/// The percentile bootstrap interval `[q_{α/2}, q_{1−α/2}]` of a replicate
+/// distribution.
+///
+/// # Errors
+///
+/// [`SummaryError::InvalidLevel`] unless `0 < α < 1`; propagates
+/// [`try_quantile`] errors (empty or poisoned replicate sets).
+pub fn percentile_interval(xs: &[f64], alpha: f64) -> Result<(f64, f64), SummaryError> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(SummaryError::InvalidLevel);
+    }
+    let lo = try_quantile(xs, alpha / 2.0)?;
+    let hi = try_quantile(xs, 1.0 - alpha / 2.0)?;
+    Ok((lo, hi))
+}
+
+/// The basic (reverse-percentile) bootstrap interval
+/// `[2θ̂ − q_{1−α/2}, 2θ̂ − q_{α/2}]` around the point estimate `point`.
+///
+/// # Errors
+///
+/// [`SummaryError::NonFinite`] for a non-finite `point`; otherwise as
+/// [`percentile_interval`].
+pub fn basic_interval(point: f64, xs: &[f64], alpha: f64) -> Result<(f64, f64), SummaryError> {
+    if !point.is_finite() {
+        return Err(SummaryError::NonFinite);
+    }
+    let (lo, hi) = percentile_interval(xs, alpha)?;
+    Ok((2.0 * point - hi, 2.0 * point - lo))
+}
+
 #[cfg(test)]
 #[allow(clippy::float_cmp)] // tests assert exact values on purpose
 mod tests {
@@ -134,5 +214,52 @@ mod tests {
     #[should_panic]
     fn rmse_mismatch_panics() {
         rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_quantile_matches_quantile_on_clean_input() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(try_quantile(&xs, 0.5), Ok(median(&xs)));
+        assert_eq!(try_quantile(&[], 0.5), Err(SummaryError::Empty));
+        assert_eq!(
+            try_quantile(&[1.0, f64::NAN], 0.5),
+            Err(SummaryError::NonFinite)
+        );
+        assert_eq!(
+            try_quantile(&[1.0, f64::INFINITY], 0.5),
+            Err(SummaryError::NonFinite)
+        );
+        assert_eq!(try_quantile(&xs, 1.5), Err(SummaryError::InvalidLevel));
+    }
+
+    #[test]
+    fn percentile_interval_brackets_the_middle() {
+        let xs: Vec<f64> = (0..101).map(f64::from).collect();
+        let (lo, hi) = percentile_interval(&xs, 0.05).unwrap();
+        assert!((lo - 2.5).abs() < 1e-9 && (hi - 97.5).abs() < 1e-9);
+        assert!(lo <= hi);
+        assert_eq!(
+            percentile_interval(&xs, 0.0),
+            Err(SummaryError::InvalidLevel)
+        );
+        assert_eq!(
+            percentile_interval(&xs, 1.0),
+            Err(SummaryError::InvalidLevel)
+        );
+        assert_eq!(percentile_interval(&[], 0.05), Err(SummaryError::Empty));
+    }
+
+    #[test]
+    fn basic_interval_reflects_around_point() {
+        let xs: Vec<f64> = (0..101).map(f64::from).collect();
+        let point = 50.0;
+        let (plo, phi) = percentile_interval(&xs, 0.1).unwrap();
+        let (blo, bhi) = basic_interval(point, &xs, 0.1).unwrap();
+        assert!((blo - (2.0 * point - phi)).abs() < 1e-12);
+        assert!((bhi - (2.0 * point - plo)).abs() < 1e-12);
+        assert_eq!(
+            basic_interval(f64::NAN, &xs, 0.1),
+            Err(SummaryError::NonFinite)
+        );
     }
 }

@@ -220,3 +220,140 @@ proptest! {
             "fitted {} vs observed {}", fitted_total, total);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Summary metrics and bootstrap intervals (reliability engine substrate).
+// ---------------------------------------------------------------------------
+
+use ghosts_stats::rng::rng_from_seed;
+use ghosts_stats::summary::{
+    basic_interval, mae, percentile_interval, rmse, try_quantile, SummaryError,
+};
+use rand::Rng;
+
+/// Applies the Fisher–Yates permutation drawn from `seed` to `xs` (the
+/// vendored `rand` has no `shuffle`, so the swaps are spelled out).
+fn permuted(xs: &[f64], seed: u64) -> Vec<f64> {
+    let mut rng = rng_from_seed(seed);
+    let mut out = xs.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Splits a flat draw into equal-length (pred, truth) halves; the vendored
+/// proptest has no tuple strategies, so paired inputs come from one vector.
+fn split_pairs(xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = xs.len() / 2;
+    (xs[..n].to_vec(), xs[n..2 * n].to_vec())
+}
+
+proptest! {
+    #[test]
+    fn rmse_mae_invariant_under_paired_permutation(
+        flat in proptest::collection::vec(-1e6f64..1e6, 2..64),
+        seed in any::<u64>(),
+    ) {
+        let (pred, truth) = split_pairs(&flat);
+        // The same seed applies the same swap sequence to both slices, so
+        // the pairing is preserved while the order changes.
+        let pp = permuted(&pred, seed);
+        let pt = permuted(&truth, seed);
+        prop_assert!((rmse(&pred, &truth) - rmse(&pp, &pt)).abs() < 1e-9);
+        prop_assert!((mae(&pred, &truth) - mae(&pp, &pt)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_dominates_mae(flat in proptest::collection::vec(-1e6f64..1e6, 2..64)) {
+        // Jensen: sqrt(mean(d^2)) >= mean(|d|).
+        let (pred, truth) = split_pairs(&flat);
+        prop_assert!(rmse(&pred, &truth) >= mae(&pred, &truth) - 1e-9);
+    }
+
+    #[test]
+    fn errors_scale_linearly(
+        flat in proptest::collection::vec(-1e3f64..1e3, 2..32),
+        k in 0.0f64..100.0,
+    ) {
+        // Scaling every residual by k scales both metrics by k.
+        let (pred, truth) = split_pairs(&flat);
+        let scaled: Vec<f64> = pred
+            .iter()
+            .zip(&truth)
+            .map(|(p, t)| t + k * (p - t))
+            .collect();
+        let tol = 1e-6 * (1.0 + k);
+        prop_assert!((rmse(&scaled, &truth) - k * rmse(&pred, &truth)).abs() < tol);
+        prop_assert!((mae(&scaled, &truth) - k * mae(&pred, &truth)).abs() < tol);
+    }
+
+    #[test]
+    fn try_quantile_permutation_invariant_and_monotone(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..48),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let shuffled = permuted(&xs, seed);
+        let a = try_quantile(&xs, q1).unwrap();
+        let b = try_quantile(&shuffled, q1).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "order-dependent quantile: {a} vs {b}");
+        // Monotone in the level.
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(try_quantile(&xs, lo).unwrap() <= try_quantile(&xs, hi).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn quantile_nan_poisoning_is_an_error(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..24),
+        pick in any::<u64>(),
+        q in 0.0f64..=1.0,
+        inf in any::<bool>(),
+    ) {
+        let mut poisoned = xs.clone();
+        let i = (pick as usize) % poisoned.len();
+        poisoned[i] = if inf { f64::INFINITY } else { f64::NAN };
+        prop_assert_eq!(try_quantile(&poisoned, q), Err(SummaryError::NonFinite));
+        prop_assert_eq!(percentile_interval(&poisoned, 0.05), Err(SummaryError::NonFinite));
+        prop_assert_eq!(basic_interval(0.0, &poisoned, 0.05), Err(SummaryError::NonFinite));
+    }
+
+    #[test]
+    fn empty_input_is_an_error(q in 0.0f64..=1.0, alpha in 0.001f64..0.999) {
+        prop_assert_eq!(try_quantile(&[], q), Err(SummaryError::Empty));
+        prop_assert_eq!(percentile_interval(&[], alpha), Err(SummaryError::Empty));
+        prop_assert_eq!(basic_interval(1.0, &[], alpha), Err(SummaryError::Empty));
+    }
+
+    #[test]
+    fn percentile_interval_ordered_and_widens_as_alpha_shrinks(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..48),
+        a1 in 0.01f64..0.99,
+        a2 in 0.01f64..0.99,
+    ) {
+        let (narrow_a, wide_a) = if a1 >= a2 { (a1, a2) } else { (a2, a1) };
+        let (nlo, nhi) = percentile_interval(&xs, narrow_a).unwrap();
+        let (wlo, whi) = percentile_interval(&xs, wide_a).unwrap();
+        prop_assert!(nlo <= nhi + 1e-12);
+        // Smaller alpha -> wider (nested) interval.
+        prop_assert!(wlo <= nlo + 1e-9 && whi >= nhi - 1e-9,
+            "[{wlo},{whi}] at α={wide_a} does not contain [{nlo},{nhi}] at α={narrow_a}");
+    }
+
+    #[test]
+    fn basic_interval_mirrors_percentile(
+        xs in proptest::collection::vec(-1e4f64..1e4, 2..48),
+        point in -1e4f64..1e4,
+        alpha in 0.01f64..0.99,
+    ) {
+        let (plo, phi) = percentile_interval(&xs, alpha).unwrap();
+        let (blo, bhi) = basic_interval(point, &xs, alpha).unwrap();
+        prop_assert!((blo - (2.0 * point - phi)).abs() < 1e-9);
+        prop_assert!((bhi - (2.0 * point - plo)).abs() < 1e-9);
+        prop_assert!(blo <= bhi + 1e-12);
+        prop_assert_eq!(basic_interval(f64::NAN, &xs, alpha), Err(SummaryError::NonFinite));
+        prop_assert_eq!(basic_interval(point, &xs, 0.0), Err(SummaryError::InvalidLevel));
+    }
+}

@@ -12,8 +12,8 @@ Commands:
   lint                      run ghost-lint over the whole workspace (exit 1 on violations)
   lint --update-api         regenerate crates/xtask/vendor_api.lock, then lint
   lint --check-events PATH  validate a JSONL event trace (repro --trace output)
-                            against the ghosts-events/2 schema (v1 traces are
-                            still accepted)
+                            against the ghosts-events/3 schema (v1/v2 traces
+                            are still accepted)
 ";
 
 fn main() -> ExitCode {

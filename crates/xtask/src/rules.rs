@@ -19,12 +19,20 @@ use std::collections::BTreeSet;
 
 /// Crates whose estimation paths feed the paper's AIC/BIC selection and
 /// profile-likelihood ranges: hash-iteration order must never reach them.
-const ESTIMATION_CRATES: [&str; 4] = ["core", "stats", "pipeline", "bench"];
+const ESTIMATION_CRATES: [&str; 5] = ["core", "stats", "pipeline", "bench", "reliability"];
 
 /// Crates required to be bit-deterministic in their inputs: no wall-clock,
 /// no OS randomness, and library code must not panic via unwrap/expect.
-const DETERMINISTIC_CRATES: [&str; 8] = [
-    "core", "stats", "net", "pipeline", "sim", "analysis", "ghosts", "obs",
+const DETERMINISTIC_CRATES: [&str; 9] = [
+    "core",
+    "stats",
+    "net",
+    "pipeline",
+    "sim",
+    "analysis",
+    "ghosts",
+    "obs",
+    "reliability",
 ];
 
 /// The single file allowed to read the OS clock. Everything else goes

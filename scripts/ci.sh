@@ -44,6 +44,23 @@ grep -q '"kind":"fault_injected"' "$smoke_dir/fault_trace.jsonl" || {
 }
 test -s "$smoke_dir/results/table4.json"
 
+echo "==> reliability smoke (repro reliability: bounded B, fixed seed, manifest section)"
+# Small scale keeps the bootstrap/coverage budgets low (the experiment
+# scales its replicate counts by --denom); the trace must stay
+# schema-valid and the manifest must carry the reliability section.
+(cd "$smoke_dir" && "$repo_root/target/release/repro" reliability --denom 16384 --seed 7 --quiet \
+    --trace rel_trace.jsonl --metrics-out rel_manifest.json)
+cargo run -q -p xtask -- lint --check-events "$smoke_dir/rel_trace.jsonl"
+grep -q '"kind":"reliability"' "$smoke_dir/rel_trace.jsonl" || {
+    echo "ci.sh: no reliability events in the reliability trace" >&2
+    exit 1
+}
+grep -q '"section":"reliability"' "$smoke_dir/rel_manifest.json" || {
+    echo "ci.sh: manifest lacks the reliability section" >&2
+    exit 1
+}
+test -s "$smoke_dir/results/reliability.json"
+
 echo "==> serve smoke (ephemeral port, cache hit, clean SIGTERM shutdown)"
 serve_log="$smoke_dir/serve.log"
 "$repo_root/target/release/serve" run --port 0 --denom 16384 --seed 7 --workers 2 \

@@ -21,8 +21,9 @@ fn cross_validation_beats_observed_baseline() {
         min_stratum_observed: 0,
         ..CrConfig::paper()
     };
-    let results = cross_validate_window(&data, Granularity::Addresses, &cfg, false)
-        .expect("cross-validation runs");
+    let report = cross_validate_window(&data, Granularity::Addresses, &cfg, false);
+    assert!(report.is_complete(), "no source should be skipped or fail");
+    let results = report.results;
     assert_eq!(results.len(), data.sources.len());
 
     let cr = aggregate_errors(&results);
@@ -37,6 +38,39 @@ fn cross_validation_beats_observed_baseline() {
         assert!(r.estimate <= r.truth as f64 + 1e-6, "{}", r.source);
         assert!(r.estimate >= r.observed_by_others as f64 - 1e-6);
     }
+}
+
+#[test]
+fn cross_validation_distinguishes_skips_from_failures() {
+    // A window with only two sources cannot cross-validate: holding one
+    // out leaves a single source, which is below the CR minimum. That is
+    // a *skip* (structurally impossible), not a fit *failure* — the two
+    // must land in different buckets of the report.
+    let s = scenario();
+    let w = paper_windows()[8];
+    let mut data = s.window_data_clean(w);
+    data.sources.truncate(2);
+    let cfg = CrConfig {
+        min_stratum_observed: 0,
+        ..CrConfig::paper()
+    };
+    let report = cross_validate_window(&data, Granularity::Addresses, &cfg, false);
+    assert!(report.results.is_empty());
+    assert!(
+        report.failed.is_empty(),
+        "too-few-sources must not be reported as a fit failure: {:?}",
+        report.failed
+    );
+    assert_eq!(report.skipped.len(), 2, "both held-out sources skip");
+    for skip in &report.skipped {
+        assert_eq!(
+            skip.remaining, 1,
+            "{} skipped with 1 source left",
+            skip.source
+        );
+    }
+    assert!(!report.is_complete());
+    assert!(report.errors().is_none(), "no errors without results");
 }
 
 #[test]
@@ -163,8 +197,9 @@ fn fig3_style_ranges_cover_most_sources() {
         min_stratum_observed: 0,
         ..CrConfig::paper()
     };
-    let results =
-        cross_validate_window(&data, Granularity::Addresses, &cfg, true).expect("cv with ranges");
+    let report = cross_validate_window(&data, Granularity::Addresses, &cfg, true);
+    assert!(report.is_complete(), "every source must yield a range");
+    let results = report.results;
     let mut covered = 0usize;
     for r in &results {
         let range = r.range.expect("requested");
