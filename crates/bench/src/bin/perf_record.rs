@@ -2,12 +2,13 @@
 //! observability layer and writes a `RunManifest` perf record
 //! (`BENCH_pr3.json` is the committed first point of the trajectory;
 //! `BENCH_pr5.json` is the serving layer's; `BENCH_pr6.json` the
-//! reliability engine's).
+//! reliability engine's; `BENCH_pr7.json` ghost-lint's).
 //!
 //! ```text
 //! cargo run -p ghosts-bench --release --bin perf_record -- BENCH_pr3.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- serve BENCH_pr5.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- reliability BENCH_pr6.json
+//! cargo run -p ghosts-bench --release --bin perf_record -- lint BENCH_pr7.json
 //! ```
 //!
 //! The `serve` mode measures the estimation server end to end over
@@ -20,6 +21,12 @@
 //! refit+reselect throughput (refits/sec) over one fixed synthetic table
 //! at 1 worker thread and at `auto`, so the record tracks both the
 //! per-replicate cost and the parallel speed-up.
+//!
+//! The `lint` mode (`BENCH_pr7.json`) measures a full-workspace
+//! ghost-lint pass: the cold (empty parse cache) wall time, then warm
+//! medians at 1 thread and `auto` — the gap between the 1-thread and
+//! `auto` lanes is the per-file `par_map` speed-up, and the gap between
+//! cold and warm is the content-hash parse cache.
 //!
 //! Two timing lanes per workload:
 //! * `*_disabled_us` — recorder disabled (the no-op branch production code
@@ -279,8 +286,76 @@ fn reliability_mode(out: &str) {
     );
 }
 
+/// ghost-lint's perf record (`BENCH_pr7.json`): full-workspace lint
+/// wall time, cold vs warm parse cache, 1 thread vs `auto`.
+fn lint_mode(out: &str) {
+    let wall = WallClock::new();
+    let iters = 9usize;
+    let root = xtask::workspace::workspace_root();
+
+    eprintln!("perf_record: cold lint (empty parse cache, 1 thread)…");
+    let t0 = wall.now();
+    let cold = xtask::lint_workspace(&root, Parallelism::Fixed(1)).expect("lint workspace");
+    let cold_us = (wall.now() - t0).max(1);
+
+    eprintln!("perf_record: warm lint medians at 1 thread and auto…");
+    let warm_t1_us = median_us(&wall, iters, || {
+        xtask::lint_workspace(&root, Parallelism::Fixed(1)).expect("lint workspace");
+    });
+    let warm_auto_us = median_us(&wall, iters, || {
+        xtask::lint_workspace(&root, Parallelism::Auto).expect("lint workspace");
+    });
+    let auto_run = xtask::lint_workspace(&root, Parallelism::Auto).expect("lint workspace");
+    assert_eq!(cold, auto_run, "threading changed lint findings");
+
+    let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+    rec.volatile_add("perf.lint_cold_us", cold_us);
+    rec.volatile_add("perf.lint_warm_threads1_us", warm_t1_us);
+    rec.volatile_add("perf.lint_warm_auto_us", warm_auto_us);
+    rec.volatile_max("perf.worker_threads", Parallelism::Auto.threads() as u64);
+    rec.root("perf").event(
+        "bench_point",
+        &[
+            ("bench", FieldValue::Str("pr7".to_string())),
+            ("findings", FieldValue::U64(cold.len() as u64)),
+            ("lint_cold_us", FieldValue::U64(cold_us)),
+            ("lint_warm_threads1_us", FieldValue::U64(warm_t1_us)),
+            ("lint_warm_auto_us", FieldValue::U64(warm_auto_us)),
+            (
+                "speedup_auto",
+                FieldValue::F64(warm_t1_us as f64 / warm_auto_us as f64),
+            ),
+        ],
+    );
+    let log = rec.flush();
+    let mut manifest = RunManifest::new();
+    manifest.set_config("bench", "pr7");
+    manifest.set_config(
+        "workload.lint",
+        "full workspace ghost-lint: lex + item tree + call graph + 15 rules",
+    );
+    manifest.set_config("iters", iters.to_string());
+    manifest.ingest_metrics(&log);
+    manifest.ingest_events(&log, &["bench_point"]);
+    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    eprintln!(
+        "perf_record: lint cold {cold_us}us, warm {warm_t1_us}us @1 thread / \
+         {warm_auto_us}us @auto ({:.1}x), {} findings → {out}",
+        warm_t1_us as f64 / warm_auto_us as f64,
+        cold.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        let out = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+        lint_mode(&out);
+        return;
+    }
     if args.first().map(String::as_str) == Some("reliability") {
         let out = args
             .get(1)

@@ -463,6 +463,7 @@ pub fn estimate_stratified(
             );
             return Ok(None);
         }
+        // lint: allow(panic-path) limits.len() == tables.len() asserted at function entry
         let limit = limits.map(|ls| ls[i]);
         estimate_table(table, limit, &stratum_cfg).map(Some)
     });
@@ -502,6 +503,7 @@ pub fn estimate_stratified(
             Ok(None) => {
                 excluded.push(i);
                 if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
+                    // lint: allow(panic-path) i indexes the par_map results, one per table
                     let observed = tables[i].observed_total();
                     observed_total += observed;
                     estimated_total += observed as f64;
@@ -514,6 +516,7 @@ pub fn estimate_stratified(
                     .child_idx("stratum", i as u64)
                     .error("stratum_failed", &[("error", FieldValue::Str(message))]);
                 if cfg.excluded_policy == ExcludedPolicy::ObservedOnly {
+                    // lint: allow(panic-path) i indexes the par_map results, one per table
                     let observed = tables[i].observed_total();
                     observed_total += observed;
                     estimated_total += observed as f64;

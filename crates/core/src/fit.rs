@@ -162,6 +162,7 @@ pub fn fit_llm_opts(
     })?;
     invariant::check_glm(&glm, &y, &family);
     let observed = table.observed_total();
+    // lint: allow(panic-path) coef has one entry per design column and the intercept is column 0
     let lambda0 = glm.coef[0].exp();
     let z0 = match cell_model {
         CellModel::Poisson => lambda0,

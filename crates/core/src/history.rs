@@ -117,6 +117,7 @@ impl ContingencyTable {
                     mask |= 1 << i;
                 }
             }
+            // lint: allow(panic-path) stratum_of's contract: Some(i) implies i < n_strata
             tables[stratum].record(mask);
         }
         tables
@@ -148,6 +149,7 @@ impl ContingencyTable {
                     mask |= 1 << i;
                 }
             }
+            // lint: allow(panic-path) stratum_of's contract: Some(i) implies i < n_strata
             tables[stratum].record(mask);
         }
         tables
@@ -159,6 +161,7 @@ impl ContingencyTable {
     pub fn record(&mut self, mask: u16) {
         debug_assert!((mask as usize) < self.counts.len(), "history out of range");
         if mask != 0 {
+            // lint: allow(panic-path) mask < 2^t is the documented contract, debug-asserted above
             self.counts[mask as usize] += 1;
         }
     }
@@ -170,7 +173,8 @@ impl ContingencyTable {
     pub fn record_n(&mut self, mask: u16, n: u64) {
         debug_assert!((mask as usize) < self.counts.len(), "history out of range");
         if mask != 0 {
-            self.counts[mask as usize] += n;
+            let cell = &mut self.counts[mask as usize];
+            *cell = cell.saturating_add(n);
         }
     }
 
@@ -186,6 +190,7 @@ impl ContingencyTable {
 
     /// The count for a specific capture history.
     pub fn count(&self, mask: u16) -> u64 {
+        // lint: allow(panic-path) mask < 2^t is the documented contract shared with record()
         self.counts[mask as usize]
     }
 
@@ -222,6 +227,7 @@ impl ContingencyTable {
     pub fn capture_frequencies(&self) -> Vec<u64> {
         let mut f = vec![0u64; self.t + 1];
         for (mask, &c) in self.counts.iter().enumerate() {
+            // lint: allow(panic-path) mask < 2^t, so count_ones() <= t < f.len()
             f[mask.count_ones() as usize] += c;
         }
         f

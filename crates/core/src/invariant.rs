@@ -175,6 +175,7 @@ pub fn validate_table(table: &ContingencyTable) -> Result<(), InvariantViolation
 pub fn validate_design(design: &Matrix) -> Result<(), InvariantViolation> {
     for row in 0..design.rows() {
         for col in 0..design.cols() {
+            // lint: allow(panic-path) row/col iterate the matrix's own dimensions
             let value = design[(row, col)];
             if !value.is_finite() {
                 return Err(InvariantViolation::NonFiniteDesign { row, col, value });
@@ -270,6 +271,7 @@ pub fn validate_estimate(fit: &FittedLlm, limit: Option<u64>) -> Result<(), Inva
 pub fn check_table(table: &ContingencyTable) {
     if cfg!(debug_assertions) {
         if let Err(violation) = validate_table(table) {
+            // lint: allow(panic-path) deliberate fail-fast: debug-only invariant check
             panic!("contingency-table invariant violated: {violation}");
         }
     }
@@ -280,6 +282,7 @@ pub fn check_table(table: &ContingencyTable) {
 pub fn check_design(design: &Matrix) {
     if cfg!(debug_assertions) {
         if let Err(violation) = validate_design(design) {
+            // lint: allow(panic-path) deliberate fail-fast: debug-only invariant check
             panic!("design-matrix invariant violated: {violation}");
         }
     }
@@ -290,6 +293,7 @@ pub fn check_design(design: &Matrix) {
 pub fn check_glm(fit: &GlmFit, y: &[f64], family: &CountFamily) {
     if cfg!(debug_assertions) {
         if let Err(violation) = validate_glm(fit, y, family) {
+            // lint: allow(panic-path) deliberate fail-fast: debug-only invariant check
             panic!("fit-result invariant violated: {violation}");
         }
     }
@@ -300,6 +304,7 @@ pub fn check_glm(fit: &GlmFit, y: &[f64], family: &CountFamily) {
 pub fn check_estimate(fit: &FittedLlm, limit: Option<u64>) {
     if cfg!(debug_assertions) {
         if let Err(violation) = validate_estimate(fit, limit) {
+            // lint: allow(panic-path) deliberate fail-fast: debug-only invariant check
             panic!("estimate invariant violated: {violation}");
         }
     }

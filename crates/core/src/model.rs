@@ -144,7 +144,9 @@ impl LogLinearModel {
     /// Interaction masks that can legally be added next (hierarchy holds
     /// after addition, full `t`-way term excluded).
     pub fn addable_terms(&self, max_order: u32) -> Vec<u16> {
+        // lint: allow(counting-overflow) t <= 16 (u16 histories), so 1 << t fits in u32
         let full = (1u32 << self.t) - 1;
+        // lint: allow(counting-overflow) t <= 16 (u16 histories), so 1 << t fits in u32
         (3..(1u32 << self.t))
             .filter(|&m| {
                 let mask = m as u16;
@@ -192,12 +194,14 @@ impl LogLinearModel {
         let mut m = Matrix::zeros(rows, self.terms.len());
         let mut row = 0;
         if include_ghost {
+            // lint: allow(panic-path) rows >= 1 when include_ghost; column 0 is the intercept
             m[(0, 0)] = 1.0; // intercept only
             row = 1;
         }
         for s in 1..=(cells as u16) {
             for (j, &h) in self.terms.iter().enumerate() {
                 if h & s == h {
+                    // lint: allow(panic-path) row walks the matrix's own rows, j its columns
                     m[(row, j)] = 1.0;
                 }
             }

@@ -90,6 +90,7 @@ where
             if let Some(ghosts_faultinject::Fault::WorkerPanic) =
                 ghosts_faultinject::fire("parallel.worker")
             {
+                // lint: allow(panic-path) deliberate: injected fault simulating a worker death
                 panic!("injected worker panic (site parallel.worker, item {i})");
             }
             f(i, item)
@@ -141,6 +142,7 @@ where
                             if i >= items.len() {
                                 break;
                             }
+                            // lint: allow(panic-path) i < items.len() checked two lines up
                             out.push((i, run_item(i, &items[i], f)));
                         }
                         out
@@ -165,6 +167,7 @@ where
     slots.resize_with(items.len(), || None);
     for bucket in buckets {
         for (i, u) in bucket {
+            // lint: allow(panic-path) workers only claim i < items.len(), slots has that length
             slots[i] = Some(u);
         }
     }

@@ -27,6 +27,65 @@ pub const EVENTS_SCHEMA_V2: &str = crate::recorder::JSONL_SCHEMA_V2;
 /// The legacy schema identifier, still accepted on the meta line.
 pub const EVENTS_SCHEMA_V1: &str = crate::recorder::JSONL_SCHEMA_V1;
 
+/// The ghosts-events name registry: every `(name, kind)` pair the
+/// workspace is allowed to emit on an event-like trace line.
+///
+/// This is the contract between producers (every `Scope::event` /
+/// `::error` / `::degradation` / `::fault_injected` / `::reliability`
+/// call site in library and binary code) and consumers (manifest
+/// ingestion, trace tooling, dashboards): an event name not listed here
+/// is invisible to consumers, and a listed name nobody emits is dead
+/// schema. ghost-lint's `event-exhaustiveness` rule checks both
+/// directions statically, so additions land here and at the emission
+/// site in the same commit.
+///
+/// Entries are sorted by name then kind; a name may appear under more
+/// than one kind (e.g. `estimate` is both a success event and a serve
+/// error).
+pub const EVENT_NAMES: &[(&str, &str)] = &[
+    ("baseline_failed", "error"),
+    ("bench_point", "event"),
+    ("bootstrap_summary", "reliability"),
+    ("candidate", "event"),
+    ("candidate_failed", "event"),
+    ("ci", "event"),
+    ("ci_fit_failed", "error"),
+    ("ci_lower", "event"),
+    ("ci_unbounded", "error"),
+    ("ci_upper", "event"),
+    ("coverage_point", "reliability"),
+    ("cv_cell", "reliability"),
+    ("estimate", "error"),
+    ("estimate", "event"),
+    ("estimate_empty", "event"),
+    ("estimate_failed", "error"),
+    ("experiment_failed", "error"),
+    ("filter", "event"),
+    ("fired", "fault_injected"),
+    ("fit", "event"),
+    ("fit_failed", "error"),
+    ("handler-panic", "error"),
+    ("ic_candidate", "event"),
+    ("ladder_step", "degradation"),
+    ("model_chosen", "event"),
+    ("resolve", "error"),
+    ("search_started", "event"),
+    ("source_observed", "event"),
+    ("spoof_filter", "event"),
+    ("stratified_total", "event"),
+    ("stratum_excluded", "event"),
+    ("stratum_failed", "error"),
+    ("term_added", "event"),
+    ("window_observed", "event"),
+];
+
+/// Whether `(name, kind)` is a registered ghosts-events emission.
+pub fn is_registered_event(name: &str, kind: &str) -> bool {
+    EVENT_NAMES
+        .binary_search_by(|(n, k)| (*n, *k).cmp(&(name, kind)))
+        .is_ok()
+}
+
 /// A validation failure, with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchemaError {
@@ -333,6 +392,23 @@ mod tests {
         rec.add("pipeline.dropped_reserved", 42);
         rec.observe("glm.iterations", 9);
         rec.flush().to_jsonl()
+    }
+
+    #[test]
+    fn event_registry_is_sorted_and_well_formed() {
+        // `is_registered_event` binary-searches, so the table must be
+        // strictly sorted (which also rules out duplicates).
+        for pair in EVENT_NAMES.windows(2) {
+            assert!(pair[0] < pair[1], "registry out of order at {pair:?}");
+        }
+        for (name, kind) in EVENT_NAMES {
+            assert!(is_event_like(kind), "registry kind {kind:?} for {name:?}");
+            assert!(!name.is_empty());
+            assert!(is_registered_event(name, kind));
+        }
+        assert!(is_registered_event("fit", "event"));
+        assert!(!is_registered_event("fit", "error"));
+        assert!(!is_registered_event("no_such_event", "event"));
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl SpoofFilterConfig {
     /// The spoofable addresses in /8 `octet`.
     fn universe_of(&self, octet: usize) -> f64 {
         match &self.per_eight_universe {
+            // lint: allow(panic-path) octet < 256 (derived from a u8); the table has 256 slots
             Some(u) => u[octet] as f64,
+            // lint: allow(counting-overflow) constant shift: 2^24 fits comfortably in u32
             None => f64::from(1u32 << 24),
         }
     }

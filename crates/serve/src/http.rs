@@ -125,11 +125,13 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
                 Err(ParseError::BadRequest("truncated request head"))
             };
         }
+        // lint: allow(panic-path) read() returns n <= chunk.len()
         buf.extend_from_slice(&chunk[..n]);
     };
     if head_end > MAX_HEAD_BYTES {
         return Err(ParseError::HeadTooLarge);
     }
+    // lint: allow(panic-path) head_end was found inside buf by the scan above
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| ParseError::BadRequest("request head is not utf-8"))?;
     let mut lines = head.split("\r\n");
@@ -187,10 +189,12 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
     }
     while body.len() < content_length {
         let want = (content_length - body.len()).min(chunk.len());
+        // lint: allow(panic-path) want is clamped to chunk.len() on the line above
         let n = stream.read(&mut chunk[..want]).map_err(ParseError::Io)?;
         if n == 0 {
             return Err(ParseError::BadRequest("truncated body"));
         }
+        // lint: allow(panic-path) read() returns n <= want <= chunk.len()
         body.extend_from_slice(&chunk[..n]);
     }
 

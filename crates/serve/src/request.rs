@@ -332,10 +332,12 @@ fn parse_inline_table(v: &JsonValue) -> Result<InlineTable, String> {
             .as_array()
             .filter(|p| p.len() == 2)
             .ok_or("each history must be a [mask, count] pair")?;
+        // lint: allow(panic-path) pair.len() == 2 checked by the filter above
         let mask = pair[0]
             .as_u64()
             .filter(|&m| m > 0 && m < (1u64 << sources))
             .ok_or("history mask must be non-zero and < 2^sources")?;
+        // lint: allow(panic-path) pair.len() == 2 checked by the filter above
         let count = pair[1].as_u64().ok_or("history count must be an integer")?;
         total = total
             .checked_add(count)

@@ -281,6 +281,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
             Response::json(200, shared.hub.render_manifest(&config))
         }
         ("GET", target) if target.starts_with("/v1/membership/") => {
+            // lint: allow(panic-path) starts_with guarantees the ASCII prefix is a char boundary
             membership(shared, &target["/v1/membership/".len()..])
         }
         ("POST", "/v1/estimate") => estimate(shared, request),
@@ -439,6 +440,7 @@ fn estimate_inner(shared: &Shared, req: &EstimateRequest, digest: u64, span: &Sc
             &[("kind", FieldValue::Str(fault.name().to_string()))],
         );
         if fault == faults::Fault::WorkerPanic {
+            // lint: allow(panic-path) deliberate: injected fault, trapped by the handler's catch_unwind
             panic!("fault injection: {} at {FAULT_SITE_HANDLER}", fault.name());
         }
     }
@@ -541,7 +543,9 @@ fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String
     cfg.obs = span.child("estimate");
 
     if spec.tables.len() == 1 && spec.labels.is_empty() {
+        // lint: allow(panic-path) tables.len() == 1 guard; limits is validated to match tables
         let limit = spec.limits.as_ref().map(|l| l[0]);
+        // lint: allow(panic-path) tables.len() == 1 checked by the branch guard
         match estimate_table(&spec.tables[0], limit, &cfg) {
             Ok(est) => {
                 let status = if est.degraded.is_some() { 203 } else { 200 };

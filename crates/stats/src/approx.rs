@@ -32,7 +32,7 @@ pub fn rel_close(a: f64, b: f64, tol: f64) -> bool {
 #[must_use]
 #[allow(clippy::float_cmp)]
 pub fn is_exact_zero(x: f64) -> bool {
-    x == 0.0 // lint: allow(float-eq) the helper *is* the approved site
+    x == 0.0
 }
 
 #[cfg(test)]

@@ -126,19 +126,23 @@ fn standard_quantile(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.02425;
 
+    // Horner evaluation; starting from 0.0 reproduces the classic nested
+    // form `((c0*x + c1)*x + …)` operation for operation, so results stay
+    // bit-identical to the hand-expanded version.
+    fn horner(coeffs: &[f64], x: f64) -> f64 {
+        coeffs.iter().fold(0.0, |acc, &c| acc * x + c)
+    }
+
     let x = if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        horner(&C, q) / (q * horner(&D, q) + 1.0)
     } else if p <= 1.0 - P_LOW {
         let q = p - 0.5;
         let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        horner(&A, r) * q / (r * horner(&B, r) + 1.0)
     } else {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        -horner(&C, q) / (q * horner(&D, q) + 1.0)
     };
 
     // Halley refinement against the exact CDF.

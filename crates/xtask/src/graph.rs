@@ -1,0 +1,639 @@
+//! Workspace-wide approximate call graph for ghost-lint.
+//!
+//! Built on top of the per-file item trees from [`crate::items`]. The
+//! graph is deliberately an *over*-approximation: a call site resolves to
+//! every function the name could plausibly mean (method calls match any
+//! impl'd method of that name anywhere in the workspace; free calls match
+//! same-crate functions plus whatever the file's `use` edges point at).
+//! Rules that consume reachability therefore err on the side of flagging
+//! — which is the correct polarity for panic-path analysis — and every
+//! finding carries the call chain so a human can audit the edge.
+
+use crate::items::{FileItems, FnItem};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{FileClass, Section};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Index of a function node in the workspace graph.
+pub type NodeId = usize;
+
+/// One function node: which file it lives in and which of that file's
+/// items it is.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    /// Index into that file's `FileItems::fns`.
+    pub item: usize,
+}
+
+/// A call site extracted from a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `recv.name(…)` — receiver type unknown.
+    Method(String),
+    /// `name(…)` with no path qualifier.
+    Free(String),
+    /// `a::b::name(…)` — path segments, outermost first, excluding the
+    /// final name.
+    Path(Vec<String>, String),
+}
+
+impl Call {
+    /// The called function's bare name.
+    pub fn name(&self) -> &str {
+        match self {
+            Call::Method(n) | Call::Free(n) => n,
+            Call::Path(_, n) => n,
+        }
+    }
+}
+
+/// One file as the graph sees it: classification, tokens, items.
+pub struct GraphFile<'a> {
+    /// Workspace classification.
+    pub class: &'a FileClass,
+    /// Full token stream.
+    pub tokens: &'a [Token],
+    /// Parsed item tree.
+    pub items: &'a FileItems,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All function nodes, in (file, item) order — deterministic.
+    pub nodes: Vec<NodeRef>,
+    /// Forward edges: `edges[n]` = sorted, deduped callees of node `n`.
+    pub edges: Vec<Vec<NodeId>>,
+    /// Call sites per node (token index of the name, resolved or not) —
+    /// kept for rules that care about unresolved calls too.
+    pub calls: Vec<Vec<(usize, Call)>>,
+    /// bare name -> node ids, for entrypoint lookup.
+    name_index: BTreeMap<String, Vec<NodeId>>,
+}
+
+/// Keywords that look like idents to the lexer but can never be call
+/// names or receivers.
+const KEYWORDS: [&str; 28] = [
+    "as", "break", "const", "continue", "crate", "else", "enum", "extern", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "use", "where", "while",
+];
+
+/// True when `word` is a Rust keyword (so never a call name or receiver).
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+/// Maps a path's first segment to a workspace crate name, given the
+/// importing file's crate and its `use` edges. Returns `None` when the
+/// segment points outside the workspace (std, vendor shims).
+fn crate_of_segment(seg: &str, own_crate: &str, crates: &BTreeSet<String>) -> Option<String> {
+    match seg {
+        "crate" | "self" | "super" => Some(own_crate.to_string()),
+        "std" | "core" | "alloc" => None,
+        _ => {
+            // `ghosts_stats` -> crate `stats`; plain `xtask` -> `xtask`.
+            let stripped = seg.strip_prefix("ghosts_").unwrap_or(seg);
+            let dashed = stripped.replace('_', "-");
+            if crates.contains(stripped) {
+                Some(stripped.to_string())
+            } else if crates.contains(&dashed) {
+                Some(dashed)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+impl CallGraph {
+    /// Builds the graph over `files` (already parsed). File order must be
+    /// deterministic (the caller sorts by path); node ids then are too.
+    pub fn build(files: &[GraphFile<'_>]) -> CallGraph {
+        let crate_names: BTreeSet<String> =
+            files.iter().map(|f| f.class.crate_name.clone()).collect();
+
+        let mut nodes = Vec::new();
+        let mut name_index: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, f) in file.items.fns.iter().enumerate() {
+                let id = nodes.len();
+                nodes.push(NodeRef { file: fi, item: ii });
+                name_index.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+
+        let mut edges: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        let mut calls: Vec<Vec<(usize, Call)>> = vec![Vec::new(); nodes.len()];
+        for (id, nref) in nodes.iter().enumerate() {
+            let file = &files[nref.file];
+            let item = &file.items.fns[nref.item];
+            if item.body.is_empty() {
+                continue;
+            }
+            let sites = extract_calls(file.tokens, item.body.clone());
+            let mut out = BTreeSet::new();
+            for (tok_idx, call) in &sites {
+                // A call inside a *nested* fn belongs to the nested node.
+                if file.items.enclosing_fn(*tok_idx).map(|f| f.line) != Some(item.line) {
+                    continue;
+                }
+                for callee in resolve(
+                    call,
+                    file.class.crate_name.as_str(),
+                    file,
+                    &name_index,
+                    files,
+                    &crate_names,
+                ) {
+                    if callee != id {
+                        out.insert(callee);
+                    }
+                }
+            }
+            calls[id] = sites
+                .into_iter()
+                .filter(|(tok_idx, _)| {
+                    files[nref.file]
+                        .items
+                        .enclosing_fn(*tok_idx)
+                        .map(|f| f.line)
+                        == Some(item.line)
+                })
+                .collect();
+            edges[id] = out.into_iter().collect();
+        }
+
+        CallGraph {
+            nodes,
+            edges,
+            calls,
+            name_index,
+        }
+    }
+
+    /// Node ids whose function matches `(crate, fn name)` in a Src or Bin
+    /// section file.
+    pub fn entrypoints(&self, files: &[GraphFile<'_>], krate: &str, name: &str) -> Vec<NodeId> {
+        self.name_index
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        let nref = self.nodes[id];
+                        let class = files[nref.file].class;
+                        class.crate_name == krate
+                            && matches!(class.section, Section::Src | Section::Bin)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// BFS from `roots`; returns, for each reachable node, its
+    /// predecessor on a shortest path (roots map to themselves).
+    pub fn reachable_from(&self, roots: &[NodeId]) -> BTreeMap<NodeId, NodeId> {
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut sorted_roots: Vec<NodeId> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        for &r in &sorted_roots {
+            if let Entry::Vacant(e) = parent.entry(r) {
+                e.insert(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if let Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the shortest call chain from a root to `node` as
+    /// `root -> … -> node`, using the parent map from
+    /// [`Self::reachable_from`]. Long chains keep both ends.
+    pub fn chain(
+        &self,
+        files: &[GraphFile<'_>],
+        parents: &BTreeMap<NodeId, NodeId>,
+        node: NodeId,
+    ) -> String {
+        let mut names = Vec::new();
+        let mut cur = node;
+        loop {
+            names.push(self.qualified_name(files, cur));
+            let Some(&p) = parents.get(&cur) else { break };
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        names.reverse();
+        if names.len() > 6 {
+            let tail = names.split_off(names.len() - 2);
+            names.truncate(3);
+            names.push("…".to_string());
+            names.extend(tail);
+        }
+        names.join(" -> ")
+    }
+
+    /// `Type::name` or bare `name` for display.
+    pub fn qualified_name(&self, files: &[GraphFile<'_>], id: NodeId) -> String {
+        let nref = self.nodes[id];
+        let f = &files[nref.file].items.fns[nref.item];
+        match &f.impl_type {
+            Some(ty) if !ty.is_empty() => format!("{ty}::{}", f.name),
+            _ => f.name.clone(),
+        }
+    }
+
+    /// The `FnItem` behind a node.
+    pub fn item<'a>(&self, files: &'a [GraphFile<'a>], id: NodeId) -> &'a FnItem {
+        let nref = self.nodes[id];
+        &files[nref.file].items.fns[nref.item]
+    }
+}
+
+/// Resolves one call to candidate node ids (sorted by construction of the
+/// name index). Over-approximates; never panics on odd input.
+fn resolve(
+    call: &Call,
+    own_crate: &str,
+    file: &GraphFile<'_>,
+    name_index: &BTreeMap<String, Vec<NodeId>>,
+    files: &[GraphFile<'_>],
+    crates: &BTreeSet<String>,
+) -> Vec<NodeId> {
+    let Some(candidates) = name_index.get(call.name()) else {
+        return Vec::new();
+    };
+    match call {
+        // Receiver type unknown: any impl'd method of this name, anywhere
+        // — except in xtask itself. The analyzer is never a callee of the
+        // estimation pipeline, and its method names (`load`, `check`, …)
+        // collide with std atomics and collections constantly.
+        Call::Method(_) => candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let nref = node_ref(candidates, files, id);
+                nref.is_some_and(|(f, item)| {
+                    f.items.fns[item].impl_type.is_some() && f.class.crate_name != "xtask"
+                })
+            })
+            .collect(),
+        // Unqualified: same crate, or an import whose leaf matches.
+        Call::Free(name) => {
+            let mut target_crates: BTreeSet<String> = BTreeSet::new();
+            target_crates.insert(own_crate.to_string());
+            for u in &file.items.uses {
+                if u.leaf == *name {
+                    if let Some(c) = u
+                        .segments
+                        .first()
+                        .and_then(|s| crate_of_segment(s, own_crate, crates))
+                    {
+                        target_crates.insert(c);
+                    }
+                }
+            }
+            filter_by_crate(candidates, files, &target_crates)
+        }
+        Call::Path(segs, name) => {
+            let Some(first) = segs.first() else {
+                return Vec::new();
+            };
+            // `Type::method(…)`: prefer methods of exactly that type.
+            if first.chars().next().is_some_and(char::is_uppercase) {
+                let typed: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        node_ref(candidates, files, id).is_some_and(|(f, item)| {
+                            f.items.fns[item].impl_type.as_deref() == Some(first.as_str())
+                        })
+                    })
+                    .collect();
+                if !typed.is_empty() {
+                    return typed;
+                }
+            }
+            // Module path: map the head segment to a crate — directly, or
+            // through an import (`use ghosts_stats::glm; glm::fit(…)`).
+            let mut target_crates: BTreeSet<String> = BTreeSet::new();
+            if let Some(c) = crate_of_segment(first, own_crate, crates) {
+                target_crates.insert(c);
+            }
+            for u in &file.items.uses {
+                if u.leaf == *first {
+                    if let Some(c) = u
+                        .segments
+                        .first()
+                        .and_then(|s| crate_of_segment(s, own_crate, crates))
+                    {
+                        target_crates.insert(c);
+                    }
+                }
+            }
+            if target_crates.is_empty() {
+                // Head is a local module (`helpers::go(…)`) — stay in-crate.
+                target_crates.insert(own_crate.to_string());
+            }
+            let _ = name;
+            filter_by_crate(candidates, files, &target_crates)
+        }
+    }
+}
+
+fn node_ref<'a>(
+    _candidates: &[NodeId],
+    files: &'a [GraphFile<'a>],
+    id: NodeId,
+) -> Option<(&'a GraphFile<'a>, usize)> {
+    // Node ids are assigned file-major; recover (file, item) by scanning.
+    // Kept simple: the graph passes its own `nodes` table instead in the
+    // methods above; this helper is only used during resolution where the
+    // same ordering invariant holds.
+    let mut remaining = id;
+    for f in files {
+        let n = f.items.fns.len();
+        if remaining < n {
+            return Some((f, remaining));
+        }
+        remaining -= n;
+    }
+    None
+}
+
+fn filter_by_crate(
+    candidates: &[NodeId],
+    files: &[GraphFile<'_>],
+    target: &BTreeSet<String>,
+) -> Vec<NodeId> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| {
+            node_ref(candidates, files, id)
+                .is_some_and(|(f, _)| target.contains(&f.class.crate_name))
+        })
+        .collect()
+}
+
+/// Extracts call sites from a token range: `name(`, `recv.name(`,
+/// `a::b::name(`, with turbofish (`name::<T>(`) tolerated. Macro
+/// invocations are *not* calls (they're matched separately by rules that
+/// care, e.g. panic-path's `panic!` detection).
+pub fn extract_calls(tokens: &[Token], body: std::ops::Range<usize>) -> Vec<(usize, Call)> {
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i < body.end.min(tokens.len()) {
+        let Some(name) = tokens[i].ident() else {
+            i += 1;
+            continue;
+        };
+        if is_keyword(name) {
+            i += 1;
+            continue;
+        }
+        // `fn name(` is a declaration (possibly a nested fn), not a call.
+        if i > 0 && tokens[i - 1].ident() == Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Find the token after an optional turbofish: `name ::< … > (`.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            while k < tokens.len() {
+                match tokens[k].kind {
+                    TokenKind::Punct('<') => depth += 1,
+                    TokenKind::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        // Classify by what precedes the name.
+        let call = if i > 0 && tokens[i - 1].is_punct('.') {
+            Call::Method(name.to_string())
+        } else if i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':') {
+            // Walk the path backwards: `seg :: seg :: name`.
+            let mut segs: Vec<String> = Vec::new();
+            let mut k = i;
+            while k >= 2 && tokens[k - 1].is_punct(':') && tokens[k - 2].is_punct(':') {
+                let Some(prev) = k.checked_sub(3).and_then(|p| tokens.get(p)) else {
+                    break;
+                };
+                match prev.ident() {
+                    Some(seg)
+                        if !is_keyword(seg)
+                            || seg == "crate"
+                            || seg == "self"
+                            || seg == "super" =>
+                    {
+                        segs.push(seg.to_string());
+                        k -= 3;
+                    }
+                    _ => break,
+                }
+            }
+            segs.reverse();
+            if segs.is_empty() {
+                Call::Free(name.to_string())
+            } else {
+                Call::Path(segs, name.to_string())
+            }
+        } else {
+            Call::Free(name.to_string())
+        };
+        out.push((i, call));
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::tokenize;
+    use crate::rules::{FileClass, Section};
+
+    struct Owned {
+        class: FileClass,
+        tokens: Vec<Token>,
+        items: FileItems,
+    }
+
+    fn file(krate: &str, rel: &str, src: &str) -> Owned {
+        Owned {
+            class: FileClass {
+                crate_name: krate.to_string(),
+                section: Section::Src,
+                rel_path: rel.to_string(),
+                is_crate_root: false,
+            },
+            tokens: tokenize(src),
+            items: parse_items(&tokenize(src)),
+        }
+    }
+
+    fn graph_files(owned: &[Owned]) -> Vec<GraphFile<'_>> {
+        owned
+            .iter()
+            .map(|o| GraphFile {
+                class: &o.class,
+                tokens: &o.tokens,
+                items: &o.items,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extracts_free_method_and_path_calls() {
+        let tokens = tokenize("fn f() { go(); x.run(); ghosts_stats::glm::fit(d); v.push(1); }");
+        let calls: Vec<Call> = extract_calls(&tokens, 0..tokens.len())
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                Call::Free("go".into()),
+                Call::Method("run".into()),
+                Call::Path(vec!["ghosts_stats".into(), "glm".into()], "fit".into()),
+                Call::Method("push".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let tokens = tokenize("fn f() { parse::<u64>(s); }");
+        let calls: Vec<Call> = extract_calls(&tokens, 0..tokens.len())
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        assert_eq!(calls, vec![Call::Free("parse".into())]);
+    }
+
+    #[test]
+    fn cross_crate_edges_through_use() {
+        let a = file(
+            "core",
+            "src/estimator.rs",
+            "use ghosts_stats::glm::fit;\npub fn estimate() { fit(); }\n",
+        );
+        let b = file(
+            "stats",
+            "src/glm.rs",
+            "pub fn fit() { helper(); }\nfn helper() {}\n",
+        );
+        let owned = vec![a, b];
+        let files = graph_files(&owned);
+        let g = CallGraph::build(&files);
+        let roots = g.entrypoints(&files, "core", "estimate");
+        assert_eq!(roots.len(), 1);
+        let reach = g.reachable_from(&roots);
+        let names: Vec<String> = reach
+            .keys()
+            .map(|&id| g.qualified_name(&files, id))
+            .collect();
+        assert!(names.contains(&"estimate".to_string()));
+        assert!(names.contains(&"fit".to_string()));
+        assert!(
+            names.contains(&"helper".to_string()),
+            "transitive edge missing: {names:?}"
+        );
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let a = file(
+            "serve",
+            "src/server.rs",
+            "pub fn route(b: &dyn Backend) { b.estimate(); }\n",
+        );
+        let b = file(
+            "bench",
+            "src/repro.rs",
+            "struct ReproBackend;\nimpl ReproBackend { pub fn estimate(&self) {} }\n",
+        );
+        let owned = vec![a, b];
+        let files = graph_files(&owned);
+        let g = CallGraph::build(&files);
+        let roots = g.entrypoints(&files, "serve", "route");
+        let reach = g.reachable_from(&roots);
+        let names: Vec<String> = reach
+            .keys()
+            .map(|&id| g.qualified_name(&files, id))
+            .collect();
+        assert!(
+            names.contains(&"ReproBackend::estimate".to_string()),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn free_calls_do_not_leak_across_crates_without_imports() {
+        let a = file(
+            "core",
+            "src/a.rs",
+            "pub fn entry() { local(); }\nfn local() {}\n",
+        );
+        let b = file(
+            "stats",
+            "src/b.rs",
+            "pub fn local() { forbidden(); }\nfn forbidden() {}\n",
+        );
+        let owned = vec![a, b];
+        let files = graph_files(&owned);
+        let g = CallGraph::build(&files);
+        let roots = g.entrypoints(&files, "core", "entry");
+        let reach = g.reachable_from(&roots);
+        // Only core::local is reachable, not stats::local / stats::forbidden.
+        assert_eq!(reach.len(), 2, "expected entry + core::local only");
+    }
+
+    #[test]
+    fn chains_render_root_to_leaf() {
+        let a = file(
+            "core",
+            "src/a.rs",
+            "pub fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        );
+        let owned = vec![a];
+        let files = graph_files(&owned);
+        let g = CallGraph::build(&files);
+        let roots = g.entrypoints(&files, "core", "entry");
+        let reach = g.reachable_from(&roots);
+        let leaf = (0..g.nodes.len())
+            .find(|&id| g.qualified_name(&files, id) == "leaf")
+            .expect("leaf node");
+        assert_eq!(g.chain(&files, &reach, leaf), "entry -> mid -> leaf");
+    }
+}

@@ -1,0 +1,581 @@
+//! The item-graph layer of ghost-lint: a lightweight, hand-rolled item
+//! parser on top of [`crate::lexer`].
+//!
+//! The PR-2 linter saw one token at a time; the interprocedural rules
+//! (panic paths, lock discipline, counting overflow — see
+//! [`crate::interproc`]) need to know *which function* a token belongs
+//! to, what that function's visibility and receiver type are, and what
+//! other functions it calls. This module recovers exactly that much
+//! structure — functions, `impl` blocks, `mod` nesting, `use` edges —
+//! without attempting full Rust parsing: bodies stay as token ranges,
+//! types as identifier runs. Anything ambiguous degrades to "unknown",
+//! never to a panic.
+
+use crate::lexer::{Token, TokenKind};
+use std::ops::Range;
+
+/// Item visibility, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub`
+    Public,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`
+    Restricted,
+    /// No `pub` at all.
+    Private,
+}
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// `mod` nesting inside the file (outermost first).
+    pub module_path: Vec<String>,
+    /// The `impl` target type, for methods (`impl Foo` and
+    /// `impl Trait for Foo` both record `Foo`).
+    pub impl_type: Option<String>,
+    /// Visibility of the `fn` itself.
+    pub vis: Vis,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token range of the signature: from `fn` up to (not including) the
+    /// opening body brace or terminating `;`.
+    pub sig: Range<usize>,
+    /// Token range strictly inside the body braces (empty for bodiless
+    /// trait declarations).
+    pub body: Range<usize>,
+    /// Whether the return type mentions a lock guard
+    /// (`MutexGuard`/`RwLockReadGuard`/`RwLockWriteGuard`): calls to such
+    /// functions count as lock acquisitions for the lock-discipline rule.
+    pub returns_guard: bool,
+}
+
+/// One name brought into scope by a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// The local name (the path leaf, or the alias after `as`).
+    pub leaf: String,
+    /// Full path segments, outermost first (`["ghosts_stats", "glm",
+    /// "fit"]`).
+    pub segments: Vec<String>,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Every `fn` in the file, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` leaf in the file.
+    pub uses: Vec<UseImport>,
+}
+
+impl FileItems {
+    /// The function containing token index `idx`, if any (innermost wins
+    /// for nested fns).
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(&idx))
+            .min_by_key(|f| f.body.len())
+    }
+}
+
+/// Keywords that can qualify a `fn` between the visibility and the
+/// keyword itself.
+const FN_QUALIFIERS: [&str; 4] = ["const", "async", "unsafe", "extern"];
+
+/// Returns the index of the `}` matching the `{` at `open` (or the last
+/// token if unbalanced — the compiler rejects such files; the linter must
+/// only not loop).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Parses the item structure of one tokenized file.
+pub fn parse_items(tokens: &[Token]) -> FileItems {
+    let mut out = FileItems::default();
+    // Open frames: (closing-brace token index, frame kind).
+    enum Frame {
+        Mod(String),
+        Impl(String),
+    }
+    let mut frames: Vec<(usize, Frame)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Pop any frames whose closing brace we've reached.
+        while frames.last().is_some_and(|(end, _)| i > *end) {
+            frames.pop();
+        }
+        let t = &tokens[i];
+        let Some(word) = t.ident() else {
+            // An unmatched opening brace that no item claimed (e.g. a
+            // bare block) — record it as an anonymous frame so `mod`
+            // detection below stays aligned. We only push frames for
+            // item braces, so plain expression braces are skipped here.
+            i += 1;
+            continue;
+        };
+        match word {
+            "use" => {
+                let (imports, next) = parse_use(tokens, i);
+                out.uses.extend(imports);
+                i = next;
+            }
+            "mod" => {
+                // `mod name {` opens a module frame; `mod name;` is an
+                // out-of-line module (no frame).
+                let name = tokens.get(i + 1).and_then(Token::ident);
+                if let (Some(name), Some(open)) = (name, find_punct(tokens, i + 2, '{', ';')) {
+                    let end = match_brace(tokens, open);
+                    frames.push((end, Frame::Mod(name.to_string())));
+                    i = open + 1;
+                } else {
+                    i += 2;
+                }
+            }
+            "impl" => {
+                // Scan to the body `{`, honouring a possible `where`
+                // clause, and name the implementing type (after `for` if
+                // present, else the first type path).
+                if let Some(open) = find_punct(tokens, i + 1, '{', ';') {
+                    let ty = impl_target(&tokens[i + 1..open]);
+                    let end = match_brace(tokens, open);
+                    frames.push((end, Frame::Impl(ty)));
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+                    // `fn(u32) -> u32` pointer type, not an item.
+                    i += 1;
+                    continue;
+                };
+                let vis = visibility_before(tokens, i);
+                let module_path: Vec<String> = frames
+                    .iter()
+                    .filter_map(|(_, f)| match f {
+                        Frame::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let impl_type = frames.iter().rev().find_map(|(_, f)| match f {
+                    Frame::Impl(ty) => Some(ty.clone()),
+                    _ => None,
+                });
+                let (sig_end, body, returns_guard) = fn_signature(tokens, i);
+                out.fns.push(FnItem {
+                    name: name.to_string(),
+                    module_path,
+                    impl_type,
+                    vis,
+                    line: t.line,
+                    sig: i..sig_end,
+                    body: body.clone(),
+                    returns_guard,
+                });
+                // Continue scanning *inside* the body (nested fns, uses).
+                i = sig_end + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Finds the next `want` punct at or after `from`, stopping early (with
+/// `None`) if `stop` shows up first at nesting depth 0.
+fn find_punct(tokens: &[Token], from: usize, want: char, stop: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        match t.kind {
+            TokenKind::Punct(c) if c == want && depth == 0 => return Some(i),
+            TokenKind::Punct(c) if c == stop && depth == 0 => return None,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The implementing type of an `impl` header (tokens between `impl` and
+/// the body `{`): the last path segment before `where`/`{`, taken from
+/// after `for` when the header is `impl Trait for Type`.
+fn impl_target(header: &[Token]) -> String {
+    let after_for = header
+        .iter()
+        .position(|t| t.ident() == Some("for"))
+        .map(|p| &header[p + 1..])
+        .unwrap_or(header);
+    // First identifier run after stripping leading `&`/generics — the
+    // type name is the first path segment's final ident before `<`.
+    let mut last_path_ident = String::new();
+    let mut angle_depth = 0usize;
+    for t in after_for {
+        match &t.kind {
+            TokenKind::Punct('<') => angle_depth += 1,
+            TokenKind::Punct('>') => angle_depth = angle_depth.saturating_sub(1),
+            TokenKind::Ident(s) if angle_depth == 0 => {
+                if s == "where" {
+                    break;
+                }
+                last_path_ident = s.clone();
+            }
+            _ => {}
+        }
+    }
+    last_path_ident
+}
+
+/// The visibility tokens directly before the `fn` at `at` (skipping
+/// qualifier keywords like `const unsafe`).
+fn visibility_before(tokens: &[Token], at: usize) -> Vis {
+    let mut i = at;
+    while i > 0 {
+        let prev = &tokens[i - 1];
+        match prev.ident() {
+            Some(q) if FN_QUALIFIERS.contains(&q) => i -= 1,
+            Some("pub") => return Vis::Public,
+            _ => match &prev.kind {
+                // `pub(crate) fn` / `pub(in path) fn`: skip the balanced
+                // parens backwards, then expect `pub`.
+                TokenKind::Punct(')') => {
+                    let mut depth = 1usize;
+                    let mut j = i - 1;
+                    while j > 0 && depth > 0 {
+                        j -= 1;
+                        match tokens[j].kind {
+                            TokenKind::Punct(')') => depth += 1,
+                            TokenKind::Punct('(') => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if j > 0 && tokens[j - 1].ident() == Some("pub") {
+                        return Vis::Restricted;
+                    }
+                    return Vis::Private;
+                }
+                // An ABI string (`extern "C" fn`) sits between qualifiers.
+                TokenKind::Literal(_) => i -= 1,
+                _ => return Vis::Private,
+            },
+        }
+    }
+    Vis::Private
+}
+
+/// Parses a `fn` signature starting at the `fn` keyword index: returns
+/// (signature end = body `{` or `;` index, body token range, whether the
+/// return type names a lock guard).
+fn fn_signature(tokens: &[Token], fn_idx: usize) -> (usize, Range<usize>, bool) {
+    // Walk to the parameter list `(`, skipping generics `<…>`.
+    let mut i = fn_idx + 2; // past `fn name`
+    let mut angle = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokenKind::Punct('(') if angle == 0 => break,
+            TokenKind::Punct('{') | TokenKind::Punct(';') if angle == 0 => {
+                // Malformed — treat as bodiless.
+                return (i, i..i, false);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Skip the balanced parameter list.
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Return type / where clause up to the body `{` or `;`. Braces can
+    // legally appear inside the return type only behind `dyn Fn() -> …`
+    // style nesting, which this workspace avoids; first top-level brace
+    // wins.
+    let ret_start = i;
+    let mut returns_guard = false;
+    let mut angle = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokenKind::Punct('{') => {
+                let end = match_brace(tokens, i);
+                returns_guard |= guard_in(&tokens[ret_start..i]);
+                return (i, (i + 1)..end, returns_guard);
+            }
+            TokenKind::Punct(';') if angle == 0 => {
+                returns_guard |= guard_in(&tokens[ret_start..i]);
+                return (i, i..i, returns_guard);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (tokens.len(), tokens.len()..tokens.len(), false)
+}
+
+/// Whether a token run names a lock guard type.
+fn guard_in(tokens: &[Token]) -> bool {
+    tokens.iter().any(|t| {
+        matches!(
+            t.ident(),
+            Some("MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard")
+        )
+    })
+}
+
+/// Parses one `use` declaration starting at the `use` keyword, expanding
+/// group imports (`use a::{b, c as d};`) into one [`UseImport`] per leaf.
+/// Returns the imports and the index just past the terminating `;`.
+fn parse_use(tokens: &[Token], use_idx: usize) -> (Vec<UseImport>, usize) {
+    let mut out = Vec::new();
+    let mut prefix: Vec<Vec<String>> = vec![Vec::new()]; // stack of group prefixes
+    let mut current: Vec<String> = Vec::new();
+    let mut alias: Option<String> = None;
+    let mut in_alias = false;
+    let mut i = use_idx + 1;
+
+    let flush = |prefix: &[Vec<String>],
+                 current: &mut Vec<String>,
+                 alias: &mut Option<String>,
+                 out: &mut Vec<UseImport>| {
+        if current.is_empty() {
+            return;
+        }
+        let mut segments: Vec<String> = prefix.iter().flatten().cloned().collect();
+        segments.append(current);
+        let leaf = alias
+            .take()
+            .or_else(|| segments.last().cloned())
+            .unwrap_or_default();
+        if leaf != "*" && !leaf.is_empty() {
+            out.push(UseImport { leaf, segments });
+        }
+    };
+
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct(';') => {
+                flush(&prefix, &mut current, &mut alias, &mut out);
+                return (out, i + 1);
+            }
+            TokenKind::Punct('{') => {
+                prefix.push(std::mem::take(&mut current));
+                in_alias = false;
+            }
+            TokenKind::Punct('}') => {
+                flush(&prefix, &mut current, &mut alias, &mut out);
+                prefix.pop();
+                in_alias = false;
+            }
+            TokenKind::Punct(',') => {
+                flush(&prefix, &mut current, &mut alias, &mut out);
+                in_alias = false;
+            }
+            TokenKind::Punct('*') => current.push("*".to_string()),
+            TokenKind::Ident(s) if s == "as" => in_alias = true,
+            TokenKind::Ident(s) => {
+                if in_alias {
+                    alias = Some(s.clone());
+                } else {
+                    current.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flush(&prefix, &mut current, &mut alias, &mut out);
+    (out, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> FileItems {
+        parse_items(&tokenize(src))
+    }
+
+    #[test]
+    fn finds_free_fns_methods_and_visibility() {
+        let src = "\
+pub fn outer() { inner(); }
+fn inner() {}
+pub(crate) fn restricted() {}
+struct S;
+impl S {
+    pub fn method(&self) -> u32 { 1 }
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+";
+        let items = parse(src);
+        let names: Vec<(&str, Option<&str>, Vis)> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref(), f.vis))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", None, Vis::Public),
+                ("inner", None, Vis::Private),
+                ("restricted", None, Vis::Restricted),
+                ("method", Some("S"), Vis::Public),
+                ("fmt", Some("S"), Vis::Private),
+            ]
+        );
+    }
+
+    #[test]
+    fn module_nesting_and_nested_fns() {
+        let src = "\
+mod a {
+    mod b {
+        fn deep() { fn deeper() {} }
+    }
+}
+fn top() {}
+";
+        let items = parse(src);
+        let paths: Vec<(String, Vec<String>)> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module_path.clone()))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("deep".into(), vec!["a".into(), "b".into()]),
+                ("deeper".into(), vec!["a".into(), "b".into()]),
+                ("top".into(), Vec::new()),
+            ]
+        );
+        // Nested fn body is inside the outer fn's body range.
+        let deep = &items.fns[0];
+        let deeper = &items.fns[1];
+        assert!(deep.body.start <= deeper.body.start && deeper.body.end <= deep.body.end);
+    }
+
+    #[test]
+    fn guard_returning_fns_are_marked() {
+        let src = "\
+fn lock(&self) -> std::sync::MutexGuard<'_, Inner> { self.inner.lock().unwrap() }
+fn plain(&self) -> usize { 0 }
+";
+        let items = parse(src);
+        assert!(items.fns[0].returns_guard);
+        assert!(!items.fns[1].returns_guard);
+    }
+
+    #[test]
+    fn use_groups_aliases_and_globs() {
+        let src = "\
+use ghosts_stats::glm::fit;
+use ghosts_core::{estimate_table, parallel::{par_map, try_par_map}};
+use ghosts_net::AddrSet as Set;
+use ghosts_sim::*;
+";
+        let items = parse(src);
+        let got: Vec<(String, Vec<String>)> = items
+            .uses
+            .iter()
+            .map(|u| (u.leaf.clone(), u.segments.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (
+                    "fit".into(),
+                    vec!["ghosts_stats".into(), "glm".into(), "fit".into()]
+                ),
+                (
+                    "estimate_table".into(),
+                    vec!["ghosts_core".into(), "estimate_table".into()]
+                ),
+                (
+                    "par_map".into(),
+                    vec!["ghosts_core".into(), "parallel".into(), "par_map".into()]
+                ),
+                (
+                    "try_par_map".into(),
+                    vec![
+                        "ghosts_core".into(),
+                        "parallel".into(),
+                        "try_par_map".into()
+                    ]
+                ),
+                ("Set".into(), vec!["ghosts_net".into(), "AddrSet".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let items = parse("fn real(f: fn(u32) -> u32) -> u32 { f(1) }");
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "real");
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_empty_bodies() {
+        let src = "\
+trait T {
+    fn decl(&self) -> u32;
+    fn with_default(&self) -> u32 { 1 }
+}
+";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 2);
+        assert!(items.fns[0].body.is_empty());
+        assert!(!items.fns[1].body.is_empty());
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() { fn inner() { let x = 1; } }";
+        let items = parse(src);
+        let tokens = tokenize(src);
+        let x_idx = tokens
+            .iter()
+            .position(|t| t.ident() == Some("x"))
+            .expect("x token");
+        assert_eq!(
+            items.enclosing_fn(x_idx).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+    }
+}

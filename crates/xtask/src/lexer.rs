@@ -19,12 +19,15 @@
 pub enum TokenKind {
     /// An identifier or keyword.
     Ident(String),
-    /// An integer literal (any base, any suffix except f32/f64).
-    Int,
+    /// An integer literal (any base, any suffix except f32/f64). The raw
+    /// source text is kept so rules can read type suffixes (`1u64`).
+    Int(String),
     /// A float literal (decimal point, exponent, or f32/f64 suffix).
     Float,
-    /// A string/char/byte literal (contents dropped).
-    Literal,
+    /// A string/char/byte literal. The contents are kept (escapes
+    /// unprocessed) so rules can read event names and similar registry
+    /// keys; they never re-enter identifier matching.
+    Literal(String),
     /// A lifetime or loop label, e.g. `'a`.
     Lifetime,
     /// One punctuation character: `.`, `=`, `!`, `<`, `(`, `[`, `#`, ….
@@ -47,6 +50,22 @@ impl Token {
     pub fn ident(&self) -> Option<&str> {
         match &self.kind {
             TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal contents, if this is a string/char/byte literal.
+    pub fn literal(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Literal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The raw source text, if this is an integer literal.
+    pub fn int_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Int(s) => Some(s),
             _ => None,
         }
     }
@@ -120,9 +139,9 @@ impl<'a> Lexer<'a> {
                     });
                 }
                 '"' => {
-                    self.string_literal();
+                    let text = self.string_literal();
                     tokens.push(Token {
-                        kind: TokenKind::Literal,
+                        kind: TokenKind::Literal(text),
                         line,
                     });
                 }
@@ -131,9 +150,9 @@ impl<'a> Lexer<'a> {
                     tokens.push(Token { kind, line });
                 }
                 'r' | 'b' if self.raw_or_byte_literal_ahead() => {
-                    self.raw_or_byte_literal();
+                    let text = self.raw_or_byte_literal();
                     tokens.push(Token {
-                        kind: TokenKind::Literal,
+                        kind: TokenKind::Literal(text),
                         line,
                     });
                 }
@@ -199,17 +218,22 @@ impl<'a> Lexer<'a> {
         text
     }
 
-    fn string_literal(&mut self) {
+    fn string_literal(&mut self) -> String {
+        let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump(); // escaped char (covers \" and \\)
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc); // escaped char (covers \" and \\)
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
+        text
     }
 
     /// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br`, `rb`-style
@@ -241,7 +265,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn raw_or_byte_literal(&mut self) {
+    fn raw_or_byte_literal(&mut self) -> String {
         let mut raw = false;
         while let Some(c) = self.peek(0) {
             match c {
@@ -258,20 +282,26 @@ impl<'a> Lexer<'a> {
         if !raw {
             // b"..." or b'.': delegate to the cooked scanners.
             match self.peek(0) {
-                Some('"') => self.string_literal(),
+                Some('"') => return self.string_literal(),
                 Some('\'') => {
+                    let mut text = String::new();
                     self.bump(); // opening '
                     if self.peek(0) == Some('\\') {
-                        self.bump();
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
                     }
-                    self.bump(); // the byte
+                    if let Some(c) = self.bump() {
+                        text.push(c); // the byte
+                    }
                     self.bump(); // closing '
+                    return text;
                 }
-                _ => {}
+                _ => return String::new(),
             }
-            return;
         }
         // Raw string: count fence hashes, then scan to `"` + fence.
+        let mut text = String::new();
         let mut fence = 0usize;
         while self.peek(0) == Some('#') {
             fence += 1;
@@ -289,11 +319,18 @@ impl<'a> Lexer<'a> {
                     if matched == fence {
                         break;
                     }
+                    // A quote that did not close the literal is content,
+                    // as are the hashes consumed while probing the fence.
+                    text.push('"');
+                    for _ in 0..matched {
+                        text.push('#');
+                    }
                 }
-                Some(_) => {}
+                Some(c) => text.push(c),
                 None => break,
             }
         }
+        text
     }
 
     fn char_or_lifetime(&mut self) -> TokenKind {
@@ -319,25 +356,30 @@ impl<'a> Lexer<'a> {
             }
         }
         // Char literal: `'x'`, `'\n'`, `'\u{1F47B}'`.
+        let mut text = String::new();
         self.bump(); // opening '
         match self.peek(0) {
             Some('\\') => {
+                text.push('\\');
                 self.bump();
                 if self.peek(0) == Some('u') {
                     // \u{...}
+                    text.push('u');
                     self.bump();
                     if self.peek(0) == Some('{') {
                         while let Some(c) = self.bump() {
+                            text.push(c);
                             if c == '}' {
                                 break;
                             }
                         }
                     }
-                } else {
-                    self.bump();
+                } else if let Some(c) = self.bump() {
+                    text.push(c);
                 }
             }
-            Some(_) => {
+            Some(c) => {
+                text.push(c);
                 self.bump();
             }
             None => {}
@@ -345,11 +387,12 @@ impl<'a> Lexer<'a> {
         if self.peek(0) == Some('\'') {
             self.bump();
         }
-        TokenKind::Literal
+        TokenKind::Literal(text)
     }
 
     fn number(&mut self) -> TokenKind {
         let mut is_float = false;
+        let start = self.pos;
         // Radix prefixes are always integers (0x, 0o, 0b).
         if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
             self.bump();
@@ -361,7 +404,7 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            return TokenKind::Int;
+            return TokenKind::Int(self.chars[start..self.pos].iter().collect());
         }
         while let Some(c) = self.peek(0) {
             if c.is_ascii_digit() || c == '_' {
@@ -423,7 +466,7 @@ impl<'a> Lexer<'a> {
         if is_float {
             TokenKind::Float
         } else {
-            TokenKind::Int
+            TokenKind::Int(self.chars[start..self.pos].iter().collect())
         }
     }
 
@@ -460,23 +503,26 @@ mod tests {
         assert_eq!(kinds("1.0"), vec![TokenKind::Float]);
         assert_eq!(kinds("1e-9"), vec![TokenKind::Float]);
         assert_eq!(kinds("3f64"), vec![TokenKind::Float]);
-        assert_eq!(kinds("42"), vec![TokenKind::Int]);
-        assert_eq!(kinds("0xffff"), vec![TokenKind::Int]);
+        assert_eq!(kinds("42"), vec![TokenKind::Int("42".into())]);
+        assert_eq!(kinds("0xffff"), vec![TokenKind::Int("0xffff".into())]);
+        // Suffixes are kept in the raw text (the counting-overflow rule
+        // reads them).
+        assert_eq!(kinds("1u64"), vec![TokenKind::Int("1u64".into())]);
         // `0..10` is int, range, int — not a float.
         assert_eq!(
             kinds("0..10"),
             vec![
-                TokenKind::Int,
+                TokenKind::Int("0".into()),
                 TokenKind::Punct('.'),
                 TokenKind::Punct('.'),
-                TokenKind::Int
+                TokenKind::Int("10".into())
             ]
         );
         // `1.max(2)` is a method call on an integer.
         assert_eq!(
             kinds("1.max"),
             vec![
-                TokenKind::Int,
+                TokenKind::Int("1".into()),
                 TokenKind::Punct('.'),
                 TokenKind::Ident("max".into())
             ]
@@ -495,13 +541,16 @@ mod tests {
             kinds("/* a /* nested */ b */"),
             vec![TokenKind::Comment(" a  nested  b ".into())]
         );
-        assert_eq!(kinds(r#""text with == 1.0""#), vec![TokenKind::Literal]);
+        assert_eq!(
+            kinds(r#""text with == 1.0""#),
+            vec![TokenKind::Literal("text with == 1.0".into())]
+        );
         assert_eq!(
             kinds(r##"r#"raw "with" quotes"#"##),
-            vec![TokenKind::Literal]
+            vec![TokenKind::Literal(r#"raw "with" quotes"#.into())]
         );
-        assert_eq!(kinds("'x'"), vec![TokenKind::Literal]);
-        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Literal]);
+        assert_eq!(kinds("'x'"), vec![TokenKind::Literal("x".into())]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Literal(r"\n".into())]);
         assert_eq!(
             kinds("&'a str"),
             vec![
@@ -532,9 +581,15 @@ mod tests {
 
     #[test]
     fn byte_and_raw_byte_literals() {
-        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::Literal]);
-        assert_eq!(kinds("b'x'"), vec![TokenKind::Literal]);
-        assert_eq!(kinds(r##"br#"raw bytes"#"##), vec![TokenKind::Literal]);
+        assert_eq!(
+            kinds(r#"b"bytes""#),
+            vec![TokenKind::Literal("bytes".into())]
+        );
+        assert_eq!(kinds("b'x'"), vec![TokenKind::Literal("x".into())]);
+        assert_eq!(
+            kinds(r##"br#"raw bytes"#"##),
+            vec![TokenKind::Literal("raw bytes".into())]
+        );
         // r#keyword is a raw identifier, not a raw string.
         assert_eq!(
             kinds("r#fn"),

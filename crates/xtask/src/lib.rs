@@ -2,44 +2,181 @@
 //!
 //! Home of **ghost-lint**, the repo-specific static-analysis pass enforcing
 //! the determinism and numerical-safety invariants the *Capturing Ghosts*
-//! reproduction depends on (see DESIGN.md, "Static analysis & invariants").
+//! reproduction depends on (see DESIGN.md §14, "Static analysis").
 //!
 //! The linter is dependency-free by necessity — the build environment has
 //! no crates.io access, so there is no `syn`. Instead [`lexer`] hand-rolls
-//! a token stream (comments retained, string/char contents discarded) and
-//! [`rules`] pattern-matches invariants over it. [`api_lock`] pins the
-//! public surface of the vendored shims, and [`workspace`] walks and
-//! classifies the files.
+//! a token stream (comments retained, string/char contents preserved),
+//! [`items`] parses it into a workspace item tree (functions, impls,
+//! `use` edges, visibility), [`graph`] links the trees into an
+//! approximate call graph, and two rule layers consume them:
+//! intraprocedural pattern rules in [`rules`] and interprocedural rules
+//! (panic paths, lock discipline, counting overflow, event
+//! exhaustiveness) in [`interproc`]. [`report`] renders text or
+//! deterministic JSON and applies the committed finding baseline;
+//! [`api_lock`] pins the public surface of the vendored shims, and
+//! [`workspace`] walks and classifies the files.
 //!
-//! Run it as `cargo run -p xtask -- lint` (wired into `scripts/ci.sh`).
+//! Per-file work fans out through `ghosts_core::parallel::par_map` with a
+//! content-hash parse cache; report bytes are identical at every thread
+//! count. Run it as `cargo run -p xtask -- lint` (wired into
+//! `scripts/ci.sh`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api_lock;
+pub mod graph;
+pub mod interproc;
+pub mod items;
 pub mod lexer;
+pub mod report;
 pub mod rules;
 pub mod workspace;
 
-use rules::Violation;
+use ghosts_core::parallel::{par_map, Parallelism};
+use rules::{Allows, FileClass, Violation};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Lints one file's source text under the given classification. This is the
-/// entry point the self-tests drive against fixture files.
-pub fn lint_source(source: &str, class: &rules::FileClass) -> Vec<Violation> {
+/// Everything derived from one file's source text alone — safe to cache
+/// by content hash and share across runs and threads.
+pub struct ParseArtifacts {
+    /// The token stream.
+    pub tokens: Vec<lexer::Token>,
+    /// The item tree.
+    pub items: items::FileItems,
+    /// Lines inside `#[cfg(test)]` items.
+    pub test_lines: BTreeSet<usize>,
+    /// Allow-comment sites as `(line, rule)` pairs. Usage flags are
+    /// per-run state and deliberately *not* cached.
+    pub allow_sites: Vec<(usize, String)>,
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and good enough to key a parse
+/// cache (a collision only risks reusing a parse, within one process).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn parse_cache() -> &'static Mutex<BTreeMap<u64, Arc<ParseArtifacts>>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<u64, Arc<ParseArtifacts>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Tokenizes and item-parses `source`, consulting the process-wide
+/// content-hash cache first. Artifacts are pure functions of the text,
+/// so a hit is always valid.
+pub fn parse_source(source: &str) -> Arc<ParseArtifacts> {
+    let key = fnv64(source.as_bytes());
+    {
+        let cache = parse_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = cache.get(&key) {
+            return Arc::clone(hit);
+        }
+    }
+    let tokens = lexer::tokenize(source);
+    let items = items::parse_items(&tokens);
+    let test_lines = rules::cfg_test_lines(&tokens);
+    let allow_sites = Allows::from_tokens(&tokens)
+        .sites()
+        .iter()
+        .map(|s| (s.line, s.rule.clone()))
+        .collect();
+    let arc = Arc::new(ParseArtifacts {
+        tokens,
+        items,
+        test_lines,
+        allow_sites,
+    });
+    let mut cache = parse_cache().lock().unwrap_or_else(|e| e.into_inner());
+    cache.insert(key, Arc::clone(&arc));
+    arc
+}
+
+/// One file after the parallel per-file pass: parse artifacts plus this
+/// run's allow-usage state.
+pub struct AnalyzedFile {
+    /// Workspace classification.
+    pub class: FileClass,
+    /// Cached parse artifacts.
+    pub artifacts: Arc<ParseArtifacts>,
+    /// Allow sites with fresh usage flags for this run.
+    pub allows: Allows,
+}
+
+/// Lints one file's source text under the given classification — the
+/// intraprocedural rules only. This is the entry point the original
+/// fixture self-tests drive against single files.
+pub fn lint_source(source: &str, class: &FileClass) -> Vec<Violation> {
     rules::lint_tokens(&lexer::tokenize(source), class)
 }
 
-/// Lints the whole workspace rooted at `root`: every discovered `.rs` file
-/// plus the vendor API-drift check. Violations come back sorted by path
-/// then line.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
-    for (path, class) in workspace::discover(root)? {
-        let source = std::fs::read_to_string(&path)?;
-        out.extend(lint_source(&source, &class));
+/// Analyzes a set of classified sources end to end: per-file rules fan
+/// out via `par_map` (parse-cached), then the interprocedural pass runs
+/// over the assembled item graph, then the stale-allow sweep reports
+/// suppressions that never suppressed anything. Output is sorted and
+/// byte-deterministic regardless of `par`.
+pub fn analyze_sources(sources: &[(FileClass, String)], par: Parallelism) -> Vec<Violation> {
+    let analyzed: Vec<(AnalyzedFile, Vec<Violation>)> =
+        par_map(par, sources, |_, (class, text)| {
+            let artifacts = parse_source(text);
+            let allows = Allows::from_sites(&artifacts.allow_sites);
+            let violations =
+                rules::lint_tokens_with(&artifacts.tokens, class, &allows, &artifacts.test_lines);
+            (
+                AnalyzedFile {
+                    class: class.clone(),
+                    artifacts,
+                    allows,
+                },
+                violations,
+            )
+        });
+
+    let mut out: Vec<Violation> = Vec::new();
+    let mut files: Vec<interproc::InterprocFile<'_>> = Vec::with_capacity(analyzed.len());
+    for (f, vs) in &analyzed {
+        out.extend(vs.iter().cloned());
+        files.push(interproc::InterprocFile {
+            class: &f.class,
+            tokens: &f.artifacts.tokens,
+            items: &f.artifacts.items,
+            test_lines: &f.artifacts.test_lines,
+            allows: &f.allows,
+        });
     }
+    out.extend(interproc::lint_interproc(&files));
+    // Stale-allow must run last: every rule family has had its chance to
+    // mark the suppressions it used.
+    for (f, _) in &analyzed {
+        out.extend(interproc::stale_allow_violations(&f.class, &f.allows));
+    }
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out
+}
+
+/// Lints the whole workspace rooted at `root`: every discovered `.rs`
+/// file through [`analyze_sources`], plus the vendor API-drift check.
+/// Violations come back sorted by path then line.
+pub fn lint_workspace(root: &Path, par: Parallelism) -> std::io::Result<Vec<Violation>> {
+    let mut sources = Vec::new();
+    for (path, class) in workspace::discover(root)? {
+        let text = std::fs::read_to_string(&path)?;
+        sources.push((class, text));
+    }
+    let mut out = analyze_sources(&sources, par);
     out.extend(api_lock::check(root)?);
-    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
     Ok(out)
 }

@@ -1,0 +1,291 @@
+//! Lint report rendering and the finding baseline.
+//!
+//! The JSON report (`--format json`) is produced through
+//! [`ghosts_obs::json::JsonValue`], whose `to_compact` serializer is
+//! deterministic (insertion-order keys, shortest-float numbers), so the
+//! report bytes are identical at every thread count — pinned by a test.
+//!
+//! The baseline (`lint-baseline.json`, repo root) is a multiset of
+//! `(file, rule, line)` keys with counts. A finding that matches a
+//! baseline entry (with remaining count) is *baselined*: reported, but
+//! not fatal. CI fails only on non-baselined findings, so legacy debt
+//! can be burned down without blocking unrelated PRs, while every new
+//! finding fails immediately. `--update-baseline` rewrites the file
+//! from the current findings.
+
+use crate::rules::{Violation, KNOWN_RULES};
+use ghosts_obs::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+
+/// Schema tag embedded in every report.
+pub const REPORT_SCHEMA: &str = "ghost-lint-report/1";
+/// Schema tag embedded in the baseline file.
+pub const BASELINE_SCHEMA: &str = "ghost-lint-baseline/1";
+/// Repo-root-relative path of the committed baseline.
+pub const BASELINE_PATH: &str = "lint-baseline.json";
+
+/// A multiset of accepted findings keyed by `(file, rule, line)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, usize), usize>,
+}
+
+impl Baseline {
+    /// Parses a baseline file. Unknown schema tags and malformed entries
+    /// are errors: a silently-empty baseline would fail CI everywhere.
+    pub fn load(text: &str) -> Result<Self, String> {
+        let root = parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        if root.get("schema").and_then(JsonValue::as_str) != Some(BASELINE_SCHEMA) {
+            return Err(format!("baseline schema tag is not \"{BASELINE_SCHEMA}\""));
+        }
+        let entries = root
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("baseline has no `entries` array")?;
+        let mut out = BTreeMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            let file = e
+                .get("file")
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("entry {i}: missing `file`"))?;
+            let rule = e
+                .get("rule")
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("entry {i}: missing `rule`"))?;
+            let line = e
+                .get("line")
+                .and_then(JsonValue::as_u64)
+                .ok_or(format!("entry {i}: missing `line`"))?;
+            let count = e.get("count").and_then(JsonValue::as_u64).unwrap_or(1);
+            if !KNOWN_RULES.contains(&rule) {
+                return Err(format!("entry {i}: unknown rule \"{rule}\""));
+            }
+            *out.entry((file.to_string(), rule.to_string(), line as usize))
+                .or_insert(0) += count as usize;
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Builds a baseline accepting exactly the given findings.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.file.clone(), v.rule.to_string(), v.line))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes to the committed JSON form (trailing newline included).
+    pub fn to_json_bytes(&self) -> String {
+        let entries: Vec<JsonValue> = self
+            .entries
+            .iter()
+            .map(|((file, rule, line), count)| {
+                let mut obj = vec![
+                    ("file".to_string(), JsonValue::Str(file.clone())),
+                    ("rule".to_string(), JsonValue::Str(rule.clone())),
+                    ("line".to_string(), JsonValue::UInt(*line as u64)),
+                ];
+                if *count > 1 {
+                    obj.push(("count".to_string(), JsonValue::UInt(*count as u64)));
+                }
+                JsonValue::Object(obj)
+            })
+            .collect();
+        let root = JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::Str(BASELINE_SCHEMA.to_string()),
+            ),
+            ("entries".to_string(), JsonValue::Array(entries)),
+        ]);
+        let mut s = root.to_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Number of accepted findings (multiset cardinality).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// True when the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Marks each violation baselined or not, consuming multiset counts
+    /// in order. Returns one flag per input violation.
+    pub fn apply(&self, violations: &[Violation]) -> Vec<bool> {
+        let mut remaining = self.entries.clone();
+        violations
+            .iter()
+            .map(|v| {
+                let key = (v.file.clone(), v.rule.to_string(), v.line);
+                match remaining.get_mut(&key) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        true
+                    }
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A finding paired with its baseline status.
+pub struct ReportEntry<'a> {
+    /// The finding.
+    pub violation: &'a Violation,
+    /// Accepted by the committed baseline.
+    pub baselined: bool,
+}
+
+/// Renders the JSON report. Deterministic byte-for-byte given the same
+/// findings: key order is fixed, findings arrive pre-sorted.
+pub fn render_json(entries: &[ReportEntry<'_>]) -> String {
+    let mut by_rule: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut fresh = 0u64;
+    let findings: Vec<JsonValue> = entries
+        .iter()
+        .map(|e| {
+            *by_rule.entry(e.violation.rule).or_insert(0) += 1;
+            if !e.baselined {
+                fresh += 1;
+            }
+            JsonValue::Object(vec![
+                ("file".to_string(), JsonValue::Str(e.violation.file.clone())),
+                ("line".to_string(), JsonValue::UInt(e.violation.line as u64)),
+                (
+                    "rule".to_string(),
+                    JsonValue::Str(e.violation.rule.to_string()),
+                ),
+                (
+                    "message".to_string(),
+                    JsonValue::Str(e.violation.message.clone()),
+                ),
+                ("baselined".to_string(), JsonValue::Bool(e.baselined)),
+            ])
+        })
+        .collect();
+    let summary = JsonValue::Object(vec![
+        ("total".to_string(), JsonValue::UInt(entries.len() as u64)),
+        ("new".to_string(), JsonValue::UInt(fresh)),
+        (
+            "baselined".to_string(),
+            JsonValue::UInt(entries.len() as u64 - fresh),
+        ),
+        (
+            "by_rule".to_string(),
+            JsonValue::Object(
+                by_rule
+                    .into_iter()
+                    .map(|(r, n)| (r.to_string(), JsonValue::UInt(n)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let root = JsonValue::Object(vec![
+        (
+            "schema".to_string(),
+            JsonValue::Str(REPORT_SCHEMA.to_string()),
+        ),
+        ("summary".to_string(), summary),
+        ("findings".to_string(), JsonValue::Array(findings)),
+    ]);
+    let mut s = root.to_compact();
+    s.push('\n');
+    s
+}
+
+/// Renders the human-readable report (the pre-v2 format, plus a
+/// `[baselined]` tag on accepted findings).
+pub fn render_text(entries: &[ReportEntry<'_>]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        let tag = if e.baselined { " [baselined]" } else { "" };
+        out.push_str(&format!(
+            "{}:{}: [{}]{} {}\n",
+            e.violation.file, e.violation.line, e.violation.rule, tag, e.violation.message
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: usize, rule: &'static str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let vs = vec![
+            v("a.rs", 3, "no-unwrap"),
+            v("a.rs", 3, "no-unwrap"),
+            v("b.rs", 9, "panic-path"),
+        ];
+        let b = Baseline::from_violations(&vs);
+        let text = b.to_json_bytes();
+        let b2 = Baseline::load(&text).expect("reload");
+        assert_eq!(b, b2);
+        assert_eq!(b2.len(), 3);
+    }
+
+    #[test]
+    fn apply_consumes_multiset_counts() {
+        let base = Baseline::from_violations(&[v("a.rs", 3, "no-unwrap")]);
+        let now = vec![v("a.rs", 3, "no-unwrap"), v("a.rs", 3, "no-unwrap")];
+        let flags = base.apply(&now);
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn load_rejects_unknown_rule_and_bad_schema() {
+        assert!(Baseline::load("{\"schema\":\"nope\",\"entries\":[]}").is_err());
+        let bad = format!(
+            "{{\"schema\":\"{BASELINE_SCHEMA}\",\"entries\":[{{\"file\":\"a\",\"rule\":\"zzz\",\"line\":1}}]}}"
+        );
+        assert!(Baseline::load(&bad).is_err());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let vs = [v("a.rs", 3, "no-unwrap")];
+        let entries: Vec<ReportEntry<'_>> = vs
+            .iter()
+            .map(|violation| ReportEntry {
+                violation,
+                baselined: true,
+            })
+            .collect();
+        let s = render_json(&entries);
+        let root = parse(&s).expect("report parses");
+        assert_eq!(
+            root.get("schema").and_then(JsonValue::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(
+            root.get("summary")
+                .and_then(|s| s.get("new"))
+                .and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            root.get("findings")
+                .and_then(JsonValue::as_array)
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! a deliberate reference model).
 
 use crate::lexer::{Token, TokenKind};
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 /// Crates whose estimation paths feed the paper's AIC/BIC selection and
@@ -147,61 +148,187 @@ pub const RULE_FAULT_SITES: &str = "fault-sites";
 /// Socket types (`TcpListener`/`TcpStream`/`UdpSocket`) outside the
 /// serving layer's crates.
 pub const RULE_NET_IO: &str = "net-io";
+/// `unwrap`/`expect`/`panic!`-family/unguarded indexing reachable from a
+/// public estimation or serve entrypoint (interprocedural; see
+/// [`crate::interproc`]).
+pub const RULE_PANIC_PATH: &str = "panic-path";
+/// Nested lock acquisition without a declared order, or a guard live
+/// across `par_map` / socket I/O (interprocedural).
+pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Unchecked `+`/`*`/`<<` on `u32`/`u64` counting values in the
+/// estimation crates.
+pub const RULE_COUNTING_OVERFLOW: &str = "counting-overflow";
+/// Event name emitted but missing from the `ghosts-events` registry
+/// (`ghosts_obs::schema::EVENT_NAMES`), or registered but never emitted.
+pub const RULE_EVENT_EXHAUSTIVENESS: &str = "event-exhaustiveness";
+/// A `lint: allow(...)` comment that no longer suppresses any finding.
+pub const RULE_STALE_ALLOW: &str = "stale-allow";
+
+/// Every rule id the `lint: allow(...)` escape hatch accepts. The
+/// stale-allow check reports allows naming anything else as unknown.
+pub const KNOWN_RULES: [&str; 15] = [
+    RULE_HASH,
+    RULE_FLOAT_EQ,
+    RULE_NONDETERMINISM,
+    RULE_UNWRAP,
+    RULE_FORBID_UNSAFE,
+    RULE_INVARIANT,
+    RULE_API_DRIFT,
+    RULE_OBS_CLOCK,
+    RULE_FAULT_SITES,
+    RULE_NET_IO,
+    RULE_PANIC_PATH,
+    RULE_LOCK_DISCIPLINE,
+    RULE_COUNTING_OVERFLOW,
+    RULE_EVENT_EXHAUSTIVENESS,
+    RULE_STALE_ALLOW,
+];
+
+/// One `lint: allow(<rule>)` site, with a used-flag so the stale-allow
+/// check can report suppressions that no longer suppress anything.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// Line the comment sits on (the allow covers this line and the
+    /// next).
+    pub line: usize,
+    /// The rule id named in the comment (`sorted` maps to
+    /// `hash-collections`).
+    pub rule: String,
+    /// Set when the allow actually suppressed a finding this run.
+    pub used: Cell<bool>,
+}
+
+/// All justification comments of one file, with usage tracking.
+///
+/// Rules must call [`Allows::check`] only at a site that would otherwise
+/// fire — a `true` return both suppresses the finding and marks the
+/// allow as earning its keep.
+#[derive(Debug, Clone, Default)]
+pub struct Allows {
+    sites: Vec<AllowSite>,
+}
+
+impl Allows {
+    /// Extracts allow sites from a token stream (the `lint:` comment
+    /// grammar of the module docs).
+    pub fn from_tokens(tokens: &[Token]) -> Allows {
+        Allows {
+            sites: allow_sites(tokens),
+        }
+    }
+
+    /// Rebuilds from pre-extracted `(line, rule)` pairs (the parse cache
+    /// stores those; usage flags must start fresh each run).
+    pub fn from_sites(sites: &[(usize, String)]) -> Allows {
+        Allows {
+            sites: sites
+                .iter()
+                .map(|(line, rule)| AllowSite {
+                    line: *line,
+                    rule: rule.clone(),
+                    used: Cell::new(false),
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a finding of `rule` at `line` is suppressed; marks the
+    /// matching allow(s) used.
+    pub fn check(&self, line: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for site in &self.sites {
+            if site.rule == rule && (site.line == line || site.line + 1 == line) {
+                site.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// The sites, for the stale-allow sweep.
+    pub fn sites(&self) -> &[AllowSite] {
+        &self.sites
+    }
+}
 
 /// Lints one tokenized file. `tokens` must come from
 /// [`crate::lexer::tokenize`] on the file's full text.
 pub fn lint_tokens(tokens: &[Token], class: &FileClass) -> Vec<Violation> {
-    let allowed = allowed_lines(tokens);
+    let allows = Allows::from_tokens(tokens);
     let test_lines = cfg_test_lines(tokens);
+    lint_tokens_with(tokens, class, &allows, &test_lines)
+}
+
+/// Like [`lint_tokens`], but with caller-provided allow sites and test
+/// regions so the workspace pipeline can reuse cached parses and carry
+/// allow-usage flags through to the stale-allow sweep.
+pub fn lint_tokens_with(
+    tokens: &[Token],
+    class: &FileClass,
+    allows: &Allows,
+    test_lines: &BTreeSet<usize>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
 
-    rule_hash_collections(tokens, class, &allowed, &mut out);
-    rule_float_eq(tokens, class, &allowed, &test_lines, &mut out);
-    rule_nondeterminism(tokens, class, &allowed, &mut out);
-    rule_obs_clock(tokens, class, &allowed, &test_lines, &mut out);
-    rule_no_unwrap(tokens, class, &allowed, &test_lines, &mut out);
+    rule_hash_collections(tokens, class, allows, &mut out);
+    rule_float_eq(tokens, class, allows, test_lines, &mut out);
+    rule_nondeterminism(tokens, class, allows, &mut out);
+    rule_obs_clock(tokens, class, allows, test_lines, &mut out);
+    rule_no_unwrap(tokens, class, allows, test_lines, &mut out);
     rule_forbid_unsafe(tokens, class, &mut out);
-    rule_invariant_usage(tokens, class, &test_lines, &mut out);
-    rule_fault_sites(tokens, class, &allowed, &test_lines, &mut out);
-    rule_net_io(tokens, class, &allowed, &test_lines, &mut out);
+    rule_invariant_usage(tokens, class, test_lines, &mut out);
+    rule_fault_sites(tokens, class, allows, test_lines, &mut out);
+    rule_net_io(tokens, class, allows, test_lines, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
-/// Lines carrying (or directly below) a `lint:` marker, with the rules the
-/// marker allows. The marker covers its own line and the next line, so both
-/// trailing comments and full-line comments above the code work.
-fn allowed_lines(tokens: &[Token]) -> Vec<(usize, String)> {
+/// Lines carrying a `lint:` marker, with the rules the marker allows. The
+/// marker covers its own line and the next line, so both trailing
+/// comments and full-line comments above the code work.
+fn allow_sites(tokens: &[Token]) -> Vec<AllowSite> {
     let mut out = Vec::new();
     for token in tokens {
         let TokenKind::Comment(text) = &token.kind else {
             continue;
         };
+        // Doc comments only *describe* the directive syntax; a
+        // suppression must be a plain `//` comment.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
         let Some(idx) = text.find("lint:") else {
             continue;
         };
         let directive = text[idx + "lint:".len()..].trim();
         if directive.starts_with("sorted") {
-            out.push((token.line, RULE_HASH.to_string()));
+            out.push(AllowSite {
+                line: token.line,
+                rule: RULE_HASH.to_string(),
+                used: Cell::new(false),
+            });
         } else if let Some(rest) = directive.strip_prefix("allow(") {
             if let Some(end) = rest.find(')') {
-                out.push((token.line, rest[..end].trim().to_string()));
+                let rule = rest[..end].trim();
+                // Rule ids are kebab-case; anything else (`<rule>`, `...`)
+                // is prose quoting the syntax, not a suppression.
+                if !rule.is_empty() && rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+                    out.push(AllowSite {
+                        line: token.line,
+                        rule: rule.to_string(),
+                        used: Cell::new(false),
+                    });
+                }
             }
         }
     }
     out
 }
 
-fn is_allowed(allowed: &[(usize, String)], line: usize, rule: &str) -> bool {
-    allowed
-        .iter()
-        .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
-}
-
 /// The set of lines inside `#[cfg(test)]` items (typically the in-file
 /// `mod tests { … }` block).
-fn cfg_test_lines(tokens: &[Token]) -> BTreeSet<usize> {
+pub fn cfg_test_lines(tokens: &[Token]) -> BTreeSet<usize> {
     let mut lines = BTreeSet::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -284,7 +411,7 @@ fn cfg_test_lines(tokens: &[Token]) -> BTreeSet<usize> {
 fn rule_hash_collections(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     out: &mut Vec<Violation>,
 ) {
     if !ESTIMATION_CRATES.contains(&class.crate_name.as_str())
@@ -294,7 +421,7 @@ fn rule_hash_collections(
     }
     for token in tokens {
         let Some(name) = token.ident() else { continue };
-        if (name == "HashMap" || name == "HashSet") && !is_allowed(allowed, token.line, RULE_HASH) {
+        if (name == "HashMap" || name == "HashSet") && !allows.check(token.line, RULE_HASH) {
             out.push(Violation {
                 file: class.rel_path.clone(),
                 line: token.line,
@@ -312,7 +439,7 @@ fn rule_hash_collections(
 fn rule_float_eq(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     test_lines: &BTreeSet<usize>,
     out: &mut Vec<Violation>,
 ) {
@@ -381,10 +508,7 @@ fn rule_float_eq(
         }
         let line = a.line;
         let float_involved = (i > 0 && float_operand(i - 1, false)) || float_operand(i + 2, true);
-        if float_involved
-            && !test_lines.contains(&line)
-            && !is_allowed(allowed, line, RULE_FLOAT_EQ)
-        {
+        if float_involved && !test_lines.contains(&line) && !allows.check(line, RULE_FLOAT_EQ) {
             out.push(Violation {
                 file: class.rel_path.clone(),
                 line,
@@ -403,7 +527,7 @@ fn rule_float_eq(
 fn rule_nondeterminism(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     out: &mut Vec<Violation>,
 ) {
     if !DETERMINISTIC_CRATES.contains(&class.crate_name.as_str())
@@ -415,7 +539,7 @@ fn rule_nondeterminism(
     for token in tokens {
         let Some(name) = token.ident() else { continue };
         if matches!(name, "SystemTime" | "Instant" | "thread_rng")
-            && !is_allowed(allowed, token.line, RULE_NONDETERMINISM)
+            && !allows.check(token.line, RULE_NONDETERMINISM)
         {
             out.push(Violation {
                 file: class.rel_path.clone(),
@@ -440,7 +564,7 @@ fn rule_nondeterminism(
 fn rule_obs_clock(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     test_lines: &BTreeSet<usize>,
     out: &mut Vec<Violation>,
 ) {
@@ -462,7 +586,14 @@ fn rule_obs_clock(
         && matches!(class.section, Section::Src);
     for token in tokens {
         let Some(name) = token.ident() else { continue };
-        if test_lines.contains(&token.line) || is_allowed(allowed, token.line, RULE_OBS_CLOCK) {
+        if test_lines.contains(&token.line) {
+            continue;
+        }
+        // Only consult (and thereby mark) the allow at a would-be firing
+        // site — otherwise unrelated allows read as used.
+        let fires =
+            matches!(name, "Instant" | "SystemTime") || (name == "WallClock" && wall_clock_banned);
+        if !fires || allows.check(token.line, RULE_OBS_CLOCK) {
             continue;
         }
         match name {
@@ -494,7 +625,7 @@ fn rule_obs_clock(
 fn rule_no_unwrap(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     test_lines: &BTreeSet<usize>,
     out: &mut Vec<Violation>,
 ) {
@@ -513,7 +644,7 @@ fn rule_no_unwrap(
         if (name == "unwrap" || name == "expect")
             && tokens[i + 2].is_punct('(')
             && !test_lines.contains(&tokens[i + 1].line)
-            && !is_allowed(allowed, tokens[i + 1].line, RULE_UNWRAP)
+            && !allows.check(tokens[i + 1].line, RULE_UNWRAP)
         {
             out.push(Violation {
                 file: class.rel_path.clone(),
@@ -605,7 +736,7 @@ fn rule_invariant_usage(
 fn rule_fault_sites(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     test_lines: &BTreeSet<usize>,
     out: &mut Vec<Violation>,
 ) {
@@ -619,11 +750,16 @@ fn rule_fault_sites(
         return;
     }
     let mut flag = |line: usize, item: &str| {
-        if test_lines.contains(&line) || is_allowed(allowed, line, RULE_FAULT_SITES) {
+        if test_lines.contains(&line) {
             return;
         }
+        // Classify first; the allow is consulted (and marked used) only
+        // when a finding would actually fire.
         if FAULT_PLAN_IDENTS.contains(&item) {
             if matches!(class.section, Section::Src) {
+                if allows.check(line, RULE_FAULT_SITES) {
+                    return;
+                }
                 out.push(Violation {
                     file: class.rel_path.clone(),
                     line,
@@ -636,6 +772,9 @@ fn rule_fault_sites(
                 });
             }
         } else if !FAULT_SITE_CRATES.contains(&class.crate_name.as_str()) {
+            if allows.check(line, RULE_FAULT_SITES) {
+                return;
+            }
             out.push(Violation {
                 file: class.rel_path.clone(),
                 line,
@@ -688,7 +827,7 @@ fn rule_fault_sites(
 fn rule_net_io(
     tokens: &[Token],
     class: &FileClass,
-    allowed: &[(usize, String)],
+    allows: &Allows,
     test_lines: &BTreeSet<usize>,
     out: &mut Vec<Violation>,
 ) {
@@ -703,7 +842,7 @@ fn rule_net_io(
         let Some(name) = token.ident() else { continue };
         if matches!(name, "TcpListener" | "TcpStream" | "UdpSocket")
             && !test_lines.contains(&token.line)
-            && !is_allowed(allowed, token.line, RULE_NET_IO)
+            && !allows.check(token.line, RULE_NET_IO)
         {
             out.push(Violation {
                 file: class.rel_path.clone(),

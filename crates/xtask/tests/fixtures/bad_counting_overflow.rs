@@ -1,0 +1,11 @@
+//! Fixture: counting-overflow — unchecked arithmetic on declared counters.
+
+pub fn tally(total: u64, n: u64) -> u64 {
+    let doubled = total * 2;
+    let mask = 1u32 << 24;
+    // lint: allow(counting-overflow) totals are < 2^32 by the table invariant
+    let ok = total + n;
+    let safe = total.checked_add(n).unwrap_or(u64::MAX);
+    let as_float = total as f64 + 0.5;
+    doubled + ok + safe + u64::from(mask) + as_float as u64
+}

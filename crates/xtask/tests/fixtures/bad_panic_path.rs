@@ -1,0 +1,20 @@
+//! Fixture: panic-path — panics reachable from a public entrypoint.
+
+pub fn estimate_table(xs: &[u64]) -> u64 {
+    helper(xs)
+}
+
+fn helper(xs: &[u64]) -> u64 {
+    let a = xs[0];
+    let b = xs.iter().next().unwrap();
+    if xs.is_empty() {
+        panic!("empty");
+    }
+    // lint: allow(panic-path) the caller guarantees at least three items
+    let c = xs[2];
+    a + b + c
+}
+
+fn not_reachable(xs: &[u64]) -> u64 {
+    xs[0]
+}

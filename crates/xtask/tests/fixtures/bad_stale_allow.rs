@@ -1,0 +1,11 @@
+//! Fixture: stale-allow — suppressions that no longer suppress anything.
+
+// lint: allow(no-unwrap) nothing on the next line unwraps anymore
+pub fn tidy(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
+
+// lint: allow(definitely-not-a-rule) typo'd rule name
+pub fn other() -> u64 {
+    7
+}

@@ -11,8 +11,16 @@ cargo build --release --examples
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> ghost-lint (cargo run -p xtask -- lint)"
-cargo run -q -p xtask -- lint
+echo "==> ghost-lint (JSON report vs committed baseline)"
+# Fails only on findings not in lint-baseline.json; the machine-readable
+# report is kept as a build artifact for diffing across runs.
+mkdir -p target
+cargo run -q -p xtask -- lint --format json >target/lint-report.json
+test -s target/lint-report.json
+grep -q '"schema":"ghost-lint-report/1"' target/lint-report.json || {
+    echo "ci.sh: lint report lacks the ghost-lint-report/1 schema tag" >&2
+    exit 1
+}
 
 echo "==> observability smoke (repro --trace / --metrics-out + schema check)"
 smoke_dir="$(mktemp -d)"
