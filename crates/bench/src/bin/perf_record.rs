@@ -2,13 +2,15 @@
 //! observability layer and writes a `RunManifest` perf record
 //! (`BENCH_pr3.json` is the committed first point of the trajectory;
 //! `BENCH_pr5.json` is the serving layer's; `BENCH_pr6.json` the
-//! reliability engine's; `BENCH_pr7.json` ghost-lint's).
+//! reliability engine's; `BENCH_pr7.json` ghost-lint's;
+//! `BENCH_pr8.json` the telemetry plane's).
 //!
 //! ```text
 //! cargo run -p ghosts-bench --release --bin perf_record -- BENCH_pr3.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- serve BENCH_pr5.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- reliability BENCH_pr6.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- lint BENCH_pr7.json
+//! cargo run -p ghosts-bench --release --bin perf_record -- obs BENCH_pr8.json
 //! ```
 //!
 //! The `serve` mode measures the estimation server end to end over
@@ -27,6 +29,14 @@
 //! medians at 1 thread and `auto` — the gap between the 1-thread and
 //! `auto` lanes is the per-file `par_map` speed-up, and the gap between
 //! cold and warm is the content-hash parse cache.
+//!
+//! The `obs` mode (`BENCH_pr8.json`) measures the telemetry plane
+//! itself (DESIGN.md §15): counter/histogram record cost through the
+//! sharded registry — asserted at ≤100 ns/op, single-threaded and
+//! contended — the `/metrics` render time on a populated hub, and the
+//! serving layer's cache-hot request rate re-measured on the lock-free
+//! hot path (the regression check against `BENCH_pr5.json`, whose
+//! baseline is printed alongside when the file is present).
 //!
 //! Two timing lanes per workload:
 //! * `*_disabled_us` — recorder disabled (the no-op branch production code
@@ -346,6 +356,158 @@ fn lint_mode(out: &str) {
     );
 }
 
+/// The telemetry plane's perf record (`BENCH_pr8.json`): record-path
+/// cost of the sharded registry, `/metrics` render time on a populated
+/// hub, and the serve request rate re-measured on the lock-free hot
+/// path.
+fn obs_mode(out: &str) {
+    use ghosts_obs::Registry;
+    use ghosts_serve::{client, MetricsHub, Server, ServerConfig};
+    let wall = WallClock::new();
+    let iters = 9usize;
+
+    eprintln!("perf_record: timing counter/histogram records (single thread)…");
+    let registry = Registry::new();
+    let counter = registry.counter("perf.counter");
+    let hist = registry.hist("perf.hist");
+    const OPS: u64 = 8_000_000;
+    let t0 = wall.now();
+    for i in 0..OPS {
+        counter.add(i & 1);
+    }
+    let counter_ns = (wall.now() - t0).max(1) * 1000 / OPS;
+    let t0 = wall.now();
+    for i in 0..OPS {
+        hist.record(i);
+    }
+    let hist_ns = (wall.now() - t0).max(1) * 1000 / OPS;
+
+    eprintln!("perf_record: timing contended counter records (4 threads)…");
+    let t0 = wall.now();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..OPS / 4 {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread");
+    }
+    let contended_ns = (wall.now() - t0).max(1) * 1000 / OPS;
+    // The headline contract: recording must stay out of the request
+    // latency budget. 100 ns/op is the bar ISSUE 8 sets; a mutex-backed
+    // hub fails it under contention, the sharded cells pass with margin.
+    assert!(
+        counter_ns <= 100,
+        "counter record {counter_ns} ns/op breaches the 100 ns budget"
+    );
+    assert!(
+        hist_ns <= 100,
+        "histogram record {hist_ns} ns/op breaches the 100 ns budget"
+    );
+    assert!(
+        contended_ns <= 100,
+        "contended counter record {contended_ns} ns/op breaches the 100 ns budget"
+    );
+
+    eprintln!("perf_record: cache-hot serve throughput on the lock-free hub…");
+    let start = |workers: usize| {
+        Server::bind(
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+            serve_backend(5),
+            MetricsHub::wall(),
+        )
+        .expect("bind loopback")
+    };
+    let hot_body = r#"{"window":0}"#;
+    let server = start(1);
+    let addr = server.local_addr();
+    client::post_json(addr, "/v1/estimate", hot_body).expect("warm the cache");
+    let rps_w1 = serve_rps(&wall, addr, 1, 200, hot_body);
+    // Render timing on the hub this run just populated — counters,
+    // latency sketch, epochs and tail are all live, so this is the
+    // scrape cost an operator actually pays.
+    let hub = server.hub();
+    let render_us = median_us(&wall, iters, || {
+        std::hint::black_box(hub.render_text());
+    });
+    let tail_us = median_us(&wall, iters, || {
+        std::hint::black_box(hub.render_tail(64));
+    });
+    server.shutdown();
+    let server = start(4);
+    let addr = server.local_addr();
+    client::post_json(addr, "/v1/estimate", hot_body).expect("warm the cache");
+    let rps_w4 = serve_rps(&wall, addr, 4, 200, hot_body);
+    server.shutdown();
+
+    // The acceptance bar: req/s must not regress against the serving
+    // layer's pre-telemetry record. Read the committed baseline when
+    // it is on disk (perf_record runs from the repo root in CI).
+    let pr5_rps = std::fs::read_to_string("BENCH_pr5.json")
+        .ok()
+        .and_then(|s| ghosts_obs::json::parse(&s).ok())
+        .and_then(|v| {
+            v.get("volatile")
+                .and_then(|vol| vol.get("perf.serve_rps_workers1"))
+                .and_then(ghosts_obs::json::JsonValue::as_u64)
+        });
+    if let Some(baseline) = pr5_rps {
+        eprintln!(
+            "perf_record: {rps_w1} req/s @1 worker vs BENCH_pr5.json baseline {baseline} \
+             ({:+.1}%)",
+            100.0 * (rps_w1 as f64 - baseline as f64) / baseline as f64
+        );
+    }
+
+    let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+    rec.volatile_add("perf.obs_counter_record_ns", counter_ns);
+    rec.volatile_add("perf.obs_hist_record_ns", hist_ns);
+    rec.volatile_add("perf.obs_counter_contended_ns", contended_ns);
+    rec.volatile_add("perf.obs_metrics_render_us", render_us);
+    rec.volatile_add("perf.obs_tail_render_us", tail_us);
+    rec.volatile_add("perf.serve_rps_workers1", rps_w1);
+    rec.volatile_add("perf.serve_rps_workers4", rps_w4);
+    let mut fields = vec![
+        ("bench", FieldValue::Str("pr8".to_string())),
+        ("counter_record_ns", FieldValue::U64(counter_ns)),
+        ("hist_record_ns", FieldValue::U64(hist_ns)),
+        ("counter_contended_ns", FieldValue::U64(contended_ns)),
+        ("metrics_render_us", FieldValue::U64(render_us)),
+        ("tail_render_us", FieldValue::U64(tail_us)),
+        ("serve_rps_workers1", FieldValue::U64(rps_w1)),
+        ("serve_rps_workers4", FieldValue::U64(rps_w4)),
+    ];
+    if let Some(baseline) = pr5_rps {
+        fields.push(("pr5_rps_workers1_baseline", FieldValue::U64(baseline)));
+    }
+    rec.root("perf").event("bench_point", &fields);
+    let log = rec.flush();
+    let mut manifest = RunManifest::new();
+    manifest.set_config("bench", "pr8");
+    manifest.set_config(
+        "workload.obs",
+        "8M counter/hist records (1 and 4 threads) through the sharded registry; \
+         /metrics + trace-tail render on a live hub; cache-hot serve rps as in pr5",
+    );
+    manifest.set_config("iters", iters.to_string());
+    manifest.ingest_metrics(&log);
+    manifest.ingest_events(&log, &["bench_point"]);
+    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    eprintln!(
+        "perf_record: record {counter_ns}ns/op counter / {hist_ns}ns/op hist \
+         ({contended_ns}ns/op contended), /metrics render {render_us}us, \
+         {rps_w1} req/s @1 worker, {rps_w4} req/s @4 workers → {out}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
@@ -362,6 +524,14 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_pr6.json".to_string());
         reliability_mode(&out);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("obs") {
+        let out = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+        obs_mode(&out);
         return;
     }
     if args.first().map(String::as_str) == Some("serve") {

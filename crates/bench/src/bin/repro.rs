@@ -22,6 +22,12 @@
 //! * `--fault-plan PATH` — install a deterministic fault-injection plan
 //!   (DESIGN.md §11) before running; implies tracing so every fired fault
 //!   and every degradation is recorded.
+//! * `--profile` — enable the stage profiler: wall time attributed across
+//!   the pipeline stages (`parse` → `estimate/select` → `estimate/fit` →
+//!   `estimate/ci`), printed as a table and ingested into the
+//!   `--metrics-out` manifest (call counts deterministic, durations
+//!   volatile). The trace gains `stage_profile` events carrying the
+//!   deterministic call counts only.
 //! * `--quiet` — suppress progress chatter and per-experiment text on
 //!   stdout; errors still go to stderr.
 //!
@@ -37,7 +43,7 @@ use ghosts_bench::context::write_results;
 use ghosts_bench::experiments::{self, ALL_IDS_FULL};
 use ghosts_bench::ReproContext;
 use ghosts_core::{estimate_stratified, estimate_table, ContingencyTable, Parallelism};
-use ghosts_obs::{FieldValue, LogicalClock, Recorder, RunManifest, WallClock};
+use ghosts_obs::{FieldValue, LogicalClock, Recorder, RunManifest, StageProfiler, WallClock};
 use serde_json::json;
 use std::sync::Arc;
 
@@ -79,6 +85,7 @@ struct Options {
     trace: Option<String>,
     metrics_out: Option<String>,
     fault_plan: Option<String>,
+    profile: bool,
     quiet: bool,
 }
 
@@ -96,6 +103,7 @@ fn parse_args(args: &[String]) -> Options {
         trace: None,
         metrics_out: None,
         fault_plan: None,
+        profile: false,
         quiet: false,
     };
     let mut it = args.iter();
@@ -141,6 +149,7 @@ fn parse_args(args: &[String]) -> Options {
                         .clone(),
                 );
             }
+            "--profile" => opts.profile = true,
             "--quiet" => opts.quiet = true,
             "all" => opts.ids.extend(ALL_IDS_FULL.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
@@ -199,6 +208,11 @@ fn main() {
     let mut ctx = ReproContext::new(opts.denom, opts.seed);
     ctx.parallelism = opts.parallelism;
     ctx.recorder = rec.clone();
+    if opts.profile {
+        // Wall-clock durations: only surfaced through the stage table and
+        // the manifest's volatile lane, never the deterministic trace.
+        ctx.profiler = StageProfiler::enabled(Arc::new(WallClock::new()));
+    }
     let ctx = ctx;
     rec.volatile_add("repro.scenario_build_us", wall.now() - t_build);
     progress(&format!(
@@ -256,6 +270,26 @@ fn main() {
     rec.volatile_add("repro.total_us", wall.now());
     rec.volatile_max("repro.worker_threads", opts.parallelism.threads() as u64);
 
+    // The stage table: printed for humans, echoed into the trace as
+    // deterministic `stage_profile` events (call counts only — durations
+    // are volatile and stay out of the trace bytes).
+    if opts.profile {
+        let table = ctx.profiler.table();
+        if !opts.quiet {
+            println!("\nStage profile\n{}", table.render_text());
+        }
+        let span = rec.root("profile");
+        for row in &table.rows {
+            span.event(
+                "stage_profile",
+                &[
+                    ("stage", FieldValue::Str(row.path.clone())),
+                    ("calls", FieldValue::U64(row.calls)),
+                ],
+            );
+        }
+    }
+
     // Record every fired fault before the flush, in the fire log's
     // deterministic (site, scope, fault, hit) order, so the trace of a
     // `--fault-plan` run documents exactly which faults actually struck.
@@ -297,6 +331,9 @@ fn main() {
             manifest.set_config("experiments", opts.ids.join(" "));
             manifest.ingest_metrics(&log);
             manifest.ingest_events(&log, MANIFEST_EVENTS);
+            if opts.profile {
+                manifest.ingest_stage_table(&ctx.profiler.table());
+            }
             if let Err(e) = std::fs::write(path, manifest.to_json()) {
                 eprintln!("repro: could not write manifest {path}: {e}");
                 failures += 1;
@@ -432,7 +469,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT…|all] [--denom N] [--seed N] [--threads auto|N]\n\
-         \x20            [--trace PATH] [--metrics-out PATH] [--fault-plan PATH] [--quiet]\n\
+         \x20            [--trace PATH] [--metrics-out PATH] [--fault-plan PATH]\n\
+         \x20            [--profile] [--quiet]\n\
          experiments: {}\n\
          extras: reliability (bootstrap + coverage + batched CV report)",
         ALL_IDS_FULL.join(" ")

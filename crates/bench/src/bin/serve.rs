@@ -153,7 +153,13 @@ fn req(args: &[String]) -> ExitCode {
             for (name, value) in &response.headers {
                 eprintln!("{name}: {value}");
             }
-            println!("{}", response.body_text());
+            // Newline-terminated bodies (JSONL, /metrics) pass through
+            // byte-exact; compact JSON bodies still get a final newline.
+            let body = response.body_text();
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
             match expect {
                 Some(want) if want != response.status => {
                     eprintln!("serve: expected status {want}, got {}", response.status);

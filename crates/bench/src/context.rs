@@ -11,9 +11,9 @@ use ghosts_core::{
     estimate_table, ContingencyTable, CrConfig, CrEstimate, EstimateError, Parallelism,
 };
 use ghosts_net::SubnetSet;
-use ghosts_obs::{Recorder, Scope};
+use ghosts_obs::{Recorder, Scope, StageProfiler};
 use ghosts_pipeline::dataset::{SourceDataset, WindowData};
-use ghosts_pipeline::spoof_filter::{filter_spoofed_traced, SpoofFilterConfig};
+use ghosts_pipeline::spoof_filter::{filter_spoofed_profiled, SpoofFilterConfig};
 use ghosts_pipeline::time::{paper_windows, TimeWindow};
 use ghosts_sim::{Scenario, SimConfig};
 use ghosts_stats::rng::component_rng;
@@ -97,6 +97,11 @@ pub struct ReproContext {
     /// first populated a cache slot — as long as experiments themselves
     /// run sequentially (racing double-computes would double-record).
     pub recorder: Recorder,
+    /// Stage profiler attributing wall (or logical) time across the
+    /// pipeline stages (`parse` → `fit`/`select`/`ci`). Disabled by
+    /// default; the `repro` binary enables it under `--profile`. Call
+    /// counts are deterministic; durations live in the volatile lane.
+    pub profiler: StageProfiler,
     raw: ShardedCache<WindowData>,
     filtered: ShardedCache<WindowData>,
     addr_estimates: ShardedCache<CrEstimate>,
@@ -123,6 +128,7 @@ impl ReproContext {
             denom: denom as f64,
             parallelism: Parallelism::Auto,
             recorder: Recorder::disabled(),
+            profiler: StageProfiler::disabled(),
             raw: ShardedCache::new(),
             filtered: ShardedCache::new(),
             addr_estimates: ShardedCache::new(),
@@ -144,6 +150,7 @@ impl ReproContext {
             // order is deterministic); the cached per-window entry points
             // override this with their indexed window span.
             obs: self.recorder.root("estimate"),
+            profile: self.profiler.scoped("estimate"),
             ..CrConfig::paper()
         };
         cfg.selection.parallelism = self.parallelism;
@@ -170,6 +177,7 @@ impl ReproContext {
             let spoof_free = raw.spoof_free_union();
             let fcfg = SpoofFilterConfig::with_universe(self.scenario.routed_per_eight());
             let obs = self.window_scope("pipeline", i);
+            let profile = self.profiler.scoped("parse");
             let mut sources: Vec<SourceDataset> = raw
                 .sources
                 .iter()
@@ -181,12 +189,13 @@ impl ReproContext {
                             self.scenario.gt.cfg.seed,
                             &format!("repro-filter-{}-{}", d.name, i),
                         );
-                        let report = filter_spoofed_traced(
+                        let report = filter_spoofed_profiled(
                             &d.addrs,
                             &spoof_free,
                             &fcfg,
                             &mut rng,
                             &obs.child(&d.name),
+                            &profile,
                         );
                         SourceDataset::new(d.name.clone(), report.filtered, false)
                     }

@@ -49,6 +49,7 @@ pub fn run(ctx: &ReproContext) -> (String, serde_json::Value) {
                 divisor,
                 ..SelectionOptions::default()
             },
+            profile: ctx.profiler.scoped("estimate"),
             ..CrConfig::paper()
         };
         // All (window × held-out source × granularity) cells of this

@@ -9,7 +9,7 @@ use crate::history::ContingencyTable;
 use crate::invariant;
 use crate::parallel::{try_par_map, Parallelism};
 use crate::select::{select_model, SelectionOptions, SelectionResult};
-use ghosts_obs::{FieldValue, Scope};
+use ghosts_obs::{FieldValue, Scope, StageProfiler};
 use ghosts_stats::glm::GlmError;
 
 /// Configuration of a CR estimation run.
@@ -43,6 +43,13 @@ pub struct CrConfig {
     /// [`estimate_stratified`] derives an indexed child span per stratum,
     /// so parallel strata never share a span.
     pub obs: Scope,
+    /// Stage profiler attributing clock time to the select / fit / ci
+    /// stages (disabled by default). Callers usually pass a scoped handle
+    /// (`profiler.scoped("estimate")`) so stage paths read
+    /// `estimate/select`, `estimate/fit`, `estimate/ci`. Durations follow
+    /// the profiler's clock and stay in the volatile lane; only the call
+    /// counts are deterministic.
+    pub profile: StageProfiler,
 }
 
 impl Default for CrConfig {
@@ -56,6 +63,7 @@ impl Default for CrConfig {
             excluded_policy: ExcludedPolicy::ObservedOnly,
             parallelism: Parallelism::Auto,
             obs: Scope::disabled(),
+            profile: StageProfiler::disabled(),
         }
     }
 }
@@ -226,7 +234,11 @@ fn estimate_cell(
             cfg,
         )
     };
-    let sel = match select_model(table, cell_model, &selection_with_obs(cfg)) {
+    let selected = {
+        let _stage = cfg.profile.enter("select");
+        select_model(table, cell_model, &selection_with_obs(cfg))
+    };
+    let sel = match selected {
         Ok(sel) => sel,
         Err(e) if cfg.degrade => {
             return Ok(degrade(
@@ -238,7 +250,11 @@ fn estimate_cell(
         }
         Err(e) => return Err(e.into()),
     };
-    let fit = match fit_llm_opts(table, &sel.model, cell_model, &cfg.fit, &cfg.obs) {
+    let fitted = {
+        let _stage = cfg.profile.enter("fit");
+        fit_llm_opts(table, &sel.model, cell_model, &cfg.fit, &cfg.obs)
+    };
+    let fit = match fitted {
         Ok(fit) => fit,
         Err(e) if cfg.degrade => {
             return Ok(degrade(
@@ -252,8 +268,11 @@ fn estimate_cell(
     };
     let range = match alpha {
         Some(alpha_v) => {
-            match profile_interval_opts(table, &sel.model, cell_model, alpha_v, &cfg.fit, &cfg.obs)
-            {
+            let interval = {
+                let _stage = cfg.profile.enter("ci");
+                profile_interval_opts(table, &sel.model, cell_model, alpha_v, &cfg.fit, &cfg.obs)
+            };
+            match interval {
                 Ok(range) => Some(range),
                 Err(e) if cfg.degrade => {
                     return Ok(degrade(

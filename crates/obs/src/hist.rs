@@ -127,7 +127,7 @@ mod tests {
         let mut left = HistSnapshot::new();
         let mut right = HistSnapshot::new();
         for (i, &v) in obs.iter().enumerate() {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 left.observe(v);
             } else {
                 right.observe(v);

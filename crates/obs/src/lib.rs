@@ -51,15 +51,24 @@ pub mod clock;
 pub mod hist;
 pub mod json;
 pub mod manifest;
+pub mod profile;
 pub mod recorder;
+pub mod registry;
+pub mod ring;
 pub mod schema;
+pub mod sketch;
 pub mod wall;
 
 pub use clock::{Clock, LogicalClock};
 pub use hist::{HistSnapshot, BUCKET_BOUNDS, NUM_BUCKETS};
 pub use manifest::{Record, RunManifest};
+pub use profile::{StageGuard, StageProfiler, StageRow, StageTable};
 pub use recorder::{EventKind, EventLog, EventRecord, FieldValue, Recorder, Scope, SpanPath};
+pub use registry::{Counter, Histogram, Registry, RegistrySnapshot};
+pub use ring::{EpochRing, TailClass, TailEntry, TailRing, TailStats};
 pub use schema::{
     validate_event_line, validate_jsonl, EVENTS_SCHEMA, EVENTS_SCHEMA_V1, EVENTS_SCHEMA_V2,
+    EVENTS_SCHEMA_V3,
 };
+pub use sketch::{LogLinearHist, RELATIVE_ERROR, SUB_BITS, SUB_BUCKETS};
 pub use wall::WallClock;

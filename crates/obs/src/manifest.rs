@@ -135,6 +135,26 @@ impl RunManifest {
         }
     }
 
+    /// Ingests an aggregated stage table from the
+    /// [`StageProfiler`](crate::StageProfiler): the deterministic call
+    /// counts become `stage_profile` records, while the clock totals —
+    /// wall time when the profiler ran on a wall clock — land in the
+    /// volatile lane under `stage.<path>.us`, keeping the two-lane
+    /// discipline.
+    pub fn ingest_stage_table(&mut self, table: &crate::profile::StageTable) {
+        for row in &table.rows {
+            self.records.push(Record {
+                section: "stage_profile".to_string(),
+                span: row.path.clone(),
+                fields: vec![("calls".to_string(), FieldValue::U64(row.calls))],
+            });
+            *self
+                .volatile
+                .entry(format!("stage.{}.us", row.path))
+                .or_insert(0) += row.total_us;
+        }
+    }
+
     /// All records of one section.
     pub fn section<'a>(&'a self, section: &'a str) -> impl Iterator<Item = &'a Record> {
         self.records.iter().filter(move |r| r.section == section)
@@ -406,6 +426,27 @@ mod tests {
         assert_eq!(degraded[0].str("to"), Some("chao"));
         assert_eq!(degraded[0].span, "estimate/stratum[1]");
         assert_eq!(m.section("fault_injected").count(), 1);
+    }
+
+    #[test]
+    fn stage_table_lands_in_records_and_volatile() {
+        use crate::profile::StageProfiler;
+        let p = StageProfiler::enabled(Arc::new(LogicalClock::new()));
+        drop(p.enter("parse"));
+        let est = p.scoped("estimate");
+        drop(est.enter("fit"));
+        drop(est.enter("fit"));
+        let mut m = RunManifest::new();
+        m.ingest_stage_table(&p.table());
+        let rows: Vec<_> = m.section("stage_profile").collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].span, "estimate/fit");
+        assert_eq!(rows[0].f64("calls"), Some(2.0));
+        assert!(m.volatile.contains_key("stage.estimate/fit.us"));
+        assert!(m.volatile.contains_key("stage.parse.us"));
+        // The stage table round-trips through JSON like any other section.
+        let back = RunManifest::from_json(&m.to_json()).expect("parses");
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The hierarchical stage profiler: wall-time attribution across
+//! parse → cache → fit → select → render.
+//!
+//! A [`StageProfiler`] is a cheap cloneable handle (the
+//! [`Recorder`](crate::Recorder) `Option<Arc>` pattern): disabled by
+//! default, free when off. Enabled, it maps hierarchical stage paths
+//! (`serve/parse`, `estimate/fit`, …) to a pair of atomic accumulators —
+//! a deterministic call count and a clock-delta total. Hierarchy comes
+//! from [`scoped`](StageProfiler::scoped) prefixes: the serve layer hands
+//! `profiler.scoped("estimate")` into the estimator, which then enters
+//! plain `"fit"` / `"select"` stages without knowing where it sits.
+//!
+//! The two-lane discipline holds by construction: **call counts are
+//! deterministic** (the same input enters the same stages the same number
+//! of times at any thread count), while the **duration totals follow the
+//! driving [`Clock`]** — wall microseconds in binaries, logical ticks in
+//! tests — and are only ever published through volatile surfaces (the
+//! [`RunManifest`](crate::RunManifest) volatile lane, the `/v1/profile`
+//! ops endpoint). The aggregated [`StageTable`] sorts rows by path, so
+//! rendering is order-independent.
+
+use crate::clock::Clock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+#[derive(Default)]
+struct StageCell {
+    calls: AtomicU64,
+    total: AtomicU64,
+}
+
+struct ProfInner {
+    clock: Arc<dyn Clock>,
+    stages: RwLock<BTreeMap<String, Arc<StageCell>>>,
+}
+
+/// The cheap, cloneable profiler handle instrumented code carries.
+#[derive(Clone, Default)]
+pub struct StageProfiler {
+    inner: Option<Arc<ProfInner>>,
+    prefix: String,
+}
+
+impl std::fmt::Debug for StageProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageProfiler")
+            .field("enabled", &self.inner.is_some())
+            .field("prefix", &self.prefix)
+            .finish()
+    }
+}
+
+impl StageProfiler {
+    /// A profiler that records nothing (the default for config structs).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recording profiler driven by `clock`. Binaries pass a
+    /// [`WallClock`](crate::WallClock); tests pass a
+    /// [`LogicalClock`](crate::LogicalClock) so durations are
+    /// deterministic ticks.
+    pub fn enabled(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            inner: Some(Arc::new(ProfInner {
+                clock,
+                stages: RwLock::new(BTreeMap::new()),
+            })),
+            prefix: String::new(),
+        }
+    }
+
+    /// Whether this profiler actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle that prefixes every stage with `prefix/` — how hierarchy
+    /// is expressed across layer boundaries.
+    pub fn scoped(&self, prefix: &str) -> StageProfiler {
+        if self.inner.is_none() {
+            return StageProfiler::default();
+        }
+        StageProfiler {
+            inner: self.inner.clone(),
+            prefix: self.join(prefix),
+        }
+    }
+
+    fn join(&self, stage: &str) -> String {
+        if self.prefix.is_empty() {
+            stage.to_string()
+        } else {
+            format!("{}/{}", self.prefix, stage)
+        }
+    }
+
+    /// Enters a stage; the returned guard attributes the clock delta (and
+    /// one call) to `prefix/stage` when dropped.
+    pub fn enter(&self, stage: &str) -> StageGuard {
+        let Some(inner) = &self.inner else {
+            return StageGuard::default();
+        };
+        let path = self.join(stage);
+        let cell = {
+            let stages = inner.stages.read().unwrap_or_else(PoisonError::into_inner);
+            stages.get(&path).cloned()
+        };
+        let cell = cell.unwrap_or_else(|| {
+            let mut stages = inner.stages.write().unwrap_or_else(PoisonError::into_inner);
+            Arc::clone(stages.entry(path).or_default())
+        });
+        StageGuard {
+            cell: Some(cell),
+            clock: Some(Arc::clone(&inner.clock)),
+            start: inner.clock.now(),
+        }
+    }
+
+    /// The aggregated table (non-mutating; rows sorted by path).
+    pub fn table(&self) -> StageTable {
+        let Some(inner) = &self.inner else {
+            return StageTable::default();
+        };
+        let stages = inner.stages.read().unwrap_or_else(PoisonError::into_inner);
+        StageTable {
+            clock_is_wall: inner.clock.is_wall(),
+            rows: stages
+                .iter()
+                .map(|(path, cell)| StageRow {
+                    path: path.clone(),
+                    calls: cell.calls.load(Ordering::Relaxed),
+                    total_us: cell.total.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An open stage: dropping it attributes the elapsed clock delta.
+#[derive(Default)]
+pub struct StageGuard {
+    cell: Option<Arc<StageCell>>,
+    clock: Option<Arc<dyn Clock>>,
+    start: u64,
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if let (Some(cell), Some(clock)) = (&self.cell, &self.clock) {
+            let elapsed = clock.now().saturating_sub(self.start);
+            cell.calls.fetch_add(1, Ordering::Relaxed);
+            cell.total.fetch_add(elapsed, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One aggregated stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRow {
+    /// Hierarchical stage path (`serve/parse`, `estimate/fit`, …).
+    pub path: String,
+    /// Times the stage was entered — deterministic.
+    pub calls: u64,
+    /// Total clock delta spent inside — wall microseconds under a wall
+    /// clock, logical ticks under a logical clock. Volatile lane only.
+    pub total_us: u64,
+}
+
+/// The aggregated stage table, rows sorted by path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageTable {
+    /// Whether durations are wall microseconds (`true`) or logical ticks.
+    pub clock_is_wall: bool,
+    /// Rows in path order.
+    pub rows: Vec<StageRow>,
+}
+
+impl StageTable {
+    /// Whether the table has any rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A fixed-width human rendering (for `repro --profile` output).
+    pub fn render_text(&self) -> String {
+        let unit = if self.clock_is_wall {
+            "wall_us"
+        } else {
+            "ticks"
+        };
+        let mut out = format!("{:<40} {:>10} {:>14}\n", "stage", "calls", unit);
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<40} {:>10} {:>14}\n",
+                row.path, row.calls, row.total_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+
+    #[test]
+    fn disabled_profiler_is_free() {
+        let p = StageProfiler::disabled();
+        assert!(!p.is_enabled());
+        drop(p.enter("x"));
+        assert!(p.table().is_empty());
+        assert!(!p.scoped("y").is_enabled());
+    }
+
+    #[test]
+    fn scoped_prefixes_build_hierarchy() {
+        let p = StageProfiler::enabled(Arc::new(LogicalClock::new()));
+        drop(p.enter("parse"));
+        let est = p.scoped("estimate");
+        drop(est.enter("fit"));
+        drop(est.enter("fit"));
+        drop(est.enter("select"));
+        let table = p.table();
+        let rows: Vec<(&str, u64)> = table
+            .rows
+            .iter()
+            .map(|r| (r.path.as_str(), r.calls))
+            .collect();
+        assert_eq!(
+            rows,
+            [("estimate/fit", 2), ("estimate/select", 1), ("parse", 1)],
+            "rows sort by path, calls count entries"
+        );
+        assert!(!table.clock_is_wall);
+    }
+
+    #[test]
+    fn call_counts_are_thread_count_independent() {
+        fn calls(threads: usize) -> Vec<(String, u64)> {
+            let p = StageProfiler::enabled(Arc::new(LogicalClock::new()));
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let p = p.clone();
+                    s.spawn(move || {
+                        let mut i = t;
+                        while i < 24 {
+                            drop(p.enter("fit"));
+                            i += threads;
+                        }
+                    });
+                }
+            });
+            p.table()
+                .rows
+                .into_iter()
+                .map(|r| (r.path, r.calls))
+                .collect()
+        }
+        assert_eq!(calls(1), calls(4));
+    }
+
+    #[test]
+    fn durations_follow_the_logical_clock() {
+        let p = StageProfiler::enabled(Arc::new(LogicalClock::new()));
+        {
+            let _g = p.enter("stage");
+            // Each enter reads the clock once at start and once at drop;
+            // with nothing in between the delta is exactly one tick.
+        }
+        let table = p.table();
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].total_us, 1);
+    }
+
+    #[test]
+    fn render_text_lists_every_row() {
+        let p = StageProfiler::enabled(Arc::new(LogicalClock::new()));
+        drop(p.enter("a"));
+        drop(p.scoped("a").enter("b"));
+        let text = p.table().render_text();
+        assert!(text.contains("a/b"));
+        assert!(text.contains("ticks"));
+    }
+}

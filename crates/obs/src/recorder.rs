@@ -518,11 +518,17 @@ pub struct EventLog {
     pub volatile: BTreeMap<String, u64>,
 }
 
-/// Schema identifier written on the JSONL meta line. Version 3 adds the
-/// `reliability` line kind; version 2 added `degradation` and
-/// `fault_injected`. Everything else is unchanged from version 1, and the
-/// validator still accepts v1 and v2 traces (see [`crate::schema`]).
-pub const JSONL_SCHEMA: &str = "ghosts-events/3";
+/// Schema identifier written on the JSONL meta line. Version 4 adds the
+/// telemetry-plane event *names* (`stage_profile`, `tail_retention`) without
+/// new line kinds; version 3 added the `reliability` kind; version 2 added
+/// `degradation` and `fault_injected`. Everything else is unchanged from
+/// version 1, and the validator still accepts v1–v3 traces (see
+/// [`crate::schema`]).
+pub const JSONL_SCHEMA: &str = "ghosts-events/4";
+
+/// The version-3 schema identifier, still accepted by the validator for
+/// traces written before the telemetry-plane names existed.
+pub const JSONL_SCHEMA_V3: &str = "ghosts-events/3";
 
 /// The version-2 schema identifier, still accepted by the validator for
 /// traces written before the reliability kind existed.
@@ -589,7 +595,7 @@ impl EventLog {
                     i
                 }
             };
-            let dst = &mut self.spans[idx].1;
+            let dst = &mut self.spans[idx].1; // lint: allow(panic-path) idx from binary_search or the insert above
             let base = dst.len() as u64;
             dst.extend(events.iter().enumerate().map(|(off, e)| EventRecord {
                 seq: base + off as u64,
@@ -876,7 +882,7 @@ mod tests {
         let jsonl = log.to_jsonl();
         assert!(jsonl.contains("\"kind\":\"degradation\""));
         assert!(jsonl.contains("\"kind\":\"fault_injected\""));
-        assert!(jsonl.contains("\"schema\":\"ghosts-events/3\""));
+        assert!(jsonl.contains("\"schema\":\"ghosts-events/4\""));
     }
 
     #[test]

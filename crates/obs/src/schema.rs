@@ -1,5 +1,5 @@
-//! Structural validation of `ghosts-events/3` (and legacy `ghosts-events/1`
-//! / `ghosts-events/2`) JSONL trace files.
+//! Structural validation of `ghosts-events/4` (and legacy `ghosts-events/1`
+//! … `/3`) JSONL trace files.
 //!
 //! `xtask lint --check-events <file>` and the CI smoke step use this to
 //! verify that a trace emitted by `repro --trace` is well-formed: a single
@@ -8,9 +8,12 @@
 //! writer produces and every span's `seq` numbering dense from zero.
 //!
 //! Version 2 adds the `degradation` and `fault_injected` line kinds (same
-//! grammar as `event`); version 3 adds `reliability` (same grammar again).
-//! A trace whose meta line declares an older version is still accepted, but
-//! must not contain kinds introduced after that version.
+//! grammar as `event`); version 3 adds `reliability` (same grammar again);
+//! version 4 adds no kinds but introduces the telemetry-plane event *names*
+//! (`stage_profile`, `tail_retention`) emitted by the stage profiler and the
+//! trace-tail ring. A trace whose meta line declares an older version is
+//! still accepted, but must not contain kinds — or, for v4, names —
+//! introduced after that version.
 
 use crate::hist::NUM_BUCKETS;
 use crate::json::{parse, JsonValue};
@@ -20,6 +23,9 @@ use std::fmt;
 /// The schema identifier expected on the meta line (same constant the
 /// writer uses).
 pub const EVENTS_SCHEMA: &str = crate::recorder::JSONL_SCHEMA;
+
+/// The version-3 schema identifier, still accepted on the meta line.
+pub const EVENTS_SCHEMA_V3: &str = crate::recorder::JSONL_SCHEMA_V3;
 
 /// The version-2 schema identifier, still accepted on the meta line.
 pub const EVENTS_SCHEMA_V2: &str = crate::recorder::JSONL_SCHEMA_V2;
@@ -68,13 +74,17 @@ pub const EVENT_NAMES: &[(&str, &str)] = &[
     ("ic_candidate", "event"),
     ("ladder_step", "degradation"),
     ("model_chosen", "event"),
+    ("request", "error"),
+    ("request", "event"),
     ("resolve", "error"),
     ("search_started", "event"),
     ("source_observed", "event"),
     ("spoof_filter", "event"),
+    ("stage_profile", "event"),
     ("stratified_total", "event"),
     ("stratum_excluded", "event"),
     ("stratum_failed", "error"),
+    ("tail_retention", "event"),
     ("term_added", "event"),
     ("window_observed", "event"),
 ];
@@ -169,11 +179,12 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
             }
             let schema = doc.get("schema").and_then(JsonValue::as_str);
             if schema != Some(EVENTS_SCHEMA)
+                && schema != Some(EVENTS_SCHEMA_V3)
                 && schema != Some(EVENTS_SCHEMA_V2)
                 && schema != Some(EVENTS_SCHEMA_V1)
             {
                 return Err(format!(
-                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?} (or legacy {EVENTS_SCHEMA_V2:?} / {EVENTS_SCHEMA_V1:?})"
+                    "unsupported schema {schema:?}, expected {EVENTS_SCHEMA:?} (or legacy {EVENTS_SCHEMA_V3:?} / {EVENTS_SCHEMA_V2:?} / {EVENTS_SCHEMA_V1:?})"
                 ));
             }
             match doc.get("clock").and_then(JsonValue::as_str) {
@@ -293,9 +304,10 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
     }
     let mut summary = JsonlSummary::default();
     let mut phase: u8 = 0;
-    // Schema version the meta line declares (1, 2 or the current 3); kinds
-    // introduced after the declared version are rejected below.
-    let mut declared_version: u8 = 3;
+    // Schema version the meta line declares (1–3 or the current 4); kinds
+    // (and, for v4, names) introduced after the declared version are
+    // rejected below.
+    let mut declared_version: u8 = 4;
     let mut next_seq: BTreeMap<String, u64> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -314,7 +326,8 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
             declared_version = match doc.get("schema").and_then(JsonValue::as_str) {
                 Some(s) if s == EVENTS_SCHEMA_V1 => 1,
                 Some(s) if s == EVENTS_SCHEMA_V2 => 2,
-                _ => 3,
+                Some(s) if s == EVENTS_SCHEMA_V3 => 3,
+                _ => 4,
             };
         } else if kind == "meta" {
             return Err(fail(lineno, "duplicate meta line".to_string()));
@@ -324,11 +337,19 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
                 format!("'{kind}' line after a later-phase line (out of writer order)"),
             ));
         }
-        let needs_version: u8 = match kind {
+        let mut needs_version: u8 = match kind {
             "degradation" | "fault_injected" => 2,
             "reliability" => 3,
             _ => 1,
         };
+        if is_event_like(kind) {
+            // v4 introduced names, not kinds: a telemetry-plane event under
+            // an older meta line is a writer bug.
+            let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("");
+            if matches!(name, "stage_profile" | "tail_retention") {
+                needs_version = needs_version.max(4);
+            }
+        }
         if needs_version > declared_version {
             return Err(fail(
                 lineno,
@@ -495,6 +516,35 @@ mod tests {
         // A v2 trace without reliability lines still validates.
         let v2 = sample_trace().replace(EVENTS_SCHEMA, EVENTS_SCHEMA_V2);
         validate_jsonl(&v2).expect("v2 trace stays valid");
+    }
+
+    #[test]
+    fn v4_names_validate_and_are_version_gated() {
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let span = rec.root("profile");
+        span.event(
+            "stage_profile",
+            &[
+                ("stage", FieldValue::Str("estimate/fit".into())),
+                ("calls", FieldValue::U64(12)),
+            ],
+        );
+        rec.root("tail")
+            .event("tail_retention", &[("sampled_out", FieldValue::U64(3))]);
+        let trace = rec.flush().to_jsonl();
+        let summary = validate_jsonl(&trace).expect("valid v4 trace");
+        assert_eq!(summary.events, 2);
+
+        // The same names under any older meta line must be rejected.
+        for legacy in [EVENTS_SCHEMA_V3, EVENTS_SCHEMA_V2, EVENTS_SCHEMA_V1] {
+            let downgraded = trace.replace(EVENTS_SCHEMA, legacy);
+            let err = validate_jsonl(&downgraded).expect_err("v4 name under old meta");
+            assert!(err.message.contains("require schema version 4"));
+        }
+
+        // A v3 trace without the new names still validates.
+        let v3 = sample_trace().replace(EVENTS_SCHEMA, EVENTS_SCHEMA_V3);
+        validate_jsonl(&v3).expect("v3 trace stays valid");
     }
 
     #[test]

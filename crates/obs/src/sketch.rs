@@ -1,0 +1,340 @@
+//! Log-linear `u64` histograms with bounded relative error (the "sketch"
+//! behind latency quantiles).
+//!
+//! The fixed-bucket [`HistSnapshot`](crate::HistSnapshot) is fine for small
+//! integer quantities (GLM iterations, bisection steps) but useless for
+//! latency: its 12 buckets stop at 1024 and give no quantiles. The sketch
+//! here is the HDR-histogram idea restricted to `u64`: exact buckets for
+//! small values, then a fixed number of sub-buckets per power-of-two
+//! octave, so every bucket's width is at most `1/SUB_BUCKETS` of its lower
+//! bound. Quantile readout therefore carries a *relative* error bound of
+//! `1/SUB_BUCKETS` (3.125 %) over the entire `u64` range with a fixed
+//! `NUM_SKETCH_BUCKETS`-slot table — no allocation growth, no precision
+//! cliff.
+//!
+//! Every accumulator is a commutative monoid (bucket counts and `sum` add,
+//! `min`/`max` meet/join), which is what makes [`merge`](LogLinearHist::merge)
+//! associative, commutative and identity-respecting — the properties the
+//! registry's order-independent snapshot merging is built on (and that the
+//! property tests pin).
+
+/// log2 of the number of sub-buckets per octave. 5 → 32 sub-buckets →
+/// relative error ≤ 1/32 ≈ 3.125 %.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: `SUB_BUCKETS` exact buckets for values below
+/// `SUB_BUCKETS`, then `64 − SUB_BITS` octaves of `SUB_BUCKETS` each.
+pub const NUM_SKETCH_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Upper bound on the relative error of [`LogLinearHist::quantile`]:
+/// `(reported − true) / true ≤ RELATIVE_ERROR` for any non-zero true value.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// The bucket index a value falls into.
+///
+/// Values below [`SUB_BUCKETS`] map to exact singleton buckets; larger
+/// values index by `(octave, top SUB_BITS mantissa bits)`.
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (octave - SUB_BITS)) & (SUB_BUCKETS - 1);
+    ((octave - SUB_BITS + 1) as u64 * SUB_BUCKETS + sub) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket index.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let lo = bucket_lo(index);
+    let hi = if index + 1 >= NUM_SKETCH_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(index + 1) - 1
+    };
+    (lo, hi)
+}
+
+fn bucket_lo(index: usize) -> u64 {
+    let idx = index as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let octave = idx / SUB_BUCKETS - 1; // 0-based extra octave
+    let sub = idx % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << octave
+}
+
+/// A point-in-time log-linear histogram (also the merge/diff form).
+///
+/// This is the plain (non-atomic) state: the registry's concurrent
+/// recording cells snapshot into this type, and all read-side math
+/// (quantiles, merging, epoch diffs) happens here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLinearHist {
+    /// Observations per bucket (see [`bucket_of`]).
+    pub buckets: Vec<u64>,
+    /// Saturating sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for LogLinearHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogLinearHist {
+    /// An empty sketch (the merge identity).
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_SKETCH_BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn observe_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)] = self.buckets[bucket_of(v)].saturating_add(n); // lint: allow(panic-path) bucket_of() < NUM_SKETCH_BUCKETS for all u64
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of observations (sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Folds another sketch into this one. Commutative, associative, and
+    /// `merge(identity)` is a no-op — the same multiset of observations
+    /// yields the same snapshot regardless of split or order.
+    pub fn merge(&mut self, other: &LogLinearHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The sketch of observations in `self` but not in `earlier`, assuming
+    /// `earlier` is a prefix snapshot of the same accumulator (bucket-wise
+    /// `self ≥ earlier`). Used for epoch-window views; `min`/`max` are
+    /// re-derived from the surviving buckets, so they are bucket-bound
+    /// approximations within the usual relative-error bound.
+    pub fn diff(&self, earlier: &LogLinearHist) -> LogLinearHist {
+        let mut out = LogLinearHist::new();
+        for (i, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            let d = a.saturating_sub(*b);
+            out.buckets[i] = d;
+            if d > 0 {
+                let (lo, hi) = bucket_bounds(i);
+                out.min = out.min.min(lo.max(self.min));
+                out.max = out.max.max(hi.min(self.max));
+            }
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, or `0` when empty.
+    ///
+    /// Returns the upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// observation, clamped to the observed `[min, max]`, so the result
+    /// never under-reports and over-reports by at most [`RELATIVE_ERROR`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_sub_buckets() {
+        for v in 0..SUB_BUCKETS {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert_eq!((lo, hi), (v, v), "value {v} must land in an exact bucket");
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        let mut prev_hi = None;
+        for i in 0..NUM_SKETCH_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i} inverted");
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap before bucket {i}");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX), "layout must cover all of u64");
+    }
+
+    #[test]
+    fn bucket_of_agrees_with_bounds() {
+        for &v in &[
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_of(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside its bucket [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        for i in SUB_BUCKETS as usize..NUM_SKETCH_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo;
+            // width/lo ≤ 1/SUB_BUCKETS for every log-linear bucket.
+            assert!(
+                (width as f64) <= (lo as f64) * RELATIVE_ERROR,
+                "bucket {i} [{lo},{hi}] too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut h = LogLinearHist::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        for (q, truth) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (0.999, 999)] {
+            let est = h.quantile(q);
+            assert!(est >= truth, "q{q} under-reports: {est} < {truth}");
+            assert!(
+                est as f64 <= truth as f64 * (1.0 + RELATIVE_ERROR) + 1.0,
+                "q{q} over-reports: {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_distribution_is_exact() {
+        let mut h = LogLinearHist::new();
+        h.observe_n(123_456, 10);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456);
+        }
+        assert_eq!((h.min, h.max, h.sum), (123_456, 123_456, 1_234_560));
+    }
+
+    #[test]
+    fn empty_sketch_behaviour() {
+        let h = LogLinearHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn saturation_at_u64_max() {
+        let mut h = LogLinearHist::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn diff_recovers_window_observations() {
+        let mut cum = LogLinearHist::new();
+        cum.observe_n(10, 5);
+        let epoch0 = cum.clone();
+        cum.observe_n(1000, 3);
+        let d = cum.diff(&epoch0);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum, 3000);
+        let (lo, hi) = bucket_bounds(bucket_of(1000));
+        assert!(d.min >= lo && d.max <= hi.max(cum.max));
+    }
+}

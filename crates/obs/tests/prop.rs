@@ -1,0 +1,150 @@
+//! Property tests for the log-linear latency sketch (DESIGN.md §15): the
+//! quantile relative-error contract, the merge monoid laws that make
+//! sharded snapshots order-independent, and saturation at `u64::MAX`.
+
+use ghosts_obs::{LogLinearHist, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Builds a sketch from a slice of observations.
+fn sketch_of(values: &[u64]) -> LogLinearHist {
+    let mut h = LogLinearHist::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// The exact quantile the sketch approximates: the same `⌈q·count⌉` rank
+/// convention as [`LogLinearHist::quantile`], read off the sorted values.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len() as u64;
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    sorted[rank as usize - 1]
+}
+
+/// Observation values spanning every octave, not just the small ones a
+/// naive `any::<u64>()` range would favour.
+fn obs_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..65_536,
+        65_536u64..1 << 40,
+        (1u64 << 40)..u64::MAX,
+        Just(u64::MAX),
+    ]
+}
+
+proptest! {
+    /// A sketch quantile never under-reports the exact quantile and
+    /// over-reports by at most [`RELATIVE_ERROR`] (plus one unit of
+    /// integer rounding slack at bucket edges).
+    #[test]
+    fn quantile_is_within_the_relative_error_bound(
+        values in proptest::collection::vec(obs_value(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = sketch_of(&values);
+        let approx = h.quantile(q);
+        let exact = exact_quantile(&values, q);
+        prop_assert!(approx >= exact, "under-reported: {approx} < {exact}");
+        let bound = exact as f64 * (1.0 + RELATIVE_ERROR) + 1.0;
+        prop_assert!(
+            (approx as f64) <= bound,
+            "over-reported: {approx} > {exact} * (1 + {RELATIVE_ERROR}) + 1"
+        );
+    }
+
+    /// Merging is commutative: the shard visit order of a snapshot pass
+    /// cannot change the merged sketch.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(obs_value(), 0..100),
+        b in proptest::collection::vec(obs_value(), 0..100),
+    ) {
+        let (ha, hb) = (sketch_of(&a), sketch_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: grouping shards differently (per-worker,
+    /// per-epoch, all-at-once) yields the same sketch.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(obs_value(), 0..60),
+        b in proptest::collection::vec(obs_value(), 0..60),
+        c in proptest::collection::vec(obs_value(), 0..60),
+    ) {
+        let (ha, hb, hc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let mut left = ha.clone(); // (a ⊕ b) ⊕ c
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone(); // a ⊕ (b ⊕ c)
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty sketch is the merge identity on both sides, and a merged
+    /// sketch equals the sketch of the concatenated observations.
+    #[test]
+    fn empty_is_the_merge_identity(
+        values in proptest::collection::vec(obs_value(), 0..100),
+    ) {
+        let h = sketch_of(&values);
+        let mut left = LogLinearHist::new();
+        left.merge(&h);
+        prop_assert_eq!(&left, &h);
+        let mut right = h.clone();
+        right.merge(&LogLinearHist::new());
+        prop_assert_eq!(&right, &h);
+    }
+
+    /// Split-then-merge equals observing everything in one sketch — the
+    /// exact guarantee the sharded registry cells rely on.
+    #[test]
+    fn merge_equals_single_sketch_of_concatenation(
+        a in proptest::collection::vec(obs_value(), 0..100),
+        b in proptest::collection::vec(obs_value(), 0..100),
+    ) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+        let mut all = a;
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, sketch_of(&all));
+    }
+
+    /// Extreme values saturate instead of wrapping: sums pin at
+    /// `u64::MAX`, counts stay exact, and quantiles still land on the
+    /// observed maximum.
+    #[test]
+    fn u64_max_saturates_without_wrapping(
+        values in proptest::collection::vec(obs_value(), 0..50),
+        maxes in 1usize..8,
+    ) {
+        let mut h = sketch_of(&values);
+        for _ in 0..maxes {
+            h.observe(u64::MAX);
+        }
+        prop_assert_eq!(h.sum, u64::MAX, "sum must saturate, not wrap");
+        prop_assert_eq!(h.max, u64::MAX);
+        prop_assert_eq!(h.count(), (values.len() + maxes) as u64);
+        prop_assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}
+
+/// Counted observation of `u64::MAX` saturates the bucket count itself.
+#[test]
+fn observe_n_saturates_bucket_counts() {
+    let mut h = LogLinearHist::new();
+    h.observe_n(u64::MAX, u64::MAX);
+    h.observe_n(u64::MAX, u64::MAX);
+    assert_eq!(h.count(), u64::MAX);
+    assert_eq!(h.sum, u64::MAX);
+    assert_eq!(h.quantile(0.5), u64::MAX);
+}

@@ -1,106 +1,442 @@
-//! The server's metrics hub.
+//! The server's telemetry hub: the sharded lock-free metric registry, the
+//! stage profiler, the cumulative trace log and the request-tail ring
+//! behind `/metrics`, `/v1/trace/tail`, `/v1/profile` and `/manifest`.
 //!
-//! Every request gets its own short-lived recorder span, but
-//! [`ghosts_obs::Recorder::flush`] *drains* — so a long-lived process
-//! needs somewhere for the drained logs to accumulate. The hub owns the
-//! process-wide [`Recorder`] plus a cumulative [`EventLog`] folded
-//! together with [`EventLog::merge`]; `/metrics` and `/manifest` render
-//! from the cumulative log, so counters are monotone across the process
-//! lifetime exactly like a real metrics endpoint.
+//! The hot path never takes a lock: request counters and the latency
+//! histogram are pre-resolved [`Registry`] handles (relaxed atomics on
+//! sharded cells), and every read surface is a **non-mutating merge
+//! view** — a snapshot is a sum over cells plus a clone of the absorbed
+//! trace log, never a drain, so two consecutive reads of a quiescent hub
+//! are byte-identical. Per-request *traces* still flow through short-lived
+//! [`Recorder`]s in the server and are folded in via [`MetricsHub::absorb`].
+//!
+//! Two lanes keep the determinism contract: deterministic series (request
+//! counts, cache dispositions) are pure functions of the request sequence
+//! at any worker count, while anything clock-shaped (latency quantiles,
+//! stage durations) follows the hub's [`Clock`] and renders under a
+//! `lane="volatile"` label. [`MetricsHub::logical`] swaps in a
+//! [`LogicalClock`] so even the volatile lane becomes deterministic —
+//! that is what the 1-vs-N-worker byte-identity tests run against.
 
 use ghosts_obs::json::JsonValue;
-use ghosts_obs::{EventLog, Recorder, RunManifest, WallClock};
-use std::sync::{Arc, Mutex};
+use ghosts_obs::{
+    Clock, Counter, EventLog, FieldValue, Histogram, LogLinearHist, LogicalClock, Recorder,
+    Registry, RegistrySnapshot, RunManifest, StageProfiler, TailClass, TailEntry, TailRing,
+    WallClock,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
-/// Shared recorder + cumulative log.
+/// Requests per metrics epoch: every `EPOCH_EVERY`-th finished request
+/// closes an epoch, pushing the delta into the registry's window ring.
+pub const EPOCH_EVERY: u64 = 8;
+
+/// Epochs the `/metrics` sliding-window section merges.
+pub const WINDOW_EPOCHS: usize = 8;
+
+/// Entries the request-tail ring retains.
+pub const TAIL_CAPACITY: usize = 256;
+
+/// OK-request admission sampling for the tail: one in every
+/// `TAIL_OK_SAMPLE` routine successes is kept (errors, degraded answers,
+/// shed rejections and slow outliers are always kept).
+pub const TAIL_OK_SAMPLE: u64 = 2;
+
+/// Requests at or above this latency (in the hub clock's unit) are
+/// classed [`TailClass::Slow`].
+pub const SLOW_REQUEST_US: u64 = 250_000;
+
+/// Pre-resolved hot-path handles: one relaxed `fetch_add` per bump, no
+/// name lookup, no lock.
+pub struct HotStats {
+    /// Every request read off a connection.
+    pub requests: Counter,
+    /// Connections answered 503 at the door.
+    pub shed: Counter,
+    /// Unparseable or invalid requests.
+    pub bad_request: Counter,
+    /// `/v1/membership` lookups.
+    pub membership: Counter,
+    /// Handler panics trapped into 500s.
+    pub panic: Counter,
+    /// Estimate requests received.
+    pub estimate_received: Counter,
+    /// Estimator runs actually executed.
+    pub estimate_computed: Counter,
+    /// Backend window/strata resolutions.
+    pub backend_resolve: Counter,
+    /// In-memory cache hits.
+    pub cache_hit_mem: Counter,
+    /// On-disk cache hits.
+    pub cache_hit_disk: Counter,
+    /// Cache misses.
+    pub cache_miss: Counter,
+    /// Cache bypasses (fault-injected).
+    pub cache_bypassed: Counter,
+    /// Requests that replayed a single-flight leader's bytes.
+    pub singleflight_waited: Counter,
+    /// Requests whose single-flight leader failed.
+    pub singleflight_leader_failed: Counter,
+    /// Request latency sketch (volatile lane: follows the hub clock).
+    pub request_us: Histogram,
+}
+
+/// Shared registry + profiler + cumulative trace log + request tail.
 pub struct MetricsHub {
-    recorder: Recorder,
+    registry: Registry,
+    stats: HotStats,
+    profiler: StageProfiler,
+    clock: Arc<dyn Clock>,
     cumulative: Mutex<EventLog>,
+    tail: Mutex<TailRing>,
+    tail_seq: AtomicU64,
+    served: AtomicU64,
 }
 
 impl MetricsHub {
-    /// A hub driven by wall time (the serving default: request latencies
-    /// land in the volatile lane, never in deterministic output).
-    pub fn wall() -> Arc<Self> {
+    fn with_clock(clock: Arc<dyn Clock>) -> Arc<Self> {
+        let registry = Registry::new();
+        let stats = HotStats {
+            requests: registry.counter("serve.requests"),
+            shed: registry.counter("serve.shed"),
+            bad_request: registry.counter("serve.http.bad_request"),
+            membership: registry.counter("serve.membership"),
+            panic: registry.counter("serve.panic"),
+            estimate_received: registry.counter("serve.estimate.received"),
+            estimate_computed: registry.counter("serve.estimate.computed"),
+            backend_resolve: registry.counter("serve.backend.resolve"),
+            cache_hit_mem: registry.counter("serve.cache.hit_mem"),
+            cache_hit_disk: registry.counter("serve.cache.hit_disk"),
+            cache_miss: registry.counter("serve.cache.miss"),
+            cache_bypassed: registry.counter("serve.cache.bypassed"),
+            singleflight_waited: registry.counter("serve.singleflight.waited"),
+            singleflight_leader_failed: registry.counter("serve.singleflight.leader_failed"),
+            request_us: registry.volatile_hist("serve.request_us"),
+        };
         Arc::new(Self {
-            recorder: Recorder::enabled(Arc::new(WallClock::new())),
+            registry,
+            stats,
+            profiler: StageProfiler::enabled(Arc::clone(&clock)),
+            clock,
             cumulative: Mutex::new(EventLog::default()),
+            tail: Mutex::new(TailRing::new(TAIL_CAPACITY, TAIL_OK_SAMPLE)),
+            tail_seq: AtomicU64::new(0),
+            served: AtomicU64::new(0),
         })
     }
 
-    /// The process recorder (per-request spans hang off this).
-    pub fn recorder(&self) -> &Recorder {
-        &self.recorder
+    /// A hub driven by wall time (the serving default: latencies and stage
+    /// durations are real microseconds, confined to the volatile lane).
+    pub fn wall() -> Arc<Self> {
+        Self::with_clock(Arc::new(WallClock::new()))
     }
 
-    /// Drains the recorder into the cumulative log and returns a snapshot
-    /// of the totals.
-    pub fn snapshot(&self) -> EventLog {
-        let fresh = self.recorder.flush();
-        let mut total = match self.cumulative.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        total.merge(&fresh);
-        total.clone()
+    /// A hub driven by a [`LogicalClock`]: every surface — including
+    /// latency quantiles and stage durations — becomes a deterministic
+    /// function of the request sequence. Used by the byte-identity tests.
+    pub fn logical() -> Arc<Self> {
+        Self::with_clock(Arc::new(LogicalClock::new()))
     }
 
-    /// Folds an already-flushed log (e.g. a per-request trace recorder's)
-    /// into the cumulative totals.
+    /// The hub clock's current reading.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// The lock-free metric registry (cold-path name resolution).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The pre-resolved hot-path handles.
+    pub fn stats(&self) -> &HotStats {
+        &self.stats
+    }
+
+    /// The stage profiler; layers receive scoped handles
+    /// (`profiler().scoped("estimate")`).
+    pub fn profiler(&self) -> &StageProfiler {
+        &self.profiler
+    }
+
+    /// Folds a flushed per-request trace log into the cumulative totals.
     pub fn absorb(&self, log: &EventLog) {
-        let mut total = match self.cumulative.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        total.merge(log);
+        lock(&self.cumulative).merge(log);
     }
 
-    /// The `/metrics` text exposition: one line per series, lexicographic
-    /// within each kind, deterministic given the same history.
+    /// A non-mutating clone of the cumulative trace log. Reading never
+    /// drains: consecutive calls on a quiescent hub return equal logs.
+    pub fn trace_log(&self) -> EventLog {
+        lock(&self.cumulative).clone()
+    }
+
+    /// Marks one request finished; every [`EPOCH_EVERY`]-th call closes a
+    /// metrics epoch.
+    pub fn request_done(&self) {
+        let n = self.served.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(EPOCH_EVERY) {
+            self.registry.advance_epoch();
+        }
+    }
+
+    /// Offers one wide event to the request tail; the hub assigns arrival
+    /// ids so shed rejections (which never get a request id) still land in
+    /// sequence.
+    pub fn push_tail(&self, class: TailClass, status: u16, fields: Vec<(String, FieldValue)>) {
+        let id = self.tail_seq.fetch_add(1, Ordering::Relaxed);
+        lock(&self.tail).push(TailEntry {
+            id,
+            class,
+            status,
+            fields,
+        });
+    }
+
+    /// The `/metrics` exposition: Prometheus-compatible text, name-sorted
+    /// within every section, deterministic given the same history.
     ///
     /// ```text
-    /// # ghosts-serve metrics
-    /// counter serve.requests 3
-    /// hist serve.estimate_units count=2 sum=40 min=8 max=32
-    /// volatile serve.request_wall_us 1520
+    /// # TYPE serve_requests counter
+    /// serve_requests 3
+    /// # TYPE serve_request_us summary
+    /// serve_request_us{lane="volatile",quantile="0.5"} 120
+    /// ...
+    /// serve_requests{window="8"} 3
     /// ```
     pub fn render_text(&self) -> String {
-        let log = self.snapshot();
+        let snap = self.registry.snapshot();
+        let log = self.trace_log();
         let mut out = String::from("# ghosts-serve metrics\n");
-        for (name, value) in &log.counters {
-            out.push_str(&format!("counter {name} {value}\n"));
+
+        // Deterministic counters: registry totals merged with the
+        // trace-derived counters (estimate.*, filter.*, …).
+        let mut counters = snap.counters.clone();
+        for (name, v) in &log.counters {
+            let slot = counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+
+        // Deterministic histograms: registry sketches with quantiles,
+        // then the coarse trace histograms (count/sum/min/max only).
+        for (name, h) in &snap.hists {
+            render_summary(&mut out, &sanitize(name), &[], h);
         }
         for (name, h) in &log.hists {
-            let min = if h.count == 0 { 0 } else { h.min };
+            if h.count == 0 {
+                continue;
+            }
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            out.push_str(&format!("{n}_sum {}\n", h.sum));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+            out.push_str(&format!("{n}_min {}\n", h.min));
+            out.push_str(&format!("{n}_max {}\n", h.max));
+        }
+
+        // Volatile lane (labelled): wall durations under a wall clock,
+        // deterministic ticks under a logical one.
+        let mut volatile = snap.volatile_counters.clone();
+        for (name, v) in &log.volatile {
+            let slot = volatile.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &volatile {
+            let n = sanitize(name);
             out.push_str(&format!(
-                "hist {name} count={} sum={} min={} max={}\n",
-                h.count, h.sum, min, h.max
+                "# TYPE {n} counter\n{n}{{lane=\"volatile\"}} {v}\n"
             ));
         }
-        for (name, value) in &log.volatile {
-            out.push_str(&format!("volatile {name} {value}\n"));
+        for (name, h) in &snap.volatile_hists {
+            render_summary(&mut out, &sanitize(name), &["lane=\"volatile\""], h);
         }
+
+        // Sliding window: the last WINDOW_EPOCHS closed epochs merged.
+        out.push_str(&format!(
+            "# window: last {WINDOW_EPOCHS} epochs of {} closed ({EPOCH_EVERY} requests each)\n",
+            self.registry.epoch()
+        ));
+        let win = self.registry.window(WINDOW_EPOCHS);
+        render_window(&mut out, &win);
         out
     }
 
+    /// The `/v1/trace/tail` body: the most recent `n` retained wide
+    /// events rendered as a schema-valid `ghosts-events/4` JSONL document
+    /// (a `tail_retention` stats event followed by one `request` event per
+    /// entry, errors on the error channel).
+    pub fn render_tail(&self, n: usize) -> String {
+        let tail = lock(&self.tail);
+        let stats = tail.stats();
+        let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let root = rec.root("tail");
+        root.event(
+            "tail_retention",
+            &[
+                ("seen", FieldValue::U64(stats.seen)),
+                ("kept", FieldValue::U64(stats.kept)),
+                ("sampled_out", FieldValue::U64(stats.sampled_out)),
+                ("evicted_ok", FieldValue::U64(stats.evicted_ok)),
+                ("evicted", FieldValue::U64(stats.evicted)),
+            ],
+        );
+        for entry in tail.recent(n) {
+            let span = root.child_idx("request", entry.id);
+            let mut fields: Vec<(&str, FieldValue)> = vec![
+                ("class", FieldValue::Str(entry.class.label().to_string())),
+                ("status", FieldValue::U64(u64::from(entry.status))),
+            ];
+            fields.extend(entry.fields.iter().map(|(k, v)| (k.as_str(), v.clone())));
+            match entry.class {
+                TailClass::Error | TailClass::Shed => span.error("request", &fields),
+                _ => span.event("request", &fields),
+            }
+        }
+        drop(tail);
+        rec.flush().to_jsonl()
+    }
+
+    /// The `/v1/profile` body: the aggregated stage table as JSON. Call
+    /// counts are deterministic; totals follow the hub clock (wall
+    /// microseconds in production, ticks under [`MetricsHub::logical`]).
+    pub fn render_profile(&self) -> String {
+        let table = self.profiler.table();
+        JsonValue::Object(vec![
+            (
+                "clock".to_string(),
+                JsonValue::Str(
+                    if table.clock_is_wall {
+                        "wall"
+                    } else {
+                        "logical"
+                    }
+                    .to_string(),
+                ),
+            ),
+            (
+                "stages".to_string(),
+                JsonValue::Array(
+                    table
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            JsonValue::Object(vec![
+                                ("calls".to_string(), JsonValue::UInt(r.calls)),
+                                ("path".to_string(), JsonValue::Str(r.path.clone())),
+                                ("total_us".to_string(), JsonValue::UInt(r.total_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_compact()
+    }
+
     /// The `/manifest` document: server configuration echoed through a
-    /// [`RunManifest`] with cumulative metrics and robustness events
-    /// (errors, degradations, fired faults) ingested.
+    /// [`RunManifest`] with cumulative metrics, robustness events and the
+    /// stage-profile table ingested.
     pub fn render_manifest(&self, config: &[(String, String)]) -> String {
-        let log = self.snapshot();
+        let mut log = self.trace_log();
+        let snap = self.registry.snapshot();
+        for (name, v) in &snap.counters {
+            let slot = log.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &snap.volatile_counters {
+            let slot = log.volatile.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, h) in &snap.volatile_hists {
+            log.volatile.insert(format!("{name}.count"), h.count());
+            log.volatile.insert(format!("{name}.sum"), h.sum);
+        }
         let mut manifest = RunManifest::new();
         for (key, value) in config {
             manifest.set_config(key, value.clone());
         }
         manifest.ingest_metrics(&log);
         manifest.ingest_events(&log, &[]);
+        manifest.ingest_stage_table(&self.profiler.table());
         manifest.to_json()
     }
 
-    /// Reads one cumulative counter (test and shed-policy observability).
+    /// One cumulative counter: the registry total plus any trace-derived
+    /// contribution (test and shed-policy observability).
     pub fn counter(&self, name: &str) -> u64 {
-        self.snapshot().counters.get(name).copied().unwrap_or(0)
+        let traced = lock(&self.cumulative)
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0);
+        self.registry.counter_value(name).saturating_add(traced)
     }
+}
+
+/// Metric-name sanitisation for the text exposition: Prometheus accepts
+/// `[a-zA-Z0-9_:]`, so dotted internal names map onto underscores.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders one log-linear sketch as a Prometheus summary: the four
+/// standing quantiles plus `_sum`/`_count`/`_min`/`_max`.
+fn render_summary(out: &mut String, name: &str, labels: &[&str], h: &LogLinearHist) {
+    if h.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# TYPE {name} summary\n"));
+    for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+        let mut all: Vec<String> = labels.iter().map(|l| (*l).to_string()).collect();
+        all.push(format!("quantile=\"{tag}\""));
+        out.push_str(&format!("{name}{{{}}} {}\n", all.join(","), h.quantile(q)));
+    }
+    let suffix = |out: &mut String, part: &str, v: u64| {
+        if labels.is_empty() {
+            out.push_str(&format!("{name}_{part} {v}\n"));
+        } else {
+            out.push_str(&format!("{name}_{part}{{{}}} {v}\n", labels.join(",")));
+        }
+    };
+    suffix(out, "sum", h.sum);
+    suffix(out, "count", h.count());
+    suffix(out, "min", h.min);
+    suffix(out, "max", h.max);
+}
+
+/// Renders the sliding-window section: every series re-labelled with
+/// `window="N"` so scrapes can tell rates from lifetime totals.
+fn render_window(out: &mut String, win: &RegistrySnapshot) {
+    let window_label = format!("window=\"{WINDOW_EPOCHS}\"");
+    for (name, v) in &win.counters {
+        out.push_str(&format!("{}{{{window_label}}} {v}\n", sanitize(name)));
+    }
+    for (name, h) in &win.hists {
+        render_summary(out, &sanitize(name), &[&window_label], h);
+    }
+    for (name, v) in &win.volatile_counters {
+        out.push_str(&format!(
+            "{}{{lane=\"volatile\",{window_label}}} {v}\n",
+            sanitize(name)
+        ));
+    }
+    for (name, h) in &win.volatile_hists {
+        render_summary(
+            out,
+            &sanitize(name),
+            &["lane=\"volatile\"", &window_label],
+            h,
+        );
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Renders a `Membership` answer (shared by server and tests so bodies
@@ -130,26 +466,108 @@ pub fn membership_json(m: &crate::backend::Membership) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ghosts_obs::validate_jsonl;
 
     #[test]
-    fn counters_accumulate_across_snapshots() {
+    fn counters_accumulate_without_draining() {
         let hub = MetricsHub::wall();
-        hub.recorder().add("serve.requests", 1);
+        hub.stats().requests.inc();
         assert_eq!(hub.counter("serve.requests"), 1);
-        hub.recorder().add("serve.requests", 2);
-        // flush() drained after the first snapshot; merge must keep totals.
+        hub.stats().requests.add(2);
         assert_eq!(hub.counter("serve.requests"), 3);
         let text = hub.render_text();
-        assert!(text.contains("counter serve.requests 3\n"), "{text}");
+        assert!(text.contains("serve_requests 3\n"), "{text}");
+    }
+
+    #[test]
+    fn reads_are_non_mutating_merge_views() {
+        // The v1 hub drained its recorder on every read, so interleaved
+        // readers each saw a different partial total. Reads are now pure:
+        // two consecutive renders of a quiescent hub are byte-identical,
+        // and a counter read between them changes nothing.
+        let hub = MetricsHub::logical();
+        hub.stats().requests.add(5);
+        hub.stats().request_us.record(120);
+        let mut log = EventLog::default();
+        log.counters.insert("estimate.cells".to_string(), 7);
+        hub.absorb(&log);
+        hub.request_done();
+
+        let first = hub.render_text();
+        assert_eq!(hub.counter("serve.requests"), 5);
+        assert_eq!(hub.counter("estimate.cells"), 7);
+        let second = hub.render_text();
+        assert_eq!(first, second, "metrics reads must not drain");
+        assert_eq!(hub.trace_log().counters, hub.trace_log().counters);
+    }
+
+    #[test]
+    fn exposition_renders_quantiles_and_lanes() {
+        let hub = MetricsHub::wall();
+        for v in [100u64, 200, 400, 800] {
+            hub.stats().request_us.record(v);
+        }
+        let text = hub.render_text();
+        assert!(
+            text.contains("serve_request_us{lane=\"volatile\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("serve_request_us_sum{lane=\"volatile\"} 1500"));
+        assert!(text.contains("serve_request_us_count{lane=\"volatile\"} 4"));
+    }
+
+    #[test]
+    fn window_section_tracks_recent_epochs_only() {
+        let hub = MetricsHub::wall();
+        // Two epochs of traffic, then a quiet stretch long enough to
+        // push both out of the window ring.
+        for _ in 0..2 * EPOCH_EVERY {
+            hub.stats().requests.inc();
+            hub.request_done();
+        }
+        let busy = hub.render_text();
+        assert!(busy.contains(&format!("serve_requests{{window=\"{WINDOW_EPOCHS}\"}} 16")));
+        for _ in 0..(WINDOW_EPOCHS as u64 + 2) * EPOCH_EVERY {
+            hub.request_done();
+        }
+        let quiet = hub.render_text();
+        assert!(
+            quiet.contains(&format!("serve_requests{{window=\"{WINDOW_EPOCHS}\"}} 0")),
+            "{quiet}"
+        );
+    }
+
+    #[test]
+    fn tail_renders_schema_valid_jsonl() {
+        let hub = MetricsHub::wall();
+        hub.push_tail(
+            TailClass::Ok,
+            200,
+            vec![("target".to_string(), FieldValue::Str("/healthz".into()))],
+        );
+        hub.push_tail(
+            TailClass::Error,
+            500,
+            vec![("target".to_string(), FieldValue::Str("/v1/estimate".into()))],
+        );
+        let body = hub.render_tail(16);
+        let summary = validate_jsonl(&body).expect("tail must be schema-valid ghosts-events");
+        assert_eq!(summary.events, 2, "tail_retention + the OK request");
+        assert_eq!(summary.errors, 1, "the 500 renders on the error channel");
+        assert!(body.contains("ghosts-events/4"), "{body}");
+        assert!(body.contains("tail_retention"));
     }
 
     #[test]
     fn manifest_echoes_config_and_metrics() {
         let hub = MetricsHub::wall();
-        hub.recorder().add("serve.requests", 7);
+        hub.stats().requests.add(7);
+        drop(hub.profiler().scoped("serve").enter("parse"));
         let config = vec![("workers".to_string(), "4".to_string())];
         let text = hub.render_manifest(&config);
         let manifest = RunManifest::from_json(&text).expect("round-trips");
         assert_eq!(manifest.to_json(), text);
+        assert!(text.contains("serve.requests"));
+        assert!(text.contains("serve/parse"));
     }
 }

@@ -19,14 +19,14 @@ use crate::cache::{CachedResponse, EstimateCache, Lookup};
 use crate::coalesce::{Role, SingleFlight};
 use crate::digest::digest_hex;
 use crate::http::{read_request, ParseError, Request, Response};
-use crate::metrics::{membership_json, MetricsHub};
+use crate::metrics::{membership_json, MetricsHub, SLOW_REQUEST_US, TAIL_CAPACITY};
 use crate::request::EstimateRequest;
 use ghosts_core::{
     estimate_stratified, estimate_table, CrEstimate, Degradation, StratifiedEstimate,
 };
 use ghosts_faultinject as faults;
 use ghosts_obs::json::{parse as parse_json, JsonValue};
-use ghosts_obs::{FieldValue, LogicalClock, Recorder, Scope};
+use ghosts_obs::{FieldValue, LogicalClock, Recorder, Scope, TailClass};
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -198,8 +198,18 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 /// Overload: answer 503 from the acceptor without occupying a worker.
+/// Shed rejections land in the request tail (always-retained class) even
+/// though they never get a request id.
 fn shed(shared: &Shared, stream: TcpStream) {
-    shared.hub.recorder().add("serve.shed", 1);
+    shared.hub.stats().shed.inc();
+    shared.hub.push_tail(
+        TailClass::Shed,
+        503,
+        vec![(
+            "reason".to_string(),
+            FieldValue::Str("queue-full".to_string()),
+        )],
+    );
     let body = r#"{"error":"server overloaded, retry shortly"}"#;
     let response = Response::json(503, body.to_string()).with_header("retry-after", "1");
     respond_and_drain(stream, &response);
@@ -250,7 +260,13 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         Ok(r) => r,
         Err(ParseError::Eof) => return, // closed before sending anything
         Err(e) => {
-            shared.hub.recorder().add("serve.http.bad_request", 1);
+            shared.hub.stats().bad_request.inc();
+            shared.hub.push_tail(
+                TailClass::Error,
+                e.status(),
+                vec![("reason".to_string(), FieldValue::Str(e.label().to_string()))],
+            );
+            shared.hub.request_done();
             let body = format!(
                 "{{\"error\":{}}}",
                 JsonValue::Str(e.label().to_string()).to_compact()
@@ -261,14 +277,62 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             return;
         }
     };
-    let start = shared.hub.recorder().now();
-    shared.hub.recorder().add("serve.requests", 1);
+    if is_ops_read(&request) {
+        // Ops-surface reads are observers, not workload: they bypass
+        // request accounting entirely (no counter, no latency sample, no
+        // tail entry, no epoch tick), so consecutive scrapes of a
+        // quiescent server are byte-identical.
+        let response = route(shared, &request);
+        let _ = response.write_to(&mut stream);
+        return;
+    }
+    let start = shared.hub.now();
+    shared.hub.stats().requests.inc();
     let response = route(shared, &request);
-    shared.hub.recorder().volatile_add(
-        "serve.request_wall_us",
-        shared.hub.recorder().now().saturating_sub(start),
-    );
+    let elapsed = shared.hub.now().saturating_sub(start);
+    shared.hub.stats().request_us.record(elapsed);
+    push_request_tail(shared, &request, &response, elapsed);
+    shared.hub.request_done();
     let _ = response.write_to(&mut stream);
+}
+
+/// Whether a request reads the telemetry plane rather than doing work.
+fn is_ops_read(request: &Request) -> bool {
+    request.method == "GET"
+        && (request.target == "/metrics"
+            || request.target == "/v1/profile"
+            || request.target == "/v1/trace/tail"
+            || request.target.starts_with("/v1/trace/tail?"))
+}
+
+/// Offers one finished request to the tail ring as a wide event. The
+/// class drives retention: errors, degraded answers and slow outliers are
+/// always kept; routine successes are admission-sampled.
+fn push_request_tail(shared: &Shared, request: &Request, response: &Response, elapsed: u64) {
+    let class = if response.status >= 400 {
+        TailClass::Error
+    } else if response.status == 203 {
+        TailClass::Degraded
+    } else if elapsed >= SLOW_REQUEST_US {
+        TailClass::Slow
+    } else {
+        TailClass::Ok
+    };
+    let mut fields = vec![
+        (
+            "method".to_string(),
+            FieldValue::Str(request.method.clone()),
+        ),
+        (
+            "target".to_string(),
+            FieldValue::Str(request.target.clone()),
+        ),
+    ];
+    if let Some((_, disposition)) = response.headers.iter().find(|(k, _)| k == "x-cache") {
+        fields.push(("cache".to_string(), FieldValue::Str(disposition.clone())));
+    }
+    fields.push(("latency_us".to_string(), FieldValue::U64(elapsed)));
+    shared.hub.push_tail(class, response.status, fields);
 }
 
 fn route(shared: &Shared, request: &Request) -> Response {
@@ -279,6 +343,10 @@ fn route(shared: &Shared, request: &Request) -> Response {
             let mut config = server_config_pairs(shared);
             config.extend(shared.backend.info());
             Response::json(200, shared.hub.render_manifest(&config))
+        }
+        ("GET", "/v1/profile") => Response::json(200, shared.hub.render_profile()),
+        ("GET", target) if target == "/v1/trace/tail" || target.starts_with("/v1/trace/tail?") => {
+            trace_tail(shared, target)
         }
         ("GET", target) if target.starts_with("/v1/membership/") => {
             // lint: allow(panic-path) starts_with guarantees the ASCII prefix is a char boundary
@@ -338,10 +406,26 @@ fn healthz(shared: &Shared) -> Response {
     Response::json(200, JsonValue::Object(entries).to_compact())
 }
 
+/// `GET /v1/trace/tail?n=` — the most recent `n` retained wide events as
+/// `ghosts-events/4` JSONL (default and cap: the ring capacity).
+fn trace_tail(shared: &Shared, target: &str) -> Response {
+    let parsed: Result<usize, _> = target
+        .split_once('?')
+        .and_then(|(_, query)| query.split('&').find_map(|kv| kv.strip_prefix("n=")))
+        .map_or(Ok(TAIL_CAPACITY), str::parse);
+    match parsed {
+        Ok(n) => Response::text(200, &shared.hub.render_tail(n.min(TAIL_CAPACITY))),
+        Err(_) => Response::json(
+            400,
+            r#"{"error":"n must be a non-negative integer"}"#.to_string(),
+        ),
+    }
+}
+
 fn membership(shared: &Shared, raw: &str) -> Response {
     match ghosts_net::addr_from_str(raw) {
         Ok(addr) => {
-            shared.hub.recorder().add("serve.membership", 1);
+            shared.hub.stats().membership.inc();
             let m = shared.backend.membership(addr);
             Response::json(200, membership_json(&m))
         }
@@ -359,27 +443,30 @@ fn membership(shared: &Shared, raw: &str) -> Response {
 /// single-flight → compute → store. Panics anywhere inside are caught
 /// per-request; the worker survives and answers 500 with a trace.
 fn estimate(shared: &Shared, request: &Request) -> Response {
-    shared.hub.recorder().add("serve.estimate.received", 1);
+    shared.hub.stats().estimate_received.inc();
+    // The `serve/parse` stage covers body decode + request validation.
+    let parse_stage = shared.hub.profiler().scoped("serve").enter("parse");
     let doc = match std::str::from_utf8(&request.body)
         .ok()
         .and_then(|text| parse_json(text).ok())
     {
         Some(doc) => doc,
         None => {
-            shared.hub.recorder().add("serve.http.bad_request", 1);
+            shared.hub.stats().bad_request.inc();
             return Response::json(400, r#"{"error":"body is not valid JSON"}"#.to_string());
         }
     };
     let req = match EstimateRequest::parse(&doc) {
         Ok(r) => r,
         Err(message) => {
-            shared.hub.recorder().add("serve.http.bad_request", 1);
+            shared.hub.stats().bad_request.inc();
             return Response::json(
                 400,
                 format!("{{\"error\":{}}}", JsonValue::Str(message).to_compact()),
             );
         }
     };
+    drop(parse_stage);
     let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst);
     let digest = req.digest();
 
@@ -402,7 +489,7 @@ fn estimate(shared: &Shared, request: &Request) -> Response {
     let response = match outcome {
         Ok(response) => response,
         Err(panic) => {
-            shared.hub.recorder().add("serve.panic", 1);
+            shared.hub.stats().panic.inc();
             span.error(
                 "handler-panic",
                 &[
@@ -459,21 +546,27 @@ fn estimate_inner(shared: &Shared, req: &EstimateRequest, digest: u64, span: &Sc
     };
 
     if bypass_cache {
-        shared.hub.recorder().add("serve.cache.bypassed", 1);
+        shared.hub.stats().cache_bypassed.inc();
         let (status, body) = compute(shared, req, span);
         return Response::json(status, body).with_header("x-cache", "bypass");
     }
 
-    match shared.cache.lookup(digest) {
+    // The `serve/cache` stage covers the two-tier lookup only; stores ride
+    // inside the compute path.
+    let lookup = {
+        let _stage = shared.hub.profiler().scoped("serve").enter("cache");
+        shared.cache.lookup(digest)
+    };
+    match lookup {
         Lookup::Memory(r) => {
-            shared.hub.recorder().add("serve.cache.hit_mem", 1);
+            shared.hub.stats().cache_hit_mem.inc();
             return Response::json(r.status, r.body.clone()).with_header("x-cache", "hit-mem");
         }
         Lookup::Disk(r) => {
-            shared.hub.recorder().add("serve.cache.hit_disk", 1);
+            shared.hub.stats().cache_hit_disk.inc();
             return Response::json(r.status, r.body.clone()).with_header("x-cache", "hit-disk");
         }
-        Lookup::Miss => shared.hub.recorder().add("serve.cache.miss", 1),
+        Lookup::Miss => shared.hub.stats().cache_miss.inc(),
     }
 
     match shared.flights.join(digest) {
@@ -494,14 +587,11 @@ fn estimate_inner(shared: &Shared, req: &EstimateRequest, digest: u64, span: &Sc
             Response::json(status, body).with_header("x-cache", "miss")
         }
         Role::Waiter(Some(r)) => {
-            shared.hub.recorder().add("serve.singleflight.waited", 1);
+            shared.hub.stats().singleflight_waited.inc();
             Response::json(r.status, r.body.clone()).with_header("x-cache", "coalesced")
         }
         Role::Waiter(None) => {
-            shared
-                .hub
-                .recorder()
-                .add("serve.singleflight.leader_failed", 1);
+            shared.hub.stats().singleflight_leader_failed.inc();
             let (status, body) = compute(shared, req, span);
             Response::json(status, body).with_header("x-cache", "miss")
         }
@@ -511,7 +601,7 @@ fn estimate_inner(shared: &Shared, req: &EstimateRequest, digest: u64, span: &Sc
 /// Runs the estimator for a request. Returns `(status, body)`; bodies are
 /// canonical compact JSON — the bytes that get cached and replayed.
 fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String) {
-    shared.hub.recorder().add("serve.estimate.computed", 1);
+    shared.hub.stats().estimate_computed.inc();
     let spec = match &req.table {
         Some(inline) => crate::backend::TableSpec {
             tables: vec![inline.to_table()],
@@ -519,7 +609,7 @@ fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String
             labels: Vec::new(),
         },
         None => {
-            shared.hub.recorder().add("serve.backend.resolve", 1);
+            shared.hub.stats().backend_resolve.inc();
             match shared.backend.resolve(req) {
                 Ok(spec) => spec,
                 Err(e) => {
@@ -541,6 +631,10 @@ fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String
 
     let mut cfg = req.cr_config();
     cfg.obs = span.child("estimate");
+    // The estimator attributes its own `fit`/`select`/`ci` stages under
+    // `estimate/`; `serve/render` below covers body serialisation.
+    cfg.profile = shared.hub.profiler().scoped("estimate");
+    let render_stages = shared.hub.profiler().scoped("serve");
 
     if spec.tables.len() == 1 && spec.labels.is_empty() {
         // lint: allow(panic-path) tables.len() == 1 guard; limits is validated to match tables
@@ -549,6 +643,7 @@ fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String
         match estimate_table(&spec.tables[0], limit, &cfg) {
             Ok(est) => {
                 let status = if est.degraded.is_some() { 203 } else { 200 };
+                let _stage = render_stages.enter("render");
                 (status, estimate_json(&est))
             }
             Err(e) => {
@@ -572,6 +667,7 @@ fn compute(shared: &Shared, req: &EstimateRequest, span: &Scope) -> (u16, String
     } else {
         let stratified = estimate_stratified(&spec.tables, spec.limits.as_deref(), &cfg);
         let status = if stratified.is_clean() { 200 } else { 203 };
+        let _stage = render_stages.enter("render");
         (status, stratified_json(&stratified, &spec.labels))
     }
 }

@@ -50,9 +50,15 @@ pub fn start_with(config: ServerConfig) -> ServerHandle {
     Server::bind(config, inline_backend(), MetricsHub::wall()).expect("bind loopback")
 }
 
-/// Reads one `counter <name> <value>` line out of a `/metrics` body.
+/// Reads one lifetime counter out of a `/metrics` body. Dotted internal
+/// names are sanitised to `snake_case` series names in the exposition;
+/// the plain (label-free) line is the cumulative total.
 pub fn counter(metrics_text: &str, name: &str) -> u64 {
-    let prefix = format!("counter {name} ");
+    let series: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let prefix = format!("{series} ");
     metrics_text
         .lines()
         .find_map(|l| l.strip_prefix(&prefix))

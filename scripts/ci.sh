@@ -29,9 +29,13 @@ repo_root="$(pwd)"
 # Run from the temp dir so the smoke run's results/ don't clobber the
 # committed default-scale artifacts.
 (cd "$smoke_dir" && "$repo_root/target/release/repro" table4 --denom 16384 --seed 7 --quiet \
-    --trace trace.jsonl --metrics-out manifest.json)
+    --profile --trace trace.jsonl --metrics-out manifest.json)
 cargo run -q -p xtask -- lint --check-events "$smoke_dir/trace.jsonl"
 test -s "$smoke_dir/manifest.json"
+grep -q '"section":"stage_profile"' "$smoke_dir/manifest.json" || {
+    echo "ci.sh: --profile manifest lacks the stage_profile section" >&2
+    exit 1
+}
 
 echo "==> fault-injection smoke (repro --fault-plan + degraded exit code)"
 # The multi-class plan must leave partial results, a schema-valid trace
@@ -103,9 +107,40 @@ grep -q '^x-cache: hit-mem$' "$smoke_dir/est2.headers" || {
     exit 1
 }
 serve_req GET "http://$addr/metrics" >"$smoke_dir/serve_metrics.txt" 2>/dev/null
-grep -q '^counter serve\.cache\.hit_mem 1$' "$smoke_dir/serve_metrics.txt" || {
+grep -q '^serve_cache_hit_mem 1$' "$smoke_dir/serve_metrics.txt" || {
     echo "ci.sh: /metrics does not report the cache hit" >&2
     cat "$smoke_dir/serve_metrics.txt" >&2
+    exit 1
+}
+grep -q '^serve_request_us{lane="volatile",quantile="0.99"}' "$smoke_dir/serve_metrics.txt" || {
+    echo "ci.sh: /metrics lacks the volatile latency quantiles" >&2
+    cat "$smoke_dir/serve_metrics.txt" >&2
+    exit 1
+}
+# Non-mutating reads: a second scrape of the quiescent server must be
+# byte-identical to the first (the drain-on-read wart stays dead).
+serve_req GET "http://$addr/metrics" >"$smoke_dir/serve_metrics2.txt" 2>/dev/null
+cmp -s "$smoke_dir/serve_metrics.txt" "$smoke_dir/serve_metrics2.txt" || {
+    echo "ci.sh: consecutive /metrics scrapes differ (drain-on-read regression)" >&2
+    diff "$smoke_dir/serve_metrics.txt" "$smoke_dir/serve_metrics2.txt" >&2 || true
+    exit 1
+}
+serve_req GET "http://$addr/v1/profile" >"$smoke_dir/serve_profile.json" 2>/dev/null
+grep -q '"clock":"wall"' "$smoke_dir/serve_profile.json" || {
+    echo "ci.sh: /v1/profile lacks the stage table" >&2
+    cat "$smoke_dir/serve_profile.json" >&2
+    exit 1
+}
+grep -q 'serve/parse' "$smoke_dir/serve_profile.json" || {
+    echo "ci.sh: /v1/profile does not attribute the serve stages" >&2
+    cat "$smoke_dir/serve_profile.json" >&2
+    exit 1
+}
+serve_req GET "http://$addr/v1/trace/tail?n=8" >"$smoke_dir/serve_tail.jsonl" 2>/dev/null
+cargo run -q -p xtask -- lint --check-events "$smoke_dir/serve_tail.jsonl"
+grep -q '"name":"tail_retention"' "$smoke_dir/serve_tail.jsonl" || {
+    echo "ci.sh: /v1/trace/tail lacks the retention accounting event" >&2
+    cat "$smoke_dir/serve_tail.jsonl" >&2
     exit 1
 }
 kill -TERM "$serve_pid"
