@@ -3,7 +3,8 @@
 //! (`BENCH_pr3.json` is the committed first point of the trajectory;
 //! `BENCH_pr5.json` is the serving layer's; `BENCH_pr6.json` the
 //! reliability engine's; `BENCH_pr7.json` ghost-lint's;
-//! `BENCH_pr8.json` the telemetry plane's).
+//! `BENCH_pr8.json` the telemetry plane's; `BENCH_pr9.json` the durable
+//! state plane's).
 //!
 //! ```text
 //! cargo run -p ghosts-bench --release --bin perf_record -- BENCH_pr3.json
@@ -11,6 +12,7 @@
 //! cargo run -p ghosts-bench --release --bin perf_record -- reliability BENCH_pr6.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- lint BENCH_pr7.json
 //! cargo run -p ghosts-bench --release --bin perf_record -- obs BENCH_pr8.json
+//! cargo run -p ghosts-bench --release --bin perf_record -- durable BENCH_pr9.json
 //! ```
 //!
 //! The `serve` mode measures the estimation server end to end over
@@ -37,6 +39,14 @@
 //! serving layer's cache-hot request rate re-measured on the lock-free
 //! hot path (the regression check against `BENCH_pr5.json`, whose
 //! baseline is printed alongside when the file is present).
+//!
+//! The `durable` mode (`BENCH_pr9.json`) measures the crash-safe state
+//! plane (DESIGN.md §16): WAL append latency with the production
+//! fsync-per-record policy and with fsync off (the gap is the price of
+//! the durability guarantee), checkpoint write cost, recovery scan
+//! throughput over a populated log, and the end-to-end acked ingest
+//! rate of `POST /v1/observations` over loopback — the ack rate a
+//! client actually sees, fsync and all.
 //!
 //! Two timing lanes per workload:
 //! * `*_disabled_us` — recorder disabled (the no-op branch production code
@@ -215,7 +225,8 @@ fn serve_mode(out: &str) {
     manifest.set_config("iters", iters.to_string());
     manifest.ingest_metrics(&log);
     manifest.ingest_events(&log, &["bench_point"]);
-    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    ghosts_durable::atomic_write(std::path::Path::new(out), manifest.to_json().as_bytes())
+        .expect("can write perf record");
     eprintln!(
         "perf_record: serve cold {cold_us}us / cached {cached_us}us, \
          {rps_w1} req/s @1 worker, {rps_w4} req/s @4 workers → {out}"
@@ -288,7 +299,8 @@ fn reliability_mode(out: &str) {
     );
     manifest.ingest_metrics(&log);
     manifest.ingest_events(&log, &["bench_point"]);
-    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    ghosts_durable::atomic_write(std::path::Path::new(out), manifest.to_json().as_bytes())
+        .expect("can write perf record");
     eprintln!(
         "perf_record: bootstrap {rps_t1} refits/s @1 thread, {rps_auto} refits/s @auto \
          ({:.1}x) → {out}",
@@ -347,7 +359,8 @@ fn lint_mode(out: &str) {
     manifest.set_config("iters", iters.to_string());
     manifest.ingest_metrics(&log);
     manifest.ingest_events(&log, &["bench_point"]);
-    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    ghosts_durable::atomic_write(std::path::Path::new(out), manifest.to_json().as_bytes())
+        .expect("can write perf record");
     eprintln!(
         "perf_record: lint cold {cold_us}us, warm {warm_t1_us}us @1 thread / \
          {warm_auto_us}us @auto ({:.1}x), {} findings → {out}",
@@ -500,11 +513,138 @@ fn obs_mode(out: &str) {
     manifest.set_config("iters", iters.to_string());
     manifest.ingest_metrics(&log);
     manifest.ingest_events(&log, &["bench_point"]);
-    std::fs::write(out, manifest.to_json()).expect("can write perf record");
+    ghosts_durable::atomic_write(std::path::Path::new(out), manifest.to_json().as_bytes())
+        .expect("can write perf record");
     eprintln!(
         "perf_record: record {counter_ns}ns/op counter / {hist_ns}ns/op hist \
          ({contended_ns}ns/op contended), /metrics render {render_us}us, \
          {rps_w1} req/s @1 worker, {rps_w4} req/s @4 workers → {out}"
+    );
+}
+
+/// The durable state plane's perf record (`BENCH_pr9.json`): WAL append
+/// latency (fsync on and off), checkpoint write cost, recovery scan
+/// time, and end-to-end acked observation ingest over loopback.
+fn durable_mode(out: &str) {
+    use ghosts_durable::{DurableLog, WalConfigOverride};
+    use ghosts_serve::{client, MetricsHub, Server, ServerConfig};
+    let wall = WallClock::new();
+    let iters = 9usize;
+    let scratch = std::env::temp_dir().join(format!("ghosts-perf-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    const APPENDS: u64 = 512;
+    let payload = vec![0xA5u8; 256];
+
+    eprintln!("perf_record: timing WAL appends (fsync per record)…");
+    let dir = scratch.join("fsync");
+    let (mut log, _) = DurableLog::open(&dir).expect("open scratch log");
+    let t0 = wall.now();
+    for _ in 0..APPENDS {
+        log.append(&payload).expect("append");
+    }
+    let fsync_total_us = (wall.now() - t0).max(1);
+    let append_fsync_us = fsync_total_us / APPENDS;
+    let appends_per_sec = APPENDS * 1_000_000 / fsync_total_us;
+    drop(log);
+
+    eprintln!("perf_record: timing WAL appends (fsync off, for contrast)…");
+    let (mut unsynced, _) = DurableLog::open_with(
+        scratch.join("nofsync"),
+        WalConfigOverride {
+            fsync: Some(false),
+            ..WalConfigOverride::default()
+        },
+    )
+    .expect("open scratch log");
+    let t0 = wall.now();
+    for _ in 0..APPENDS {
+        unsynced.append(&payload).expect("append");
+    }
+    let nofsync_total_us = (wall.now() - t0).max(1);
+    let append_nofsync_us = nofsync_total_us / APPENDS;
+    drop(unsynced);
+
+    eprintln!("perf_record: timing recovery scans of the {APPENDS}-record log…");
+    let mut recovered_records = 0u64;
+    let recovery_us = median_us(&wall, iters, || {
+        let (_, recovery) = DurableLog::open(&dir).expect("reopen scratch log");
+        assert_eq!(recovery.report.torn_tail_bytes, 0, "clean log stays clean");
+        recovered_records = recovery.report.wal_records_scanned;
+    });
+    assert_eq!(recovered_records, APPENDS, "every append is recoverable");
+
+    eprintln!("perf_record: timing checkpoint writes (64 KiB state)…");
+    let (mut log, _) = DurableLog::open(&dir).expect("reopen scratch log");
+    let state = vec![0x5Au8; 64 * 1024];
+    let checkpoint_us = median_us(&wall, iters, || {
+        log.checkpoint(&state).expect("checkpoint");
+    });
+    drop(log);
+
+    eprintln!("perf_record: acked observation ingest over loopback…");
+    let server = Server::bind(
+        ServerConfig {
+            ingest_dir: Some(scratch.join("serve")),
+            ..ServerConfig::default()
+        },
+        serve_backend(5),
+        MetricsHub::wall(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    const POSTS: u64 = 256;
+    let t0 = wall.now();
+    for i in 0..POSTS {
+        let body = format!(
+            r#"{{"key":"perf-{i}","source":"s{}","addrs":["8.0.{}.1"]}}"#,
+            i % 3,
+            i % 250
+        );
+        let r = client::post_json(addr, "/v1/observations", &body).expect("serve answers");
+        assert_eq!(r.status, 201, "{}", r.body_text());
+    }
+    let acks_per_sec = POSTS * 1_000_000 / (wall.now() - t0).max(1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let rec = Recorder::enabled(Arc::new(LogicalClock::new()));
+    rec.volatile_add("perf.wal_append_fsync_us", append_fsync_us);
+    rec.volatile_add("perf.wal_append_nofsync_us", append_nofsync_us);
+    rec.volatile_add("perf.wal_appends_per_sec", appends_per_sec);
+    rec.volatile_add("perf.wal_recovery_us", recovery_us);
+    rec.volatile_add("perf.checkpoint_us", checkpoint_us);
+    rec.volatile_add("perf.ingest_acks_per_sec", acks_per_sec);
+    rec.root("perf").event(
+        "bench_point",
+        &[
+            ("bench", FieldValue::Str("pr9".to_string())),
+            ("wal_append_fsync_us", FieldValue::U64(append_fsync_us)),
+            ("wal_append_nofsync_us", FieldValue::U64(append_nofsync_us)),
+            ("wal_appends_per_sec", FieldValue::U64(appends_per_sec)),
+            ("wal_recovery_us", FieldValue::U64(recovery_us)),
+            ("recovered_records", FieldValue::U64(recovered_records)),
+            ("checkpoint_us", FieldValue::U64(checkpoint_us)),
+            ("ingest_acks_per_sec", FieldValue::U64(acks_per_sec)),
+        ],
+    );
+    let log = rec.flush();
+    let mut manifest = RunManifest::new();
+    manifest.set_config("bench", "pr9");
+    manifest.set_config(
+        "workload.durable",
+        "512 x 256 B WAL appends (fsync on/off); recovery scan of that log; \
+         64 KiB checkpoints; 256 acked POST /v1/observations over loopback",
+    );
+    manifest.set_config("iters", iters.to_string());
+    manifest.ingest_metrics(&log);
+    manifest.ingest_events(&log, &["bench_point"]);
+    ghosts_durable::atomic_write(std::path::Path::new(out), manifest.to_json().as_bytes())
+        .expect("can write perf record");
+    eprintln!(
+        "perf_record: WAL append {append_fsync_us}us fsync / {append_nofsync_us}us unsynced \
+         ({appends_per_sec} appends/s), recovery {recovery_us}us, checkpoint {checkpoint_us}us, \
+         {acks_per_sec} acked obs/s → {out}"
     );
 }
 
@@ -532,6 +672,14 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_pr8.json".to_string());
         obs_mode(&out);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("durable") {
+        let out = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+        durable_mode(&out);
         return;
     }
     if args.first().map(String::as_str) == Some("serve") {
@@ -629,7 +777,8 @@ fn main() {
     // Only the summary point: the enabled lane re-records model_chosen et
     // al. every iteration, and those repeats add nothing to a perf record.
     manifest.ingest_events(&log, &["bench_point"]);
-    std::fs::write(&out, manifest.to_json()).expect("can write perf record");
+    ghosts_durable::atomic_write(std::path::Path::new(&out), manifest.to_json().as_bytes())
+        .expect("can write perf record");
     eprintln!(
         "perf_record: estimate_table {est_disabled_us}us (disabled) / {est_enabled_us}us \
          (enabled, {overhead_pct:+.1}%), stratified {strat_us}us, fit {fit_us}us → {out}"

@@ -318,7 +318,9 @@ fn main() {
                 .iter()
                 .any(|(_, events)| events.iter().any(|e| e.name == "stratum_failed"));
         if let Some(path) = &opts.trace {
-            if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+            if let Err(e) =
+                ghosts_durable::atomic_write(std::path::Path::new(path), log.to_jsonl().as_bytes())
+            {
                 eprintln!("repro: could not write trace {path}: {e}");
                 failures += 1;
             }
@@ -334,7 +336,10 @@ fn main() {
             if opts.profile {
                 manifest.ingest_stage_table(&ctx.profiler.table());
             }
-            if let Err(e) = std::fs::write(path, manifest.to_json()) {
+            if let Err(e) = ghosts_durable::atomic_write(
+                std::path::Path::new(path),
+                manifest.to_json().as_bytes(),
+            ) {
                 eprintln!("repro: could not write manifest {path}: {e}");
                 failures += 1;
             }

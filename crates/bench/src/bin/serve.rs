@@ -18,16 +18,30 @@
 //! * `--cache-capacity N` — in-memory LRU entries (default 256).
 //! * `--cache-dir PATH` — enable the on-disk JSON spill.
 //! * `--max-pending N` — accept-queue bound before shedding (default 64).
+//! * `--ingest-dir PATH` — enable the durable ingest plane (WAL +
+//!   checkpoints under PATH; `POST /v1/observations` et al.).
+//! * `--max-inflight N` / `--checkpoint-every N` — ingest backpressure
+//!   bound and auto-checkpoint cadence (defaults 32 / 32).
+//! * `--fault-plan "PLAN"` — install a fault plan (e.g.
+//!   `site=durable.wal.append kind=crash-at-point scope=3 hit=0`) for the
+//!   chaos harness; errors out unless built with `fault-inject`.
 //! * `--quiet` — suppress the backend-info chatter on stderr.
 //!
 //! The process serves until killed; a clean `SIGTERM` terminates it with
-//! the conventional exit code 143, which the CI smoke step asserts.
+//! the conventional exit code 143, which the CI smoke step asserts. With
+//! an ingest plane, `POST /v1/admin/drain` checkpoints the durable state
+//! and the process exits 0 once the drain latch is observed — the
+//! graceful path; `kill -9` is the covered-by-recovery path.
 //!
-//! `req METHOD URL [BODY] [--expect-status N]` prints the response body
-//! to stdout and `status`/headers to stderr, exiting 1 on socket failure
-//! or a status mismatch — enough curl for the smoke tests.
+//! `req METHOD URL [BODY] [--expect-status N] [--retries N] [--retry-seed N]
+//! [--idempotency-key K]` prints the response body to stdout and
+//! `status`/headers to stderr, exiting 1 on socket failure or a status
+//! mismatch — enough curl for the smoke tests. With `--retries` it runs
+//! the deterministic jittered backoff (honouring `Retry-After`), and
+//! `--idempotency-key` stamps the header so retries dedup server-side.
 
 use ghosts_bench::ReproBackend;
+use ghosts_serve::client::RetryPolicy;
 use ghosts_serve::{client, Backend, MetricsHub, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -37,8 +51,11 @@ fn usage(message: &str) -> ! {
     eprintln!("serve: {message}");
     eprintln!(
         "usage: serve run [--port N] [--denom N] [--seed N] [--workers N] \
-         [--cache-capacity N] [--cache-dir PATH] [--max-pending N] [--quiet]\n\
-         \x20      serve req METHOD URL [BODY] [--expect-status N]"
+         [--cache-capacity N] [--cache-dir PATH] [--max-pending N] \
+         [--ingest-dir PATH] [--max-inflight N] [--checkpoint-every N] \
+         [--fault-plan PLAN] [--quiet]\n\
+         \x20      serve req METHOD URL [BODY] [--expect-status N] [--retries N] \
+         [--retry-seed N] [--idempotency-key K]"
     );
     std::process::exit(2);
 }
@@ -82,6 +99,25 @@ fn run(args: &[String]) -> ExitCode {
                         .into(),
                 )
             }
+            "--ingest-dir" => {
+                config.ingest_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--ingest-dir needs a path"))
+                        .into(),
+                )
+            }
+            "--max-inflight" => config.max_inflight = num(&mut it, "--max-inflight") as usize,
+            "--checkpoint-every" => config.checkpoint_every = num(&mut it, "--checkpoint-every"),
+            "--fault-plan" => {
+                let text = it
+                    .next()
+                    .unwrap_or_else(|| usage("--fault-plan needs a plan document"));
+                let plan = ghosts_faultinject::FaultPlan::parse(text)
+                    .unwrap_or_else(|e| usage(&format!("--fault-plan: {e}")));
+                if let Err(e) = ghosts_faultinject::install(plan) {
+                    usage(&format!("--fault-plan: {e}"));
+                }
+            }
             "--quiet" => quiet = true,
             other => usage(&format!("unknown option {other:?}")),
         }
@@ -107,28 +143,61 @@ fn run(args: &[String]) -> ExitCode {
     // The announcement line is the startup contract: scripts poll stdout
     // for it to learn the ephemeral port.
     println!("ghosts-serve listening on http://{}", server.local_addr());
-    // Serve until killed. SIGTERM takes the default path (process
-    // termination, exit 143) — the worker pool holds no cross-request
-    // state worth flushing: the spill cache is written atomically per
-    // entry and the metrics lane is process-local by design.
+    // Serve until killed — SIGTERM takes the default path (process
+    // termination, exit 143); the spill cache is written atomically per
+    // entry and acked observations are already fsynced, so even `kill -9`
+    // loses nothing acknowledged. `POST /v1/admin/drain` is the graceful
+    // exit: once the latch is observed the state is checkpointed and the
+    // process leaves with code 0.
     loop {
-        std::thread::park();
+        std::thread::park_timeout(std::time::Duration::from_millis(50));
+        if server.drain_requested() {
+            if !quiet {
+                eprintln!("serve: drain requested; durable state checkpointed, exiting");
+            }
+            server.shutdown();
+            return ExitCode::SUCCESS;
+        }
     }
 }
 
 fn req(args: &[String]) -> ExitCode {
     let mut positional: Vec<&String> = Vec::new();
     let mut expect: Option<u16> = None;
+    let mut policy = RetryPolicy {
+        retries: 0,
+        ..RetryPolicy::default()
+    };
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--expect-status" {
-            expect = Some(
-                it.next()
+        match a.as_str() {
+            "--expect-status" => {
+                expect = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--expect-status needs a status code")),
+                );
+            }
+            "--retries" => {
+                policy.retries = it
+                    .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--expect-status needs a status code")),
-            );
-        } else {
-            positional.push(a);
+                    .unwrap_or_else(|| usage("--retries needs a count"));
+            }
+            "--retry-seed" => {
+                policy.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--retry-seed needs an integer"));
+            }
+            "--idempotency-key" => {
+                let key = it
+                    .next()
+                    .unwrap_or_else(|| usage("--idempotency-key needs a value"));
+                headers.push(("idempotency-key".to_string(), key.clone()));
+            }
+            _ => positional.push(a),
         }
     }
     let (method, url, body) = match positional.as_slice() {
@@ -147,7 +216,7 @@ fn req(args: &[String]) -> ExitCode {
         usage("URL host must be an ip:port literal (e.g. 127.0.0.1:8080)");
     };
 
-    match client::request(addr, &method, path, body) {
+    match client::request_with_retry(addr, &method, path, body, &headers, &policy) {
         Ok(response) => {
             eprintln!("status: {}", response.status);
             for (name, value) in &response.headers {

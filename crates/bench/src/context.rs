@@ -286,10 +286,15 @@ impl ReproContext {
 /// sidecar to `results/<id>.json`, then returns the text for printing.
 pub fn write_results(id: &str, text: &str, json: &serde_json::Value) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
-    std::fs::write(format!("results/{id}.txt"), text)?;
-    std::fs::write(
-        format!("results/{id}.json"),
-        serde_json::to_string_pretty(json).expect("serialisable"),
+    ghosts_durable::atomic_write(
+        std::path::Path::new(&format!("results/{id}.txt")),
+        text.as_bytes(),
+    )?;
+    ghosts_durable::atomic_write(
+        std::path::Path::new(&format!("results/{id}.json")),
+        serde_json::to_string_pretty(json)
+            .expect("serialisable")
+            .as_bytes(),
     )?;
     Ok(())
 }

@@ -1,0 +1,295 @@
+//! Chaos harness for the durable ingest plane: real `serve` processes
+//! killed at the worst moments. The contract under test (DESIGN.md §16):
+//! an **acked** observation survives any crash — `kill -9`, an injected
+//! `abort()` between fsync and response, anything — and the recovered
+//! state converges to the byte-identical estimates of a run that never
+//! crashed.
+
+use ghosts_serve::client::{self, ClientResponse};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// A `serve run` child that is SIGKILLed on drop (so a failing assert
+/// never leaks a listener).
+struct ServeProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServeProc {
+    fn spawn(dir: &Path, extra: &[&str]) -> ServeProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+        cmd.args([
+            "run",
+            "--port",
+            "0",
+            "--denom",
+            "65536",
+            "--quiet",
+            "--ingest-dir",
+        ])
+        .arg(dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = lines
+            .next()
+            .and_then(Result::ok)
+            .and_then(|l| {
+                l.strip_prefix("ghosts-serve listening on http://")
+                    .and_then(|a| a.parse().ok())
+            })
+            .expect("announcement line with the bound address");
+        ServeProc { child, addr }
+    }
+
+    fn post(&self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        client::request_with_headers(self.addr, "POST", path, Some(body.as_bytes()), &[])
+    }
+
+    fn get(&self, path: &str) -> ClientResponse {
+        client::get(self.addr, path).expect("GET")
+    }
+
+    fn wait(mut self) -> std::process::ExitStatus {
+        let status = self.child.wait().expect("child wait");
+        // Disarm the drop kill (already exited).
+        status
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ghosts-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn batch(key: &str) -> String {
+    // Key-derived addresses: each batch contributes distinct but
+    // deterministic observations across three overlapping sources.
+    let n: u32 = key
+        .trim_start_matches(|c: char| !c.is_ascii_digit())
+        .parse()
+        .expect("numeric key suffix");
+    let source = format!("s{}", n % 3);
+    let addrs: Vec<String> = (0..4)
+        .map(|i| format!("\"8.{}.{}.{}\"", n % 200, (n * 7 + i) % 250, i + 1))
+        .collect();
+    format!(
+        "{{\"key\":\"{key}\",\"source\":\"{source}\",\"addrs\":[{}]}}",
+        addrs.join(",")
+    )
+}
+
+fn field(body: &str, name: &str) -> String {
+    body.split(&format!("\"{name}\":"))
+        .nth(1)
+        .map(|t| {
+            t.trim_start_matches('"')
+                .split(['"', ',', '}'])
+                .next()
+                .expect("split never returns no items")
+                .to_string()
+        })
+        .unwrap_or_else(|| panic!("no {name:?} field in {body}"))
+}
+
+/// Ingests `keys` into a fresh server and returns (digest, estimate body)
+/// after a graceful drain — the never-crashed control fixture.
+fn control_run(tag: &str, keys: &[String]) -> (String, Vec<u8>) {
+    let dir = scratch(tag);
+    let server = ServeProc::spawn(&dir, &[]);
+    for key in keys {
+        let r = server.post("/v1/observations", &batch(key)).expect("post");
+        assert!(r.status == 201 || r.status == 200, "{}", r.body_text());
+    }
+    let stats = server.get("/v1/observations/stats");
+    let digest = field(&stats.body_text(), "digest");
+    let estimate = server.get("/v1/observations/estimate").body;
+    let drained = server.post("/v1/admin/drain", "").expect("drain");
+    assert_eq!(drained.status, 200, "{}", drained.body_text());
+    let status = server.wait();
+    assert!(status.success(), "drained server must exit 0: {status:?}");
+    (digest, estimate)
+}
+
+#[test]
+fn injected_crash_between_fsync_and_ack_converges_to_the_control_run() {
+    let keys: Vec<String> = (0..10).map(|i| format!("k{i}")).collect();
+    let (control_digest, control_estimate) = control_run("control-a", &keys);
+
+    // The 6th observation's WAL append fsyncs, then the process aborts
+    // before the ack can be written back — the ambiguous-outcome window.
+    let dir = scratch("crash-at-point");
+    let server = ServeProc::spawn(
+        &dir,
+        &[
+            "--fault-plan",
+            "site=durable.wal.append kind=crash-at-point scope=5 hit=0",
+        ],
+    );
+    let mut acked: Vec<String> = Vec::new();
+    for key in &keys {
+        match server.post("/v1/observations", &batch(key)) {
+            Ok(r) if r.status == 201 => acked.push(key.clone()),
+            Ok(r) => panic!("unexpected status {} for {key}", r.status),
+            Err(_) => break, // the crash: this and later sends got no ack
+        }
+    }
+    assert_eq!(acked.len(), 5, "exactly the pre-crash observations ack");
+    let status = server.wait();
+    assert!(
+        !status.success(),
+        "the injected abort must kill the process"
+    );
+
+    // Recovery: every acked key must already be present (dedup answers
+    // duplicate); the ambiguous fsynced-but-unacked record may also have
+    // survived — that is allowed, a retry converges either way.
+    let server = ServeProc::spawn(&dir, &[]);
+    let stats = server.get("/v1/observations/stats").body_text();
+    let applied: u64 = field(&stats, "applied").parse().expect("applied count");
+    assert!(applied >= 5, "recovery lost acked observations: {stats}");
+    assert!(
+        field(&stats, "wal_records_replayed")
+            .parse::<u64>()
+            .expect("count")
+            >= 5,
+        "{stats}"
+    );
+    for key in &acked {
+        let r = server.post("/v1/observations", &batch(key)).expect("redo");
+        assert_eq!(r.status, 200, "acked {key} was lost: {}", r.body_text());
+        assert!(r.body_text().contains("\"duplicate\""), "{}", r.body_text());
+    }
+    // The client retry protocol: re-send everything idempotently, then the
+    // state must be byte-identical to the never-crashed run.
+    for key in &keys {
+        let r = server
+            .post("/v1/observations", &batch(key))
+            .expect("resend");
+        assert!(r.status == 200 || r.status == 201, "{}", r.body_text());
+    }
+    let stats = server.get("/v1/observations/stats");
+    assert_eq!(field(&stats.body_text(), "digest"), control_digest);
+    let estimate = server.get("/v1/observations/estimate");
+    assert_eq!(
+        estimate.body, control_estimate,
+        "estimates must be byte-identical to the never-crashed run"
+    );
+    let drained = server.post("/v1/admin/drain", "").expect("drain");
+    assert_eq!(drained.status, 200);
+    assert!(server.wait().success());
+}
+
+#[test]
+fn sigkill_mid_ingest_preserves_every_acked_observation() {
+    let dir = scratch("sigkill");
+    let mut server = ServeProc::spawn(&dir, &["--checkpoint-every", "8"]);
+
+    // Hammer observations until the harness yanks the process (SIGKILL —
+    // no drain, no flush, no atexit) out from under the stream.
+    let addr = server.addr;
+    let poster = std::thread::spawn(move || {
+        let mut acked = Vec::new();
+        for i in 0..4000 {
+            let key = format!("k{i}");
+            match client::request_with_headers(
+                addr,
+                "POST",
+                "/v1/observations",
+                Some(batch(&key).as_bytes()),
+                &[],
+            ) {
+                Ok(r) if r.status == 201 => acked.push(key),
+                _ => break,
+            }
+        }
+        acked
+    });
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    server.child.kill().expect("SIGKILL");
+    let _ = server.child.wait();
+    let acked = poster.join().expect("poster thread");
+    assert!(
+        !acked.is_empty(),
+        "the harness killed the server before any ack"
+    );
+    drop(server);
+
+    let server = ServeProc::spawn(&dir, &[]);
+    let stats = server.get("/v1/observations/stats").body_text();
+    let applied: u64 = field(&stats, "applied").parse().expect("applied count");
+    assert!(
+        applied >= acked.len() as u64,
+        "recovered {applied} < {} acked: {stats}",
+        acked.len()
+    );
+    for key in &acked {
+        let r = server.post("/v1/observations", &batch(key)).expect("redo");
+        assert_eq!(
+            r.status,
+            200,
+            "acked {key} missing after kill -9: {}",
+            r.body_text()
+        );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_recovered_bytes() {
+    let keys: Vec<String> = (0..12).map(|i| format!("k{i}")).collect();
+    let (one_digest, one_estimate) = {
+        let dir = scratch("workers-1");
+        let server = ServeProc::spawn(&dir, &["--workers", "1"]);
+        for key in &keys {
+            assert_eq!(
+                server
+                    .post("/v1/observations", &batch(key))
+                    .expect("post")
+                    .status,
+                201
+            );
+        }
+        let stats = server.get("/v1/observations/stats").body_text();
+        (
+            field(&stats, "digest"),
+            server.get("/v1/observations/estimate").body,
+        )
+    };
+    let (four_digest, four_estimate) = {
+        let dir = scratch("workers-4");
+        let server = ServeProc::spawn(&dir, &["--workers", "4"]);
+        for key in &keys {
+            assert_eq!(
+                server
+                    .post("/v1/observations", &batch(key))
+                    .expect("post")
+                    .status,
+                201
+            );
+        }
+        let stats = server.get("/v1/observations/stats").body_text();
+        (
+            field(&stats, "digest"),
+            server.get("/v1/observations/estimate").body,
+        )
+    };
+    assert_eq!(one_digest, four_digest, "digest depends on --workers");
+    assert_eq!(
+        one_estimate, four_estimate,
+        "estimate bytes depend on --workers"
+    );
+}

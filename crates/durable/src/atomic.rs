@@ -1,0 +1,96 @@
+//! The atomic file writer: temp file + fsync + rename (+ directory
+//! fsync), the only sanctioned way to put a whole file on disk.
+//!
+//! After a crash at *any* point, a path written through [`atomic_write`]
+//! holds either its previous content or the complete new content — never
+//! a prefix. The ghost-lint `fs-discipline` rule confines raw
+//! `File::create`/`fs::write` to this module so no other code path can
+//! reintroduce torn files.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: a `<name>.tmp` sibling is
+/// written and fsynced, then renamed over `path`, then the parent
+/// directory is fsynced so the rename itself survives a crash.
+///
+/// # Errors
+///
+/// Any I/O failure; on failure the destination is untouched (a stale
+/// `.tmp` sibling may remain and is ignored by all readers).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so a just-completed rename/create/unlink inside it
+/// is durable. A no-op error on platforms that refuse to open directories
+/// is swallowed: the data fsync already happened, only the *name* might
+/// lag, and every caller tolerates re-finding the old name after a crash.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(handle) => handle.sync_all().or(Ok(())),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ghosts-durable-atomic-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("state.json");
+        atomic_write(&path, b"v1").expect("first write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"v1");
+        atomic_write(&path, b"version-two").expect("replace");
+        assert_eq!(std::fs::read(&path).expect("read"), b"version-two");
+        // No .tmp residue after a successful write.
+        assert!(!dir.join("state.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_sibling_is_overwritten_not_fatal() {
+        let dir = tmp_dir("stale");
+        let path = dir.join("out.bin");
+        std::fs::write(dir.join("out.bin.tmp"), b"torn half-write").expect("plant stale tmp");
+        atomic_write(&path, b"fresh").expect("write over stale tmp");
+        assert_eq!(std::fs::read(&path).expect("read"), b"fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_pathless_targets() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Generation-numbered atomic checkpoints.
+//!
+//! A checkpoint is one CRC frame (the same codec as the WAL) whose
+//! payload is `generation: u64 LE ++ next_lsn: u64 LE ++ state bytes`,
+//! written through [`crate::atomic::atomic_write`] to
+//! `ckpt-<generation>.ckpt`. The generation appears in both the file
+//! name and the payload; a mismatch (a renamed or spliced file) makes
+//! the checkpoint invalid.
+//!
+//! Recovery takes the **newest valid** generation: a corrupt, torn or
+//! mismatched file is quarantined to `<name>.corrupt` and the scan falls
+//! back to the next-older one, so a crash mid-checkpoint can never lose
+//! the previous good state.
+
+use crate::atomic::{atomic_write, sync_dir};
+use crate::frame::{encode_frame, scan_frames, Tail};
+use ghosts_faultinject as faults;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Fault-probe site on the checkpoint write path. Honours `io-error`
+/// (fail before writing), `torn-write` (leave a torn checkpoint file for
+/// recovery to quarantine) and `crash-at-point` (abort after the write).
+pub const FAULT_SITE_CHECKPOINT: &str = "durable.checkpoint";
+
+/// Fixed payload prefix: generation + next_lsn, both `u64` LE.
+const PAYLOAD_PREFIX_BYTES: usize = 16;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotone generation number (newest valid generation wins).
+    pub generation: u64,
+    /// The WAL LSN the state already covers: replay starts here.
+    pub next_lsn: u64,
+    /// Opaque application state snapshot.
+    pub state: Vec<u8>,
+}
+
+/// What a [`CheckpointStore::latest`] scan found.
+#[derive(Debug, Default)]
+pub struct CheckpointScan {
+    /// The newest valid checkpoint, if any generation survived.
+    pub checkpoint: Option<Checkpoint>,
+    /// Files quarantined to `*.corrupt` during the scan (torn writes,
+    /// CRC failures, generation mismatches).
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// The checkpoint directory manager.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("ckpt-{generation:020}.ckpt"))
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".ckpt")?
+        .parse::<u64>()
+        .ok()
+}
+
+fn encode_payload(generation: u64, next_lsn: u64, state: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(PAYLOAD_PREFIX_BYTES + state.len());
+    payload.extend_from_slice(&generation.to_le_bytes());
+    payload.extend_from_slice(&next_lsn.to_le_bytes());
+    payload.extend_from_slice(state);
+    payload
+}
+
+/// Decodes a checkpoint file's bytes; `None` for anything but exactly one
+/// clean frame whose payload generation matches `expect_generation`.
+fn decode(bytes: &[u8], expect_generation: u64) -> Option<Checkpoint> {
+    let scan = scan_frames(bytes);
+    if scan.tail != Tail::Clean || scan.records.len() != 1 {
+        return None;
+    }
+    let payload = scan.records.first()?;
+    let generation = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    let next_lsn = u64::from_le_bytes(payload.get(8..PAYLOAD_PREFIX_BYTES)?.try_into().ok()?);
+    if generation != expect_generation {
+        return None;
+    }
+    Some(Checkpoint {
+        generation,
+        next_lsn,
+        state: payload.get(PAYLOAD_PREFIX_BYTES..)?.to_vec(),
+    })
+}
+
+impl CheckpointStore {
+    /// Opens (creating if absent) the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// Sorted (ascending) generations of the checkpoint files on disk.
+    fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(generation) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+                out.push(generation);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Writes checkpoint `generation` atomically (temp + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure (including the injected `io-error` fault); the
+    /// previous checkpoint generation is untouched either way.
+    pub fn write(&self, generation: u64, next_lsn: u64, state: &[u8]) -> io::Result<()> {
+        let bytes = encode_frame(&encode_payload(generation, next_lsn, state));
+        let path = checkpoint_path(&self.dir, generation);
+        match faults::fire(FAULT_SITE_CHECKPOINT) {
+            Some(faults::Fault::IoError) => {
+                return Err(io::Error::other("injected fault: io-error"));
+            }
+            Some(faults::Fault::TornWrite) => {
+                // Simulate a checkpoint that lands torn despite the rename
+                // (e.g. a filesystem that reorders data past the rename):
+                // recovery must quarantine it and fall back a generation.
+                let cut = bytes.len() / 2;
+                // lint: allow(panic-path) cut <= bytes.len() by construction
+                std::fs::write(&path, &bytes[..cut])?;
+                return Err(io::Error::other("injected fault: torn-write"));
+            }
+            Some(faults::Fault::CrashAtPoint) => {
+                // The checkpoint is durable but nobody hears about it;
+                // restart recovery simply adopts the newer generation.
+                let _ = atomic_write(&path, &bytes);
+                std::process::abort();
+            }
+            _ => {}
+        }
+        atomic_write(&path, &bytes)
+    }
+
+    /// Scans for the newest valid checkpoint, quarantining invalid files
+    /// (torn frame, CRC mismatch, name/payload generation disagreement)
+    /// and falling back to older generations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan/rename I/O failures.
+    pub fn latest(&self) -> io::Result<CheckpointScan> {
+        let mut scan = CheckpointScan::default();
+        let mut generations = self.generations()?;
+        generations.reverse();
+        for generation in generations {
+            let path = checkpoint_path(&self.dir, generation);
+            let bytes = std::fs::read(&path)?;
+            if let Some(checkpoint) = decode(&bytes, generation) {
+                scan.checkpoint = Some(checkpoint);
+                break;
+            }
+            let mut target = path.as_os_str().to_owned();
+            target.push(".corrupt");
+            let target = PathBuf::from(target);
+            std::fs::rename(&path, &target)?;
+            scan.quarantined.push(target);
+        }
+        if !scan.quarantined.is_empty() {
+            sync_dir(&self.dir)?;
+        }
+        Ok(scan)
+    }
+
+    /// Deletes all but the newest `keep` checkpoint files and returns the
+    /// `next_lsn` of the **oldest retained** valid checkpoint — the safe
+    /// WAL prune horizon (segments below it are covered by every survivor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unlink/read failures.
+    pub fn retain(&self, keep: usize) -> io::Result<Option<u64>> {
+        let generations = self.generations()?;
+        let split = generations.len().saturating_sub(keep);
+        let (drop, hold) = generations.split_at(split);
+        for generation in drop {
+            std::fs::remove_file(checkpoint_path(&self.dir, *generation))?;
+        }
+        if !drop.is_empty() {
+            sync_dir(&self.dir)?;
+        }
+        let mut horizon = None;
+        for generation in hold {
+            let bytes = std::fs::read(checkpoint_path(&self.dir, *generation))?;
+            if let Some(checkpoint) = decode(&bytes, *generation) {
+                horizon = Some(checkpoint.next_lsn);
+                break;
+            }
+        }
+        Ok(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ghosts-durable-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn newest_valid_generation_wins() {
+        let dir = tmp("newest");
+        let store = CheckpointStore::open(&dir).expect("open");
+        store.write(1, 10, b"old state").expect("gen 1");
+        store.write(2, 25, b"new state").expect("gen 2");
+        let scan = store.latest().expect("latest");
+        let ckpt = scan.checkpoint.expect("a checkpoint");
+        assert_eq!(ckpt.generation, 2);
+        assert_eq!(ckpt.next_lsn, 25);
+        assert_eq!(ckpt.state, b"new state");
+        assert!(scan.quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older_generation() {
+        let dir = tmp("fallback");
+        let store = CheckpointStore::open(&dir).expect("open");
+        store.write(7, 70, b"good").expect("gen 7");
+        store.write(8, 80, b"doomed").expect("gen 8");
+        let newest = checkpoint_path(&dir, 8);
+        let mut bytes = std::fs::read(&newest).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&newest, &bytes).expect("flip a bit");
+        let scan = store.latest().expect("latest");
+        let ckpt = scan.checkpoint.expect("fallback checkpoint");
+        assert_eq!(ckpt.generation, 7);
+        assert_eq!(ckpt.next_lsn, 70);
+        assert_eq!(scan.quarantined.len(), 1);
+        assert!(scan.quarantined[0].to_string_lossy().ends_with(".corrupt"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_generation_in_renamed_file_is_rejected() {
+        let dir = tmp("stale-gen");
+        let store = CheckpointStore::open(&dir).expect("open");
+        store.write(3, 30, b"real gen 3").expect("gen 3");
+        // An operator "restores" gen 3's bytes under gen 9's name: the
+        // payload generation disagrees with the file name, so the scan
+        // must quarantine it rather than serve stale state as newest.
+        std::fs::copy(checkpoint_path(&dir, 3), checkpoint_path(&dir, 9)).expect("copy");
+        let scan = store.latest().expect("latest");
+        let ckpt = scan.checkpoint.expect("genuine checkpoint survives");
+        assert_eq!(ckpt.generation, 3);
+        assert_eq!(scan.quarantined.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_file_is_quarantined() {
+        let dir = tmp("torn");
+        let store = CheckpointStore::open(&dir).expect("open");
+        store.write(1, 5, b"intact").expect("gen 1");
+        store.write(2, 9, b"will tear").expect("gen 2");
+        let newest = checkpoint_path(&dir, 2);
+        let bytes = std::fs::read(&newest).expect("read");
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("tear");
+        let scan = store.latest().expect("latest");
+        assert_eq!(scan.checkpoint.expect("fallback").generation, 1);
+        assert_eq!(scan.quarantined.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retain_keeps_last_two_and_reports_prune_horizon() {
+        let dir = tmp("retain");
+        let store = CheckpointStore::open(&dir).expect("open");
+        for generation in 1..=5u64 {
+            store
+                .write(generation, generation * 10, b"s")
+                .expect("write");
+        }
+        let horizon = store.retain(2).expect("retain");
+        assert_eq!(horizon, Some(40), "oldest survivor is gen 4 at lsn 40");
+        assert_eq!(store.generations().expect("list"), vec![4, 5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_has_no_checkpoint() {
+        let dir = tmp("empty");
+        let store = CheckpointStore::open(&dir).expect("open");
+        assert!(store.latest().expect("latest").checkpoint.is_none());
+        assert_eq!(store.retain(2).expect("retain"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

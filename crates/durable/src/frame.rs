@@ -1,0 +1,180 @@
+//! The WAL frame codec: length-prefixed, CRC-framed records.
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! A frame stream has exactly three terminal states when scanned from the
+//! front, and recovery treats them very differently:
+//!
+//! * **clean** — the stream ends on a frame boundary;
+//! * **torn** — the stream ends mid-frame (header or payload cut short).
+//!   This is what a crash between `write(2)` and completion leaves behind;
+//!   the torn bytes carry no acknowledged record and are safe to truncate;
+//! * **corrupt** — a *complete* frame whose CRC does not match, or a
+//!   length field that no writer could have produced. Truncation cannot
+//!   cause this (cutting a valid stream only shortens it), so it means
+//!   bit rot or foreign bytes: the segment must be quarantined, never
+//!   silently truncated.
+
+use crate::crc::crc32;
+
+/// Bytes of frame header (`len` + `crc`).
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Hard cap on a single record's payload. A length above this is treated
+/// as corruption: the serve layer's bodies are capped at 1 MiB, so an
+/// 8 MiB frame cannot have been written by us.
+pub const MAX_PAYLOAD_BYTES: usize = 8 * 1024 * 1024;
+
+/// Appends one encoded frame for `payload` onto `out`.
+pub fn encode_frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One encoded frame for `payload`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    encode_frame_into(&mut out, payload);
+    out
+}
+
+/// The encoded size of a frame carrying `payload_len` bytes.
+pub fn frame_len(payload_len: usize) -> usize {
+    FRAME_HEADER_BYTES + payload_len
+}
+
+/// How a frame-stream scan ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tail {
+    /// The stream ends exactly on a frame boundary.
+    Clean,
+    /// The stream ends mid-frame: `valid_bytes..` is a torn tail left by
+    /// an interrupted write and can be truncated away safely.
+    Torn,
+    /// A complete frame failed its CRC (or declared an impossible
+    /// length): the stream is corrupt from `valid_bytes` on and must be
+    /// quarantined, not truncated.
+    Corrupt,
+}
+
+/// Result of scanning a byte stream for frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// The decoded payloads of every valid frame, in order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of the longest valid frame prefix.
+    pub valid_bytes: usize,
+    /// What follows the valid prefix.
+    pub tail: Tail,
+}
+
+/// Scans `bytes` from the front, decoding frames until the stream ends,
+/// tears or corrupts. Never panics on arbitrary input.
+pub fn scan_frames(bytes: &[u8]) -> ScanOutcome {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = bytes.get(offset..).unwrap_or_default();
+        if rest.is_empty() {
+            return ScanOutcome {
+                records,
+                valid_bytes: offset,
+                tail: Tail::Clean,
+            };
+        }
+        if rest.len() < FRAME_HEADER_BYTES {
+            return ScanOutcome {
+                records,
+                valid_bytes: offset,
+                tail: Tail::Torn,
+            };
+        }
+        // lint: allow(panic-path) rest.len() >= FRAME_HEADER_BYTES == 8 checked above
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        // lint: allow(panic-path) same 8-byte bound as the length field
+        let want = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_PAYLOAD_BYTES {
+            return ScanOutcome {
+                records,
+                valid_bytes: offset,
+                tail: Tail::Corrupt,
+            };
+        }
+        let Some(payload) = rest.get(FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len) else {
+            return ScanOutcome {
+                records,
+                valid_bytes: offset,
+                tail: Tail::Torn,
+            };
+        };
+        if crc32(payload) != want {
+            return ScanOutcome {
+                records,
+                valid_bytes: offset,
+                tail: Tail::Corrupt,
+            };
+        }
+        records.push(payload.to_vec());
+        offset += frame_len(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            encode_frame_into(&mut out, p);
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_multiple_frames() {
+        let bytes = stream(&[b"alpha", b"", b"gamma rays"]);
+        let scan = scan_frames(&bytes);
+        assert_eq!(scan.tail, Tail::Clean);
+        assert_eq!(scan.valid_bytes, bytes.len());
+        assert_eq!(
+            scan.records,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma rays".to_vec()]
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_torn_never_corrupt() {
+        let bytes = stream(&[b"one", b"two22", b"three333"]);
+        for cut in 0..bytes.len() {
+            let scan = scan_frames(&bytes[..cut]);
+            assert_ne!(scan.tail, Tail::Corrupt, "cut at {cut} misread as corrupt");
+            assert!(scan.valid_bytes <= cut);
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_a_complete_frame_is_corrupt() {
+        let mut bytes = stream(&[b"first", b"second"]);
+        let first_len = frame_len(5);
+        bytes[first_len + FRAME_HEADER_BYTES] ^= 0x01; // payload byte of frame 2
+        let scan = scan_frames(&bytes);
+        assert_eq!(scan.tail, Tail::Corrupt);
+        assert_eq!(scan.records, vec![b"first".to_vec()]);
+        assert_eq!(scan.valid_bytes, first_len);
+    }
+
+    #[test]
+    fn absurd_length_field_is_corrupt() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let scan = scan_frames(&bytes);
+        assert_eq!(scan.tail, Tail::Corrupt);
+        assert!(scan.records.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Crash-safe storage primitives for the ghosts state plane
+//! (DESIGN.md §16).
+//!
+//! The crate is dependency-free (std only) and provides four layers,
+//! each usable on its own:
+//!
+//! * [`crc`] — compile-time-tabled CRC-32 (IEEE), the integrity check
+//!   every frame carries;
+//! * [`frame`] — the `[len][crc][payload]` codec and the three-way tail
+//!   classification (clean / torn / corrupt) recovery decisions hang on;
+//! * [`atomic`] — [`atomic_write`]: temp file + fsync + rename + parent
+//!   fsync, the only sanctioned whole-file writer in the workspace (the
+//!   ghost-lint `fs-discipline` rule confines raw `File::create` here);
+//! * [`wal`] / [`checkpoint`] / [`log`] — the segmented write-ahead log,
+//!   generation-numbered checkpoints, and the [`DurableLog`] facade that
+//!   runs the recovery protocol on open.
+//!
+//! # The durability contract
+//!
+//! An append is **acknowledged** only after its frame is fsynced
+//! (append → fsync → ack). After `kill -9` at any instant,
+//! [`DurableLog::open`] recovers a state containing *every acknowledged
+//! record*: torn tails (crashes mid-write carry no acked record) are
+//! truncated at the last valid frame, corrupt files are quarantined to
+//! `*.corrupt` with the previous checkpoint generation as fallback, and
+//! replay is deterministic — the same surviving bytes produce the same
+//! record sequence regardless of thread count.
+//!
+//! Fault probes at [`FAULT_SITE_WAL_APPEND`] and
+//! [`FAULT_SITE_CHECKPOINT`] (kinds `io-error`, `torn-write`,
+//! `crash-at-point`) let the chaos harness exercise each failure edge
+//! deterministically; see `ghosts_faultinject`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod crc;
+pub mod frame;
+pub mod log;
+pub mod wal;
+
+pub use atomic::{atomic_write, sync_dir};
+pub use checkpoint::{Checkpoint, CheckpointScan, CheckpointStore, FAULT_SITE_CHECKPOINT};
+pub use crc::crc32;
+pub use frame::{
+    encode_frame, encode_frame_into, frame_len, scan_frames, ScanOutcome, Tail, FRAME_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+};
+pub use log::{DurableLog, Recovery, RecoveryReport, WalConfigOverride, RETAIN_CHECKPOINTS};
+pub use wal::{Wal, WalConfig, WalError, WalRecovery, FAULT_SITE_WAL_APPEND};

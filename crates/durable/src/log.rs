@@ -1,0 +1,307 @@
+//! [`DurableLog`]: the checkpoint + WAL pair an application actually
+//! holds.
+//!
+//! Layout under the state directory:
+//!
+//! ```text
+//! <dir>/ckpt-<generation>.ckpt   newest-wins atomic snapshots
+//! <dir>/wal/seg-<first-lsn>.wal  bounded CRC-framed segments
+//! ```
+//!
+//! [`DurableLog::open`] performs the full recovery protocol — load the
+//! newest valid checkpoint, replay the WAL suffix at or past its
+//! `next_lsn`, truncate any torn tail, quarantine anything corrupt — and
+//! hands back a [`Recovery`] the application folds into its state.
+//! [`DurableLog::checkpoint`] snapshots state under the next generation,
+//! retains the last two generations and prunes WAL segments the oldest
+//! survivor already covers, keeping disk usage bounded.
+
+use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::wal::{Wal, WalConfig, WalError};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint generations kept on disk (newest + one fallback).
+pub const RETAIN_CHECKPOINTS: usize = 2;
+
+/// Counters describing what recovery had to do — surfaced through
+/// `/metrics` and the `wal_recovered` event so operators can see crash
+/// damage instead of guessing.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the checkpoint that was loaded (`None`: cold start).
+    pub checkpoint_generation: Option<u64>,
+    /// Checkpoint files quarantined while finding a valid one.
+    pub checkpoints_quarantined: u64,
+    /// WAL records scanned across all segments.
+    pub wal_records_scanned: u64,
+    /// WAL records replayed (at or past the checkpoint's `next_lsn`).
+    pub wal_records_replayed: u64,
+    /// Torn-tail bytes truncated from the final segment.
+    pub torn_tail_bytes: u64,
+    /// WAL segments quarantined to `*.corrupt`.
+    pub segments_quarantined: u64,
+}
+
+/// Everything [`DurableLog::open`] salvaged from disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest valid checkpoint, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// WAL records to re-apply on top of the checkpoint state, in LSN
+    /// order, each `(lsn, payload)` with `lsn >= checkpoint.next_lsn`.
+    pub replay: Vec<(u64, Vec<u8>)>,
+    /// What the scan found and fixed.
+    pub report: RecoveryReport,
+}
+
+/// An open durable state plane: append records, snapshot checkpoints.
+pub struct DurableLog {
+    wal: Wal,
+    checkpoints: CheckpointStore,
+    generation: u64,
+}
+
+impl DurableLog {
+    /// Opens (or initialises) the state directory and runs recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from either store's scan.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(DurableLog, Recovery), WalError> {
+        Self::open_with(dir, WalConfigOverride::default())
+    }
+
+    /// [`DurableLog::open`] with WAL tuning (segment size, fsync policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from either store's scan.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        tuning: WalConfigOverride,
+    ) -> Result<(DurableLog, Recovery), WalError> {
+        let dir = dir.into();
+        let checkpoints = CheckpointStore::open(&dir)?;
+        let scan = checkpoints.latest()?;
+        let mut wal_config = WalConfig::new(dir.join("wal"));
+        if let Some(segment_bytes) = tuning.segment_bytes {
+            wal_config.segment_bytes = segment_bytes;
+        }
+        if let Some(fsync) = tuning.fsync {
+            wal_config.fsync = fsync;
+        }
+        let (wal, wal_recovery) = Wal::open(wal_config)?;
+
+        let next_lsn = scan.checkpoint.as_ref().map_or(0, |c| c.next_lsn);
+        let scanned = wal_recovery.records.len() as u64;
+        let replay: Vec<(u64, Vec<u8>)> = wal_recovery
+            .records
+            .into_iter()
+            .filter(|(lsn, _)| *lsn >= next_lsn)
+            .collect();
+        let report = RecoveryReport {
+            checkpoint_generation: scan.checkpoint.as_ref().map(|c| c.generation),
+            checkpoints_quarantined: scan.quarantined.len() as u64,
+            wal_records_scanned: scanned,
+            wal_records_replayed: replay.len() as u64,
+            torn_tail_bytes: wal_recovery.torn_tail_bytes,
+            segments_quarantined: wal_recovery.quarantined.len() as u64,
+        };
+        let generation = scan.checkpoint.as_ref().map_or(0, |c| c.generation);
+        Ok((
+            DurableLog {
+                wal,
+                checkpoints,
+                generation,
+            },
+            Recovery {
+                checkpoint: scan.checkpoint,
+                replay,
+                report,
+            },
+        ))
+    }
+
+    /// Appends one record durably (append → fsync → ack) and returns its
+    /// LSN. Only records whose append returned `Ok` are acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// See [`Wal::append`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        self.wal.append(payload)
+    }
+
+    /// The LSN the next append will return.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// The generation of the most recent checkpoint (0: none yet).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Snapshots `state` as the next checkpoint generation covering every
+    /// record appended so far, retains the last [`RETAIN_CHECKPOINTS`]
+    /// generations, and prunes WAL segments the survivors cover. Returns
+    /// the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the checkpoint write (including injected faults at
+    /// `durable.checkpoint`); on error no generation is consumed and the
+    /// previous checkpoint remains authoritative.
+    pub fn checkpoint(&mut self, state: &[u8]) -> Result<u64, WalError> {
+        let generation = self.generation + 1;
+        self.checkpoints
+            .write(generation, self.wal.next_lsn(), state)
+            .map_err(WalError::Io)?;
+        self.generation = generation;
+        if let Some(horizon) = self.checkpoints.retain(RETAIN_CHECKPOINTS)? {
+            self.wal.prune_up_to(horizon)?;
+        }
+        Ok(generation)
+    }
+
+    /// Number of WAL segment files on disk (for `/metrics`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory scan failure.
+    pub fn wal_segments(&self) -> Result<u64, WalError> {
+        self.wal.segment_count()
+    }
+}
+
+/// Optional WAL tuning for [`DurableLog::open_with`].
+#[derive(Debug, Default, Clone)]
+pub struct WalConfigOverride {
+    /// Segment rotation bound, if overriding the 1 MiB default.
+    pub segment_bytes: Option<u64>,
+    /// Fsync policy, if overriding the always-fsync default.
+    pub fsync: Option<bool>,
+}
+
+/// Convenience for tests and tools: the checkpoint file path for `dir`.
+pub fn checkpoint_file(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("ckpt-{generation:020}.ckpt"))
+}
+
+/// Convenience for tests and tools: the WAL segment path for `dir`.
+pub fn wal_segment_file(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join("wal").join(format!("seg-{first_lsn:020}.wal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ghosts-durable-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cold_start_then_replay_everything() {
+        let dir = tmp("cold");
+        let (mut log, recovery) = DurableLog::open(&dir).expect("open");
+        assert!(recovery.checkpoint.is_none());
+        assert!(recovery.replay.is_empty());
+        for i in 0..5u64 {
+            assert_eq!(log.append(format!("r{i}").as_bytes()).expect("append"), i);
+        }
+        drop(log);
+        let (_, recovery) = DurableLog::open(&dir).expect("reopen");
+        assert_eq!(recovery.report.wal_records_replayed, 5);
+        assert_eq!(recovery.replay[3].1, b"r3");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_trims_replay_to_the_suffix() {
+        let dir = tmp("suffix");
+        let (mut log, _) = DurableLog::open(&dir).expect("open");
+        for i in 0..4u64 {
+            log.append(format!("pre{i}").as_bytes()).expect("append");
+        }
+        assert_eq!(log.checkpoint(b"state-after-4").expect("checkpoint"), 1);
+        for i in 0..3u64 {
+            log.append(format!("post{i}").as_bytes()).expect("append");
+        }
+        drop(log);
+        let (log2, recovery) = DurableLog::open(&dir).expect("reopen");
+        let checkpoint = recovery.checkpoint.expect("checkpoint");
+        assert_eq!(checkpoint.state, b"state-after-4");
+        assert_eq!(checkpoint.next_lsn, 4);
+        let payloads: Vec<&[u8]> = recovery.replay.iter().map(|(_, p)| p.as_slice()).collect();
+        assert_eq!(payloads, vec![&b"post0"[..], b"post1", b"post2"]);
+        assert_eq!(recovery.report.checkpoint_generation, Some(1));
+        assert_eq!(log2.generation(), 1);
+        assert_eq!(log2.next_lsn(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_checkpoints_bound_disk_and_keep_a_fallback() {
+        let dir = tmp("bound");
+        let (mut log, _) = DurableLog::open_with(
+            &dir,
+            WalConfigOverride {
+                segment_bytes: Some(64),
+                fsync: Some(true),
+            },
+        )
+        .expect("open");
+        for round in 0..6u64 {
+            for i in 0..4u64 {
+                log.append(format!("round{round}-{i}").as_bytes())
+                    .expect("append");
+            }
+            log.checkpoint(format!("state@{round}").as_bytes())
+                .expect("checkpoint");
+        }
+        // Only 2 checkpoint files survive; pruned WAL stays replayable.
+        let ckpts = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+            .count();
+        assert_eq!(ckpts, 2);
+        drop(log);
+        let (log2, recovery) = DurableLog::open(&dir).expect("reopen");
+        assert_eq!(recovery.checkpoint.expect("newest").state, b"state@5");
+        assert!(recovery.replay.is_empty(), "checkpoint covered everything");
+        assert_eq!(log2.next_lsn(), 24);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_and_replays_more_wal() {
+        let dir = tmp("ckpt-fallback");
+        let (mut log, _) = DurableLog::open(&dir).expect("open");
+        log.append(b"a").expect("append");
+        log.append(b"b").expect("append");
+        log.checkpoint(b"gen1@2").expect("gen 1");
+        log.append(b"c").expect("append");
+        log.checkpoint(b"gen2@3").expect("gen 2");
+        log.append(b"d").expect("append");
+        drop(log);
+        let newest = checkpoint_file(&dir, 2);
+        let mut bytes = std::fs::read(&newest).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&newest, &bytes).expect("corrupt gen 2");
+
+        let (_, recovery) = DurableLog::open(&dir).expect("recover");
+        let checkpoint = recovery.checkpoint.expect("gen 1 fallback");
+        assert_eq!(checkpoint.state, b"gen1@2");
+        assert_eq!(recovery.report.checkpoints_quarantined, 1);
+        // Replay resumes from gen 1's horizon: records c and d.
+        let payloads: Vec<&[u8]> = recovery.replay.iter().map(|(_, p)| p.as_slice()).collect();
+        assert_eq!(payloads, vec![&b"c"[..], b"d"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

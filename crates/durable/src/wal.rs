@@ -1,0 +1,484 @@
+//! The segmented write-ahead log.
+//!
+//! Records live in bounded segment files named after the LSN of their
+//! first record (`seg-<first-lsn>.wal`, zero-padded so lexicographic
+//! order is LSN order). The append path is **append → fsync → ack**: an
+//! LSN is returned only after the frame's bytes have reached the device,
+//! so a record whose append returned `Ok` survives `kill -9` by
+//! construction.
+//!
+//! Recovery ([`Wal::open`]) replays segments in LSN order and resolves
+//! the three tail states of [`crate::frame`]: a clean end appends in
+//! place, a torn tail (crash mid-write) is truncated back to the last
+//! valid frame, and a corrupt segment (CRC mismatch on a complete frame)
+//! is quarantined — renamed to `<name>.corrupt` together with every later
+//! segment, because the LSN chain is broken from that point on. A torn
+//! tail in a non-final segment breaks the chain the same way.
+
+use crate::frame::{encode_frame, scan_frames, Tail, FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES};
+use ghosts_faultinject as faults;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Fault-probe site on the WAL append path. Honours `io-error` (fail
+/// before writing), `torn-write` (write a partial frame, then fail) and
+/// `crash-at-point` (abort the process after fsync, before the ack).
+pub const FAULT_SITE_WAL_APPEND: &str = "durable.wal.append";
+
+/// Default segment size bound.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1024 * 1024;
+
+/// Tuning for [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// Fsync every append before acknowledging (the durability contract;
+    /// only benches measuring raw throughput turn this off).
+    pub fsync: bool,
+}
+
+impl WalConfig {
+    /// Defaults: 1 MiB segments, fsync on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: true,
+        }
+    }
+}
+
+/// Why an append failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying I/O failed (includes injected `io-error` /
+    /// `torn-write` faults). The record was **not** acknowledged.
+    Io(io::Error),
+    /// The payload exceeds [`MAX_PAYLOAD_BYTES`].
+    TooLarge(usize),
+    /// A previous append failed mid-write, so the segment tail is in an
+    /// unknown state; the WAL refuses further appends until reopened
+    /// (recovery truncates the torn tail).
+    Poisoned,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o failure: {e}"),
+            WalError::TooLarge(n) => {
+                write!(
+                    f,
+                    "record of {n} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte frame cap"
+                )
+            }
+            WalError::Poisoned => {
+                f.write_str("wal poisoned by an earlier torn write; reopen to recover")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct WalRecovery {
+    /// Every surviving record, `(lsn, payload)`, in LSN order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Bytes of torn tail truncated away (0 on a clean shutdown).
+    pub torn_tail_bytes: u64,
+    /// Segments renamed to `*.corrupt` (CRC failure or a broken LSN
+    /// chain). Their surviving prefix records, if any, are in `records`.
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// An open, appendable write-ahead log.
+pub struct Wal {
+    config: WalConfig,
+    file: File,
+    segment_base: u64,
+    segment_len: u64,
+    next_lsn: u64,
+    poisoned: bool,
+}
+
+fn segment_path(dir: &Path, base_lsn: u64) -> PathBuf {
+    dir.join(format!("seg-{base_lsn:020}.wal"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".wal")?
+        .parse::<u64>()
+        .ok()
+}
+
+/// Sorted `(base_lsn, path)` list of the segment files in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(base) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((base, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(base, _)| *base);
+    Ok(out)
+}
+
+/// Renames `path` to `<path>.corrupt` (replacing any previous quarantine
+/// of the same name) and records it in `recovery`.
+fn quarantine(path: &Path, recovery: &mut WalRecovery) -> io::Result<()> {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".corrupt");
+    let target = PathBuf::from(target);
+    std::fs::rename(path, &target)?;
+    recovery.quarantined.push(target);
+    Ok(())
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `config.dir`, scanning every
+    /// segment: valid records are returned for replay, a torn tail is
+    /// truncated, corrupt or chain-breaking segments are quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the scan or the segment open.
+    pub fn open(config: WalConfig) -> Result<(Wal, WalRecovery), WalError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let segments = list_segments(&config.dir)?;
+        let mut recovery = WalRecovery::default();
+        let mut next_lsn = segments.first().map_or(0, |(base, _)| *base);
+        // The chain breaks at the first corrupt frame, torn middle segment
+        // or LSN gap; everything after it is quarantined wholesale.
+        let mut broken = false;
+        let mut live_segment: Option<(u64, PathBuf, u64)> = None; // (base, path, len)
+        let last_index = segments.len().saturating_sub(1);
+        for (index, (base, path)) in segments.iter().enumerate() {
+            if broken || *base != next_lsn {
+                quarantine(path, &mut recovery)?;
+                broken = true;
+                continue;
+            }
+            let bytes = std::fs::read(path)?;
+            let scan = scan_frames(&bytes);
+            for payload in scan.records {
+                recovery.records.push((next_lsn, payload));
+                next_lsn += 1;
+            }
+            match scan.tail {
+                Tail::Clean => {
+                    live_segment = Some((*base, path.clone(), scan.valid_bytes as u64));
+                }
+                Tail::Torn => {
+                    recovery.torn_tail_bytes += (bytes.len() - scan.valid_bytes) as u64;
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(scan.valid_bytes as u64)?;
+                    file.sync_all()?;
+                    if index == last_index {
+                        live_segment = Some((*base, path.clone(), scan.valid_bytes as u64));
+                    } else {
+                        // A torn middle segment means later LSNs are gone.
+                        broken = true;
+                        live_segment = None;
+                    }
+                }
+                Tail::Corrupt => {
+                    quarantine(path, &mut recovery)?;
+                    broken = true;
+                    live_segment = None;
+                }
+            }
+        }
+        if !recovery.quarantined.is_empty() {
+            crate::atomic::sync_dir(&config.dir)?;
+        }
+
+        // Append into the surviving final segment if it has room,
+        // otherwise start a fresh one at the recovered LSN.
+        let (segment_base, path, segment_len) = match live_segment {
+            Some((base, path, len)) if len < config.segment_bytes => (base, path, len),
+            _ => (next_lsn, segment_path(&config.dir, next_lsn), 0),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        crate::atomic::sync_dir(&config.dir)?;
+        Ok((
+            Wal {
+                config,
+                file,
+                segment_base,
+                segment_len,
+                next_lsn,
+                poisoned: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// The LSN the next successful append will return.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Appends one record and returns its LSN **after** the bytes are on
+    /// the device (append → fsync → ack).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::TooLarge`] for oversized payloads; [`WalError::Io`]
+    /// when the write or fsync fails (nothing was acknowledged; the WAL
+    /// poisons itself if bytes may have been partially written);
+    /// [`WalError::Poisoned`] after such a failure until reopened.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(WalError::TooLarge(payload.len()));
+        }
+        let frame = encode_frame(payload);
+        if self.segment_len > 0 && self.segment_len + frame.len() as u64 > self.config.segment_bytes
+        {
+            self.rotate()?;
+        }
+        match faults::fire(FAULT_SITE_WAL_APPEND) {
+            Some(faults::Fault::IoError) => {
+                // Fails before any byte reaches the file: clean, no ack.
+                return Err(WalError::Io(io::Error::other("injected fault: io-error")));
+            }
+            Some(faults::Fault::TornWrite) => {
+                // A power cut mid-write(2): a frame prefix lands on disk
+                // and the process never acks. The tail is now garbage, so
+                // the WAL poisons itself; reopening truncates the tear.
+                let cut = FRAME_HEADER_BYTES + payload.len() / 2;
+                // lint: allow(panic-path) cut <= header + payload == frame.len() by construction
+                let _ = self.file.write_all(&frame[..cut]);
+                let _ = self.file.sync_data();
+                self.poisoned = true;
+                return Err(WalError::Io(io::Error::other("injected fault: torn-write")));
+            }
+            Some(faults::Fault::CrashAtPoint) => {
+                // kill -9 between durability and the ack: the record is on
+                // disk, the client never hears Ok. Recovery replays it;
+                // idempotency keys make the client's retry a duplicate.
+                if self.file.write_all(&frame).is_ok() {
+                    let _ = self.file.sync_data();
+                }
+                std::process::abort();
+            }
+            _ => {}
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            // Partial bytes may be on disk; refuse further appends.
+            self.poisoned = true;
+            return Err(WalError::Io(e));
+        }
+        if self.config.fsync {
+            if let Err(e) = self.file.sync_data() {
+                self.poisoned = true;
+                return Err(WalError::Io(e));
+            }
+        }
+        self.segment_len += frame.len() as u64;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    fn rotate(&mut self) -> Result<(), WalError> {
+        self.file.sync_all()?;
+        let path = segment_path(&self.config.dir, self.next_lsn);
+        self.file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        crate::atomic::sync_dir(&self.config.dir)?;
+        self.segment_base = self.next_lsn;
+        self.segment_len = 0;
+        Ok(())
+    }
+
+    /// Deletes every segment whose records are all below `lsn` (they are
+    /// covered by a checkpoint). The active segment is never deleted.
+    /// Returns how many segments were removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan or unlink failures.
+    pub fn prune_up_to(&mut self, lsn: u64) -> Result<u64, WalError> {
+        let segments = list_segments(&self.config.dir)?;
+        let mut removed = 0u64;
+        for window in segments.windows(2) {
+            let [(base, path), (next_base, _)] = window else {
+                continue;
+            };
+            if *next_base <= lsn && *base != self.segment_base {
+                std::fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            crate::atomic::sync_dir(&self.config.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Number of segment files currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory scan failure.
+    pub fn segment_count(&self) -> Result<u64, WalError> {
+        Ok(list_segments(&self.config.dir)?.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ghosts-durable-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config(dir: &Path) -> WalConfig {
+        WalConfig {
+            dir: dir.to_path_buf(),
+            segment_bytes: 64,
+            fsync: true,
+        }
+    }
+
+    #[test]
+    fn appends_rotate_and_replay_in_lsn_order() {
+        let dir = tmp("rotate");
+        let (mut wal, rec) = Wal::open(small_config(&dir)).expect("open");
+        assert!(rec.records.is_empty());
+        for i in 0..10u64 {
+            let lsn = wal
+                .append(format!("record-{i:02}").as_bytes())
+                .expect("append");
+            assert_eq!(lsn, i);
+        }
+        assert!(
+            wal.segment_count().expect("count") > 1,
+            "64-byte segments must rotate"
+        );
+        drop(wal);
+        let (wal2, rec2) = Wal::open(small_config(&dir)).expect("reopen");
+        assert_eq!(wal2.next_lsn(), 10);
+        let lsns: Vec<u64> = rec2.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, (0..10).collect::<Vec<_>>());
+        assert_eq!(rec2.records[7].1, b"record-07");
+        assert_eq!(rec2.torn_tail_bytes, 0);
+        assert!(rec2.quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_drops_fully_covered_segments_only() {
+        let dir = tmp("prune");
+        let (mut wal, _) = Wal::open(small_config(&dir)).expect("open");
+        for i in 0..12u64 {
+            wal.append(format!("record-{i:02}").as_bytes())
+                .expect("append");
+        }
+        let before = wal.segment_count().expect("count");
+        let removed = wal.prune_up_to(wal.next_lsn()).expect("prune");
+        assert!(removed > 0 && removed < before);
+        // Everything still replayable chains from the surviving base.
+        drop(wal);
+        let (wal2, rec) = Wal::open(small_config(&dir)).expect("reopen");
+        assert_eq!(wal2.next_lsn(), 12);
+        assert!(rec.quarantined.is_empty());
+        for (lsn, payload) in &rec.records {
+            assert_eq!(payload, format!("record-{lsn:02}").as_bytes());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp("torn");
+        let config = WalConfig::new(&dir);
+        let (mut wal, _) = Wal::open(config.clone()).expect("open");
+        wal.append(b"kept").expect("append");
+        wal.append(b"also kept").expect("append");
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).expect("read segment");
+        bytes.extend_from_slice(&[7, 0, 0, 0, 0xAA]); // header + 1 of 7 payload bytes missing
+        std::fs::write(&seg, &bytes).expect("tear the tail");
+
+        let (mut wal2, rec) = Wal::open(config.clone()).expect("recover");
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.torn_tail_bytes, 5);
+        assert!(rec.quarantined.is_empty());
+        assert_eq!(wal2.append(b"after recovery").expect("append resumes"), 2);
+        drop(wal2);
+        let (_, rec2) = Wal::open(config).expect("reopen");
+        assert_eq!(rec2.records.len(), 3);
+        assert_eq!(rec2.records[2].1, b"after recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_with_its_successors() {
+        let dir = tmp("corrupt");
+        let config = small_config(&dir);
+        let (mut wal, _) = Wal::open(config.clone()).expect("open");
+        for i in 0..12u64 {
+            wal.append(format!("record-{i:02}").as_bytes())
+                .expect("append");
+        }
+        let segments = list_segments(&dir).expect("list");
+        assert!(segments.len() >= 3, "need a middle segment to corrupt");
+        let (victim_base, victim) = segments[1].clone();
+        let mut bytes = std::fs::read(&victim).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80; // flip a payload bit in a complete frame
+        std::fs::write(&victim, &bytes).expect("corrupt");
+        drop(wal);
+
+        let (wal2, rec) = Wal::open(config).expect("recover");
+        // Records before the corrupt segment survive; the chain stops there.
+        assert!(!rec.records.is_empty());
+        assert!(rec.records.iter().all(|(l, _)| *l < victim_base + 2));
+        assert_eq!(
+            rec.quarantined.len(),
+            segments.len() - 1,
+            "victim + successors"
+        );
+        assert!(rec
+            .quarantined
+            .iter()
+            .all(|p| { p.extension().is_some_and(|e| e == "corrupt") }));
+        assert_eq!(wal2.next_lsn() as usize, rec.records.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_without_poisoning() {
+        let dir = tmp("oversize");
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
+        let huge = vec![0u8; MAX_PAYLOAD_BYTES + 1];
+        assert!(matches!(wal.append(&huge), Err(WalError::TooLarge(_))));
+        assert_eq!(wal.append(b"still fine").expect("append"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,7 +13,12 @@
 //! survives) and `serve.cache` (drop-source — the result cache vanishes
 //! for one request, which must then compute fresh without storing). The
 //! server wraps each estimate in `task_scope(request_id)`, so `scope=N`
-//! pins a rule to the N-th estimate request.
+//! pins a rule to the N-th estimate request. The durable state plane
+//! (DESIGN.md §16) adds the storage fault classes — `io-error` (the
+//! operation fails before writing), `torn-write` (a frame is cut
+//! mid-record, the way a power cut tears a `write(2)`) and
+//! `crash-at-point` (the process aborts at the armed site, a deterministic
+//! `kill -9`) — probed at `durable.wal.append` and `durable.checkpoint`.
 //!
 //! ## Determinism
 //!
@@ -68,6 +73,15 @@ pub enum Fault {
     DropSource,
     /// Panic inside a `par_map` worker while processing an item.
     WorkerPanic,
+    /// Fail a storage operation with an I/O error before any bytes are
+    /// written (the durable layer must refuse to acknowledge).
+    IoError,
+    /// Write only a prefix of a WAL frame, then fail — the torn tail a
+    /// power cut mid-`write(2)` leaves behind. Recovery must truncate it.
+    TornWrite,
+    /// Abort the whole process (`std::process::abort`) at the armed site,
+    /// simulating `kill -9` at an exact point in the durability protocol.
+    CrashAtPoint,
 }
 
 impl Fault {
@@ -79,6 +93,9 @@ impl Fault {
             Fault::NanCell => "nan-cell",
             Fault::DropSource => "drop-source",
             Fault::WorkerPanic => "worker-panic",
+            Fault::IoError => "io-error",
+            Fault::TornWrite => "torn-write",
+            Fault::CrashAtPoint => "crash-at-point",
         }
     }
 
@@ -89,6 +106,9 @@ impl Fault {
             "nan-cell" => Some(Fault::NanCell),
             "drop-source" => Some(Fault::DropSource),
             "worker-panic" => Some(Fault::WorkerPanic),
+            "io-error" => Some(Fault::IoError),
+            "torn-write" => Some(Fault::TornWrite),
+            "crash-at-point" => Some(Fault::CrashAtPoint),
             _ => None,
         }
     }
@@ -156,6 +176,7 @@ impl FaultPlan {
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = match raw.find('#') {
+                // lint: allow(panic-path) find() returns an in-bounds ASCII byte offset
                 Some(pos) => &raw[..pos],
                 None => raw,
             };
@@ -201,7 +222,8 @@ impl FaultPlan {
                             line: line_no,
                             message: format!(
                                 "unknown fault kind {value:?} (expected one of: non-finite-fit, \
-                                 budget-exhaustion, nan-cell, drop-source, worker-panic)"
+                                 budget-exhaustion, nan-cell, drop-source, worker-panic, \
+                                 io-error, torn-write, crash-at-point)"
                             ),
                         })?;
                         if fault.replace(parsed).is_some() {
@@ -584,6 +606,9 @@ mod tests {
             Fault::NanCell,
             Fault::DropSource,
             Fault::WorkerPanic,
+            Fault::IoError,
+            Fault::TornWrite,
+            Fault::CrashAtPoint,
         ] {
             assert_eq!(Fault::parse(fault.name()), Some(fault));
         }

@@ -54,6 +54,7 @@ pub const EVENT_NAMES: &[(&str, &str)] = &[
     ("bootstrap_summary", "reliability"),
     ("candidate", "event"),
     ("candidate_failed", "event"),
+    ("checkpoint_written", "event"),
     ("ci", "event"),
     ("ci_fit_failed", "error"),
     ("ci_lower", "event"),
@@ -61,6 +62,7 @@ pub const EVENT_NAMES: &[(&str, &str)] = &[
     ("ci_upper", "event"),
     ("coverage_point", "reliability"),
     ("cv_cell", "reliability"),
+    ("drain", "event"),
     ("estimate", "error"),
     ("estimate", "event"),
     ("estimate_empty", "event"),
@@ -72,6 +74,8 @@ pub const EVENT_NAMES: &[(&str, &str)] = &[
     ("fit_failed", "error"),
     ("handler-panic", "error"),
     ("ic_candidate", "event"),
+    ("ingest", "event"),
+    ("ingest_duplicate", "event"),
     ("ladder_step", "degradation"),
     ("model_chosen", "event"),
     ("request", "error"),
@@ -86,6 +90,8 @@ pub const EVENT_NAMES: &[(&str, &str)] = &[
     ("stratum_failed", "error"),
     ("tail_retention", "event"),
     ("term_added", "event"),
+    ("wal_quarantined", "error"),
+    ("wal_recovered", "event"),
     ("window_observed", "event"),
 ];
 

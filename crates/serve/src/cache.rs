@@ -8,6 +8,13 @@
 //! * an optional on-disk JSON spill (`<cache-dir>/<digest-hex>.json`)
 //!   that survives restarts and absorbs LRU evictions.
 //!
+//! Spill files are written atomically (temp + fsync + rename, via
+//! `ghosts_durable::atomic_write`) and carry a CRC-32 of the body that is
+//! verified on load: a file that fails schema, digest or CRC validation
+//! is **quarantined** — renamed to `<name>.corrupt` and reported as
+//! [`Lookup::Quarantined`] so the server can count it — never silently
+//! served and never left to fail again on the next lookup.
+//!
 //! Only `200 OK` and `203 Non-Authoritative` (degraded-but-served)
 //! responses are cached: errors are cheap to recompute and must not be
 //! pinned. The cache itself never counts hits and misses — the server
@@ -15,13 +22,16 @@
 //! stay in one place.
 
 use crate::digest::{digest_hex, parse_digest_hex};
+use ghosts_durable::{atomic_write, crc32};
 use ghosts_obs::json::{parse, JsonValue};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::sync::Mutex;
 
-/// Schema tag written into every spill file.
-pub const CACHE_SCHEMA: &str = "ghosts-cache/1";
+/// Schema tag written into every spill file. Version 2 adds the `crc`
+/// field (CRC-32 of the body string); v1 files predate integrity checks
+/// and are quarantined on sight rather than trusted.
+pub const CACHE_SCHEMA: &str = "ghosts-cache/2";
 
 /// A cached response: the status and exact body bytes to replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +49,9 @@ pub enum Lookup {
     Memory(Arc<CachedResponse>),
     /// Served from the disk spill (and promoted back into memory).
     Disk(Arc<CachedResponse>),
+    /// A spill file existed but failed validation and was quarantined to
+    /// `<name>.corrupt`; the caller must compute (and should count it).
+    Quarantined,
     /// Not cached; the caller must compute.
     Miss,
 }
@@ -97,12 +110,15 @@ impl EstimateCache {
                 return Lookup::Memory(Arc::clone(&entry.response));
             }
         }
-        if let Some(response) = self.load_spill(digest) {
-            let response = Arc::new(response);
-            self.insert_memory(digest, Arc::clone(&response));
-            return Lookup::Disk(response);
+        match self.load_spill(digest) {
+            SpillRead::Valid(response) => {
+                let response = Arc::new(response);
+                self.insert_memory(digest, Arc::clone(&response));
+                Lookup::Disk(response)
+            }
+            SpillRead::Corrupt => Lookup::Quarantined,
+            SpillRead::Absent => Lookup::Miss,
         }
-        Lookup::Miss
     }
 
     /// Stores a computed response under `digest` (memory + spill).
@@ -153,10 +169,24 @@ impl EstimateCache {
             .map(|d| d.join(format!("{}.json", digest_hex(digest))))
     }
 
-    fn load_spill(&self, digest: u64) -> Option<CachedResponse> {
-        let path = self.spill_path(digest)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        parse_spill(&text, digest)
+    fn load_spill(&self, digest: u64) -> SpillRead {
+        let Some(path) = self.spill_path(digest) else {
+            return SpillRead::Absent;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return SpillRead::Absent;
+        };
+        match parse_spill(&text, digest) {
+            Some(response) => SpillRead::Valid(response),
+            None => {
+                // Validation failed: quarantine so the bytes survive for
+                // forensics and the next lookup is a clean miss.
+                let mut target = path.clone().into_os_string();
+                target.push(".corrupt");
+                let _ = std::fs::rename(&path, PathBuf::from(target));
+                SpillRead::Corrupt
+            }
+        }
     }
 
     fn write_spill(&self, digest: u64, response: &CachedResponse) {
@@ -178,16 +208,29 @@ impl EstimateCache {
                 JsonValue::UInt(u64::from(response.status)),
             ),
             ("body".to_string(), JsonValue::Str(response.body.clone())),
+            (
+                "crc".to_string(),
+                JsonValue::UInt(u64::from(crc32(response.body.as_bytes()))),
+            ),
         ]);
-        let tmp = path.with_extension("tmp");
-        if std::fs::write(&tmp, doc.to_compact()).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
-        }
+        // Atomic: a crash mid-write leaves the previous spill (or no
+        // file), never a torn one.
+        let _ = atomic_write(&path, doc.to_compact().as_bytes());
     }
 }
 
-/// Parses a spill file, validating schema and digest; corrupt or
-/// mismatched files read as absent (never as wrong data).
+/// How a spill file read out.
+enum SpillRead {
+    /// Parsed and validated: safe to serve.
+    Valid(CachedResponse),
+    /// Present but invalid; it has been quarantined.
+    Corrupt,
+    /// No spill for this digest (or the read itself failed).
+    Absent,
+}
+
+/// Parses a spill file, validating schema, digest, status and body CRC;
+/// anything invalid reads as `None` (never as wrong data).
 fn parse_spill(text: &str, expected_digest: u64) -> Option<CachedResponse> {
     let doc = parse(text).ok()?;
     if doc.get("schema")?.as_str()? != CACHE_SCHEMA {
@@ -201,9 +244,14 @@ fn parse_spill(text: &str, expected_digest: u64) -> Option<CachedResponse> {
     if !(status == 200 || status == 203) {
         return None;
     }
+    let body = doc.get("body")?.as_str()?;
+    let want = doc.get("crc")?.as_u64()?;
+    if u64::from(crc32(body.as_bytes())) != want {
+        return None;
+    }
     Some(CachedResponse {
         status: status as u16,
-        body: doc.get("body")?.as_str()?.to_string(),
+        body: body.to_string(),
     })
 }
 
@@ -304,8 +352,9 @@ mod tests {
         assert_eq!(parse_spill("not json", 1), None);
         assert_eq!(parse_spill("{}", 1), None);
         let good = format!(
-            "{{\"schema\":\"{CACHE_SCHEMA}\",\"digest\":\"{}\",\"status\":200,\"body\":\"x\"}}",
-            digest_hex(5)
+            "{{\"schema\":\"{CACHE_SCHEMA}\",\"digest\":\"{}\",\"status\":200,\"body\":\"x\",\"crc\":{}}}",
+            digest_hex(5),
+            crc32(b"x")
         );
         assert!(parse_spill(&good, 5).is_some());
         assert_eq!(parse_spill(&good, 6), None, "digest mismatch must miss");
@@ -313,5 +362,41 @@ mod tests {
         assert_eq!(parse_spill(&bad_status, 5), None);
         let bad_schema = good.replace(CACHE_SCHEMA, "ghosts-cache/0");
         assert_eq!(parse_spill(&bad_schema, 5), None);
+        // A flipped body byte fails the CRC even though the JSON parses.
+        let bad_body = good.replace("\"body\":\"x\"", "\"body\":\"y\"");
+        assert_eq!(parse_spill(&bad_body, 5), None, "crc must catch bit rot");
+        // v1 spills (no crc field) predate integrity checks: rejected.
+        let v1 = format!(
+            "{{\"schema\":\"ghosts-cache/1\",\"digest\":\"{}\",\"status\":200,\"body\":\"x\"}}",
+            digest_hex(5)
+        );
+        assert_eq!(parse_spill(&v1, 5), None);
+    }
+
+    #[test]
+    fn corrupt_spill_is_quarantined_once_then_misses_clean() {
+        let dir = std::env::temp_dir().join(format!(
+            "ghosts-serve-cache-quarantine-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = EstimateCache::new(4, Some(dir.clone()));
+        cache.store(42, resp("victim"));
+        let path = dir.join(format!("{}.json", digest_hex(42)));
+        let mut bytes = std::fs::read(&path).expect("spill exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20; // flip a bit somewhere in the middle
+        std::fs::write(&path, &bytes).expect("corrupt it");
+
+        // A fresh cache over the same dir must quarantine, not serve.
+        let cache2 = EstimateCache::new(4, Some(dir.clone()));
+        assert_eq!(cache2.lookup(42), Lookup::Quarantined);
+        assert!(!path.exists(), "corrupt spill renamed away");
+        let mut quarantined = path.clone().into_os_string();
+        quarantined.push(".corrupt");
+        assert!(PathBuf::from(quarantined).exists());
+        // The second lookup is a clean miss (no repeat quarantine).
+        assert_eq!(cache2.lookup(42), Lookup::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

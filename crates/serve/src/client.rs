@@ -2,7 +2,16 @@
 //! talk to [`crate::server::Server`] from tests, the CI smoke step and
 //! the bench binary's `serve req` subcommand. One request per
 //! connection, mirroring the server's `Connection: close` contract.
+//!
+//! [`request_with_retry`] adds the durable-ingest client discipline: a
+//! deterministic jittered exponential backoff (seeded through
+//! `ghosts_stats::rng`, so a retry schedule is reproducible from its
+//! seed), honouring `Retry-After` on `429`/`503`, and carrying an
+//! idempotency key header so a retry after an ambiguous outcome (ack
+//! lost to a crash) dedups server-side instead of double-applying.
 
+use ghosts_stats::rng::indexed_rng;
+use rand::Rng;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -46,16 +55,39 @@ pub fn request(
     path: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path, body, &[])
+}
+
+/// Issues one request with extra headers (e.g. `idempotency-key`) and
+/// reads the full response.
+///
+/// # Errors
+///
+/// Any socket failure, or a malformed response head.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(String, String)],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let timeout = Some(Duration::from_secs(30));
     stream.set_read_timeout(timeout)?;
     stream.set_write_timeout(timeout)?;
 
     let body = body.unwrap_or(b"");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
-    );
+    ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
@@ -64,6 +96,93 @@ pub fn request(
     stream.read_to_end(&mut raw)?;
     parse_response(&raw)
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// The retry discipline for [`request_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = single shot).
+    pub retries: u32,
+    /// Base backoff before jitter; attempt `n` waits ~`base << n`.
+    pub base_delay_ms: u64,
+    /// Hard cap on any single wait (also caps honoured `Retry-After`).
+    pub max_delay_ms: u64,
+    /// Master seed for the deterministic jitter schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 3,
+            base_delay_ms: 50,
+            max_delay_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based), in milliseconds:
+    /// exponential base with ±50% deterministic jitter, capped. Exposed so
+    /// tests can assert the schedule without sleeping through it.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_delay_ms);
+        // Jitter in [base/2, base*3/2): spreads synchronized retriers
+        // without losing reproducibility (same seed → same schedule).
+        let mut rng = indexed_rng(self.seed, "client.retry", u64::from(attempt));
+        let jitter = rng.gen::<u64>() % base.max(1);
+        (base / 2 + jitter).min(self.max_delay_ms)
+    }
+}
+
+/// Whether a response status is worth retrying (transient overload).
+fn retryable_status(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// Parses a `Retry-After: <seconds>` header value, capped by the policy.
+fn retry_after_ms(response: &ClientResponse, policy: &RetryPolicy) -> Option<u64> {
+    let seconds: u64 = response.header("retry-after")?.trim().parse().ok()?;
+    Some(seconds.saturating_mul(1_000).min(policy.max_delay_ms))
+}
+
+/// Issues a request, retrying transport errors and `429`/`503` responses
+/// with the policy's deterministic jittered backoff. A `Retry-After`
+/// header from the server takes precedence over the computed delay.
+/// Returns the last response (even an unretried error status) or the
+/// last transport error once retries are exhausted.
+///
+/// # Errors
+///
+/// The final attempt's socket failure, if every attempt failed to get a
+/// response at all.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(String, String)],
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = request_with_headers(addr, method, path, body, headers);
+        let give_up = attempt >= policy.retries;
+        let wait_ms = match &outcome {
+            Ok(response) if retryable_status(response.status) && !give_up => {
+                retry_after_ms(response, policy).unwrap_or_else(|| policy.delay_ms(attempt))
+            }
+            Ok(_) => return outcome,
+            Err(_) if !give_up => policy.delay_ms(attempt),
+            Err(_) => return outcome,
+        };
+        std::thread::sleep(Duration::from_millis(wait_ms));
+        attempt += 1;
+    }
 }
 
 /// Convenience: `GET path` expecting a UTF-8 body.
@@ -135,5 +254,49 @@ mod tests {
     fn rejects_garbage_and_truncation() {
         assert!(parse_response(b"not http").is_none());
         assert!(parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nab").is_none());
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            retries: 6,
+            base_delay_ms: 50,
+            max_delay_ms: 400,
+            seed: 7,
+        };
+        let a: Vec<u64> = (0..6).map(|n| policy.delay_ms(n)).collect();
+        let b: Vec<u64> = (0..6).map(|n| policy.delay_ms(n)).collect();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        for (n, d) in a.iter().enumerate() {
+            assert!(*d <= 400, "attempt {n} exceeds the cap: {d}");
+            let base = (50u64 << n).min(400);
+            assert!(*d >= base / 2, "attempt {n} under-waits: {d}");
+        }
+        let other = RetryPolicy { seed: 8, ..policy };
+        let c: Vec<u64> = (0..6).map(|n| other.delay_ms(n)).collect();
+        assert_ne!(a, c, "different seeds must de-synchronise retriers");
+    }
+
+    #[test]
+    fn retry_after_header_is_honoured_and_capped() {
+        let policy = RetryPolicy::default();
+        let response = ClientResponse {
+            status: 429,
+            headers: vec![("retry-after".to_string(), "1".to_string())],
+            body: Vec::new(),
+        };
+        assert_eq!(retry_after_ms(&response, &policy), Some(1_000));
+        let slow = ClientResponse {
+            status: 503,
+            headers: vec![("retry-after".to_string(), "3600".to_string())],
+            body: Vec::new(),
+        };
+        assert_eq!(
+            retry_after_ms(&slow, &policy),
+            Some(policy.max_delay_ms),
+            "an hour-long retry-after is capped by the policy"
+        );
+        assert!(retryable_status(429) && retryable_status(503));
+        assert!(!retryable_status(500) && !retryable_status(200));
     }
 }

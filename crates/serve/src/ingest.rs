@@ -1,0 +1,388 @@
+//! The durable observation-ingestion plane (DESIGN.md §16).
+//!
+//! `POST /v1/observations` accepts a batch of observed addresses for one
+//! source, identified by a client-chosen **idempotency key**. The handler
+//! appends the batch's canonical JSON to the write-ahead log, fsyncs, and
+//! only then acknowledges — so every `201 Created` ack survives `kill -9`.
+//! A duplicate key acks `200 {"status":"duplicate"}` without re-applying,
+//! which makes client retries after an ambiguous crash safe.
+//!
+//! The in-memory [`IngestStore`] is a pure fold over the acknowledged
+//! payload sequence: `state = replay(checkpoint ++ wal_suffix)`. Its
+//! [`IngestStore::digest`] fingerprints the canonical snapshot bytes, so
+//! two servers that acked the same batches — whatever the crash/restart
+//! history or worker count — report the same digest and serve
+//! byte-identical live estimates.
+
+use crate::digest::fnv1a64;
+use ghosts_core::ContingencyTable;
+use ghosts_net::{addr_from_str, addr_to_string, AddrSet};
+use ghosts_obs::json::{parse as parse_json, JsonValue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cap on idempotency-key length (sanity bound, not a protocol limit).
+pub const MAX_KEY_BYTES: usize = 128;
+
+/// Cap on addresses per batch (the 1 MiB body cap binds earlier in
+/// practice; this keeps pathological bodies from ballooning the WAL).
+pub const MAX_BATCH_ADDRS: usize = 50_000;
+
+/// A validated observation batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservationBatch {
+    /// Client-chosen idempotency key (duplicate delivery acks as a no-op).
+    pub key: String,
+    /// Source (vantage point) name the addresses were observed from.
+    pub source: String,
+    /// Observed addresses.
+    pub addrs: Vec<u32>,
+}
+
+impl ObservationBatch {
+    /// Parses and validates a request body document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the first invalid field.
+    pub fn parse(doc: &JsonValue) -> Result<ObservationBatch, String> {
+        let key = doc
+            .get("key")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field: key")?;
+        if key.is_empty() || key.len() > MAX_KEY_BYTES {
+            return Err(format!("key must be 1..={MAX_KEY_BYTES} bytes"));
+        }
+        let source = doc
+            .get("source")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field: source")?;
+        if source.is_empty() || source.len() > MAX_KEY_BYTES {
+            return Err(format!("source must be 1..={MAX_KEY_BYTES} bytes"));
+        }
+        let raw_addrs = doc
+            .get("addrs")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field: addrs")?;
+        if raw_addrs.len() > MAX_BATCH_ADDRS {
+            return Err(format!("addrs exceeds the {MAX_BATCH_ADDRS}-address cap"));
+        }
+        let mut addrs = Vec::with_capacity(raw_addrs.len());
+        for raw in raw_addrs {
+            let text = raw.as_str().ok_or("addrs must be IPv4 strings")?;
+            let addr = addr_from_str(text).map_err(|_| format!("not an IPv4 address: {text}"))?;
+            addrs.push(addr);
+        }
+        Ok(ObservationBatch {
+            key: key.to_string(),
+            source: source.to_string(),
+            addrs,
+        })
+    }
+
+    /// The canonical WAL payload for this batch: compact JSON with sorted
+    /// keys and sorted, deduplicated addresses — the bytes that get
+    /// appended, acked and replayed.
+    pub fn canonical_payload(&self) -> String {
+        let mut addrs = self.addrs.clone();
+        addrs.sort_unstable();
+        addrs.dedup();
+        JsonValue::Object(vec![
+            (
+                "addrs".to_string(),
+                JsonValue::Array(
+                    addrs
+                        .iter()
+                        .map(|&a| JsonValue::Str(addr_to_string(a)))
+                        .collect(),
+                ),
+            ),
+            ("key".to_string(), JsonValue::Str(self.key.clone())),
+            ("source".to_string(), JsonValue::Str(self.source.clone())),
+        ])
+        .to_compact()
+    }
+}
+
+/// How [`IngestStore::apply_payload`] disposed of a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// The batch was new and its addresses were folded in.
+    Fresh {
+        /// Addresses newly inserted (insertions minus pre-existing).
+        new_addrs: u64,
+    },
+    /// The idempotency key was already applied; nothing changed.
+    Duplicate,
+}
+
+/// The replayable in-memory state: per-source address sets plus the set
+/// of applied idempotency keys. Deterministic by construction — every
+/// container iterates in sorted order.
+#[derive(Debug, Default)]
+pub struct IngestStore {
+    sources: BTreeMap<String, AddrSet>,
+    keys: BTreeSet<String>,
+}
+
+impl IngestStore {
+    /// An empty store.
+    pub fn new() -> IngestStore {
+        IngestStore::default()
+    }
+
+    /// Whether `key` has already been applied.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Applied batches so far.
+    pub fn applied_batches(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Distinct sources observed so far.
+    pub fn source_count(&self) -> u64 {
+        self.sources.len() as u64
+    }
+
+    /// Total addresses across all sources (union not taken: per-source).
+    pub fn addr_count(&self) -> u64 {
+        self.sources.values().map(AddrSet::len).sum()
+    }
+
+    /// Folds one canonical WAL payload into the state. Idempotent: a
+    /// payload whose key was already applied is a [`Applied::Duplicate`]
+    /// no-op, so replaying a WAL suffix over a checkpoint that already
+    /// contains some of it converges.
+    ///
+    /// # Errors
+    ///
+    /// A message if the payload is not a valid canonical batch (possible
+    /// only via foreign bytes — our own acked payloads always parse).
+    pub fn apply_payload(&mut self, payload: &str) -> Result<Applied, String> {
+        let doc = parse_json(payload).map_err(|e| format!("payload is not JSON: {e}"))?;
+        let batch = ObservationBatch::parse(&doc)?;
+        if self.keys.contains(&batch.key) {
+            return Ok(Applied::Duplicate);
+        }
+        let set = self.sources.entry(batch.source.clone()).or_default();
+        let mut new_addrs = 0u64;
+        for addr in &batch.addrs {
+            if set.insert(*addr) {
+                new_addrs += 1;
+            }
+        }
+        self.keys.insert(batch.key);
+        Ok(Applied::Fresh { new_addrs })
+    }
+
+    /// The canonical snapshot: compact JSON with sorted keys, sorted key
+    /// list and per-source sorted address lists. These are the checkpoint
+    /// bytes — [`IngestStore::from_snapshot`] inverts them exactly.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let sources = JsonValue::Object(
+            self.sources
+                .iter()
+                .map(|(name, set)| {
+                    (
+                        name.clone(),
+                        JsonValue::Array(
+                            set.iter()
+                                .map(|a| JsonValue::Str(addr_to_string(a)))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            (
+                "keys".to_string(),
+                JsonValue::Array(
+                    self.keys
+                        .iter()
+                        .map(|k| JsonValue::Str(k.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "schema".to_string(),
+                JsonValue::Str("ghosts-ingest/1".to_string()),
+            ),
+            ("sources".to_string(), sources),
+        ])
+        .to_compact()
+        .into_bytes()
+    }
+
+    /// Rebuilds a store from checkpoint bytes.
+    ///
+    /// # Errors
+    ///
+    /// A message if the bytes are not a valid snapshot (the caller treats
+    /// this as a corrupt checkpoint and starts from the WAL alone).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<IngestStore, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "snapshot is not UTF-8".to_string())?;
+        let doc = parse_json(text).map_err(|e| format!("snapshot is not JSON: {e}"))?;
+        if doc.get("schema").and_then(JsonValue::as_str) != Some("ghosts-ingest/1") {
+            return Err("snapshot schema tag mismatch".to_string());
+        }
+        let mut store = IngestStore::new();
+        for key in doc
+            .get("keys")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing keys array")?
+        {
+            store
+                .keys
+                .insert(key.as_str().ok_or("keys must be strings")?.to_string());
+        }
+        for (name, addrs) in doc
+            .get("sources")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing sources object")?
+        {
+            let mut set = AddrSet::new();
+            for raw in addrs.as_array().ok_or("source addrs must be an array")? {
+                let text = raw.as_str().ok_or("source addrs must be strings")?;
+                set.insert(
+                    addr_from_str(text).map_err(|_| format!("bad snapshot address: {text}"))?,
+                );
+            }
+            store.sources.insert(name.clone(), set);
+        }
+        Ok(store)
+    }
+
+    /// FNV-1a fingerprint of the canonical snapshot: equal digests ⇔
+    /// equal acknowledged state. This is what the chaos harness compares
+    /// across crash/restart and across worker counts.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&self.snapshot_bytes())
+    }
+
+    /// A contingency table over the current per-source sets (sources in
+    /// sorted name order), for live estimates over ingested observations.
+    pub fn table(&self) -> ContingencyTable {
+        let sets: Vec<&AddrSet> = self.sources.values().collect();
+        ContingencyTable::from_addr_sets(&sets)
+    }
+
+    /// Source names in sorted order (for the stats endpoint).
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_hex;
+
+    fn batch_doc(key: &str, source: &str, addrs: &[&str]) -> JsonValue {
+        parse_json(&format!(
+            "{{\"key\":\"{key}\",\"source\":\"{source}\",\"addrs\":[{}]}}",
+            addrs
+                .iter()
+                .map(|a| format!("\"{a}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        ))
+        .expect("test doc")
+    }
+
+    #[test]
+    fn parse_validates_and_canonicalizes() {
+        let doc = batch_doc("k1", "probe-a", &["10.0.0.2", "10.0.0.1", "10.0.0.2"]);
+        let batch = ObservationBatch::parse(&doc).expect("valid");
+        // Canonical payload sorts and dedups addresses and sorts keys.
+        assert_eq!(
+            batch.canonical_payload(),
+            "{\"addrs\":[\"10.0.0.1\",\"10.0.0.2\"],\"key\":\"k1\",\"source\":\"probe-a\"}"
+        );
+        let bad = batch_doc("k1", "probe-a", &["not-an-ip"]);
+        assert!(ObservationBatch::parse(&bad).is_err());
+        let no_key = parse_json("{\"source\":\"s\",\"addrs\":[]}").expect("doc");
+        assert!(ObservationBatch::parse(&no_key).is_err());
+    }
+
+    #[test]
+    fn apply_is_idempotent_by_key() {
+        let mut store = IngestStore::new();
+        let doc = batch_doc("k1", "s1", &["1.2.3.4", "1.2.3.5"]);
+        let payload = ObservationBatch::parse(&doc)
+            .expect("valid")
+            .canonical_payload();
+        assert_eq!(
+            store.apply_payload(&payload).expect("apply"),
+            Applied::Fresh { new_addrs: 2 }
+        );
+        let digest = store.digest();
+        assert_eq!(
+            store.apply_payload(&payload).expect("apply"),
+            Applied::Duplicate
+        );
+        assert_eq!(store.digest(), digest, "duplicate must not change state");
+        assert_eq!(store.applied_batches(), 1);
+        assert_eq!(store.addr_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_digest_is_order_independent() {
+        let mut a = IngestStore::new();
+        let mut b = IngestStore::new();
+        let batches = [
+            ("k1", "alpha", vec!["1.1.1.1", "1.1.1.2"]),
+            ("k2", "beta", vec!["2.2.2.2"]),
+            ("k3", "alpha", vec!["1.1.1.3"]),
+        ];
+        for (key, source, addrs) in &batches {
+            let doc = batch_doc(key, source, &addrs.to_vec());
+            let payload = ObservationBatch::parse(&doc)
+                .expect("valid")
+                .canonical_payload();
+            a.apply_payload(&payload).expect("apply a");
+        }
+        for (key, source, addrs) in batches.iter().rev() {
+            let doc = batch_doc(key, source, &addrs.to_vec());
+            let payload = ObservationBatch::parse(&doc)
+                .expect("valid")
+                .canonical_payload();
+            b.apply_payload(&payload).expect("apply b");
+        }
+        assert_eq!(a.digest(), b.digest(), "application order must not matter");
+
+        let restored = IngestStore::from_snapshot(&a.snapshot_bytes()).expect("restore");
+        assert_eq!(restored.digest(), a.digest());
+        assert_eq!(restored.source_names(), vec!["alpha", "beta"]);
+        assert!(restored.contains_key("k2"));
+        // The digest is printable for transcripts.
+        assert_eq!(digest_hex(a.digest()).len(), 16);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        assert!(IngestStore::from_snapshot(b"not json").is_err());
+        assert!(IngestStore::from_snapshot(b"{}").is_err());
+        assert!(IngestStore::from_snapshot(b"{\"schema\":\"ghosts-ingest/0\"}").is_err());
+    }
+
+    #[test]
+    fn table_reflects_per_source_sets() {
+        let mut store = IngestStore::new();
+        for (key, source, addr) in [
+            ("a", "s1", "9.9.9.9"),
+            ("b", "s2", "9.9.9.9"),
+            ("c", "s2", "9.9.9.10"),
+        ] {
+            let doc = batch_doc(key, source, &[addr]);
+            let payload = ObservationBatch::parse(&doc)
+                .expect("valid")
+                .canonical_payload();
+            store.apply_payload(&payload).expect("apply");
+        }
+        let table = store.table();
+        // 9.9.9.9 seen by both sources, 9.9.9.10 by one.
+        assert_eq!(table.observed_total(), 2);
+    }
+}

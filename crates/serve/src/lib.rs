@@ -30,6 +30,15 @@
 //! in the body; handler panics (including fault-injected ones at
 //! [`server::FAULT_SITE_HANDLER`]) answer `500` with a schema-valid
 //! `ghosts-events` trace while the worker survives.
+//!
+//! PR 9 adds the **durable state plane** (DESIGN.md §16): `POST
+//! /v1/observations` appends each batch's canonical payload to a
+//! CRC-framed write-ahead log (`ghosts_durable`) and acks only after
+//! fsync, with idempotency keys for exactly-once application, a bounded
+//! ingest queue (`429` + `Retry-After`), periodic atomic checkpoints, and
+//! `POST /v1/admin/drain` for a checkpoint-then-exit shutdown. Restart
+//! recovery (newest valid checkpoint + WAL suffix) rebuilds the exact
+//! acked state — `kill -9` at any instant loses no acknowledged batch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,12 +49,14 @@ pub mod client;
 pub mod coalesce;
 pub mod digest;
 pub mod http;
+pub mod ingest;
 pub mod metrics;
 pub mod request;
 pub mod server;
 
 pub use backend::{Backend, BackendError, InlineBackend, Membership, TableSpec};
 pub use cache::{CachedResponse, EstimateCache, Lookup};
+pub use ingest::{Applied, IngestStore, ObservationBatch};
 pub use metrics::MetricsHub;
 pub use request::EstimateRequest;
 pub use server::{Server, ServerConfig, ServerHandle};

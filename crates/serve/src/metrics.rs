@@ -77,6 +77,32 @@ pub struct HotStats {
     pub singleflight_waited: Counter,
     /// Requests whose single-flight leader failed.
     pub singleflight_leader_failed: Counter,
+    /// Observation batches received on `POST /v1/observations`.
+    pub ingest_received: Counter,
+    /// Observation batches durably applied (acked `201`).
+    pub ingest_applied: Counter,
+    /// Duplicate idempotency keys acked without re-applying.
+    pub ingest_duplicate: Counter,
+    /// Batches rejected `429` by ingest backpressure.
+    pub ingest_rejected: Counter,
+    /// WAL appends acknowledged (append → fsync → ack completed).
+    pub wal_appends: Counter,
+    /// WAL appends that failed (the batch was NOT acknowledged).
+    pub wal_append_errors: Counter,
+    /// WAL records replayed during recovery at startup.
+    pub wal_recovered_records: Counter,
+    /// Torn-tail bytes truncated during recovery.
+    pub wal_torn_truncated: Counter,
+    /// WAL segments quarantined to `*.corrupt` during recovery.
+    pub wal_segments_quarantined: Counter,
+    /// Checkpoints written (periodic and drain-triggered).
+    pub checkpoint_written: Counter,
+    /// Checkpoint writes that failed (the WAL still covers the state).
+    pub checkpoint_failed: Counter,
+    /// Checkpoint files quarantined during recovery.
+    pub checkpoints_quarantined: Counter,
+    /// Corrupt cache spill files quarantined to `*.corrupt` on load.
+    pub cache_quarantined: Counter,
     /// Request latency sketch (volatile lane: follows the hub clock).
     pub request_us: Histogram,
 }
@@ -111,6 +137,19 @@ impl MetricsHub {
             cache_bypassed: registry.counter("serve.cache.bypassed"),
             singleflight_waited: registry.counter("serve.singleflight.waited"),
             singleflight_leader_failed: registry.counter("serve.singleflight.leader_failed"),
+            ingest_received: registry.counter("serve.ingest.received"),
+            ingest_applied: registry.counter("serve.ingest.applied"),
+            ingest_duplicate: registry.counter("serve.ingest.duplicate"),
+            ingest_rejected: registry.counter("serve.ingest.rejected"),
+            wal_appends: registry.counter("serve.wal.appends"),
+            wal_append_errors: registry.counter("serve.wal.append_errors"),
+            wal_recovered_records: registry.counter("serve.wal.recovered_records"),
+            wal_torn_truncated: registry.counter("serve.wal.torn_truncated_bytes"),
+            wal_segments_quarantined: registry.counter("serve.wal.segments_quarantined"),
+            checkpoint_written: registry.counter("serve.checkpoint.written"),
+            checkpoint_failed: registry.counter("serve.checkpoint.failed"),
+            checkpoints_quarantined: registry.counter("serve.checkpoint.quarantined"),
+            cache_quarantined: registry.counter("serve.cache.quarantined"),
             request_us: registry.volatile_hist("serve.request_us"),
         };
         Arc::new(Self {

@@ -19,11 +19,13 @@ use crate::cache::{CachedResponse, EstimateCache, Lookup};
 use crate::coalesce::{Role, SingleFlight};
 use crate::digest::digest_hex;
 use crate::http::{read_request, ParseError, Request, Response};
+use crate::ingest::{Applied, IngestStore, ObservationBatch, MAX_KEY_BYTES};
 use crate::metrics::{membership_json, MetricsHub, SLOW_REQUEST_US, TAIL_CAPACITY};
 use crate::request::EstimateRequest;
 use ghosts_core::{
-    estimate_stratified, estimate_table, CrEstimate, Degradation, StratifiedEstimate,
+    estimate_stratified, estimate_table, CrConfig, CrEstimate, Degradation, StratifiedEstimate,
 };
+use ghosts_durable::{DurableLog, WalError};
 use ghosts_faultinject as faults;
 use ghosts_obs::json::{parse as parse_json, JsonValue};
 use ghosts_obs::{FieldValue, LogicalClock, Recorder, Scope, TailClass};
@@ -56,6 +58,15 @@ pub struct ServerConfig {
     /// Socket read/write timeout in milliseconds (wall time is confined
     /// to the socket layer; bodies never depend on it).
     pub io_timeout_ms: u64,
+    /// Durable state directory for `POST /v1/observations`. `None`
+    /// disables the ingest plane (the endpoints answer 404 with a hint).
+    pub ingest_dir: Option<std::path::PathBuf>,
+    /// Observation batches admitted concurrently before the ingest plane
+    /// answers `429` + `Retry-After` (the bounded ingest queue).
+    pub max_inflight: usize,
+    /// Auto-checkpoint after every N applied batches (0 disables; the
+    /// drain endpoint always checkpoints).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,7 +78,104 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             cache_dir: None,
             io_timeout_ms: 10_000,
+            ingest_dir: None,
+            max_inflight: 32,
+            checkpoint_every: 32,
         }
+    }
+}
+
+/// The durable ingest plane: the WAL+checkpoint pair and the replayed
+/// in-memory state, guarded by one mutex (appends serialize on fsync
+/// anyway), plus the backpressure counter and the drain latch.
+struct IngestPlane {
+    state: Mutex<(DurableLog, IngestStore)>,
+    inflight: AtomicU64,
+    draining: AtomicBool,
+    /// What recovery found at bind time, frozen for the stats endpoint.
+    recovery: ghosts_durable::RecoveryReport,
+}
+
+impl IngestPlane {
+    /// Opens the state directory, runs recovery (checkpoint + WAL
+    /// suffix), folds the report into the hub's durability counters and
+    /// emits the `wal_recovered` / `wal_quarantined` events.
+    fn open(dir: &std::path::Path, hub: &MetricsHub) -> std::io::Result<IngestPlane> {
+        let (log, recovery) = DurableLog::open(dir).map_err(wal_to_io)?;
+        let mut store = match &recovery.checkpoint {
+            Some(c) => IngestStore::from_snapshot(&c.state).map_err(|m| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("checkpoint state does not decode: {m}"),
+                )
+            })?,
+            None => IngestStore::new(),
+        };
+        let mut replayed = 0u64;
+        for (_, payload) in &recovery.replay {
+            // Acked payloads always parse (they were validated before the
+            // append); duplicates converge via the key set.
+            if let Ok(text) = std::str::from_utf8(payload) {
+                if store.apply_payload(text).is_ok() {
+                    replayed += 1;
+                }
+            }
+        }
+        let report = &recovery.report;
+        let stats = hub.stats();
+        stats.wal_recovered_records.add(report.wal_records_replayed);
+        stats.wal_torn_truncated.add(report.torn_tail_bytes);
+        stats
+            .wal_segments_quarantined
+            .add(report.segments_quarantined);
+        stats
+            .checkpoints_quarantined
+            .add(report.checkpoints_quarantined);
+
+        let recorder = Recorder::enabled(Arc::new(LogicalClock::new()));
+        let span = recorder.root("serve").child("recovery");
+        span.event(
+            "wal_recovered",
+            &[
+                (
+                    "checkpoint_generation",
+                    FieldValue::U64(report.checkpoint_generation.unwrap_or(0)),
+                ),
+                (
+                    "records_scanned",
+                    FieldValue::U64(report.wal_records_scanned),
+                ),
+                ("records_replayed", FieldValue::U64(replayed)),
+                ("torn_tail_bytes", FieldValue::U64(report.torn_tail_bytes)),
+            ],
+        );
+        if report.segments_quarantined > 0 || report.checkpoints_quarantined > 0 {
+            span.error(
+                "wal_quarantined",
+                &[
+                    ("segments", FieldValue::U64(report.segments_quarantined)),
+                    (
+                        "checkpoints",
+                        FieldValue::U64(report.checkpoints_quarantined),
+                    ),
+                ],
+            );
+        }
+        hub.absorb(&recorder.flush());
+
+        Ok(IngestPlane {
+            state: Mutex::new((log, store)),
+            inflight: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            recovery: recovery.report,
+        })
+    }
+}
+
+fn wal_to_io(e: WalError) -> std::io::Error {
+    match e {
+        WalError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
     }
 }
 
@@ -84,6 +192,7 @@ struct Shared {
     queue: Queue,
     stop: AtomicBool,
     next_request: AtomicU64,
+    ingest: Option<IngestPlane>,
     config: ServerConfig,
 }
 
@@ -113,6 +222,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = EstimateCache::new(config.cache_capacity, config.cache_dir.clone());
+        // Recovery runs before the first connection is accepted: a client
+        // can never observe a partially-replayed store.
+        let ingest = match &config.ingest_dir {
+            Some(dir) => Some(IngestPlane::open(dir, &hub)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             backend,
             hub,
@@ -124,6 +239,7 @@ impl Server {
             },
             stop: AtomicBool::new(false),
             next_request: AtomicU64::new(0),
+            ingest,
             config,
         });
 
@@ -155,6 +271,17 @@ impl ServerHandle {
     /// The metrics hub the server records into.
     pub fn hub(&self) -> &Arc<MetricsHub> {
         &self.shared.hub
+    }
+
+    /// Whether `POST /v1/admin/drain` has been accepted: the durable state
+    /// is checkpointed and new observations are being refused, so the
+    /// process can exit without losing an ack. Always `false` when the
+    /// ingest plane is disabled.
+    pub fn drain_requested(&self) -> bool {
+        self.shared
+            .ingest
+            .as_ref()
+            .is_some_and(|p| p.draining.load(Ordering::SeqCst))
     }
 
     /// Stops accepting, drains workers and joins every thread. Idempotent.
@@ -357,8 +484,342 @@ fn route(shared: &Shared, request: &Request) -> Response {
             Response::json(405, r#"{"error":"use POST for /v1/estimate"}"#.to_string())
                 .with_header("allow", "POST")
         }
+        ("POST", "/v1/observations") => observations(shared, request),
+        ("GET", "/v1/observations/stats") => observations_stats(shared),
+        ("GET", "/v1/observations/estimate") => observations_estimate(shared),
+        ("POST", "/v1/admin/drain") => drain(shared),
         _ => Response::json(404, r#"{"error":"no such resource"}"#.to_string()),
     }
+}
+
+/// The response when an ingest endpoint is hit without an ingest plane.
+fn ingest_disabled() -> Response {
+    Response::json(
+        404,
+        r#"{"error":"ingest disabled: start the server with an ingest directory (--ingest-dir)"}"#
+            .to_string(),
+    )
+}
+
+/// `POST /v1/observations` — durable ingestion with idempotency keys.
+///
+/// Admission control happens before any disk work: past `max_inflight`
+/// concurrently admitted batches the endpoint sheds with `429` +
+/// `Retry-After`, and a draining server refuses with `503`. An admitted
+/// batch is acked (`201`) only after its canonical payload is fsynced to
+/// the WAL; a duplicate idempotency key acks `200` without re-applying.
+fn observations(shared: &Shared, request: &Request) -> Response {
+    let Some(plane) = shared.ingest.as_ref() else {
+        return ingest_disabled();
+    };
+    shared.hub.stats().ingest_received.inc();
+    if plane.draining.load(Ordering::SeqCst) {
+        shared.hub.stats().ingest_rejected.inc();
+        return Response::json(
+            503,
+            r#"{"error":"server is draining; observations refused","retryable":true}"#.to_string(),
+        )
+        .with_header("retry-after", "1");
+    }
+    // Bounded ingest: claim a slot or shed. The counter (not the mutex)
+    // carries the bound so rejections never queue behind an fsync.
+    let slot = plane.inflight.fetch_add(1, Ordering::SeqCst);
+    if slot >= shared.config.max_inflight as u64 {
+        plane.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.hub.stats().ingest_rejected.inc();
+        return Response::json(
+            429,
+            r#"{"error":"ingest queue full, retry shortly","retryable":true}"#.to_string(),
+        )
+        .with_header("retry-after", "1");
+    }
+
+    let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst);
+    let recorder = Recorder::enabled(Arc::new(LogicalClock::new()));
+    let span = recorder.root("serve").child_idx("ingest", request_id);
+    let outcome = faults::task_scope(request_id as usize, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            observations_inner(shared, plane, request, &span)
+        }))
+    });
+    plane.inflight.fetch_sub(1, Ordering::SeqCst);
+    shared.hub.absorb(&recorder.flush());
+    match outcome {
+        Ok(response) => response,
+        Err(panic) => {
+            shared.hub.stats().panic.inc();
+            let body = format!(
+                "{{\"error\":{}}}",
+                JsonValue::Str(ghosts_core::panic_message(&panic)).to_compact()
+            );
+            Response::json(500, body)
+        }
+    }
+}
+
+fn observations_inner(
+    shared: &Shared,
+    plane: &IngestPlane,
+    request: &Request,
+    span: &Scope,
+) -> Response {
+    let doc = match std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| parse_json(text).ok())
+    {
+        Some(doc) => doc,
+        None => {
+            shared.hub.stats().ingest_rejected.inc();
+            return Response::json(400, r#"{"error":"body is not valid JSON"}"#.to_string());
+        }
+    };
+    let mut batch = match ObservationBatch::parse(&doc) {
+        Ok(b) => b,
+        Err(message) => {
+            shared.hub.stats().ingest_rejected.inc();
+            return Response::json(
+                400,
+                format!("{{\"error\":{}}}", JsonValue::Str(message).to_compact()),
+            );
+        }
+    };
+    // An `idempotency-key` header overrides the body key, so a retrying
+    // client can stamp the key once and reuse it across attempts.
+    if let Some(key) = request.header("idempotency-key") {
+        if key.is_empty() || key.len() > MAX_KEY_BYTES {
+            shared.hub.stats().ingest_rejected.inc();
+            return Response::json(
+                400,
+                r#"{"error":"idempotency-key header must be 1..=128 bytes"}"#.to_string(),
+            );
+        }
+        batch.key = key.to_string();
+    }
+    let payload = batch.canonical_payload();
+
+    let mut state = lock(&plane.state);
+    let (log, store) = &mut *state;
+    if store.contains_key(&batch.key) {
+        shared.hub.stats().ingest_duplicate.inc();
+        span.event(
+            "ingest_duplicate",
+            &[("key", FieldValue::Str(batch.key.clone()))],
+        );
+        let body = JsonValue::Object(vec![
+            ("key".to_string(), JsonValue::Str(batch.key)),
+            (
+                "status".to_string(),
+                JsonValue::Str("duplicate".to_string()),
+            ),
+        ]);
+        return Response::json(200, body.to_compact());
+    }
+    // Durability point: ack only after the append (write + fsync) returns.
+    let lsn = match log.append(payload.as_bytes()) {
+        Ok(lsn) => lsn,
+        Err(e) => {
+            shared.hub.stats().wal_append_errors.inc();
+            let body = format!(
+                "{{\"error\":{},\"retryable\":true}}",
+                JsonValue::Str(format!("durable append failed, not acknowledged: {e}"))
+                    .to_compact()
+            );
+            return Response::json(503, body).with_header("retry-after", "1");
+        }
+    };
+    shared.hub.stats().wal_appends.inc();
+    let new_addrs = match store.apply_payload(&payload) {
+        Ok(Applied::Fresh { new_addrs }) => new_addrs,
+        // A canonical payload that survived parse + dup-check re-applies
+        // cleanly; this arm is unreachable but fails closed.
+        Ok(Applied::Duplicate) | Err(_) => 0,
+    };
+    shared.hub.stats().ingest_applied.inc();
+    span.event(
+        "ingest",
+        &[
+            ("key", FieldValue::Str(batch.key.clone())),
+            ("lsn", FieldValue::U64(lsn)),
+            ("new_addrs", FieldValue::U64(new_addrs as u64)),
+        ],
+    );
+
+    let every = shared.config.checkpoint_every;
+    if every > 0 && store.applied_batches() % every == 0 {
+        match log.checkpoint(&store.snapshot_bytes()) {
+            Ok(generation) => {
+                shared.hub.stats().checkpoint_written.inc();
+                span.event(
+                    "checkpoint_written",
+                    &[("generation", FieldValue::U64(generation))],
+                );
+            }
+            // The ack already happened at the WAL; a failed checkpoint
+            // costs replay time, never data.
+            Err(_) => shared.hub.stats().checkpoint_failed.inc(),
+        }
+    }
+
+    let body = JsonValue::Object(vec![
+        ("key".to_string(), JsonValue::Str(batch.key)),
+        ("lsn".to_string(), JsonValue::UInt(lsn)),
+        ("new_addrs".to_string(), JsonValue::UInt(new_addrs as u64)),
+        ("status".to_string(), JsonValue::Str("applied".to_string())),
+    ]);
+    Response::json(201, body.to_compact())
+}
+
+/// `GET /v1/observations/stats` — the ingest plane's durable state: batch
+/// and address counts, the order-independent state digest, the recovery
+/// report from the last restart, and the WAL/checkpoint positions.
+fn observations_stats(shared: &Shared) -> Response {
+    let Some(plane) = shared.ingest.as_ref() else {
+        return ingest_disabled();
+    };
+    let state = lock(&plane.state);
+    let (log, store) = &*state;
+    let body = JsonValue::Object(vec![
+        ("addrs".to_string(), JsonValue::UInt(store.addr_count())),
+        (
+            "applied".to_string(),
+            JsonValue::UInt(store.applied_batches()),
+        ),
+        (
+            "digest".to_string(),
+            JsonValue::Str(digest_hex(store.digest())),
+        ),
+        (
+            "draining".to_string(),
+            JsonValue::Bool(plane.draining.load(Ordering::SeqCst)),
+        ),
+        ("generation".to_string(), JsonValue::UInt(log.generation())),
+        ("next_lsn".to_string(), JsonValue::UInt(log.next_lsn())),
+        (
+            "recovery".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "checkpoint_generation".to_string(),
+                    plane
+                        .recovery
+                        .checkpoint_generation
+                        .map_or(JsonValue::Null, JsonValue::UInt),
+                ),
+                (
+                    "checkpoints_quarantined".to_string(),
+                    JsonValue::UInt(plane.recovery.checkpoints_quarantined),
+                ),
+                (
+                    "segments_quarantined".to_string(),
+                    JsonValue::UInt(plane.recovery.segments_quarantined),
+                ),
+                (
+                    "torn_tail_bytes".to_string(),
+                    JsonValue::UInt(plane.recovery.torn_tail_bytes),
+                ),
+                (
+                    "wal_records_replayed".to_string(),
+                    JsonValue::UInt(plane.recovery.wal_records_replayed),
+                ),
+                (
+                    "wal_records_scanned".to_string(),
+                    JsonValue::UInt(plane.recovery.wal_records_scanned),
+                ),
+            ]),
+        ),
+        (
+            "sources".to_string(),
+            JsonValue::Array(
+                store
+                    .source_names()
+                    .into_iter()
+                    .map(JsonValue::Str)
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, body.to_compact())
+}
+
+/// `GET /v1/observations/estimate` — runs the paper-configuration
+/// estimator over the ingested per-source address sets. The body is the
+/// same canonical form `/v1/estimate` produces, so crash-recovery byte-
+/// identity can be asserted end to end.
+fn observations_estimate(shared: &Shared) -> Response {
+    let Some(plane) = shared.ingest.as_ref() else {
+        return ingest_disabled();
+    };
+    let table = {
+        let state = lock(&plane.state);
+        if state.1.source_count() == 0 {
+            return Response::json(
+                422,
+                r#"{"error":"no observations ingested yet"}"#.to_string(),
+            );
+        }
+        state.1.table()
+    };
+    shared.hub.stats().estimate_computed.inc();
+    match estimate_table(&table, None, &CrConfig::paper()) {
+        Ok(est) => {
+            let status = if est.degraded.is_some() { 203 } else { 200 };
+            Response::json(status, estimate_json(&est))
+        }
+        Err(e) => Response::json(
+            422,
+            JsonValue::Object(vec![
+                ("error".to_string(), JsonValue::Str(e.to_string())),
+                ("kind".to_string(), JsonValue::Str(e.kind().to_string())),
+            ])
+            .to_compact(),
+        ),
+    }
+}
+
+/// `POST /v1/admin/drain` — graceful shutdown protocol: checkpoint the
+/// durable state, then latch the drain flag so new observations are
+/// refused (`503`) and the process owner (see the `serve` binary) knows
+/// it is safe to exit. Idempotent; repeated drains re-checkpoint.
+fn drain(shared: &Shared) -> Response {
+    let Some(plane) = shared.ingest.as_ref() else {
+        return ingest_disabled();
+    };
+    let recorder = Recorder::enabled(Arc::new(LogicalClock::new()));
+    let span = recorder.root("serve").child("drain");
+    let mut state = lock(&plane.state);
+    let (log, store) = &mut *state;
+    let response = match log.checkpoint(&store.snapshot_bytes()) {
+        Ok(generation) => {
+            shared.hub.stats().checkpoint_written.inc();
+            plane.draining.store(true, Ordering::SeqCst);
+            span.event(
+                "drain",
+                &[
+                    ("generation", FieldValue::U64(generation)),
+                    ("applied", FieldValue::U64(store.applied_batches())),
+                ],
+            );
+            let body = JsonValue::Object(vec![
+                (
+                    "digest".to_string(),
+                    JsonValue::Str(digest_hex(store.digest())),
+                ),
+                ("generation".to_string(), JsonValue::UInt(generation)),
+                ("status".to_string(), JsonValue::Str("draining".to_string())),
+            ]);
+            Response::json(200, body.to_compact())
+        }
+        Err(e) => {
+            shared.hub.stats().checkpoint_failed.inc();
+            let body = format!(
+                "{{\"error\":{},\"retryable\":true}}",
+                JsonValue::Str(format!("drain checkpoint failed: {e}")).to_compact()
+            );
+            Response::json(503, body).with_header("retry-after", "1")
+        }
+    };
+    drop(state);
+    shared.hub.absorb(&recorder.flush());
+    response
 }
 
 fn server_config_pairs(shared: &Shared) -> Vec<(String, String)> {
@@ -382,6 +843,22 @@ fn server_config_pairs(shared: &Shared) -> Vec<(String, String)> {
                 .cache_dir
                 .as_ref()
                 .map_or("(none)".to_string(), |d| d.display().to_string()),
+        ),
+        (
+            "serve.ingest_dir".to_string(),
+            shared
+                .config
+                .ingest_dir
+                .as_ref()
+                .map_or("(none)".to_string(), |d| d.display().to_string()),
+        ),
+        (
+            "serve.max_inflight".to_string(),
+            shared.config.max_inflight.to_string(),
+        ),
+        (
+            "serve.checkpoint_every".to_string(),
+            shared.config.checkpoint_every.to_string(),
         ),
     ]
 }
@@ -565,6 +1042,12 @@ fn estimate_inner(shared: &Shared, req: &EstimateRequest, digest: u64, span: &Sc
         Lookup::Disk(r) => {
             shared.hub.stats().cache_hit_disk.inc();
             return Response::json(r.status, r.body.clone()).with_header("x-cache", "hit-disk");
+        }
+        Lookup::Quarantined => {
+            // A corrupt spill was renamed `*.corrupt` by the cache; the
+            // request recomputes (and re-stores) as an ordinary miss.
+            shared.hub.stats().cache_quarantined.inc();
+            shared.hub.stats().cache_miss.inc();
         }
         Lookup::Miss => shared.hub.stats().cache_miss.inc(),
     }

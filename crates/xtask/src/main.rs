@@ -163,7 +163,10 @@ fn run_lint(opts: &LintOpts) -> ExitCode {
 
     if opts.update_baseline {
         let baseline = Baseline::from_violations(&violations);
-        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json_bytes()) {
+        if let Err(e) = ghosts_durable::atomic_write(
+            std::path::Path::new(&baseline_path),
+            baseline.to_json_bytes().as_bytes(),
+        ) {
             eprintln!("ghost-lint: cannot write {baseline_path}: {e}");
             return ExitCode::FAILURE;
         }

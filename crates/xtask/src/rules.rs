@@ -24,7 +24,7 @@ const ESTIMATION_CRATES: [&str; 5] = ["core", "stats", "pipeline", "bench", "rel
 
 /// Crates required to be bit-deterministic in their inputs: no wall-clock,
 /// no OS randomness, and library code must not panic via unwrap/expect.
-const DETERMINISTIC_CRATES: [&str; 9] = [
+const DETERMINISTIC_CRATES: [&str; 10] = [
     "core",
     "stats",
     "net",
@@ -34,6 +34,7 @@ const DETERMINISTIC_CRATES: [&str; 9] = [
     "ghosts",
     "obs",
     "reliability",
+    "durable",
 ];
 
 /// The single file allowed to read the OS clock. Everything else goes
@@ -55,13 +56,20 @@ const INVARIANT_CALLERS: [&str; 3] = [
 /// Crates whose library code may contain fault-injection probes
 /// (`ghosts_faultinject::fire` and the task-scope plumbing): exactly the
 /// crates that declare the documented fault sites of DESIGN.md §11.
-const FAULT_SITE_CRATES: [&str; 5] = ["stats", "core", "pipeline", "bench", "serve"];
+const FAULT_SITE_CRATES: [&str; 6] = ["stats", "core", "pipeline", "bench", "serve", "durable"];
 
 /// Crates allowed to open sockets. Network I/O is the serving layer's
 /// job (DESIGN.md §12); estimation code computes over in-memory tables
 /// and must stay runnable with networking stubbed out entirely. Tests
 /// and benches may drive loopback sockets freely.
 const NET_IO_CRATES: [&str; 1] = ["serve"];
+
+/// The crate whose atomic writer owns raw file creation. Everything else
+/// writes durable artifacts through `ghosts_durable::atomic_write`
+/// (temp + fsync + rename), so a crash can never leave a torn file at a
+/// final path (DESIGN.md §16). Tests and benches are exempt — they plant
+/// corrupt fixtures on purpose.
+const FS_DISCIPLINE_CRATE: &str = "durable";
 
 /// `ghosts_faultinject` items that manage the process-global plan rather
 /// than probe it. Installing, clearing or draining plans from library
@@ -163,10 +171,14 @@ pub const RULE_COUNTING_OVERFLOW: &str = "counting-overflow";
 pub const RULE_EVENT_EXHAUSTIVENESS: &str = "event-exhaustiveness";
 /// A `lint: allow(...)` comment that no longer suppresses any finding.
 pub const RULE_STALE_ALLOW: &str = "stale-allow";
+/// Raw file creation (`File::create`, `fs::write`, `OpenOptions`)
+/// outside `ghosts_durable`'s atomic writer: a crash mid-write leaves a
+/// torn file at a final path.
+pub const RULE_FS_DISCIPLINE: &str = "fs-discipline";
 
 /// Every rule id the `lint: allow(...)` escape hatch accepts. The
 /// stale-allow check reports allows naming anything else as unknown.
-pub const KNOWN_RULES: [&str; 15] = [
+pub const KNOWN_RULES: [&str; 16] = [
     RULE_HASH,
     RULE_FLOAT_EQ,
     RULE_NONDETERMINISM,
@@ -182,6 +194,7 @@ pub const KNOWN_RULES: [&str; 15] = [
     RULE_COUNTING_OVERFLOW,
     RULE_EVENT_EXHAUSTIVENESS,
     RULE_STALE_ALLOW,
+    RULE_FS_DISCIPLINE,
 ];
 
 /// One `lint: allow(<rule>)` site, with a used-flag so the stale-allow
@@ -279,6 +292,7 @@ pub fn lint_tokens_with(
     rule_invariant_usage(tokens, class, test_lines, &mut out);
     rule_fault_sites(tokens, class, allows, test_lines, &mut out);
     rule_net_io(tokens, class, allows, test_lines, &mut out);
+    rule_fs_discipline(tokens, class, allows, test_lines, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -857,6 +871,68 @@ fn rule_net_io(
                 ),
             });
         }
+    }
+}
+
+/// Crash-safe file writes: raw `File::create`/`File::create_new`/
+/// `fs::write`/`OpenOptions` in library or binary code outside
+/// [`FS_DISCIPLINE_CRATE`] mean a kill at the wrong instant leaves a torn
+/// file at its final path. Durable artifacts go through
+/// `ghosts_durable::atomic_write`; reads (`File::open`, `fs::read*`) are
+/// untouched. Tests and benches plant corrupt fixtures on purpose and are
+/// exempt, as are vendored shims and workspace-root files.
+fn rule_fs_discipline(
+    tokens: &[Token],
+    class: &FileClass,
+    allows: &Allows,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if class.crate_name == FS_DISCIPLINE_CRATE
+        || class.crate_name.is_empty()
+        || class.crate_name.starts_with("vendor/")
+        || !matches!(class.section, Section::Src | Section::Bin)
+    {
+        return;
+    }
+    let mut flag = |line: usize, what: &str| {
+        if test_lines.contains(&line) || allows.check(line, RULE_FS_DISCIPLINE) {
+            return;
+        }
+        out.push(Violation {
+            file: class.rel_path.clone(),
+            line,
+            rule: RULE_FS_DISCIPLINE,
+            message: format!(
+                "{what} outside ghosts_durable: a crash mid-write leaves a \
+                 torn file at its final path — write through \
+                 ghosts_durable::atomic_write (temp + fsync + rename), or \
+                 justify with `// lint: allow(fs-discipline) <reason>`"
+            ),
+        });
+    };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Some(name) = tokens[i].ident() else {
+            i += 1;
+            continue;
+        };
+        if name == "OpenOptions" {
+            flag(tokens[i].line, "OpenOptions");
+        } else if (name == "File" || name == "fs")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(method) = tokens.get(i + 3).and_then(|t| t.ident()) {
+                match (name, method) {
+                    ("File", "create") | ("File", "create_new") | ("fs", "write") => {
+                        flag(tokens[i + 3].line, &format!("{name}::{method}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        i += 1;
     }
 }
 

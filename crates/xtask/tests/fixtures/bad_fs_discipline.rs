@@ -1,0 +1,26 @@
+// Known-bad fixture for the fs-discipline rule: raw file creation in
+// library code. Reads and the justified site are fine.
+use std::fs::File;
+
+fn torn_writes(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let _f = File::create(path)?;
+    std::fs::write(path, bytes)?;
+    let _o = std::fs::OpenOptions::new().append(true).open(path)?;
+    File::create_new(path)?;
+    // lint: allow(fs-discipline) lock file holds no data, torn is fine
+    std::fs::write(path, b"lock")?;
+    Ok(())
+}
+
+fn reads_are_untouched(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    let _f = File::open(path)?;
+    std::fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_may_write_raw() {
+        std::fs::write("scratch", b"x").unwrap();
+    }
+}

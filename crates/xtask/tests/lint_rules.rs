@@ -233,6 +233,44 @@ fn net_io_fixture() {
 }
 
 #[test]
+fn fs_discipline_fixture() {
+    let src = fixture("bad_fs_discipline.rs");
+    // Library code: every raw-creation site fires (the use-list `File` is
+    // not a write by itself); the allow() escape covers the lock file, and
+    // reads plus the #[cfg(test)] block stay silent.
+    let c = class("serve", Section::Src, "crates/serve/src/bad.rs", false);
+    let v = lint_source(&src, &c);
+    assert_eq!(
+        fired(&v),
+        vec![
+            ("fs-discipline", 6),
+            ("fs-discipline", 7),
+            ("fs-discipline", 8),
+            ("fs-discipline", 9),
+        ]
+    );
+    // Binaries write results files and are equally confined…
+    let c = class(
+        "bench",
+        Section::Bin,
+        "crates/bench/src/bin/repro.rs",
+        false,
+    );
+    assert_eq!(lint_source(&src, &c).len(), 4);
+    // …the durable crate owns the atomic writer, and tests plant corrupt
+    // fixtures freely.
+    let c = class(
+        "durable",
+        Section::Src,
+        "crates/durable/src/atomic.rs",
+        false,
+    );
+    assert!(lint_source(&src, &c).is_empty());
+    let c = class("serve", Section::Tests, "crates/serve/tests/bad.rs", false);
+    assert!(lint_source(&src, &c).is_empty());
+}
+
+#[test]
 fn workspace_is_clean_modulo_baseline() {
     let root = workspace::workspace_root();
     let violations = lint_workspace(&root, Parallelism::SEQUENTIAL).expect("lint workspace");

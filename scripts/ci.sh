@@ -151,6 +151,82 @@ if [ "$serve_rc" -ne 143 ]; then
     exit 1
 fi
 
+echo "==> crash smoke (SIGKILL mid-ingest, restart, acked observations survive)"
+# The durability contract end to end: observations acked before a kill -9
+# must all be present after recovery, and the recovered estimate must be
+# byte-identical — then a drain checkpoints and exits 0.
+ingest_dir="$smoke_dir/ingest"
+start_ingest_serve() {
+    local log="$1"
+    "$repo_root/target/release/serve" run --port 0 --denom 65536 --quiet \
+        --ingest-dir "$ingest_dir" >"$log" 2>&1 &
+    ingest_pid=$!
+    ingest_addr=""
+    for _ in $(seq 1 300); do
+        ingest_addr="$(sed -n 's#^ghosts-serve listening on http://##p' "$log" | head -n 1)"
+        [ -n "$ingest_addr" ] && break
+        kill -0 "$ingest_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if [ -z "$ingest_addr" ]; then
+        echo "ci.sh: ingest serve never announced a listening address" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+start_ingest_serve "$smoke_dir/serve_ingest1.log"
+for i in $(seq 0 5); do
+    serve_req POST "http://$ingest_addr/v1/observations" \
+        "{\"key\":\"c$i\",\"source\":\"s$((i % 3))\",\"addrs\":[\"8.0.$i.1\",\"8.0.$i.2\"]}" \
+        --expect-status 201 >/dev/null 2>&1
+done
+serve_req GET "http://$ingest_addr/v1/observations/stats" \
+    >"$smoke_dir/ingest_stats1.json" 2>/dev/null
+serve_req GET "http://$ingest_addr/v1/observations/estimate" \
+    >"$smoke_dir/ingest_est1.json" 2>/dev/null
+kill -9 "$ingest_pid"
+wait "$ingest_pid" 2>/dev/null || true
+
+start_ingest_serve "$smoke_dir/serve_ingest2.log"
+serve_req GET "http://$ingest_addr/v1/observations/stats" \
+    >"$smoke_dir/ingest_stats2.json" 2>/dev/null
+digest1="$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' "$smoke_dir/ingest_stats1.json")"
+digest2="$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' "$smoke_dir/ingest_stats2.json")"
+if [ -z "$digest1" ] || [ "$digest1" != "$digest2" ]; then
+    echo "ci.sh: state digest changed across kill -9 ($digest1 -> $digest2)" >&2
+    cat "$smoke_dir/ingest_stats2.json" >&2
+    exit 1
+fi
+grep -q '"applied":6' "$smoke_dir/ingest_stats2.json" || {
+    echo "ci.sh: acked observations lost across kill -9" >&2
+    cat "$smoke_dir/ingest_stats2.json" >&2
+    exit 1
+}
+serve_req GET "http://$ingest_addr/v1/observations/estimate" \
+    >"$smoke_dir/ingest_est2.json" 2>/dev/null
+cmp -s "$smoke_dir/ingest_est1.json" "$smoke_dir/ingest_est2.json" || {
+    echo "ci.sh: recovered estimate is not byte-identical" >&2
+    diff "$smoke_dir/ingest_est1.json" "$smoke_dir/ingest_est2.json" >&2 || true
+    exit 1
+}
+# Idempotency: re-sending an acked key must dedup, not double-apply.
+serve_req POST "http://$ingest_addr/v1/observations" \
+    '{"key":"c0","source":"s0","addrs":["8.0.0.1","8.0.0.2"]}' \
+    --expect-status 200 >"$smoke_dir/ingest_dup.json" 2>/dev/null
+grep -q '"status":"duplicate"' "$smoke_dir/ingest_dup.json" || {
+    echo "ci.sh: idempotent re-send did not dedup" >&2
+    cat "$smoke_dir/ingest_dup.json" >&2
+    exit 1
+}
+# Graceful path: drain checkpoints and the process exits 0.
+serve_req POST "http://$ingest_addr/v1/admin/drain" '' --expect-status 200 >/dev/null 2>&1
+drain_rc=0
+wait "$ingest_pid" || drain_rc=$?
+if [ "$drain_rc" -ne 0 ]; then
+    echo "ci.sh: drained serve exited $drain_rc, expected 0" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
