@@ -366,6 +366,33 @@ mod tests {
     }
 
     #[test]
+    fn plane_kernel_matches_per_address_on_repro_windows() {
+        // The word-wise contingency kernel must be bit-identical to the
+        // per-address oracle on real repro-scenario data, at every
+        // `--threads` setting a run could use (the kernel itself is
+        // sequential, but the estimation layer's parallelism must not
+        // perturb the cached window data it reads).
+        for threads in [1usize, 4] {
+            let mut ctx = tiny_ctx();
+            ctx.parallelism = Parallelism::Fixed(threads);
+            for i in [0usize, 10] {
+                let data = ctx.filtered_window(i);
+                let sets = data.addr_sets();
+                let fast = ContingencyTable::from_addr_sets(&sets);
+                let slow = ContingencyTable::from_addr_sets_per_addr(&sets);
+                assert_eq!(fast.num_sources(), slow.num_sources());
+                for mask in 0..fast.num_cells() as u16 {
+                    assert_eq!(
+                        fast.count(mask),
+                        slow.count(mask),
+                        "cell {mask} differs in window {i} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn spoof_volumes_scale_with_denominator() {
         let big = ReproContext::new(256, 7);
         let small = tiny_ctx();

@@ -6,11 +6,12 @@
 //! observed by source `i`), and a [`ContingencyTable`] holds the `2^t`
 //! counts, with the all-zero cell — the ghosts — unknown.
 
+use ghosts_addrplane::AddrPlane;
 use ghosts_net::{AddrSet, SubnetSet};
 
 /// Maximum number of sources a table can hold. The paper uses nine; the
 /// `2^t` cell count makes much larger `t` statistically meaningless anyway.
-pub const MAX_SOURCES: usize = 16;
+pub const MAX_SOURCES: usize = ghosts_addrplane::MAX_SOURCES;
 
 /// A contingency table of capture-history counts over `t` sources.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,11 +48,37 @@ impl ContingencyTable {
         table
     }
 
-    /// Builds the table for a collection of address sets (one per source).
-    ///
-    /// Iterates the union of all sources once and tests membership per
-    /// source — `O(union · t)` bitmap probes.
+    /// Builds the table for a collection of address sets (one per source)
+    /// via the bitwise plane kernel: all `2^t` cells from one walk over
+    /// the sources' shared bitmap words, no per-address loop. The result
+    /// is bit-identical to [`ContingencyTable::from_addr_sets_per_addr`]
+    /// (both compute the same exact partition; the equivalence is pinned
+    /// by tests here and asserted on the repro scenario in the bench
+    /// crate).
     pub fn from_addr_sets(sources: &[&AddrSet]) -> Self {
+        let planes: Vec<&AddrPlane> = sources.iter().map(|s| s.plane()).collect();
+        Self::from_planes(&planes)
+    }
+
+    /// Builds the table directly from `t` source bitmap planes using the
+    /// word-wise 2^t kernel ([`ghosts_addrplane::contingency_counts`]).
+    pub fn from_planes(planes: &[&AddrPlane]) -> Self {
+        let t = planes.len();
+        assert!(
+            (1..=MAX_SOURCES).contains(&t),
+            "ContingencyTable: t = {t} out of range"
+        );
+        ContingencyTable {
+            t,
+            counts: ghosts_addrplane::contingency_counts(planes),
+        }
+    }
+
+    /// The per-address reference construction: iterates the union of all
+    /// sources once and tests membership per source — `O(union · t)`
+    /// bitmap probes. Kept as the independently-derived oracle the plane
+    /// kernel is checked against.
+    pub fn from_addr_sets_per_addr(sources: &[&AddrSet]) -> Self {
         let t = sources.len();
         let mut table = Self::new(t);
         let mut union = AddrSet::new();
@@ -308,6 +335,34 @@ mod tests {
         assert_eq!(t.count(0b10), 1); // addr 4
         assert_eq!(t.count(0b11), 2); // addrs 2, 3
         assert_eq!(t.observed_total(), 4);
+    }
+
+    #[test]
+    fn plane_kernel_is_bit_identical_to_per_addr_path() {
+        // Deterministic pseudo-random sources spanning several segments,
+        // including plane boundaries.
+        let mut sources: Vec<AddrSet> = Vec::new();
+        let mut x = 0x2545_f491u32;
+        for i in 0..4u32 {
+            let mut s = AddrSet::new();
+            for _ in 0..600 {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                s.insert(x >> (i % 3));
+            }
+            s.insert(0);
+            s.insert(u32::MAX);
+            s.insert((1 << 24) - 1 + i);
+            sources.push(s);
+        }
+        let refs: Vec<&AddrSet> = sources.iter().collect();
+        let kernel = ContingencyTable::from_addr_sets(&refs);
+        let per_addr = ContingencyTable::from_addr_sets_per_addr(&refs);
+        assert_eq!(kernel, per_addr);
+        let planes: Vec<_> = sources.iter().map(|s| s.plane()).collect();
+        assert_eq!(ContingencyTable::from_planes(&planes), per_addr);
+        assert_eq!(crate::contingency_from_planes(&planes), per_addr);
     }
 
     #[test]

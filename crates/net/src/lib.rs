@@ -5,9 +5,12 @@
 //!
 //! * [`addr`] — addresses as `u32`, CIDR [`Prefix`] algebra.
 //! * [`set`] — compact [`AddrSet`] / [`SubnetSet`] bitmaps holding per-source
-//!   observations at Internet scale.
-//! * [`trie`] — a binary prefix trie with longest-prefix match.
-//! * [`routed`] — the aggregated publicly routed table (§4.4, §6.1).
+//!   observations at Internet scale, backed by the full-2^32 segmented
+//!   address plane (`ghosts_addrplane`).
+//! * [`trie`] — a generic binary prefix trie with per-prefix payloads
+//!   (the registry's address → allocation index).
+//! * [`routed`] — the aggregated publicly routed table (§4.4, §6.1),
+//!   backed by the compact `ghosts_addrplane::PrefixPlane` trie.
 //! * [`registry`] — RIR delegations with country/industry/age attributes for
 //!   stratification (§3.4).
 //! * [`bogons`] — reserved space and the allocatable universe (§7.1).

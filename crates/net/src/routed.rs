@@ -6,14 +6,19 @@
 //! probability). [`RoutedTable`] models one such aggregate: a set of
 //! advertised prefixes with membership tests and size totals; snapshots are
 //! aggregated with [`RoutedTable::merge`].
+//!
+//! The table is backed by the compact index-based trie
+//! ([`ghosts_addrplane::PrefixPlane`]): longest-prefix match, union
+//! sizes, and covered-address counts are all single trie walks — no
+//! prefix-list scans anywhere.
 
 use crate::addr::Prefix;
-use crate::trie::PrefixTrie;
+use ghosts_addrplane::PrefixPlane;
 
 /// An aggregated set of publicly routed prefixes.
 #[derive(Debug, Clone, Default)]
 pub struct RoutedTable {
-    trie: PrefixTrie<()>,
+    plane: PrefixPlane,
 }
 
 impl RoutedTable {
@@ -33,80 +38,60 @@ impl RoutedTable {
 
     /// Adds an advertised prefix (idempotent).
     pub fn announce(&mut self, prefix: Prefix) {
-        self.trie.insert(prefix, ());
+        self.plane.insert(prefix.base(), prefix.len());
     }
 
     /// Number of distinct advertised prefixes (nested prefixes counted
     /// individually, as in a real FIB).
     pub fn prefix_count(&self) -> usize {
-        self.trie.len()
+        self.plane.len()
     }
 
-    /// Whether `addr` is covered by any advertised prefix.
+    /// Whether `addr` is covered by any advertised prefix — one trie
+    /// descent.
     pub fn is_routed(&self, addr: u32) -> bool {
-        self.trie.contains_addr(addr)
+        self.plane.contains_addr(addr)
     }
 
     /// The most specific advertised prefix covering `addr`, if any — the
     /// entry a FIB would forward on, and what `/v1/membership` reports.
     pub fn longest_match(&self, addr: u32) -> Option<Prefix> {
-        self.trie.longest_match(addr).map(|(p, _)| p)
+        self.plane
+            .longest_match(addr)
+            .map(|(base, len)| Prefix::new(base, len))
     }
 
     /// Total routed addresses (union of advertisements).
     pub fn address_count(&self) -> u64 {
-        self.trie.union_address_count()
+        self.plane.union_address_count()
     }
 
     /// Total routed /24 subnets (union, partial covers count once).
     pub fn subnet24_count(&self) -> u64 {
-        self.trie.union_subnet24_count()
+        self.plane.union_subnet24_count()
     }
 
-    /// All advertised prefixes.
+    /// All advertised prefixes, in lexicographic order.
     pub fn prefixes(&self) -> Vec<Prefix> {
-        self.trie.prefixes()
+        let mut out = Vec::with_capacity(self.plane.len());
+        self.plane
+            .for_each(|base, len| out.push(Prefix::new(base, len)));
+        out
     }
 
     /// Aggregates another snapshot into this table (the paper aggregates
     /// all weekly snapshots within each 12-month window).
     pub fn merge(&mut self, other: &RoutedTable) {
-        other.trie.for_each(|p, _| {
-            self.trie.insert(p, ());
+        other.plane.for_each(|base, len| {
+            self.plane.insert(base, len);
         });
     }
 
     /// Number of addresses of `prefix` that are covered by the table.
-    /// Exact, by walking the prefix's alignment with stored entries.
+    /// Exact: one descent along the prefix path (an ancestor
+    /// advertisement covers the whole block), then a subtree walk.
     pub fn covered_addresses_in(&self, prefix: Prefix) -> u64 {
-        // Simple and robust: intersect by recursive descent.
-        fn walk(table: &RoutedTable, block: Prefix) -> u64 {
-            if table.is_routed(block.base()) {
-                // An ancestor advertisement may cover the whole block; check
-                // whether some stored prefix contains the block entirely.
-                if table
-                    .trie
-                    .longest_match(block.base())
-                    .map(|(p, _)| p.contains_prefix(&block))
-                    .unwrap_or(false)
-                {
-                    return block.num_addresses();
-                }
-            }
-            // Does any stored prefix intersect the block at all?
-            let intersects = table
-                .prefixes()
-                .iter()
-                .any(|p| p.contains_prefix(&block) || block.contains_prefix(p));
-            if !intersects {
-                return 0;
-            }
-            match block.children() {
-                Some((l, r)) => walk(table, l) + walk(table, r),
-                None => u64::from(table.is_routed(block.base())),
-            }
-        }
-        walk(self, prefix)
+        self.plane.covered_in(prefix.base(), prefix.len())
     }
 }
 
@@ -173,5 +158,14 @@ mod tests {
         assert_eq!(t.covered_addresses_in(p("8.0.0.0/9")), 1 << 23);
         assert_eq!(t.covered_addresses_in(p("8.128.0.0/9")), 0);
         assert_eq!(t.covered_addresses_in(p("8.0.1.0/24")), 256);
+    }
+
+    #[test]
+    fn prefixes_enumerate_in_order() {
+        let t = RoutedTable::from_prefixes([p("192.0.0.0/8"), p("10.0.0.0/8"), p("10.1.0.0/16")]);
+        assert_eq!(
+            t.prefixes(),
+            vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.0.0.0/8")]
+        );
     }
 }

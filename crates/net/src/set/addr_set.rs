@@ -1,34 +1,17 @@
-//! A two-level bitmap set of IPv4 addresses.
+//! A full-2^32 bitmap set of IPv4 addresses, backed by the segmented
+//! address plane ([`ghosts_addrplane::AddrPlane`]).
 
 use crate::addr::Prefix;
-use std::collections::BTreeMap;
+use ghosts_addrplane::AddrPlane;
 
-/// Bits per chunk: one /16 of address space.
-const CHUNK_BITS: usize = 1 << 16;
-const CHUNK_WORDS: usize = CHUNK_BITS / 64;
-
-#[derive(Clone)]
-struct Chunk {
-    bits: Box<[u64; CHUNK_WORDS]>,
-    count: u32,
-}
-
-impl Chunk {
-    fn new() -> Self {
-        Chunk {
-            bits: Box::new([0u64; CHUNK_WORDS]),
-            count: 0,
-        }
-    }
-}
-
-/// A set of IPv4 addresses stored as a bitmap per populated /16.
+/// A set of IPv4 addresses stored as one bit per address in lazily
+/// allocated 2 MiB segments (one per populated /8).
 ///
-/// Memory: 8 KiB per /16 that holds at least one address; O(log chunks)
-/// membership and insertion; set-algebra operations run a word at a time.
-/// Chunks live in a `BTreeMap` so every iteration over the set is in
-/// ascending address order by construction — no iteration-order
-/// nondeterminism can reach derived output.
+/// Membership is a single word load; set algebra (union, intersection,
+/// subtraction) and popcounts run a word at a time over the touched
+/// word ranges only. The segment directory is a `BTreeMap`, so every
+/// iteration over the set is in ascending address order by construction
+/// — no iteration-order nondeterminism can reach derived output.
 ///
 /// ```
 /// use ghosts_net::{addr_from_str, AddrSet};
@@ -42,8 +25,7 @@ impl Chunk {
 /// ```
 #[derive(Clone, Default)]
 pub struct AddrSet {
-    chunks: BTreeMap<u16, Chunk>,
-    len: u64,
+    plane: AddrPlane,
 }
 
 impl AddrSet {
@@ -52,287 +34,114 @@ impl AddrSet {
         Self::default()
     }
 
+    /// Wraps an existing address plane as a set.
+    pub fn from_plane(plane: AddrPlane) -> Self {
+        AddrSet { plane }
+    }
+
+    /// The backing bitmap plane (for word-wise kernels — e.g. the
+    /// bitwise contingency build in `ghosts_core`).
+    pub fn plane(&self) -> &AddrPlane {
+        &self.plane
+    }
+
+    /// Mutable access to the backing plane (bulk ingest via
+    /// `AddrPlane::or_word` / `AddrPlane::fill_prefix`).
+    pub fn plane_mut(&mut self) -> &mut AddrPlane {
+        &mut self.plane
+    }
+
     /// Number of addresses in the set.
     pub fn len(&self) -> u64 {
-        self.len
+        self.plane.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    fn key(addr: u32) -> u16 {
-        (addr >> 16) as u16
-    }
-
-    fn offset(addr: u32) -> usize {
-        (addr & 0xffff) as usize
+        self.plane.is_empty()
     }
 
     /// Inserts an address; returns `true` if it was not already present.
     pub fn insert(&mut self, addr: u32) -> bool {
-        let chunk = self
-            .chunks
-            .entry(Self::key(addr))
-            .or_insert_with(Chunk::new);
-        let off = Self::offset(addr);
-        let word = &mut chunk.bits[off / 64];
-        let mask = 1u64 << (off % 64);
-        if *word & mask != 0 {
-            return false;
-        }
-        *word |= mask;
-        chunk.count += 1;
-        self.len += 1;
-        true
+        self.plane.insert(addr)
     }
 
     /// Removes an address; returns `true` if it was present.
     pub fn remove(&mut self, addr: u32) -> bool {
-        let Some(chunk) = self.chunks.get_mut(&Self::key(addr)) else {
-            return false;
-        };
-        let off = Self::offset(addr);
-        let word = &mut chunk.bits[off / 64];
-        let mask = 1u64 << (off % 64);
-        if *word & mask == 0 {
-            return false;
-        }
-        *word &= !mask;
-        chunk.count -= 1;
-        self.len -= 1;
-        if chunk.count == 0 {
-            self.chunks.remove(&Self::key(addr));
-        }
-        true
+        self.plane.remove(addr)
     }
 
     /// Membership test.
     pub fn contains(&self, addr: u32) -> bool {
-        match self.chunks.get(&Self::key(addr)) {
-            Some(chunk) => {
-                let off = Self::offset(addr);
-                chunk.bits[off / 64] & (1u64 << (off % 64)) != 0
-            }
-            None => false,
-        }
+        self.plane.contains(addr)
     }
 
     /// Merges `other` into `self` (set union).
     pub fn union_with(&mut self, other: &AddrSet) {
-        for (&key, ochunk) in &other.chunks {
-            let chunk = self.chunks.entry(key).or_insert_with(Chunk::new);
-            let mut count = 0u32;
-            for (w, ow) in chunk.bits.iter_mut().zip(ochunk.bits.iter()) {
-                *w |= *ow;
-                count += w.count_ones();
-            }
-            self.len += u64::from(count) - u64::from(chunk.count);
-            chunk.count = count;
-        }
+        self.plane.union_with(&other.plane);
     }
 
     /// Number of addresses present in both sets.
     pub fn intersection_count(&self, other: &AddrSet) -> u64 {
-        // Iterate the smaller map.
-        let (small, big) = if self.chunks.len() <= other.chunks.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let mut total = 0u64;
-        for (key, schunk) in &small.chunks {
-            if let Some(bchunk) = big.chunks.get(key) {
-                for (a, b) in schunk.bits.iter().zip(bchunk.bits.iter()) {
-                    total += u64::from((a & b).count_ones());
-                }
-            }
-        }
-        total
+        self.plane.intersection_count(&other.plane)
     }
 
     /// The intersection of two sets as a new set.
     pub fn intersect(&self, other: &AddrSet) -> AddrSet {
-        let (small, big) = if self.chunks.len() <= other.chunks.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let mut out = AddrSet::new();
-        for (key, schunk) in &small.chunks {
-            let Some(bchunk) = big.chunks.get(key) else {
-                continue;
-            };
-            let mut chunk = Chunk::new();
-            let mut count = 0u32;
-            for (w, (a, b)) in chunk
-                .bits
-                .iter_mut()
-                .zip(schunk.bits.iter().zip(bchunk.bits.iter()))
-            {
-                *w = a & b;
-                count += w.count_ones();
-            }
-            if count > 0 {
-                chunk.count = count;
-                out.len += u64::from(count);
-                out.chunks.insert(*key, chunk);
-            }
+        AddrSet {
+            plane: self.plane.intersect(&other.plane),
         }
-        out
     }
 
     /// Removes from `self` every address present in `other`.
     pub fn subtract(&mut self, other: &AddrSet) {
-        let keys: Vec<u16> = self
-            .chunks
-            .keys()
-            .filter(|k| other.chunks.contains_key(k))
-            .copied()
-            .collect();
-        for key in keys {
-            let ochunk = &other.chunks[&key];
-            let chunk = self.chunks.get_mut(&key).expect("key just observed"); // lint: allow(no-unwrap) key from self.chunks
-            let mut count = 0u32;
-            for (w, ow) in chunk.bits.iter_mut().zip(ochunk.bits.iter()) {
-                *w &= !*ow;
-                count += w.count_ones();
-            }
-            self.len -= u64::from(chunk.count) - u64::from(count);
-            chunk.count = count;
-            if count == 0 {
-                self.chunks.remove(&key);
-            }
-        }
+        self.plane.subtract(&other.plane);
     }
 
-    /// Number of set addresses inside `prefix`.
+    /// Number of set addresses inside `prefix` — a popcount over the
+    /// prefix's word range (whole populated segments use their
+    /// maintained counts).
     pub fn count_in_prefix(&self, prefix: Prefix) -> u64 {
-        if prefix.len() <= 16 {
-            // Whole chunks: sum maintained counts over the key range.
-            let lo = (prefix.base() >> 16) as u16;
-            let hi = (prefix.last_address() >> 16) as u16;
-            if prefix.len() == 0 {
-                return self.len;
-            }
-            // The sorted map visits exactly the populated chunks in range.
-            self.chunks
-                .range(lo..=hi)
-                .map(|(_, c)| u64::from(c.count))
-                .sum()
-        } else {
-            let Some(chunk) = self.chunks.get(&Self::key(prefix.base())) else {
-                return 0;
-            };
-            let start = Self::offset(prefix.base());
-            let end = Self::offset(prefix.last_address());
-            count_bit_range(&chunk.bits[..], start, end)
-        }
+        self.plane.count_in_prefix(prefix.base(), prefix.len())
     }
 
-    /// Iterates addresses in ascending order (chunks are kept sorted).
+    /// Iterates addresses in ascending order (segments are kept sorted).
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.chunks.iter().flat_map(|(&key, chunk)| {
-            let base = u32::from(key) << 16;
-            chunk
-                .bits
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| **w != 0)
-                .flat_map(move |(wi, &w)| BitIter::new(w).map(move |b| base + (wi as u32) * 64 + b))
-        })
+        self.plane.iter()
     }
 
     /// Keeps only addresses satisfying the predicate.
-    pub fn retain<F: FnMut(u32) -> bool>(&mut self, mut f: F) {
-        let doomed: Vec<u32> = self.iter().filter(|&a| !f(a)).collect();
-        for a in doomed {
-            self.remove(a);
-        }
+    pub fn retain<F: FnMut(u32) -> bool>(&mut self, f: F) {
+        self.plane.retain(f);
     }
 
-    /// Projects to the set of /24 subnets containing at least one address.
+    /// Projects to the set of /24 subnets containing at least one
+    /// address, by walking nonzero words (each word sits inside one /24).
     pub fn to_subnet24(&self) -> super::SubnetSet {
         let mut out = super::SubnetSet::new();
-        for (&key, chunk) in &self.chunks {
-            let base = u32::from(key) << 16;
-            // Each /24 covers 4 consecutive words.
-            for s in 0..256u32 {
-                let w0 = (s as usize) * 4;
-                if chunk.bits[w0] | chunk.bits[w0 + 1] | chunk.bits[w0 + 2] | chunk.bits[w0 + 3]
-                    != 0
-                {
-                    out.insert((base + (s << 8)) >> 8);
-                }
-            }
-        }
+        self.plane.for_each_word(|word_base, _| {
+            out.insert(word_base >> 8);
+        });
         out
     }
 
     /// Per-/8 address counts (index = first octet).
     pub fn per_octet_counts(&self) -> [u64; 256] {
-        let mut out = [0u64; 256];
-        for (&key, chunk) in &self.chunks {
-            out[(key >> 8) as usize] += u64::from(chunk.count);
-        }
-        out
-    }
-}
-
-/// Counts set bits in positions `start..=end` of a word array.
-fn count_bit_range(words: &[u64], start: usize, end: usize) -> u64 {
-    let (sw, sb) = (start / 64, start % 64);
-    let (ew, eb) = (end / 64, end % 64);
-    if sw == ew {
-        let mask = (u64::MAX << sb) & (u64::MAX >> (63 - eb));
-        return u64::from((words[sw] & mask).count_ones());
-    }
-    let mut total = u64::from((words[sw] & (u64::MAX << sb)).count_ones());
-    for w in &words[sw + 1..ew] {
-        total += u64::from(w.count_ones());
-    }
-    total + u64::from((words[ew] & (u64::MAX >> (63 - eb))).count_ones())
-}
-
-/// Iterates the set bit positions of a word.
-struct BitIter {
-    word: u64,
-}
-
-impl BitIter {
-    fn new(word: u64) -> Self {
-        BitIter { word }
-    }
-}
-
-impl Iterator for BitIter {
-    type Item = u32;
-    fn next(&mut self) -> Option<u32> {
-        if self.word == 0 {
-            return None;
-        }
-        let b = self.word.trailing_zeros();
-        self.word &= self.word - 1;
-        Some(b)
+        self.plane.per_octet_counts()
     }
 }
 
 impl FromIterator<u32> for AddrSet {
     fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
-        let mut s = AddrSet::new();
-        for a in iter {
-            s.insert(a);
+        AddrSet {
+            plane: iter.into_iter().collect(),
         }
-        s
     }
 }
 
 impl Extend<u32> for AddrSet {
     fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
-        for a in iter {
-            self.insert(a);
-        }
+        self.plane.extend(iter);
     }
 }
 
@@ -340,9 +149,9 @@ impl std::fmt::Debug for AddrSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "AddrSet {{ len: {}, chunks: {} }}",
-            self.len,
-            self.chunks.len()
+            "AddrSet {{ len: {}, segments: {} }}",
+            self.plane.len(),
+            self.plane.segment_count()
         )
     }
 }
@@ -375,11 +184,13 @@ mod tests {
         s.insert(0);
         s.insert(u32::MAX);
         s.insert(a("0.0.255.255"));
-        s.insert(a("0.1.0.0")); // chunk boundary
-        assert_eq!(s.len(), 4);
+        s.insert(a("0.1.0.0"));
+        s.insert(a("0.255.255.255")); // segment boundary
+        s.insert(a("1.0.0.0"));
+        assert_eq!(s.len(), 6);
         assert!(s.contains(0) && s.contains(u32::MAX));
         let all: Vec<u32> = s.iter().collect();
-        assert_eq!(all, vec![0, 65535, 65536, u32::MAX]);
+        assert_eq!(all, vec![0, 65535, 65536, (1 << 24) - 1, 1 << 24, u32::MAX]);
     }
 
     #[test]
@@ -417,7 +228,11 @@ mod tests {
         let t2: AddrSet = [1u32].into_iter().collect();
         s.subtract(&t2);
         assert!(s.is_empty());
-        assert_eq!(s.chunks.len(), 0, "empty chunks must be pruned");
+        assert_eq!(
+            s.plane().segment_count(),
+            0,
+            "empty segments must be pruned"
+        );
     }
 
     #[test]
@@ -440,6 +255,8 @@ mod tests {
         assert_eq!(s.count_in_prefix("10.0.0.2/32".parse().unwrap()), 0);
         assert_eq!(s.count_in_prefix(Prefix::whole_space()), 5);
         assert_eq!(s.count_in_prefix("12.0.0.0/8".parse().unwrap()), 0);
+        // Wider than one /8: the count spans segments.
+        assert_eq!(s.count_in_prefix("10.0.0.0/7".parse().unwrap()), 5);
     }
 
     #[test]
@@ -492,5 +309,12 @@ mod tests {
         s1.union_with(&s2);
         assert_eq!(s1.len(), 1500);
         assert_eq!(s1.iter().count() as u64, s1.len());
+    }
+
+    #[test]
+    fn plane_round_trip() {
+        let s: AddrSet = [1u32, 2, 0x0a00_0000].into_iter().collect();
+        let t = AddrSet::from_plane(s.plane().clone());
+        assert_eq!(t.iter().collect::<Vec<_>>(), s.iter().collect::<Vec<_>>());
     }
 }

@@ -5,9 +5,11 @@
 //! bytes per element; measurement sources observe hundreds of millions of
 //! addresses, so the workspace uses bitmaps instead:
 //!
-//! * [`AddrSet`] — a two-level bitmap keyed by /16 chunk, 8 KiB per
-//!   populated /16. Densely used space costs one bit per address;
-//!   completely unused /16s cost nothing.
+//! * [`AddrSet`] — a view over the full-2^32 segmented bitmap plane
+//!   (`ghosts_addrplane::AddrPlane`): one bit per address in lazily
+//!   allocated 2 MiB segments, one per populated /8. Densely used space
+//!   costs one bit per address; completely unused /8s cost nothing, and
+//!   untouched pages inside a segment stay copy-on-write zero pages.
 //! * [`SubnetSet`] — a flat 2 MiB bitmap over all 2²⁴ possible /24
 //!   subnets (a /24 is "used" if any of its addresses is, §4).
 

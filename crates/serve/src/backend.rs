@@ -129,8 +129,10 @@ impl Backend for InlineBackend {
                 "stratification {name:?} does not exist (inline backend is unstratified)"
             )));
         }
-        let sets: Vec<&AddrSet> = self.sources.iter().collect();
-        let table = ContingencyTable::from_addr_sets(&sets);
+        // Straight into the word-wise kernel: the sources' backing bitmap
+        // planes produce all 2^t cells without a per-address loop.
+        let planes: Vec<_> = self.sources.iter().map(|s| s.plane()).collect();
+        let table = ContingencyTable::from_planes(&planes);
         let limit = request.limit.unwrap_or_else(|| self.routed.address_count());
         Ok(TableSpec {
             tables: vec![table],
@@ -140,6 +142,10 @@ impl Backend for InlineBackend {
     }
 
     fn membership(&self, addr: u32) -> Membership {
+        // Two O(prefix-length) walks and one bit probe: `longest_match` is
+        // a single descent of the routed table's compact trie
+        // (`PrefixPlane`), and `observed` tests one bit of the union's
+        // segmented bitmap plane.
         Membership {
             addr,
             routed: self.routed.longest_match(addr),

@@ -9,8 +9,10 @@
 //! * `POST /v1/estimate` — inline contingency tables or backend
 //!   window/strata requests, with a [`request`]-validated subset of
 //!   `CrConfig` knobs;
-//! * `GET /v1/membership/<addr>` — routed/bogon/observed lookups via
-//!   `ghosts_net`'s prefix trie;
+//! * `GET /v1/membership/<addr>` — routed/bogon/observed lookups: one
+//!   descent of the routed table's `PrefixPlane` trie for the longest
+//!   match plus a single bit test of the observed union's segmented
+//!   bitmap plane (`ghosts_addrplane`);
 //! * `GET /healthz`, `GET /manifest`, `GET /metrics` — liveness, a
 //!   `ghosts-manifest/1` document, and a text exposition of the
 //!   cumulative `ghosts_obs` counters and histograms.

@@ -583,12 +583,40 @@ impl GroundTruth {
         }
     }
 
+    /// The used addresses of an active block at quarter `q`, packed as the
+    /// four 64-bit words covering its /24: bit `i` of word `w` is address
+    /// `(subnet << 8) + 64·w + i`. This is the block-granular form the
+    /// address plane ingests directly.
+    pub fn block_used_words(&self, block: &Block, q: Quarter) -> [u64; 4] {
+        let mut words = [0u64; 4];
+        for byte in 0..256u32 {
+            if self.addr_used_in_block(block, byte, q) {
+                words[(byte >> 6) as usize] |= 1u64 << (byte & 63);
+            }
+        }
+        words
+    }
+
     /// The set of used addresses at quarter `q`.
+    ///
+    /// Blocks are generated straight into the backing segmented bitmap:
+    /// each active /24 contributes four pre-packed words OR-ed into the
+    /// plane (`AddrPlane::or_word`), bypassing the
+    /// per-address insert path entirely. Bit-identical to inserting every
+    /// address [`Self::for_each_used_addr`] visits.
     pub fn used_addr_set(&self, q: Quarter) -> AddrSet {
         let mut s = AddrSet::new();
-        self.for_each_used_addr(q, |addr, _| {
-            s.insert(addr);
-        });
+        for block in &self.blocks {
+            if !self.block_active(block, q) {
+                continue;
+            }
+            let base = block.subnet << 8;
+            for (w, bits) in self.block_used_words(block, q).iter().enumerate() {
+                if *bits != 0 {
+                    s.plane_mut().or_word(base + 64 * w as u32, *bits);
+                }
+            }
+        }
         s
     }
 
@@ -838,6 +866,20 @@ mod tests {
         // APNIC, ARIN and RIPE dominate; AfriNIC is smallest.
         assert!(per_rir[1] > per_rir[3] && per_rir[1] > per_rir[0]);
         assert!(per_rir[2] > per_rir[0] && per_rir[4] > per_rir[0]);
+    }
+
+    #[test]
+    fn word_ingest_matches_per_address_build() {
+        let gt = tiny();
+        for q in [Quarter(0), Quarter(7), Quarter(13)] {
+            let fast = gt.used_addr_set(q);
+            let mut slow = AddrSet::new();
+            gt.for_each_used_addr(q, |addr, _| {
+                slow.insert(addr);
+            });
+            assert_eq!(fast.len(), slow.len(), "length mismatch at {q}");
+            assert!(fast.iter().eq(slow.iter()), "bit mismatch at {q}");
+        }
     }
 
     #[test]

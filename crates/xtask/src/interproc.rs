@@ -16,9 +16,12 @@
 //!   `lock()` helpers participate.
 //! - **counting-overflow** — unchecked `+`/`*`/`<<` where an operand is a
 //!   declared `u32`/`u64` value (parameter, annotated `let`, suffixed
-//!   literal, or `as u32`/`as u64` cast) in the core/stats/pipeline
-//!   library code. The static complement of the runtime
-//!   `totals ≤ 2^32` validator.
+//!   literal, `as u32`/`as u64` cast, or a bare `.count_ones()`
+//!   popcount, which is `u32` and overflows a `u32` accumulator after
+//!   2^27 full words) in the core/stats/pipeline/addrplane library
+//!   code. Widening first via `u64::from(x.count_ones())` is the
+//!   sanctioned idiom and is not flagged. The static complement of the
+//!   runtime `totals ≤ 2^32` validator.
 //! - **event-exhaustiveness** — every literal event name passed to a
 //!   `Scope` emission method must be registered in
 //!   `ghosts_obs::schema::EVENT_NAMES` under the same kind, and every
@@ -54,7 +57,7 @@ pub const PANIC_ENTRYPOINTS: &[(&str, &str)] = &[
 
 /// Crates in scope for the counting-overflow rule: where the paper's
 /// address counts live.
-const COUNTING_CRATES: [&str; 3] = ["core", "stats", "pipeline"];
+const COUNTING_CRATES: [&str; 4] = ["core", "stats", "pipeline", "addrplane"];
 
 /// `Scope` emission methods and the trace-line kind each produces.
 const EMIT_METHODS: [(&str, &str); 5] = [
@@ -652,6 +655,27 @@ fn scan_fn_arithmetic(file: &InterprocFile<'_>, item: &FnItem, out: &mut Vec<Vio
                         _ => None,
                     };
                 }
+                // A bare popcount is `u32` whatever the receiver was:
+                // `w.count_ones()` summed into a `u32` wraps after 2^27
+                // full words. `u64::from(x.count_ones())` widens first
+                // and is the sanctioned idiom, so it stays exempt (the
+                // receiver here is `u64`, not an identifier pattern).
+                if tokens.get(idx + 1).is_some_and(|t| t.is_punct('.'))
+                    && tokens.get(idx + 2).and_then(Token::ident) == Some("count_ones")
+                    && tokens.get(idx + 3).is_some_and(|t| t.is_punct('('))
+                    && tokens.get(idx + 4).is_some_and(|t| t.is_punct(')'))
+                {
+                    if tokens.get(idx + 5).and_then(Token::ident) == Some("as") {
+                        return match tokens.get(idx + 6).and_then(Token::ident) {
+                            Some(ty @ ("u32" | "u64")) => Some((
+                                format!("{w}.count_ones() as {ty}"),
+                                if ty == "u32" { "u32" } else { "u64" },
+                            )),
+                            _ => None,
+                        };
+                    }
+                    return Some((format!("{w}.count_ones()"), "u32"));
+                }
                 if let Some(ty) = typed.get(w.as_str()) {
                     // Not a field access `x.w` / call `w(...)`.
                     let prev_dot = idx > 0 && tokens[idx - 1].is_punct('.');
@@ -673,6 +697,21 @@ fn scan_fn_arithmetic(file: &InterprocFile<'_>, item: &FnItem, out: &mut Vec<Vio
             }
             TokenKind::Int(_) => {
                 int_suffix(t).map(|ty| (t.int_text().unwrap_or("literal").to_string(), ty))
+            }
+            // `….count_ones() + x`: the token left of the operator is the
+            // popcount's closing paren. Inside `u64::from(…)` the paren
+            // left of the operator is `from`'s, whose `(` is not preceded
+            // by `count_ones`, so the widening idiom does not match.
+            TokenKind::Punct(')') if !forward => {
+                if idx >= 3
+                    && tokens.get(idx - 1).is_some_and(|t| t.is_punct('('))
+                    && tokens.get(idx - 2).and_then(Token::ident) == Some("count_ones")
+                    && tokens.get(idx - 3).is_some_and(|t| t.is_punct('.'))
+                {
+                    Some(("count_ones()".to_string(), "u32"))
+                } else {
+                    None
+                }
             }
             _ => None,
         }

@@ -24,10 +24,11 @@ const ESTIMATION_CRATES: [&str; 5] = ["core", "stats", "pipeline", "bench", "rel
 
 /// Crates required to be bit-deterministic in their inputs: no wall-clock,
 /// no OS randomness, and library code must not panic via unwrap/expect.
-const DETERMINISTIC_CRATES: [&str; 10] = [
+const DETERMINISTIC_CRATES: [&str; 11] = [
     "core",
     "stats",
     "net",
+    "addrplane",
     "pipeline",
     "sim",
     "analysis",

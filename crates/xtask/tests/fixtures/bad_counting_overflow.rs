@@ -9,3 +9,16 @@ pub fn tally(total: u64, n: u64) -> u64 {
     let as_float = total as f64 + 0.5;
     doubled + ok + safe + u64::from(mask) + as_float as u64
 }
+
+pub fn popcounts(words: &[u64]) -> u64 {
+    let mut narrow = 0u32;
+    for w in words {
+        narrow += w.count_ones();
+    }
+    let skewed = words.first().copied().unwrap_or(0).count_ones() as u64 * 8;
+    let mut wide = 0u64;
+    for w in words {
+        wide += u64::from(w.count_ones());
+    }
+    u64::from(narrow) + wide + skewed
+}

@@ -79,10 +79,13 @@ fn lock_discipline_fires_on_nested_fanout_and_socket_io() {
 fn counting_overflow_fires_on_declared_counters() {
     // Line 4: `total * 2`; line 5: `1u32 << 24`; line 10: `+ as_float as
     // u64` (a cast is a counting value). Line 7 is justified and the
-    // f64 cast on line 9 is float arithmetic, not counting.
+    // f64 cast on line 9 is float arithmetic, not counting. Line 16: a
+    // bare `.count_ones()` accumulated into a `u32`; line 18: a popcount
+    // cast to `u64` then multiplied. Lines 21/23 widen via `u64::from`
+    // before any arithmetic — the sanctioned idiom stays silent.
     assert_eq!(
         fired("bad_counting_overflow.rs", "core", "counting-overflow"),
-        vec![4, 5, 10]
+        vec![4, 5, 10, 16, 18]
     );
 }
 

@@ -22,6 +22,14 @@ grep -q '"schema":"ghost-lint-report/1"' target/lint-report.json || {
     exit 1
 }
 
+echo "==> addrplane smoke (bitwise 2^t kernel ≡ per-address table on the repro scenario)"
+# The plane kernel must agree cell-for-cell with the per-address build at
+# multiple thread counts before anything downstream trusts it (DESIGN.md
+# §17.2); the membership half of the smoke runs against the live server
+# below.
+cargo test -q -p ghosts-bench --release --lib \
+    plane_kernel_matches_per_address_on_repro_windows >/dev/null
+
 echo "==> observability smoke (repro --trace / --metrics-out + schema check)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -92,7 +100,24 @@ if [ -z "$addr" ]; then
 fi
 serve_req() { "$repo_root/target/release/serve" req "$@"; }
 serve_req GET "http://$addr/healthz" --expect-status 200 >/dev/null 2>&1
-serve_req GET "http://$addr/v1/membership/8.8.8.8" --expect-status 200 >/dev/null 2>&1
+# Membership answers come from one PrefixPlane trie descent plus one
+# bit probe of the observed plane; the shape and the always-bogon
+# loopback classification are scenario-independent.
+serve_req GET "http://$addr/v1/membership/8.8.8.8" --expect-status 200 \
+    >"$smoke_dir/membership.json" 2>/dev/null
+grep -q '"addr":"8.8.8.8"' "$smoke_dir/membership.json" && \
+    grep -q '"routed":' "$smoke_dir/membership.json" || {
+    echo "ci.sh: membership response lacks the addr/routed fields" >&2
+    cat "$smoke_dir/membership.json" >&2
+    exit 1
+}
+serve_req GET "http://$addr/v1/membership/127.0.0.1" --expect-status 200 \
+    >"$smoke_dir/membership_bogon.json" 2>/dev/null
+grep -q '"bogon":true' "$smoke_dir/membership_bogon.json" || {
+    echo "ci.sh: membership did not classify loopback as bogon" >&2
+    cat "$smoke_dir/membership_bogon.json" >&2
+    exit 1
+}
 serve_req POST "http://$addr/v1/estimate" '{"window":0}' --expect-status 200 \
     >"$smoke_dir/est1.json" 2>/dev/null
 serve_req POST "http://$addr/v1/estimate" '{"window":0}' --expect-status 200 \
